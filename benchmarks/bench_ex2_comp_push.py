@@ -1,0 +1,67 @@
+"""Example 2, alternative transformation (Figures 9 → 11) — rules 10 + 26.
+
+Two claims, measured:
+
+* rule 10: "selections can be pushed ahead of grouping, with enormous
+  savings if the selectivity factor is low" — the grouping input
+  shrinks by the floor predicate's selectivity;
+* rule 26: pushing the rebuild projection inside the COMP means "the
+  dept attribute needs to be DEREF'd only once" — per-student DEREFs
+  drop from 2 to 1 (plus the entry dereference).
+
+Series: wall-clock per figure at a selective floor, plus a selectivity
+sweep showing where figure 11 wins by how much.
+"""
+
+from conftest import print_row, run_counted
+
+from repro.core import evaluate
+from repro.workloads import figures
+
+FLOOR = 2
+
+
+def test_ex2_figure9_initial(benchmark, uni):
+    plan = figures.figure_9(FLOOR)
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_ex2_figure11_pushed(benchmark, uni):
+    plan = figures.figure_11(FLOOR)
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_ex2_deref_claim(benchmark, uni):
+    benchmark(lambda: evaluate(figures.figure_11(FLOOR), uni.db.context()))
+    r9, s9 = run_counted(uni, figures.figure_9(FLOOR))
+    r11, s11 = run_counted(uni, figures.figure_11(FLOOR))
+    assert r9 == r11
+    n = len(uni.db.get("Students"))
+    print("\n  Example 2, rules 10+26 (|S|=%d, floor=%d):" % (n, FLOOR))
+    print_row("figure 9 (initial)", s9,
+              keys=("deref_count", "grp_elements", "elements_scanned"))
+    print_row("figure 11 (pushed)", s11,
+              keys=("deref_count", "grp_elements", "elements_scanned"))
+    assert s9["deref_count"] == 3 * n   # entry + group key + filter
+    assert s11["deref_count"] == 2 * n  # entry + rebuild (once!)
+    # Selection ahead of grouping: GRP sees only qualifying students.
+    assert s11["grp_elements"] < s9["grp_elements"]
+
+
+def test_ex2_selectivity_sweep(benchmark, uni):
+    """The "enormous savings if the selectivity factor is low" series:
+    group-work ratio across floors (floor spread controls selectivity)."""
+    benchmark(lambda: evaluate(figures.figure_11(FLOOR), uni.db.context()))
+    print("\n  Example 2 — grouping work, figure 9 vs 11, per floor:")
+    for floor in (1, 2, 3, 4, 5):
+        r9, s9 = run_counted(uni, figures.figure_9(floor))
+        r11, s11 = run_counted(uni, figures.figure_11(floor))
+        assert r9 == r11
+        qualifying = sum(len(g) for g in r11.elements())
+        grp9 = s9.get("grp_elements", 0)
+        grp11 = s11.get("grp_elements", 0)
+        ratio = grp9 / grp11 if grp11 else float("inf")
+        print("    floor=%d  qualifying=%-4d grp9=%-5d grp11=%-5d "
+              "ratio=%.1fx" % (floor, qualifying, grp9, grp11, ratio))
+        if qualifying:
+            assert grp11 <= grp9

@@ -1,0 +1,105 @@
+"""End-to-end EXCESS pipeline throughput: parse → translate → execute.
+
+Covers the language substrate the paper's queries flow through, plus
+the OID/store layer (allocation, dereference, typed extents).  No paper
+claim attaches to these numbers; they document the reproduction's
+substrate costs so the figure benchmarks can be read in context.
+"""
+
+from repro.core import evaluate
+from repro.excess import Session, parse
+from repro.workloads import build_university
+
+Q1 = """
+    range of E is Employees
+    retrieve (C.name) from C in E.kids where E.dept.floor = 2
+"""
+
+Q2 = """
+    range of EMP is Employees
+    retrieve (EMP.name, min(E.kids.age
+        from E in Employees
+        where E.dept.floor = EMP.dept.floor))
+"""
+
+
+def test_parse_query1(benchmark):
+    statements = benchmark(lambda: parse(Q1))
+    assert len(statements) == 2
+
+
+def test_translate_query1(benchmark, uni):
+    session = Session(uni.db)
+
+    def compile_q1():
+        session.ranges.clear()
+        return session.compile(Q1)
+
+    expr = benchmark(compile_q1)
+    assert expr.size() > 3
+
+
+def test_execute_query1(benchmark, uni):
+    session = Session(uni.db)
+    plan = session.compile(Q1)
+    value = benchmark(lambda: evaluate(plan, uni.db.context()))
+    assert len(value) > 0
+
+
+def test_execute_query2_correlated(benchmark, small_uni):
+    session = Session(small_uni.db)
+    plan = session.compile(Q2)
+    value = benchmark(lambda: evaluate(plan, small_uni.db.context()))
+    assert len(value) == len(small_uni.db.get("Employees"))
+
+
+def test_full_pipeline_query1(benchmark, uni):
+    def pipeline():
+        session = Session(uni.db)
+        return session.query(Q1)
+
+    value = benchmark(pipeline)
+    assert len(value) > 0
+
+
+def test_oid_allocation_throughput(benchmark):
+    from repro.core.hierarchy import TypeHierarchy
+    from repro.core.oid import OIDGenerator
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    gen = OIDGenerator(h)
+
+    def allocate():
+        return [gen.new_oid("Student") for _ in range(100)]
+
+    oids = benchmark(allocate)
+    assert len(set(oids)) == 100
+
+
+def test_deref_throughput(benchmark, uni):
+    from repro.core import Input, Named
+    from repro.core.operators import Deref, SetApply
+    plan = SetApply(Deref(Input()), Named("Employees"))
+    value = benchmark(lambda: evaluate(plan, uni.db.context()))
+    assert len(value) == len(uni.db.get("Employees"))
+
+
+def test_store_build_university(benchmark):
+    uni = benchmark(lambda: build_university(
+        n_departments=3, n_employees=15, n_students=20, seed=0))
+    assert len(uni.db.get("Employees")) == 15
+
+
+def test_persistence_save(benchmark, small_uni, tmp_path):
+    from repro.storage import save_database
+    path = str(tmp_path / "uni.json")
+    benchmark(lambda: save_database(small_uni.db, path))
+
+
+def test_persistence_load(benchmark, small_uni, tmp_path):
+    from repro.storage import load_database, save_database
+    path = str(tmp_path / "uni.json")
+    save_database(small_uni.db, path)
+    db2 = benchmark(lambda: load_database(path))
+    assert len(db2.get("Employees")) == len(small_uni.db.get("Employees"))

@@ -1,0 +1,123 @@
+"""Figure 5 + the Section 4 trade-off — overridden-method processing.
+
+Three series, matching the paper's discussion point for point:
+
+* **T1, cheap bodies ("boss")** — each body is "at most a DEREF and a
+  TUP_EXTRACT"; the ⊎-based plan scans P once per distinct body, so the
+  switch-table "would certainly be preferable".
+* **T2, expensive bodies ("rich_subords")** — the Employee body scans a
+  ``sub_ords`` set "much larger than the containing set", so "the cost
+  of scanning the containing set … several times becomes negligible",
+  and compile-time optimization of the inlined bodies pays.
+* **T3, typed indexes** — "the need to scan P three times … disappears".
+"""
+
+from conftest import print_row, run_counted
+
+from repro.core import evaluate
+from repro.core.optimizer import Optimizer
+from repro.workloads.dispatch import switch_plan, union_plan
+
+
+# -- T1: cheap method ---------------------------------------------------
+
+def test_t1_boss_switch_table(benchmark, uni):
+    plan = switch_plan("boss")
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_t1_boss_union_plan(benchmark, uni):
+    plan = union_plan(uni, "boss")
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_t1_boss_union_per_type(benchmark, uni):
+    plan = union_plan(uni, "boss", collapse=False)
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+# -- T2: expensive method ----------------------------------------------
+
+def test_t2_rich_switch_table(benchmark, uni):
+    plan = switch_plan("rich_subords")
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_t2_rich_union_plan(benchmark, uni):
+    plan = union_plan(uni, "rich_subords")
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+def test_t2_rich_union_optimized(benchmark, uni):
+    optimized = Optimizer(max_depth=2, max_trees=600).optimize(
+        union_plan(uni, "rich_subords")).best
+    benchmark(lambda: evaluate(optimized, uni.db.context()))
+
+
+# -- T3: indexes ----------------------------------------------------------
+
+def test_t3_boss_union_indexed(benchmark, uni):
+    uni.db.indexes.build_typed("P")
+    plan = union_plan(uni, "boss", use_index=True)
+    benchmark(lambda: evaluate(plan, uni.db.context()))
+
+
+# -- The claims, as one reported table ------------------------------------
+
+def test_dispatch_claims(benchmark, uni):
+    benchmark(lambda: evaluate(switch_plan("boss"), uni.db.context()))
+    uni.db.indexes.build_typed("P")
+    population = len(uni.db.get("P"))
+    print("\n  Section 4 trade-off (|P|=%d):" % population)
+
+    rows = {}
+    for method in ("boss", "rich_subords"):
+        for label, plan in (
+                ("switch", switch_plan(method)),
+                ("union", union_plan(uni, method)),
+                ("union+idx", union_plan(uni, method, use_index=True))):
+            value, stats = run_counted(uni, plan)
+            rows[(method, label)] = (value, stats)
+            print_row("%s/%s" % (method, label), stats,
+                      keys=("elements_scanned", "set_apply_elements",
+                            "deref_count", "method_dispatches"))
+
+    # All strategies agree per method.
+    for method in ("boss", "rich_subords"):
+        values = [rows[(method, label)][1] is not None
+                  and rows[(method, label)][0]
+                  for label in ("switch", "union", "union+idx")]
+        assert values[0] == values[1] == values[2]
+
+    # T1: the ⊎-plan triples the scans of P for the cheap method.
+    boss_switch = rows[("boss", "switch")][1]["elements_scanned"]
+    boss_union = rows[("boss", "union")][1]["elements_scanned"]
+    assert boss_union == 3 * boss_switch
+
+    # T2: for the expensive method the extra scans are a small fraction.
+    rich_switch = rows[("rich_subords", "switch")][1]
+    rich_union = rows[("rich_subords", "union")][1]
+    extra = (rich_union["elements_scanned"]
+             - rich_switch["elements_scanned"])
+    total = sum(rich_union.values())
+    assert extra / total < 0.2
+
+    # T3: indexes restore switch-table scan counts.
+    boss_indexed = rows[("boss", "union+idx")][1]
+    assert boss_indexed["elements_scanned"] == boss_switch
+    assert boss_indexed["index_lookups"] == 3
+
+
+def test_optimization_claim(benchmark, uni):
+    """The inlined ⊎-plan optimizes as one query (the point of Figure
+    5): redundant work inside stored bodies is removed."""
+    plan = union_plan(uni, "rich_subords")
+    result = Optimizer(max_depth=2, max_trees=600).optimize(plan)
+    benchmark(lambda: evaluate(result.best, uni.db.context()))
+    v_orig, s_orig = run_counted(uni, plan)
+    v_opt, s_opt = run_counted(uni, result.best)
+    assert v_orig == v_opt
+    print("\n  Compile-time optimization of the ⊎-plan:")
+    print_row("as stored", s_orig, keys=("de_elements", "elements_scanned"))
+    print_row("optimized", s_opt, keys=("de_elements", "elements_scanned"))
+    assert s_opt["de_elements"] < s_orig["de_elements"]

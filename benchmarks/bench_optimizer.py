@@ -1,0 +1,93 @@
+"""Optimizer benchmarks: search cost and plan-quality improvement.
+
+The paper's position is that the many-sorted rule set stays tractable
+because "only a subset of the operators (and thus of the transformation
+rules) will be applicable at any point".  Measured here:
+
+* exploration throughput on the worked-example trees;
+* end-to-end optimize() latency;
+* the improvement factor the chosen plan achieves at run time.
+"""
+
+from conftest import run_counted
+
+from repro.core import evaluate
+from repro.core.optimizer import (CostModel, ObjectStats, Optimizer,
+                                  Statistics)
+from repro.core.transform import ALL_RULES, MULTISET_RULES, RewriteEngine
+from repro.workloads import figures
+
+
+def _stats(uni):
+    s = Statistics()
+    s.set_object("Students", ObjectStats(len(uni.db.get("Students"))))
+    s.set_object("Employees", ObjectStats(len(uni.db.get("Employees"))))
+    s.set_object("StudentsV", ObjectStats(len(uni.db.get("StudentsV"))))
+    s.set_object("EmployeesV", ObjectStats(len(uni.db.get("EmployeesV"))))
+    return s
+
+
+def test_explore_example2_tree(benchmark, uni):
+    engine = RewriteEngine(ALL_RULES, max_depth=2, max_trees=2000)
+    trees = benchmark(lambda: engine.explore(figures.figure_9(2)))
+    assert len(trees) > 1
+
+
+def test_explore_many_sorted_pruning(benchmark, uni):
+    """Array-free trees never consult array rules: exploring with the
+    full rule set costs about the same as with multiset rules alone."""
+    engine_all = RewriteEngine(ALL_RULES, max_depth=2, max_trees=2000)
+    engine_ms = RewriteEngine(MULTISET_RULES, max_depth=2, max_trees=2000)
+    tree = figures.figure_7()
+    all_count = len(engine_all.explore(tree))
+    benchmark(lambda: engine_all.explore(tree))
+    # The multiset rules find the same multiset-sort rewrites.
+    assert len(engine_ms.explore(tree)) <= all_count
+
+
+def test_optimize_figure9(benchmark, uni):
+    optimizer = Optimizer(cost_model=CostModel(_stats(uni)),
+                          max_depth=2, max_trees=1500)
+    result = benchmark(lambda: optimizer.optimize(figures.figure_9(2)))
+    assert result.best_cost <= result.initial_cost
+
+
+def test_optimized_plan_wins_at_runtime(benchmark, uni):
+    """The chosen plan's measured work must beat the initial tree's —
+    the cost model's ranking is validated by execution."""
+    optimizer = Optimizer(cost_model=CostModel(_stats(uni)),
+                          max_depth=3, max_trees=1500)
+    result = optimizer.optimize(figures.figure_9(2))
+    benchmark(lambda: evaluate(result.best, uni.db.context()))
+    v_initial, s_initial = run_counted(uni, figures.figure_9(2))
+    v_best, s_best = run_counted(uni, result.best)
+    assert v_initial == v_best
+    work = lambda s: sum(s.get(k, 0) for k in
+                         ("elements_scanned", "deref_count", "de_elements"))
+    print("\n  Optimizer on figure 9: %d -> %d work units (%s)"
+          % (work(s_initial), work(s_best), " -> ".join(result.steps)))
+    assert work(s_best) <= work(s_initial)
+
+
+def test_optimize_greedy_strategy(benchmark, uni):
+    """Hill-climbing reaches a good plan in a fraction of the
+    exhaustive search's work on the same tree."""
+    greedy = Optimizer(cost_model=CostModel(_stats(uni)),
+                       strategy="greedy", max_depth=6)
+    result = benchmark(lambda: greedy.optimize(figures.figure_9(2)))
+    assert result.best_cost <= result.initial_cost
+
+
+def test_greedy_vs_exhaustive_quality(benchmark, uni):
+    model = CostModel(_stats(uni))
+    exhaustive = Optimizer(cost_model=model, max_depth=2, max_trees=1500)
+    greedy = Optimizer(cost_model=model, strategy="greedy", max_depth=8)
+    tree = figures.figure_9(2)
+    benchmark(lambda: greedy.optimize(tree))
+    r_ex = exhaustive.optimize(tree)
+    r_gr = greedy.optimize(tree)
+    print("\n  Optimizer strategies on figure 9: exhaustive cost %.0f "
+          "(%d trees), greedy cost %.0f (%d evals)"
+          % (r_ex.best_cost, r_ex.explored, r_gr.best_cost, r_gr.explored))
+    # Greedy explores far fewer trees and lands within 25% of exhaustive.
+    assert r_gr.best_cost <= r_ex.best_cost * 1.25

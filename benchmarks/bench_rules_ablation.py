@@ -1,0 +1,191 @@
+"""Per-rule ablation: left-hand side vs right-hand side, timed.
+
+DESIGN.md calls out the individually load-bearing rules; this bench
+times both sides of each on sized data, verifying the direction each
+rule is meant to be applied in actually wins there.  Rules measured:
+
+* rule 5  — eliminating a cross product under DE;
+* rule 7  — distributing DE across ×;
+* rule 8  — DE before vs after grouping;
+* rule 10 — selection ahead of grouping;
+* rule 15 — combining successive SET_APPLYs;
+* rule 27 — combining successive COMPs;
+* rule X2 — deduping a SET_APPLY's input first.
+"""
+
+import pytest
+
+from repro.core import Const, EvalContext, Func, Input, Named, evaluate
+from repro.core.operators import (DE, Comp, Cross, Grp, SetApply,
+                                  TupExtract, sigma)
+from repro.core.predicates import And, Atom
+from repro.core.transform import RewriteFacts, rule_by_number
+from repro.core.values import MultiSet, Tup
+
+
+@pytest.fixture(scope="module")
+def data_ctx():
+    """Sized synthetic data: a low-distinct multiset (high duplication)
+    and a tuple relation."""
+    dup = MultiSet(i % 20 for i in range(4000))
+    rel = MultiSet(Tup(a=i % 15, b=i % 40) for i in range(2000))
+    other = MultiSet(i % 10 for i in range(60))
+
+    def make():
+        return EvalContext({"DUP": dup, "REL": rel, "OTHER": other},
+                           functions={"inc": lambda x: x + 1})
+    return make
+
+
+def _check_rule_derives(number, lhs, rhs, facts=None):
+    rewrites = rule_by_number(number).apply(lhs, facts or RewriteFacts())
+    assert rhs in rewrites, "rule %s should rewrite LHS to RHS" % number
+
+
+# -- rule 5 ---------------------------------------------------------------
+
+def _r5_sides():
+    body = Func("inc", [TupExtract("field1", Input())])
+    lhs = DE(SetApply(body, Cross(Named("OTHER"), Named("DUP"))))
+    rhs = DE(SetApply(Func("inc", [Input()]), Named("OTHER")))
+    return lhs, rhs
+
+
+def test_rule5_lhs(benchmark, data_ctx):
+    lhs, _ = _r5_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_rule5_rhs(benchmark, data_ctx):
+    lhs, rhs = _r5_sides()
+    facts = RewriteFacts().declare_nonempty(Named("DUP"))
+    _check_rule_derives(5, lhs, rhs, facts)
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))
+
+
+# -- rule 7 ---------------------------------------------------------------
+
+def _r7_sides():
+    lhs = DE(Cross(Named("DUP"), Named("OTHER")))
+    rhs = Cross(DE(Named("DUP")), DE(Named("OTHER")))
+    return lhs, rhs
+
+
+def test_rule7_lhs(benchmark, data_ctx):
+    lhs, _ = _r7_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_rule7_rhs(benchmark, data_ctx):
+    lhs, rhs = _r7_sides()
+    _check_rule_derives(7, lhs, rhs)
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))
+
+
+# -- rule 8 ---------------------------------------------------------------
+
+def _r8_sides():
+    key = Func("inc", [Input()])
+    lhs = Grp(key, DE(Named("DUP")))
+    rhs = SetApply(DE(Input()), Grp(key, Named("DUP")))
+    return lhs, rhs
+
+
+def test_rule8_de_first(benchmark, data_ctx):
+    lhs, _ = _r8_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_rule8_de_per_group(benchmark, data_ctx):
+    lhs, rhs = _r8_sides()
+    _check_rule_derives(8, lhs, rhs)
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))
+
+
+# -- rule 10 ----------------------------------------------------------------
+
+def _r10_sides():
+    key = TupExtract("a", Input())
+    pred = Atom(TupExtract("b", Input()), "=", Const(0))
+    select_first = Grp(key, sigma(pred, Named("REL")))
+    rewrites = rule_by_number(10).apply(select_first, RewriteFacts())
+    group_first = rewrites[0]
+    return select_first, group_first
+
+
+def test_rule10_select_first(benchmark, data_ctx):
+    select_first, group_first = _r10_sides()
+    assert (evaluate(select_first, data_ctx())
+            == evaluate(group_first, data_ctx()))
+    benchmark(lambda: evaluate(select_first, data_ctx()))
+
+
+def test_rule10_group_first(benchmark, data_ctx):
+    _, group_first = _r10_sides()
+    benchmark(lambda: evaluate(group_first, data_ctx()))
+
+
+# -- rule 15 ----------------------------------------------------------------
+
+def _r15_sides():
+    lhs = SetApply(Func("inc", [Input()]),
+                   SetApply(Func("inc", [Input()]), Named("DUP")))
+    rhs = SetApply(Func("inc", [Func("inc", [Input()])]), Named("DUP"))
+    return lhs, rhs
+
+
+def test_rule15_two_passes(benchmark, data_ctx):
+    lhs, _ = _r15_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_rule15_one_pass(benchmark, data_ctx):
+    lhs, rhs = _r15_sides()
+    _check_rule_derives(15, lhs, rhs)
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))
+
+
+# -- rule 27 ----------------------------------------------------------------
+
+def _r27_sides():
+    p1 = Atom(TupExtract("a", Input()), ">", Const(3))
+    p2 = Atom(TupExtract("b", Input()), "<", Const(30))
+    lhs = SetApply(Comp(p1, Comp(p2, Input())), Named("REL"))
+    rhs = SetApply(Comp(And(p2, p1), Input()), Named("REL"))
+    return lhs, rhs
+
+
+def test_rule27_stacked_comps(benchmark, data_ctx):
+    lhs, _ = _r27_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_rule27_merged_comp(benchmark, data_ctx):
+    lhs, rhs = _r27_sides()
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))
+
+
+# -- rule X2 -----------------------------------------------------------------
+
+def _x2_sides():
+    body = Func("inc", [Input()])
+    lhs = DE(SetApply(body, Named("DUP")))
+    rhs = DE(SetApply(body, DE(Named("DUP"))))
+    return lhs, rhs
+
+
+def test_x2_apply_then_de(benchmark, data_ctx):
+    lhs, _ = _x2_sides()
+    benchmark(lambda: evaluate(lhs, data_ctx()))
+
+
+def test_x2_de_input_first(benchmark, data_ctx):
+    lhs, rhs = _x2_sides()
+    _check_rule_derives("X2", lhs, rhs)
+    assert evaluate(lhs, data_ctx()) == evaluate(rhs, data_ctx())
+    benchmark(lambda: evaluate(rhs, data_ctx()))

@@ -1,0 +1,108 @@
+"""Scaling series: how the Example-1 gap grows with database size.
+
+The paper's |S|·|E| vs |S|+|E| argument is asymptotic; this bench
+produces the series an evaluation section would plot — DE work and
+wall-clock for Figures 7 and 8 across growing universities — and
+asserts the gap widens monotonically.
+"""
+
+import time
+
+import pytest
+
+from repro.core import evaluate
+from repro.workloads import build_university, figures
+
+SIZES = [(20, 40), (40, 80), (60, 150)]
+
+
+def _build(n_employees, n_students):
+    uni = build_university(
+        n_departments=4, n_employees=n_employees, n_students=n_students,
+        advisor_pool=6, employee_name_pool=6, kids_per_employee=1,
+        subords_per_employee=2, seed=1)
+    figures.value_views(uni)
+    return uni
+
+
+@pytest.fixture(scope="module")
+def universities():
+    return {(e, s): _build(e, s) for e, s in SIZES}
+
+
+def test_scaling_series(benchmark, universities):
+    largest = universities[SIZES[-1]]
+    benchmark(lambda: evaluate(figures.figure_8(), largest.db.context()))
+
+    print("\n  Example 1 scaling (DE occurrences and ratio):")
+    print("    %-12s %-10s %-10s %-8s" % ("|E|,|S|", "fig7 DE", "fig8 DE",
+                                          "ratio"))
+    ratios = []
+    for size in SIZES:
+        uni = universities[size]
+        ctx7 = uni.db.context()
+        r7 = evaluate(figures.figure_7(), ctx7)
+        ctx8 = uni.db.context()
+        r8 = evaluate(figures.figure_8(), ctx8)
+        assert r7 == r8
+        ratio = ctx7.stats["de_elements"] / ctx8.stats["de_elements"]
+        ratios.append(ratio)
+        print("    %-12s %-10d %-10d %.1fx"
+              % ("%d,%d" % size, ctx7.stats["de_elements"],
+                 ctx8.stats["de_elements"], ratio))
+    # The gap grows with size: quadratic vs linear.
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]
+
+
+def test_wallclock_crossover(benchmark, universities):
+    """Figure 8 wins by a growing wall-clock factor too."""
+    largest = universities[SIZES[-1]]
+    benchmark(lambda: evaluate(figures.figure_7(), largest.db.context()))
+
+    def timed(plan, uni, repeat=3):
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            evaluate(plan, uni.db.context())
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    print("\n  Example 1 wall-clock (best of 3):")
+    for size in SIZES:
+        uni = universities[size]
+        t7 = timed(figures.figure_7(), uni)
+        t8 = timed(figures.figure_8(), uni)
+        print("    %-12s fig7=%.1fms fig8=%.1fms speedup=%.1fx"
+              % ("%d,%d" % size, t7 * 1e3, t8 * 1e3, t7 / t8))
+    # At the largest size the rewritten plan must win clearly.
+    uni = universities[SIZES[-1]]
+    assert timed(figures.figure_8(), uni) < timed(figures.figure_7(), uni)
+
+
+def test_dispatch_scaling(benchmark, universities):
+    """The ⊎-plan's scan overhead stays a constant ×(distinct bodies)
+    of the switch-table scans regardless of |P|."""
+    from repro.workloads.dispatch import (build_population,
+                                          define_boss_methods, switch_plan,
+                                          union_plan)
+    print("\n  Dispatch scan overhead by |P|:")
+    last = None
+    for size in SIZES:
+        uni = universities[size]
+        if "P" not in uni.db:
+            build_population(uni)
+            define_boss_methods(uni)
+        ctx_switch = uni.db.context()
+        evaluate(switch_plan("boss"), ctx_switch)
+        ctx_union = uni.db.context()
+        evaluate(union_plan(uni, "boss"), ctx_union)
+        factor = (ctx_union.stats["elements_scanned"]
+                  / ctx_switch.stats["elements_scanned"])
+        print("    |P|=%-5d switch=%-6d union=%-6d factor=%.1f"
+              % (len(uni.db.get("P")),
+                 ctx_switch.stats["elements_scanned"],
+                 ctx_union.stats["elements_scanned"], factor))
+        assert factor == 3.0
+        last = uni
+    benchmark(lambda: evaluate(switch_plan("boss"), last.db.context()))

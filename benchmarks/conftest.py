@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+The paper reports no measured tables (its system was still being
+brought up on EXODUS); its evaluation artifacts are worked examples with
+qualitative claims.  Each benchmark therefore (a) times the plan
+alternatives of one figure with pytest-benchmark and (b) prints the
+work-counter row the claim is about, asserting the claimed *direction*
+(who wins) so a regression fails loudly.
+"""
+
+import pytest
+
+from repro.core import evaluate
+from repro.workloads import build_university, figures
+from repro.workloads.dispatch import (build_population, define_boss_methods,
+                                      define_rich_subords_methods)
+
+
+@pytest.fixture(scope="session")
+def uni():
+    """The shared benchmark instance, sized so effects are visible."""
+    handle = build_university(n_departments=4, n_employees=60,
+                              n_students=150, kids_per_employee=2,
+                              subords_per_employee=12, advisor_pool=6,
+                              employee_name_pool=6, seed=1)
+    figures.value_views(handle)
+    build_population(handle)
+    define_boss_methods(handle)
+    define_rich_subords_methods(handle)
+    return handle
+
+
+@pytest.fixture(scope="session")
+def small_uni():
+    handle = build_university(n_departments=3, n_employees=12,
+                              n_students=24, seed=1)
+    figures.value_views(handle)
+    return handle
+
+
+def run_counted(uni, expr):
+    """Evaluate once, returning (value, work counters)."""
+    ctx = uni.db.context()
+    value = evaluate(expr, ctx)
+    return value, ctx.stats
+
+
+def print_row(label, stats, keys=("elements_scanned", "de_elements",
+                                  "cross_pairs", "deref_count")):
+    cells = "  ".join("%s=%-7d" % (k, stats.get(k, 0)) for k in keys)
+    print("    %-22s %s" % (label, cells))

@@ -1,0 +1,26 @@
+"""repro — a reproduction of the EXCESS algebra (Vandenberg & DeWitt, SIGMOD 1991).
+
+An executable implementation of "Algebraic Support for Complex Objects
+with Arrays, Identity, and Inheritance": the many-sorted algebra over
+multisets, tuples, arrays, and references; OID domains under multiple
+inheritance; the EXTRA DDL and EXCESS query language; the transformation
+rules; a rule-driven optimizer; and the two overridden-method processing
+strategies.
+
+See ``examples/quickstart.py`` for the full university database of the
+paper's Figure 1.
+"""
+
+from .core import (DNE, UNK, AlgebraError, Arr, Const, EvalContext, Expr,
+                   Func, Input, MultiSet, Named, Ref, Tup, evaluate)
+from .storage import Database, ObjectStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database", "ObjectStore",
+    "AlgebraError", "Arr", "Const", "EvalContext", "Expr", "Func",
+    "Input", "MultiSet", "Named", "Ref", "Tup", "evaluate",
+    "DNE", "UNK",
+    "__version__",
+]

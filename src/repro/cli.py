@@ -1,0 +1,240 @@
+"""An interactive EXCESS shell: ``python -m repro``.
+
+Reads EXTRA/EXCESS statements (DDL, queries, updates), executes them
+against an in-memory database, and pretty-prints results.  Meta
+commands (lines starting with a dot):
+
+    .help                this text
+    .names               list named top-level objects
+    .types               list defined EXTRA types
+    .plan <retrieve …>   show the algebra tree without executing
+    .optimize on|off     toggle rule-based optimization of queries
+    .stats               work counters of the last executed query
+    .demo                load the populated Figure-1 university
+    .save <path>         persist the database to a JSON snapshot
+    .load <path>         replace the database with a saved snapshot
+    .quit                exit
+
+Statements may span lines; they execute when the line ends with ``;``
+(the terminator is stripped — the languages themselves don't use it).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .core.expr import evaluate
+from .core.optimizer import CostModel, Optimizer, Statistics
+from .core.values import Arr, MultiSet
+from .excess import Session
+from .lang import ParseError
+from .storage import Database
+
+PROMPT = "excess> "
+CONTINUATION = "   ...> "
+
+
+def format_value(value, indent: str = "  ", limit: int = 20) -> str:
+    """Human-oriented rendering of an algebra value."""
+    if isinstance(value, MultiSet):
+        lines = ["{multiset, %d occurrence(s), %d distinct}"
+                 % (len(value), value.distinct_count())]
+        for i, (element, count) in enumerate(sorted(
+                value.counts.items(), key=lambda kv: repr(kv[0]))):
+            if i >= limit:
+                lines.append(indent + "… (%d more)"
+                             % (value.distinct_count() - limit))
+                break
+            suffix = "  ×%d" % count if count > 1 else ""
+            lines.append(indent + repr(element) + suffix)
+        return "\n".join(lines)
+    if isinstance(value, Arr):
+        return "[array, %d element(s)] %r" % (len(value), value)
+    return repr(value)
+
+
+class Shell:
+    """The REPL engine, separated from I/O for testability."""
+
+    def __init__(self, database: Optional[Database] = None):
+        self.db = database or Database()
+        self.session = Session(self.db)
+        self.optimize = False
+        self.last_stats = {}
+
+    # -- meta commands -------------------------------------------------
+
+    def handle_meta(self, line: str) -> str:
+        command, _, argument = line.partition(" ")
+        command = command.lower()
+        if command == ".help":
+            return __doc__.strip()
+        if command == ".names":
+            names = self.db.names()
+            return "\n".join(names) if names else "(no named objects)"
+        if command == ".types":
+            types = getattr(self.db, "types", None)
+            if types is None or not types.names():
+                return "(no types defined)"
+            return "\n".join(
+                "%s%s" % (name,
+                          " inherits " + ", ".join(
+                              self.db.hierarchy.parents(name))
+                          if self.db.hierarchy.parents(name) else "")
+                for name in types.names())
+        if command == ".plan":
+            try:
+                expr = self.session.compile(argument)
+            except (ParseError, Exception) as error:
+                return "error: %s" % error
+            from .core.explain import explain
+            from .core.optimizer import CostModel
+            model = CostModel(Statistics.from_database(self.db))
+            text = explain(expr, model)
+            if self.optimize:
+                result = self._optimizer().optimize(expr)
+                text += ("\n-- optimized (%.0f -> %.0f, via %s) --\n%s"
+                         % (result.initial_cost, result.best_cost,
+                            " -> ".join(result.steps) or "<unchanged>",
+                            explain(result.best, model)))
+            return text
+        if command == ".optimize":
+            self.optimize = argument.strip().lower() == "on"
+            return "optimization %s" % ("on" if self.optimize else "off")
+        if command == ".stats":
+            if not self.last_stats:
+                return "(no query executed yet)"
+            return "\n".join("%-22s %d" % (k, v)
+                             for k, v in sorted(self.last_stats.items()))
+        if command == ".demo":
+            from .workloads import build_university
+            build_university(database=self.db)
+            self.session = Session(self.db)
+            return ("loaded the Figure-1 university "
+                    "(Employees, Students, Departments, TopTen)")
+        if command == ".save":
+            if not argument.strip():
+                return "usage: .save <path>"
+            from .storage import save_database
+            save_database(self.db, argument.strip())
+            return "saved to %s" % argument.strip()
+        if command == ".load":
+            if not argument.strip():
+                return "usage: .load <path>"
+            from .storage import load_database
+            try:
+                self.db = load_database(argument.strip())
+            except (OSError, ValueError) as error:
+                return "error: %s" % error
+            self.session = Session(self.db)
+            missing = getattr(self.db, "missing_functions", [])
+            note = (" (re-register functions: %s)" % ", ".join(missing)
+                    if missing else "")
+            return "loaded %s%s" % (argument.strip(), note)
+        if command in (".quit", ".exit"):
+            raise EOFError
+        return "unknown command %r (try .help)" % command
+
+    def _optimizer(self) -> Optimizer:
+        stats = Statistics.from_database(self.db)
+        return Optimizer(cost_model=CostModel(stats), max_depth=3,
+                         max_trees=500)
+
+    # -- statements -------------------------------------------------------
+
+    def execute(self, source: str) -> List[str]:
+        """Execute statements; returns printable result blocks."""
+        out: List[str] = []
+        try:
+            results = self.session.run(source, optimize=False)
+        except (ParseError, Exception) as error:
+            return ["error: %s" % error]
+        for result in results:
+            if result.expression is None and result.value is None:
+                out.append("ok")
+            elif result.expression is None:
+                out.append("ok (%r affected %s)"
+                           % (result.value, result.into or ""))
+            else:
+                expr = result.expression
+                if self.optimize:
+                    expr = self._optimizer().optimize(expr).best
+                ctx = self.db.context()
+                value = evaluate(expr, ctx)
+                self.last_stats = dict(ctx.stats)
+                if result.into:
+                    out.append("stored %s" % result.into)
+                else:
+                    out.append(format_value(value))
+        return out
+
+    def feed(self, line: str) -> List[str]:
+        """One input line → zero or more output blocks."""
+        stripped = line.strip()
+        if not stripped:
+            return []
+        if stripped.startswith("."):
+            return [self.handle_meta(stripped)]
+        return self.execute(stripped)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    banner = ("repro — the EXCESS algebra (Vandenberg & DeWitt, "
+              "SIGMOD 1991)\nType .help for commands, .demo for sample "
+              "data; end statements with ';'.")
+    if argv and argv[0] == "--demo":
+        print(shell.handle_meta(".demo"))
+        argv = argv[1:]
+    if not sys.stdin.isatty():
+        # Batch mode: read everything, execute statement blocks.
+        source = sys.stdin.read()
+        for block in _split_statements(source):
+            for output in shell.feed(block):
+                print(output)
+        return 0
+    print(banner)
+    buffer: List[str] = []
+    while True:
+        try:
+            line = input(CONTINUATION if buffer else PROMPT)
+        except EOFError:
+            print()
+            return 0
+        if line.strip().startswith(".") and not buffer:
+            try:
+                print(shell.handle_meta(line.strip()))
+            except EOFError:
+                return 0
+            continue
+        buffer.append(line)
+        if line.rstrip().endswith(";"):
+            statement = "\n".join(buffer).rstrip().rstrip(";")
+            buffer = []
+            for output in shell.feed(statement):
+                print(output)
+
+
+def _split_statements(source: str) -> List[str]:
+    """Split batch input on ';' terminators (dots pass through whole)."""
+    blocks: List[str] = []
+    for chunk in source.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        # Meta commands are line-oriented even in batch mode.
+        lines = chunk.splitlines()
+        plain: List[str] = []
+        for line in lines:
+            if line.strip().startswith("."):
+                if plain:
+                    blocks.append("\n".join(plain))
+                    plain = []
+                blocks.append(line.strip())
+            else:
+                plain.append(line)
+        if plain:
+            blocks.append("\n".join(plain))
+    return blocks

@@ -1,0 +1,217 @@
+"""Domain membership: dom(S) and DOM(S) from Section 3.1.
+
+The complex domain of a schema S is defined recursively on the root node
+kind:
+
+* val — the scalar domain D (OIDs excluded: refs are a separate sort);
+* tup — the cross product of the component domains (the empty tuple's
+  domain is {()});
+* set — all finite multisets whose distinct elements lie in the
+  component's domain;
+* arr — all finite arrays (including the empty array) of elements of
+  the component's domain;
+* ref — Odom of the target type: R(S1) ∪ ⋃ R(Sᵢ) over subtypes (the
+  amended rule v′).
+
+Inheritance then extends every domain by substitutability:
+
+    DOM(S) = dom(S) ∪ ⋃ dom(Sᵢ)  over subtypes Sᵢ of S.
+
+Note the asymmetry the paper points out: tuple/set/array domains absorb
+subtype members *through their components* (an array of A may hold
+B's when A → B), while a ref node's domain is a set of OIDs governed by
+the Odom rules — "ref A → ref B" is not implied by "A → B" except via
+the OID-domain containment of rule 3, which this construction realises.
+
+This module provides checking ("is value v ∈ DOM(S)?") with readable
+failure explanations, plus a deterministic domain *sampler* used by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional
+
+from .hierarchy import TypeHierarchy
+from .oid import OIDGenerator
+from .schema import SchemaCatalog, SchemaNode
+from .values import Arr, MultiSet, Null, Ref, Tup, is_scalar
+
+
+class DomainChecker:
+    """Decides membership of values in schema domains.
+
+    Parameters
+    ----------
+    catalog:
+        Resolves named schemas (for ref targets and for the subtype
+        schemas needed by DOM).
+    hierarchy:
+        The inheritance hierarchy; when omitted, DOM(S) degenerates to
+        dom(S) and ref checking only validates the sort.
+    oid_generator:
+        When provided, ref membership is the real Odom test (decode the
+        OID's exact pool, ask the hierarchy); otherwise the Ref's carried
+        type name is trusted.
+    """
+
+    def __init__(self, catalog: SchemaCatalog = None,
+                 hierarchy: TypeHierarchy = None,
+                 oid_generator: OIDGenerator = None):
+        self.catalog = catalog or SchemaCatalog()
+        self.hierarchy = hierarchy
+        self.oids = oid_generator
+
+    # -- membership ------------------------------------------------------
+
+    def contains(self, schema: SchemaNode, value: Any) -> bool:
+        return self.explain(schema, value) is None
+
+    def explain(self, schema: SchemaNode, value: Any) -> Optional[str]:
+        """None if value ∈ DOM(schema); otherwise a human-readable reason.
+
+        Nulls are members of every domain (they are query-processing
+        artifacts, not schema citizens, and may appear transiently
+        anywhere).
+        """
+        if isinstance(value, Null):
+            return None
+        # DOM(S): try dom(S) itself, then dom of each subtype's schema.
+        reason = self._explain_dom(schema, value)
+        if reason is None:
+            return None
+        for sub_schema in self._subtype_schemas(schema):
+            if self._explain_dom(sub_schema, value) is None:
+                return None
+        return reason
+
+    def _subtype_schemas(self, schema: SchemaNode) -> List[SchemaNode]:
+        type_name = schema.base_name or schema.name
+        if self.hierarchy is None or type_name not in self.hierarchy:
+            return []
+        out = []
+        for sub in self.hierarchy.descendants(type_name):
+            if sub in self.catalog:
+                out.append(self.catalog.resolve(sub))
+        return out
+
+    def _explain_dom(self, schema: SchemaNode, value: Any) -> Optional[str]:
+        kind = schema.kind
+        if kind == "val":
+            if not is_scalar(value):
+                return "expected a scalar, got %r" % (value,)
+            if schema.scalar_type is not None:
+                # bool is an int subtype in Python; keep them distinct.
+                if schema.scalar_type is int and isinstance(value, bool):
+                    return "expected int, got bool %r" % (value,)
+                if not isinstance(value, schema.scalar_type):
+                    return "expected %s, got %r" % (
+                        schema.scalar_type.__name__, value)
+            return None
+        if kind == "tup":
+            if not isinstance(value, Tup):
+                return "expected a tuple, got %r" % (value,)
+            if list(value.field_names) != list(schema.field_names):
+                return ("tuple fields %s do not match schema fields %s"
+                        % (list(value.field_names), list(schema.field_names)))
+            for name, child in schema.fields():
+                reason = self.explain(child, value[name])
+                if reason is not None:
+                    return "field %s: %s" % (name, reason)
+            return None
+        if kind == "set":
+            if not isinstance(value, MultiSet):
+                return "expected a multiset, got %r" % (value,)
+            child = schema.children[0]
+            for element in value.elements():
+                reason = self.explain(child, element)
+                if reason is not None:
+                    return "multiset element %r: %s" % (element, reason)
+            return None
+        if kind == "arr":
+            if not isinstance(value, Arr):
+                return "expected an array, got %r" % (value,)
+            if (schema.fixed_length is not None
+                    and len(value) != schema.fixed_length):
+                return ("fixed-length array needs %d elements, got %d"
+                        % (schema.fixed_length, len(value)))
+            child = schema.children[0]
+            for i, element in enumerate(value):
+                reason = self.explain(child, element)
+                if reason is not None:
+                    return "array element %d: %s" % (i + 1, reason)
+            return None
+        if kind == "ref":
+            if not isinstance(value, Ref):
+                return "expected a reference, got %r" % (value,)
+            target_name = schema.target
+            if target_name is None:
+                return None  # inline (structural) ref target: sort is enough
+            if self.oids is not None and isinstance(value.oid, int):
+                if not self.oids.in_odom(value.oid, target_name):
+                    return ("OID %r is not in Odom(%s)"
+                            % (value.oid, target_name))
+                return None
+            if self.hierarchy is not None and value.type_name is not None:
+                if value.type_name not in self.hierarchy:
+                    return "unknown ref type %r" % value.type_name
+                if not self.hierarchy.is_subtype(value.type_name, target_name):
+                    return ("ref to %s where ref %s expected"
+                            % (value.type_name, target_name))
+            return None
+        raise AssertionError(kind)
+
+
+class DomainSampler:
+    """Draws pseudo-random members of dom(S) for property-based tests.
+
+    Deterministic given the seed.  Ref nodes require an *allocator*
+    callback ``alloc(type_name) -> Ref`` (typically the object store,
+    which also creates a referent) so sampled values stay meaningful.
+    """
+
+    def __init__(self, rng: random.Random = None, alloc=None,
+                 max_elements: int = 4):
+        self.rng = rng or random.Random(0)
+        self.alloc = alloc
+        self.max_elements = max_elements
+
+    def sample(self, schema: SchemaNode, depth: int = 0) -> Any:
+        kind = schema.kind
+        if kind == "val":
+            return self._scalar(schema.scalar_type)
+        if kind == "tup":
+            return Tup({name: self.sample(child, depth + 1)
+                        for name, child in schema.fields()})
+        if kind == "set":
+            n = self.rng.randint(0, max(0, self.max_elements - depth))
+            return MultiSet(self.sample(schema.children[0], depth + 1)
+                            for _ in range(n))
+        if kind == "arr":
+            if schema.fixed_length is not None:
+                n = schema.fixed_length
+            else:
+                n = self.rng.randint(0, max(0, self.max_elements - depth))
+            return Arr(self.sample(schema.children[0], depth + 1)
+                       for _ in range(n))
+        if kind == "ref":
+            if self.alloc is None:
+                raise ValueError(
+                    "sampling a ref schema needs an allocator callback")
+            return self.alloc(schema.target)
+        raise AssertionError(kind)
+
+    def _scalar(self, scalar_type: Optional[type]) -> Any:
+        if scalar_type is None:
+            scalar_type = self.rng.choice([int, float, str, bool])
+        if scalar_type is int:
+            return self.rng.randint(-50, 50)
+        if scalar_type is float:
+            return round(self.rng.uniform(-50, 50), 3)
+        if scalar_type is str:
+            length = self.rng.randint(0, 6)
+            return "".join(self.rng.choice("abcxyz") for _ in range(length))
+        if scalar_type is bool:
+            return self.rng.choice([True, False])
+        raise ValueError("unsupported scalar type %r" % scalar_type)

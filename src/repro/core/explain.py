@@ -1,0 +1,108 @@
+"""Readable, multi-line rendering of algebra query trees.
+
+``describe()`` gives the compact one-line algebraic form; ``explain``
+renders the same tree the way the paper draws its figures — one
+operator per line, children indented, with the operator's subscript
+(body/predicate/key) shown inline and, when a cost model is supplied,
+the estimated cost and cardinality of every node.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import Const, Expr, Func, Input, Named
+from .methods import IndexedTypeScan, MethodCall
+from .operators.arrays import ArrApply
+from .operators.multiset import Grp, SetApply
+from .predicates import Comp
+
+
+def _label(expr: Expr) -> str:
+    """The node's own line: operator name plus its subscript."""
+    if isinstance(expr, Named):
+        return expr.name
+    if isinstance(expr, Const):
+        text = repr(expr.value)
+        return "CONST %s" % (text if len(text) <= 40 else text[:37] + "…")
+    if isinstance(expr, Input):
+        return "INPUT"
+    if isinstance(expr, SetApply):
+        parts = ["SET_APPLY"]
+        if expr.type_filter is not None:
+            parts.append("<%s>" % "/".join(sorted(expr.type_filter)))
+        parts.append("[%s]" % expr.body.describe())
+        return " ".join(parts)
+    if isinstance(expr, ArrApply):
+        return "ARR_APPLY [%s]" % expr.body.describe()
+    if isinstance(expr, Grp):
+        return "GRP by [%s]" % expr.by.describe()
+    if isinstance(expr, Comp):
+        return "COMP [%s]" % expr.pred.describe()
+    if isinstance(expr, Func):
+        return "FUNC %s/%d" % (expr.name, len(expr.args))
+    if isinstance(expr, MethodCall):
+        return "METHOD %s (run-time dispatch)" % expr.name
+    if isinstance(expr, IndexedTypeScan):
+        return "INDEX SCAN %s<%s>" % (expr.object_name,
+                                      "/".join(sorted(expr.types)))
+    name = type(expr).__name__
+    # Non-expression parameters (field names, positions, bounds).
+    params = []
+    for field in expr._fields:
+        value = getattr(expr, field)
+        if not isinstance(value, Expr) and not hasattr(value, "test"):
+            if isinstance(value, (list, tuple)):
+                if not any(isinstance(v, Expr) for v in value):
+                    params.append("%s" % (list(value),))
+            elif value is not None:
+                params.append(str(value))
+    return name.upper() + (" " + " ".join(params) if params else "")
+
+
+def _structural_children(expr: Expr) -> List[Expr]:
+    """Children drawn as separate plan lines: the data-flow inputs, not
+    the subscript bodies (those are shown inline in the label)."""
+    skip = set(expr._binding_fields)
+    if isinstance(expr, (SetApply, ArrApply, Grp)):
+        skip |= {"body", "by"}
+    out: List[Expr] = []
+    for field in expr._fields:
+        if field in skip:
+            continue
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            out.append(value)
+        elif isinstance(value, (list, tuple)):
+            out.extend(v for v in value if isinstance(v, Expr))
+    return out
+
+
+def explain(expr: Expr, cost_model=None, named_schemas=None) -> str:
+    """Render *expr* as an indented plan.
+
+    With a :class:`~repro.core.optimizer.CostModel`, each line carries
+    the node's estimated cost and output cardinality.
+    """
+    lines: List[str] = []
+
+    def annotate(node: Expr) -> str:
+        if cost_model is None:
+            return ""
+        estimate = cost_model.estimate(node)
+        return "  (cost≈%.0f, card≈%.0f)" % (estimate.cost, estimate.card)
+
+    def walk(node: Expr, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_label(node) + annotate(node))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + _label(node) + annotate(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = _structural_children(node)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(expr, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""All 23 primitive operators of the EXCESS algebra, plus derived forms.
+
+Primitives (Section 3.2):
+
+* multiset — ⊎ (:class:`AddUnion`), SET (:class:`SetCreate`),
+  SET_APPLY (:class:`SetApply`), GRP (:class:`Grp`), DE (:class:`DE`),
+  − (:class:`Diff`), × (:class:`Cross`), SET_COLLAPSE
+  (:class:`SetCollapse`);
+* tuple — π (:class:`Pi`), TUP_CAT (:class:`TupCat`), TUP_EXTRACT
+  (:class:`TupExtract`), TUP (:class:`TupCreate`);
+* array — ARR (:class:`ArrCreate`), ARR_EXTRACT (:class:`ArrExtract`),
+  ARR_APPLY (:class:`ArrApply`), SUBARR (:class:`SubArr`), ARR_CAT
+  (:class:`ArrCat`), ARR_COLLAPSE (:class:`ArrCollapse`), ARR_DIFF
+  (:class:`ArrDiff`), ARR_DE (:class:`ArrDE`), ARR_CROSS
+  (:class:`ArrCross`);
+* reference — REF (:class:`RefOp`), DEREF (:class:`Deref`);
+* predicate — COMP (:class:`~repro.core.predicates.Comp`).
+
+Derived (Appendix §1): :func:`union`, :func:`intersection`,
+:func:`sigma`, :func:`arr_sigma`, :func:`rel_join`, :func:`rel_cross`.
+"""
+
+from ..predicates import Comp
+from .arrays import (ArrApply, ArrCat, ArrCollapse, ArrCreate, ArrCross,
+                     ArrDE, ArrDiff, ArrExtract, SubArr)
+from .derived import (arr_sigma, intersection, join_field, rel_cross,
+                      rel_join, sigma, union)
+from .library import (aggregate_per_group, antijoin, field_map_rebuild,
+                      nest, register_library_functions, select_into_groups,
+                      semijoin, unnest)
+from .multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply, SetCollapse,
+                       SetCreate, exact_type_of)
+from .refs import Deref, RefOp
+from .tuples import Pi, TupCat, TupCreate, TupExtract
+
+__all__ = [
+    # multiset
+    "AddUnion", "SetCreate", "SetApply", "Grp", "DE", "Diff", "Cross",
+    "SetCollapse", "exact_type_of",
+    # tuple
+    "Pi", "TupCat", "TupExtract", "TupCreate",
+    # array
+    "ArrCreate", "ArrExtract", "ArrApply", "SubArr", "ArrCat",
+    "ArrCollapse", "ArrDiff", "ArrDE", "ArrCross",
+    # reference & predicate
+    "RefOp", "Deref", "Comp",
+    # derived
+    "union", "intersection", "sigma", "arr_sigma", "rel_join", "rel_cross",
+    "join_field",
+    # library
+    "nest", "unnest", "semijoin", "antijoin", "aggregate_per_group",
+    "select_into_groups", "field_map_rebuild",
+    "register_library_functions",
+]

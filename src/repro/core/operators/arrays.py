@@ -1,0 +1,299 @@
+"""The nine array operators (Section 3.2.3).
+
+ARR, ARR_EXTRACT, ARR_APPLY, SUBARR, ARR_CAT, plus the four
+order-preserving analogs of multiset operators: ARR_COLLAPSE, ARR_DIFF,
+ARR_DE, and ARR_CROSS.  Algebra arrays are one-dimensional and
+variable-length; positions are 1-based, and either SUBARR bound may be
+the token ``"last"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+from ..expr import AlgebraError, EvalContext, Expr
+from ..values import DNE, Arr, Tup, is_null
+
+#: SUBARR / ARR_EXTRACT bound type: a 1-based position or "last".
+Position = Union[int, str]
+
+
+def _check_position(position: Position, op_name: str) -> None:
+    if position == "last":
+        return
+    if not isinstance(position, int) or position < 1:
+        raise AlgebraError(
+            "%s position must be an integer >= 1 or 'last', got %r"
+            % (op_name, position))
+
+
+class ArrCreate(Expr):
+    """ARR — wrap any structure in a one-element array."""
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        return Arr([value])
+
+    def describe(self) -> str:
+        return "ARR(%s)" % self.source.describe()
+
+
+class ArrExtract(Expr):
+    """ARR_EXTRACT — the element at a 1-based position, unwrapped.
+
+    The result is the element itself, *not* an array containing it — the
+    distinction from SUBARR mirrors TUP_EXTRACT versus π.
+    """
+
+    _fields = ("position", "source")
+
+    def __init__(self, position: Position, source: Expr):
+        _check_position(position, "ARR_EXTRACT")
+        self.position = position
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Arr):
+            raise AlgebraError("ARR_EXTRACT needs an array, got %r" % (value,))
+        position = len(value) if self.position == "last" else self.position
+        if not 1 <= position <= len(value):
+            return DNE
+        return value.extract(position)
+
+    def describe(self) -> str:
+        return "ARR_EXTRACT[%s](%s)" % (self.position, self.source.describe())
+
+
+class ArrApply(Expr):
+    """ARR_APPLY — apply an expression to every element, preserving order.
+
+    Identical to SET_APPLY except that order is preserved.  Results that
+    come back ``dne`` are dropped (keeping arrays dense), which is how
+    array selection σ is derived; all other results, including ``unk``,
+    keep their positions relative to each other.
+
+    Like SET_APPLY, a ``type_filter`` restricts processing to elements
+    whose exact type matches (Section 4's dispatch applies to the array
+    looping operator too).
+    """
+
+    _fields = ("body", "source", "type_filter")
+    _binding_fields = ("body",)
+
+    def __init__(self, body: Expr, source: Expr, type_filter=None):
+        from .multiset import _normalize_filter
+        self.body = body
+        self.source = source
+        self.type_filter = _normalize_filter(type_filter)
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        from .multiset import exact_type_of
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Arr):
+            raise AlgebraError("ARR_APPLY needs an array, got %r" % (value,))
+        out: List[Any] = []
+        for element in value:
+            ctx.tick("elements_scanned")
+            if self.type_filter is not None:
+                if exact_type_of(element, ctx) not in self.type_filter:
+                    continue
+            ctx.tick("arr_apply_elements")
+            result = self.body.evaluate(element, ctx)
+            if result is DNE:
+                continue
+            out.append(result)
+        return Arr(out)
+
+    def describe(self) -> str:
+        if self.type_filter is not None:
+            return "ARR_APPLY[%s; %s](%s)" % (
+                "/".join(sorted(self.type_filter)), self.body.describe(),
+                self.source.describe())
+        return "ARR_APPLY[%s](%s)" % (self.body.describe(),
+                                      self.source.describe())
+
+
+class SubArr(Expr):
+    """SUBARR — elements from *lower* to *upper* (1-based, inclusive).
+
+    Produces an array, in input order.  Bounds past the end are clamped;
+    an inverted range yields the empty array (which is a legal value for
+    variable-length arrays).
+    """
+
+    _fields = ("lower", "upper", "source")
+
+    def __init__(self, lower: Position, upper: Position, source: Expr):
+        _check_position(lower, "SUBARR")
+        _check_position(upper, "SUBARR")
+        self.lower = lower
+        self.upper = upper
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Arr):
+            raise AlgebraError("SUBARR needs an array, got %r" % (value,))
+        return value.subarr(self.lower, self.upper)
+
+    def describe(self) -> str:
+        return "SUBARR[%s,%s](%s)" % (self.lower, self.upper,
+                                      self.source.describe())
+
+
+class ArrCat(Expr):
+    """ARR_CAT — all elements of the first array followed by the second's."""
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, Arr) or not isinstance(rhs, Arr):
+            raise AlgebraError("ARR_CAT needs two arrays")
+        return lhs.concat(rhs)
+
+    def describe(self) -> str:
+        return "ARR_CAT(%s, %s)" % (self.left.describe(), self.right.describe())
+
+
+class ArrCollapse(Expr):
+    """ARR_COLLAPSE — flatten an array of arrays, preserving order."""
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Arr):
+            raise AlgebraError("ARR_COLLAPSE needs an array")
+        out: List[Any] = []
+        for element in value:
+            if not isinstance(element, Arr):
+                raise AlgebraError(
+                    "ARR_COLLAPSE needs an array of arrays; found %r" % (element,))
+            out.extend(element)
+        return Arr(out)
+
+    def describe(self) -> str:
+        return "ARR_COLLAPSE(%s)" % self.source.describe()
+
+
+class ArrDiff(Expr):
+    """ARR_DIFF — order-preserving analog of multiset difference.
+
+    For each element, min(card_A, card_B) occurrences are removed from A;
+    the *earliest* occurrences are removed, and survivors keep A's order.
+    """
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, Arr) or not isinstance(rhs, Arr):
+            raise AlgebraError("ARR_DIFF needs two arrays")
+        to_remove: Dict[Any, int] = {}
+        for element in rhs:
+            to_remove[element] = to_remove.get(element, 0) + 1
+        out: List[Any] = []
+        for element in lhs:
+            if to_remove.get(element, 0) > 0:
+                to_remove[element] -= 1
+            else:
+                out.append(element)
+        return Arr(out)
+
+    def describe(self) -> str:
+        return "ARR_DIFF(%s, %s)" % (self.left.describe(), self.right.describe())
+
+
+class ArrDE(Expr):
+    """ARR_DE — order-preserving duplicate elimination (first kept)."""
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Arr):
+            raise AlgebraError("ARR_DE needs an array")
+        ctx.tick("de_elements", len(value))
+        seen = set()
+        out: List[Any] = []
+        for element in value:
+            if element not in seen:
+                seen.add(element)
+                out.append(element)
+        return Arr(out)
+
+    def describe(self) -> str:
+        return "ARR_DE(%s)" % self.source.describe()
+
+
+class ArrCross(Expr):
+    """ARR_CROSS — order-preserving cartesian product.
+
+    Produces an array of 2-tuples (fields ``field1``/``field2``) in
+    row-major order: the first input's order is outer, the second's
+    inner.
+    """
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, Arr) or not isinstance(rhs, Arr):
+            raise AlgebraError("ARR_CROSS needs two arrays")
+        ctx.tick("cross_pairs", len(lhs) * len(rhs))
+        return Arr(Tup(field1=a, field2=b) for a in lhs for b in rhs)
+
+    def describe(self) -> str:
+        return "ARR_CROSS(%s, %s)" % (self.left.describe(), self.right.describe())

@@ -1,0 +1,77 @@
+"""Derived operators (Appendix §1).
+
+Each derived operator is a *constructor function* returning a composition
+of primitives — the paper stresses that the simplicity of the primitives
+lets richer operators be defined readily, and that an optimizer can then
+test such derived operators for utility.  Because these return primitive
+trees, every transformation rule applies through them transparently.
+"""
+
+from __future__ import annotations
+
+from ..expr import Expr, Input
+from ..predicates import Comp, Predicate
+from .arrays import ArrApply
+from .multiset import AddUnion, Cross, Diff, SetApply
+from .tuples import TupCat, TupExtract
+
+
+def union(left: Expr, right: Expr) -> Expr:
+    """∪ — max-of-cardinalities union:  A ∪ B = (A − B) ⊎ B."""
+    return AddUnion(Diff(left, right), right)
+
+
+def intersection(left: Expr, right: Expr) -> Expr:
+    """∩ — min-of-cardinalities intersection:  A ∩ B = A − (A − B)."""
+    return Diff(left, Diff(left, right))
+
+
+def sigma(pred: Predicate, source: Expr) -> Expr:
+    """Multiset selection:  σ_P(A) = SET_APPLY_{COMP_P(INPUT)}(A).
+
+    COMP returns ``dne`` for failing occurrences and SET_APPLY's output
+    multiset discards them — relational selection falls out of the null
+    discipline.
+    """
+    return SetApply(Comp(pred, Input()), source)
+
+
+def arr_sigma(pred: Predicate, source: Expr) -> Expr:
+    """Array selection:  σ_P(A) = ARR_APPLY_{COMP_P(INPUT)}(A)."""
+    return ArrApply(Comp(pred, Input()), source)
+
+
+def _pair_flatten() -> Expr:
+    """TUP_CAT(field1, field2) applied to a ×-produced pair."""
+    return TupCat(TupExtract("field1", Input()),
+                  TupExtract("field2", Input()))
+
+
+def rel_join(pred: Predicate, left: Expr, right: Expr) -> Expr:
+    """Relational-like Θ-join.
+
+    rel_join_Θ(A, B) =
+        SET_APPLY_{TUP_CAT(field1, field2)}(SET_APPLY_{COMP_Θ(INPUT)}(A × B))
+
+    The predicate sees the raw pair, so its operands address the join
+    sides as ``field1`` / ``field2`` paths (e.g.
+    ``TupExtract("x", TupExtract("field1", Input()))``).  The final
+    TUP_CAT flattens qualifying pairs into single tuples, which requires
+    both inputs to be multisets of tuples with disjoint field names.
+    """
+    return SetApply(_pair_flatten(),
+                    SetApply(Comp(pred, Input()), Cross(left, right)))
+
+
+def rel_cross(left: Expr, right: Expr) -> Expr:
+    """Relational-like cartesian product (pairs flattened by TUP_CAT)."""
+    return SetApply(_pair_flatten(), Cross(left, right))
+
+
+def join_field(side: str, field: str) -> Expr:
+    """Convenience: the path ``fieldN.field`` over a ×-produced pair.
+
+    *side* is 1 or 2 (as a string or int); use inside rel_join
+    predicates.
+    """
+    return TupExtract(field, TupExtract("field%s" % side, Input()))

@@ -1,0 +1,279 @@
+"""The eight fundamental multiset operators (Section 3.2.1).
+
+⊎ (additive union), SET, SET_APPLY, GRP, DE, − (difference), × (cartesian
+product with duplicates), and SET_COLLAPSE.  SET_APPLY additionally
+supports the *typed* form introduced in Section 4 for overridden-method
+processing: given a type filter, only occurrences whose exact type is in
+the filter are processed; all others are ignored (dropped), so that a ⊎
+of typed SET_APPLYs over the relevant types reconstructs the full
+result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional, Union
+
+from ..expr import AlgebraError, EvalContext, Expr
+from ..values import DNE, MultiSet, Ref, Tup, is_null
+
+
+def exact_type_of(value: Any, ctx: EvalContext) -> Optional[str]:
+    """The exact (most specific) type of an occurrence, for dispatch.
+
+    Refs ask the store first (migration may have changed the recorded
+    type), then fall back to the type carried on the Ref.  Tuples report
+    their declared type name.  Anything else has no exact type.
+    """
+    if isinstance(value, Ref):
+        if ctx.store is not None:
+            recorded = ctx.store.exact_type(value.oid)
+            if recorded is not None:
+                return recorded
+        return value.type_name
+    if isinstance(value, Tup):
+        return value.type_name
+    return None
+
+
+class AddUnion(Expr):
+    """⊎ — additive union: result cardinalities are summed."""
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, MultiSet) or not isinstance(rhs, MultiSet):
+            raise AlgebraError("⊎ needs two multisets")
+        return lhs.add_union(rhs)
+
+    def describe(self) -> str:
+        return "(%s ⊎ %s)" % (self.left.describe(), self.right.describe())
+
+
+class SetCreate(Expr):
+    """SET — wrap any structure in a singleton multiset."""
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        return MultiSet([value])
+
+    def describe(self) -> str:
+        return "SET(%s)" % self.source.describe()
+
+
+def _normalize_filter(type_filter) -> Optional[FrozenSet[str]]:
+    if type_filter is None:
+        return None
+    if isinstance(type_filter, str):
+        return frozenset([type_filter])
+    return frozenset(type_filter)
+
+
+class SetApply(Expr):
+    """SET_APPLY — apply an algebraic expression to every occurrence.
+
+    The body is evaluated once per *occurrence* (duplicates included),
+    with the occurrence bound to INPUT; results that come back ``dne``
+    vanish from the output multiset (null discipline), which is exactly
+    how σ is derived from SET_APPLY ∘ COMP.
+
+    ``type_filter`` (Section 4) restricts processing to occurrences whose
+    *exact* type is one of the given names; other occurrences are ignored
+    entirely.  An occurrence with no determinable exact type never
+    matches a filter.
+    """
+
+    _fields = ("body", "source", "type_filter")
+    _binding_fields = ("body",)
+
+    def __init__(self, body: Expr, source: Expr,
+                 type_filter: Union[str, FrozenSet[str], None] = None):
+        self.body = body
+        self.source = source
+        self.type_filter = _normalize_filter(type_filter)
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        collection = self.source.evaluate(input_value, ctx)
+        if is_null(collection):
+            return collection
+        if not isinstance(collection, MultiSet):
+            raise AlgebraError(
+                "SET_APPLY needs a multiset input, got %r" % (collection,))
+        tally: Dict[Any, int] = {}
+        for element, count in collection.counts.items():
+            ctx.tick("elements_scanned", count)
+            if self.type_filter is not None:
+                exact = exact_type_of(element, ctx)
+                if exact not in self.type_filter:
+                    continue
+            ctx.tick("set_apply_elements", count)
+            # The body is a function of the occurrence value alone, so one
+            # evaluation covers all duplicates of the element.
+            result = self.body.evaluate(element, ctx)
+            if result is DNE:
+                continue
+            tally[result] = tally.get(result, 0) + count
+        return MultiSet(counts=tally)
+
+    def describe(self) -> str:
+        if self.type_filter is not None:
+            return "SET_APPLY[%s; %s](%s)" % (
+                "/".join(sorted(self.type_filter)), self.body.describe(),
+                self.source.describe())
+        return "SET_APPLY[%s](%s)" % (self.body.describe(),
+                                      self.source.describe())
+
+
+class Grp(Expr):
+    """GRP — partition a multiset into equivalence classes.
+
+    Each occurrence is keyed by the value of the grouping expression
+    (evaluated with the occurrence as INPUT); the result is a multiset of
+    pairwise-disjoint multisets, one per distinct key.  Occurrences whose
+    key is ``dne`` are dropped (they belong to no group); ``unk`` keys
+    form their own single group.
+    """
+
+    _fields = ("by", "source")
+    _binding_fields = ("by",)
+
+    def __init__(self, by: Expr, source: Expr):
+        self.by = by
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        collection = self.source.evaluate(input_value, ctx)
+        if is_null(collection):
+            return collection
+        if not isinstance(collection, MultiSet):
+            raise AlgebraError("GRP needs a multiset input")
+        groups: Dict[Any, Dict[Any, int]] = {}
+        for element, count in collection.counts.items():
+            ctx.tick("elements_scanned", count)
+            ctx.tick("grp_elements", count)
+            key = self.by.evaluate(element, ctx)
+            if key is DNE:
+                continue
+            bucket = groups.setdefault(key, {})
+            bucket[element] = bucket.get(element, 0) + count
+        return MultiSet(
+            [MultiSet(counts=bucket) for bucket in groups.values()])
+
+    def describe(self) -> str:
+        return "GRP[%s](%s)" % (self.by.describe(), self.source.describe())
+
+
+class DE(Expr):
+    """DE — duplicate elimination: every cardinality becomes 1.
+
+    The work counter charges one comparison-unit per input *occurrence*,
+    matching the paper's discussion of where DE should sit relative to
+    joins and grouping (Example 1 of Section 5).
+    """
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        collection = self.source.evaluate(input_value, ctx)
+        if is_null(collection):
+            return collection
+        if not isinstance(collection, MultiSet):
+            raise AlgebraError("DE needs a multiset input")
+        ctx.tick("elements_scanned", len(collection))
+        ctx.tick("de_elements", len(collection))
+        return collection.dedup()
+
+    def describe(self) -> str:
+        return "DE(%s)" % self.source.describe()
+
+
+class Diff(Expr):
+    """− — multiset difference: cardinalities subtract, floored at 0."""
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, MultiSet) or not isinstance(rhs, MultiSet):
+            raise AlgebraError("− needs two multisets")
+        return lhs.difference(rhs)
+
+    def describe(self) -> str:
+        return "(%s − %s)" % (self.left.describe(), self.right.describe())
+
+
+class Cross(Expr):
+    """× — cartesian product preserving duplicates.
+
+    The result is a multiset of 2-tuples with fields ``field1`` and
+    ``field2``, matching the appendix's rel_join derivation.
+    """
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, MultiSet) or not isinstance(rhs, MultiSet):
+            raise AlgebraError("× needs two multisets")
+        ctx.tick("cross_pairs", len(lhs) * len(rhs))
+        return lhs.cross(rhs)
+
+    def describe(self) -> str:
+        return "(%s × %s)" % (self.left.describe(), self.right.describe())
+
+
+class SetCollapse(Expr):
+    """SET_COLLAPSE — ⊎ of all member multisets of a multiset."""
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        collection = self.source.evaluate(input_value, ctx)
+        if is_null(collection):
+            return collection
+        if not isinstance(collection, MultiSet):
+            raise AlgebraError("SET_COLLAPSE needs a multiset input")
+        return collection.collapse()
+
+    def describe(self) -> str:
+        return "SET_COLLAPSE(%s)" % self.source.describe()

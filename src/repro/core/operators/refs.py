@@ -1,0 +1,84 @@
+"""Reference operators (Section 3.2.4): REF and DEREF.
+
+References are OIDs treated as first-class algebra values; the "ref"
+type constructor has the same privileges as multiset, array, and tuple.
+DEREF collapses a ref node in the schema, replacing the OID with a full
+element of the target domain; REF converts a structure into a reference
+to it.
+
+Rule 28 requires DEREF(REF(A)) = REF(DEREF(A)) = A, so REF must be able
+to *recover* the reference of an extant object rather than always
+minting a new one: when the operand value already identifies an object
+in the store, its existing OID is returned.  (Equality in the algebra is
+value equality, so value-identical objects share the recovered
+reference; this is the price of folding identity into a value-based
+algebra, and the paper's single-equality design makes it unobservable
+from within the algebra.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..expr import AlgebraError, EvalContext, Expr
+from ..values import DNE, Ref, is_null
+
+
+class Deref(Expr):
+    """DEREF — materialize the object an OID refers to.
+
+    A dangling reference (the owner deleted the object) yields ``dne``,
+    which downstream multiset operators will discard.
+    """
+
+    _fields = ("source",)
+
+    def __init__(self, source: Expr):
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Ref):
+            raise AlgebraError("DEREF needs a reference, got %r" % (value,))
+        if ctx.store is None:
+            raise AlgebraError("DEREF needs an object store in the context")
+        ctx.tick("deref_count")
+        found = ctx.store.get(value.oid, default=DNE)
+        return found
+
+    def describe(self) -> str:
+        return "DEREF(%s)" % self.source.describe()
+
+
+class RefOp(Expr):
+    """REF — convert a structure into a reference to it.
+
+    If an object with this exact value already exists in the store, its
+    reference is returned (making REF a left- and right-inverse of DEREF
+    per rule 28); otherwise a fresh object is created, optionally typed
+    by *type_name* for OID allocation.
+    """
+
+    _fields = ("source", "type_name")
+
+    def __init__(self, source: Expr, type_name: Optional[str] = None):
+        self.source = source
+        self.type_name = type_name
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if ctx.store is None:
+            raise AlgebraError("REF needs an object store in the context")
+        existing = ctx.store.find_ref(value)
+        if existing is not None:
+            return existing
+        return ctx.store.insert(value, type_name=self.type_name)
+
+    def describe(self) -> str:
+        if self.type_name:
+            return "REF[%s](%s)" % (self.type_name, self.source.describe())
+        return "REF(%s)" % self.source.describe()

@@ -1,0 +1,112 @@
+"""The four tuple operators (Section 3.2.2): π, TUP_CAT, TUP_EXTRACT, TUP.
+
+All four operate on a *single tuple*, not on a set of tuples — the
+many-sortedness of the algebra means set-at-a-time behaviour comes from
+wrapping these in SET_APPLY.  π is expressible via TUP/TUP_CAT/
+TUP_EXTRACT and hence not primitive in the "indispensable" sense, but it
+is provided directly, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..expr import AlgebraError, EvalContext, Expr
+from ..values import Tup, is_null
+
+
+class Pi(Expr):
+    """π — projection on a single tuple.
+
+    Keeps the named fields (in the order given) and still yields a
+    tuple, unlike TUP_EXTRACT which unwraps a single field.
+    """
+
+    _fields = ("names", "source")
+
+    def __init__(self, names: Sequence[str], source: Expr):
+        self.names = tuple(names)
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Tup):
+            raise AlgebraError("π needs a tuple input, got %r" % (value,))
+        return value.project(self.names)
+
+    def describe(self) -> str:
+        return "π[%s](%s)" % (",".join(self.names), self.source.describe())
+
+
+class TupCat(Expr):
+    """TUP_CAT — concatenate two tuples into one."""
+
+    _fields = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        lhs = self.left.evaluate(input_value, ctx)
+        rhs = self.right.evaluate(input_value, ctx)
+        if is_null(lhs):
+            return lhs
+        if is_null(rhs):
+            return rhs
+        if not isinstance(lhs, Tup) or not isinstance(rhs, Tup):
+            raise AlgebraError("TUP_CAT needs two tuples")
+        return lhs.concat(rhs)
+
+    def describe(self) -> str:
+        return "TUP_CAT(%s, %s)" % (self.left.describe(), self.right.describe())
+
+
+class TupExtract(Expr):
+    """TUP_EXTRACT — return a single field *as a structure* (unwrapped)."""
+
+    _fields = ("field", "source")
+
+    def __init__(self, field: str, source: Expr):
+        self.field = field
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        if not isinstance(value, Tup):
+            raise AlgebraError(
+                "TUP_EXTRACT(%s) needs a tuple input, got %r"
+                % (self.field, value))
+        return value[self.field]
+
+    def describe(self) -> str:
+        return "%s.%s" % (self.source.describe(), self.field)
+
+
+class TupCreate(Expr):
+    """TUP — wrap any structure in a unary tuple.
+
+    The paper leaves the field name implicit; we require one so the
+    result is addressable by TUP_EXTRACT (defaulting to ``f1``).
+    """
+
+    _fields = ("field", "source")
+
+    def __init__(self, field: str = "f1", source: Expr = None):
+        if source is None:
+            raise AlgebraError("TUP needs a source expression")
+        self.field = field
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        return Tup({self.field: value})
+
+    def describe(self) -> str:
+        return "TUP[%s](%s)" % (self.field, self.source.describe())

@@ -1,0 +1,256 @@
+"""Predicates and the COMP operator (Section 3.2.4).
+
+The algebra treats selection functionally: ``COMP_P(S)`` returns its input
+``S`` unchanged when predicate P holds on S, the null ``unk`` when P
+evaluates to UNKNOWN, and the null ``dne`` when P is false.  Multiset
+constructors discard ``dne``, which is how relational selection falls out
+(see ``repro.core.operators.derived.sigma``).
+
+Predicates are atomic comparisons composed with ∧ and ¬ (∨ is derived).
+An atom compares two arbitrary algebraic expressions, each evaluated with
+the COMP input bound to INPUT; comparators come from a fixed set,
+including multiset membership (conceptually an equality test against
+every occurrence of the right operand).  Equality is pure *value*
+equality — OIDs are just values of the ref sort, so one notion of
+equality suffices (a deliberate contrast with two-equality designs the
+paper cites).
+
+Truth values use Kleene three-valued logic: T, F, U.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Tuple
+
+from .expr import AlgebraError, EvalContext, Expr
+from .values import DNE, UNK, Arr, MultiSet, is_null
+
+#: Three-valued truth constants.
+T, F, U = "T", "F", "U"
+
+
+def kleene_and(a: str, b: str) -> str:
+    if a == F or b == F:
+        return F
+    if a == U or b == U:
+        return U
+    return T
+
+
+def kleene_or(a: str, b: str) -> str:
+    if a == T or b == T:
+        return T
+    if a == U or b == U:
+        return U
+    return F
+
+
+def kleene_not(a: str) -> str:
+    if a == T:
+        return F
+    if a == F:
+        return T
+    return U
+
+
+class Predicate:
+    """Base class for predicate trees.
+
+    Like :class:`~repro.core.expr.Expr`, subclasses declare ``_fields``
+    for structural equality and rewriting.  ``test`` returns a Kleene
+    truth value given the COMP input (bound to INPUT inside operand
+    expressions).
+    """
+
+    _fields: Tuple[str, ...] = ()
+
+    def test(self, comp_input: Any, ctx: EvalContext) -> str:
+        raise NotImplementedError
+
+    def _values(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, f) for f in self._fields)
+
+    def __eq__(self, other: Any) -> bool:
+        return type(self) is type(other) and self._values() == other._values()
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._values()))
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            v.describe() if isinstance(v, (Expr, Predicate)) else repr(v)
+            for v in self._values())
+        return "%s(%s)" % (type(self).__name__, inner)
+
+    def exprs(self) -> List[Expr]:
+        """The operand expressions appearing directly in this node."""
+        return [v for v in self._values() if isinstance(v, Expr)]
+
+    def deep_exprs(self) -> List[Expr]:
+        """All operand expressions in this predicate tree (recursive)."""
+        out = list(self.exprs())
+        for value in self._values():
+            if isinstance(value, Predicate):
+                out.extend(value.deep_exprs())
+        return out
+
+    def map_exprs(self, fn: Callable[[Expr], Expr]) -> "Predicate":
+        """A copy with *fn* applied to every operand expression (deep)."""
+        kwargs = {}
+        for field in self._fields:
+            value = getattr(self, field)
+            if isinstance(value, Expr):
+                kwargs[field] = fn(value)
+            elif isinstance(value, Predicate):
+                kwargs[field] = value.map_exprs(fn)
+            else:
+                kwargs[field] = value
+        return type(self)(**kwargs)
+
+
+def _compare_scalars(op: str, left: Any, right: Any) -> str:
+    """Order comparison on two non-null values; U on incomparable types."""
+    try:
+        if op == "<":
+            return T if left < right else F
+        if op == "<=":
+            return T if left <= right else F
+        if op == ">":
+            return T if left > right else F
+        if op == ">=":
+            return T if left >= right else F
+    except TypeError:
+        return U
+    raise AlgebraError("unknown comparator %r" % op)
+
+
+#: The fixed comparator set of the COMP operator.
+COMPARATORS = ("=", "!=", "<", "<=", ">", ">=", "in")
+
+
+class Atom(Predicate):
+    """An atomic comparison ``left <op> right``.
+
+    Null semantics: if either operand is ``unk`` the atom is U; if either
+    is ``dne`` the atom is F (the thing does not exist, so no comparison
+    against it succeeds — and COMP will turn F into a discardable dne).
+    """
+
+    _fields = ("left", "op", "right")
+
+    def __init__(self, left: Expr, op: str, right: Expr):
+        if op not in COMPARATORS:
+            raise AlgebraError(
+                "comparator must be one of %s, got %r" % (", ".join(COMPARATORS), op))
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def test(self, comp_input: Any, ctx: EvalContext) -> str:
+        lhs = self.left.evaluate(comp_input, ctx)
+        rhs = self.right.evaluate(comp_input, ctx)
+        ctx.tick("atom_evals")
+        if lhs is DNE or rhs is DNE:
+            return F
+        if lhs is UNK or rhs is UNK:
+            return U
+        if self.op == "=":
+            return T if lhs == rhs else F
+        if self.op == "!=":
+            return F if lhs == rhs else T
+        if self.op == "in":
+            if isinstance(rhs, MultiSet):
+                return T if lhs in rhs else F
+            if isinstance(rhs, Arr):
+                return T if any(lhs == item for item in rhs) else F
+            raise AlgebraError("'in' needs a multiset or array right operand, "
+                               "got %r" % (rhs,))
+        return _compare_scalars(self.op, lhs, rhs)
+
+    def describe(self) -> str:
+        return "(%s %s %s)" % (self.left.describe(), self.op,
+                               self.right.describe())
+
+
+class And(Predicate):
+    _fields = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    def test(self, comp_input: Any, ctx: EvalContext) -> str:
+        return kleene_and(self.left.test(comp_input, ctx),
+                          self.right.test(comp_input, ctx))
+
+    def describe(self) -> str:
+        return "(%s ∧ %s)" % (self.left.describe(), self.right.describe())
+
+
+class Not(Predicate):
+    _fields = ("inner",)
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def test(self, comp_input: Any, ctx: EvalContext) -> str:
+        return kleene_not(self.inner.test(comp_input, ctx))
+
+    def describe(self) -> str:
+        return "¬%s" % self.inner.describe()
+
+
+def Or(left: Predicate, right: Predicate) -> Predicate:
+    """Derived disjunction: a ∨ b ≡ ¬(¬a ∧ ¬b)."""
+    return Not(And(Not(left), Not(right)))
+
+
+class TruePred(Predicate):
+    """The always-true predicate (useful as a rewrite identity)."""
+
+    _fields = ()
+
+    def test(self, comp_input: Any, ctx: EvalContext) -> str:
+        return T
+
+    def describe(self) -> str:
+        return "true"
+
+
+class Comp(Expr):
+    """COMP — the functional selection operator.
+
+    ``Comp(pred, source)`` evaluates *source*, binds the result as the
+    predicate's INPUT, and returns: the unmodified input when the
+    predicate is T; ``unk`` when U; ``dne`` when F.  Nulls flowing in
+    propagate straight through (a null input cannot satisfy anything and
+    stays what it is).
+    """
+
+    _fields = ("pred", "source")
+    _binding_fields = ("pred",)
+
+    def __init__(self, pred: Predicate, source: Expr):
+        self.pred = pred
+        self.source = source
+
+    def evaluate(self, input_value: Any, ctx: EvalContext) -> Any:
+        value = self.source.evaluate(input_value, ctx)
+        if is_null(value):
+            return value
+        ctx.tick("comp_evals")
+        verdict = self.pred.test(value, ctx)
+        if verdict == T:
+            return value
+        if verdict == U:
+            return UNK
+        return DNE
+
+    def describe(self) -> str:
+        return "COMP[%s](%s)" % (self.pred.describe(), self.source.describe())

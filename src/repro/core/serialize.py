@@ -1,0 +1,177 @@
+"""JSON serialization for algebra values, expressions, and predicates.
+
+EXTRA's named objects are *persistent* structures; the paper's system
+kept them in the EXODUS storage manager.  This module provides the
+value encoding that :mod:`repro.storage.persist` uses for durability,
+plus expression/predicate encoding so *stored methods* (compiled query
+trees) survive a save/load cycle — exactly what "when the method is
+invoked, its stored query tree is plugged in" requires of a persistent
+system.
+
+Encodings are tagged dicts:
+
+* values — ``{"t": "val"|"tup"|"set"|"arr"|"ref"|"null", …}``;
+* expressions — ``{"node": <class name>, <field>: …}``, generically
+  derived from each node class's ``_fields`` declaration;
+* predicates — ``{"pred": <class name>, …}`` likewise.
+
+The node registry is assembled from the operator modules, so new
+operators serialize automatically as long as they follow the
+``_fields`` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from .expr import Const, Expr, Func, Input, Named
+from .methods import IndexedTypeScan, MethodCall, Param
+from .predicates import And, Atom, Comp, Not, Predicate, TruePred
+from .values import Arr, MultiSet, Null, Ref, Tup, is_scalar
+from . import operators as _operators
+
+
+class SerializationError(ValueError):
+    """Unknown node kind or malformed payload."""
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+def value_to_json(value: Any) -> Any:
+    if is_scalar(value):
+        return {"t": "val", "v": value}
+    if isinstance(value, Null):
+        return {"t": "null", "kind": value.kind}
+    if isinstance(value, Tup):
+        return {"t": "tup", "type": value.type_name,
+                "fields": [[name, value_to_json(v)]
+                           for name, v in value.fields]}
+    if isinstance(value, MultiSet):
+        return {"t": "set",
+                "counts": [[value_to_json(element), count]
+                           for element, count in value.counts.items()]}
+    if isinstance(value, Arr):
+        return {"t": "arr", "items": [value_to_json(v) for v in value]}
+    if isinstance(value, Ref):
+        return {"t": "ref", "oid": value.oid, "type": value.type_name}
+    raise SerializationError("cannot serialize value %r" % (value,))
+
+
+def value_from_json(payload: Any) -> Any:
+    tag = payload.get("t")
+    if tag == "val":
+        return payload["v"]
+    if tag == "null":
+        return Null(payload["kind"])
+    if tag == "tup":
+        return Tup({name: value_from_json(v)
+                    for name, v in payload["fields"]},
+                   type_name=payload.get("type"))
+    if tag == "set":
+        counts: Dict[Any, int] = {}
+        for element_json, count in payload["counts"]:
+            element = value_from_json(element_json)
+            counts[element] = counts.get(element, 0) + count
+        return MultiSet(counts=counts)
+    if tag == "arr":
+        return Arr(value_from_json(v) for v in payload["items"])
+    if tag == "ref":
+        return Ref(payload["oid"], payload.get("type"))
+    raise SerializationError("unknown value tag %r" % (tag,))
+
+
+# ---------------------------------------------------------------------------
+# Expressions & predicates
+# ---------------------------------------------------------------------------
+
+def _node_registry() -> Dict[str, Type]:
+    registry: Dict[str, Type] = {}
+    for name in _operators.__all__:
+        candidate = getattr(_operators, name, None)
+        if isinstance(candidate, type) and issubclass(candidate, Expr):
+            registry[candidate.__name__] = candidate
+    for extra in (Input, Named, Const, Func, Comp, Param, MethodCall,
+                  IndexedTypeScan):
+        registry[extra.__name__] = extra
+    return registry
+
+
+def _pred_registry() -> Dict[str, Type]:
+    return {cls.__name__: cls for cls in (Atom, And, Not, TruePred)}
+
+
+_NODES = _node_registry()
+_PREDS = _pred_registry()
+
+
+def expr_to_json(expr: Expr) -> Any:
+    name = type(expr).__name__
+    if name not in _NODES:
+        raise SerializationError("unregistered expression node %r" % name)
+    payload: Dict[str, Any] = {"node": name}
+    for field in expr._fields:
+        payload[field] = _field_to_json(getattr(expr, field))
+    return payload
+
+
+def pred_to_json(pred: Predicate) -> Any:
+    name = type(pred).__name__
+    if name not in _PREDS:
+        raise SerializationError("unregistered predicate node %r" % name)
+    payload: Dict[str, Any] = {"pred": name}
+    for field in pred._fields:
+        payload[field] = _field_to_json(getattr(pred, field))
+    return payload
+
+
+def _field_to_json(value: Any) -> Any:
+    if isinstance(value, Expr):
+        return expr_to_json(value)
+    if isinstance(value, Predicate):
+        return pred_to_json(value)
+    if isinstance(value, frozenset):
+        return {"frozenset": sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return {"seq": [_field_to_json(v) for v in value]}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return {"plain": value}
+    # Const payloads and similar embedded algebra values.
+    return {"value": value_to_json(value)}
+
+
+def _field_from_json(payload: Any) -> Any:
+    if "node" in payload:
+        return expr_from_json(payload)
+    if "pred" in payload:
+        return pred_from_json(payload)
+    if "frozenset" in payload:
+        return frozenset(payload["frozenset"])
+    if "seq" in payload:
+        return [_field_from_json(v) for v in payload["seq"]]
+    if "plain" in payload:
+        return payload["plain"]
+    if "value" in payload:
+        return value_from_json(payload["value"])
+    raise SerializationError("malformed field payload %r" % (payload,))
+
+
+def expr_from_json(payload: Any) -> Expr:
+    name = payload.get("node")
+    cls = _NODES.get(name)
+    if cls is None:
+        raise SerializationError("unknown expression node %r" % name)
+    kwargs = {field: _field_from_json(payload[field])
+              for field in cls._fields}
+    return cls(**kwargs)
+
+
+def pred_from_json(payload: Any) -> Predicate:
+    name = payload.get("pred")
+    cls = _PREDS.get(name)
+    if cls is None:
+        raise SerializationError("unknown predicate node %r" % name)
+    kwargs = {field: _field_from_json(payload[field])
+              for field in cls._fields}
+    return cls(**kwargs)

@@ -1,0 +1,32 @@
+"""Transformation rules and the rewrite engine (Section 5 + Appendix).
+
+``ALL_RULES`` reproduces the appendix's list: rules 1–15 (multisets),
+16–22 (arrays), 23–28 (tuples, references, predicates), plus the sound
+carried-over analogs and identities (tags ``X…``/``XA…``) that the
+paper's worked examples rely on but its non-exhaustive listing omits.
+"""
+
+from .array_rules import ARRAY_RULES
+from .engine import (Derivation, RewriteEngine, rewrites_at_root,
+                     single_step_rewrites)
+from .multiset_rules import MULTISET_RULES
+from .object_rules import OBJECT_RULES
+from .rule import NO_FACTS, RewriteFacts, Rule
+
+ALL_RULES = MULTISET_RULES + ARRAY_RULES + OBJECT_RULES
+
+
+def rule_by_number(number) -> Rule:
+    """Look up a rule by its appendix number (int) or tag (str)."""
+    for rule in ALL_RULES:
+        if rule.number == number:
+            return rule
+    raise KeyError("no rule numbered %r" % (number,))
+
+
+__all__ = [
+    "ALL_RULES", "MULTISET_RULES", "ARRAY_RULES", "OBJECT_RULES",
+    "Rule", "RewriteFacts", "NO_FACTS",
+    "RewriteEngine", "Derivation", "rewrites_at_root",
+    "single_step_rewrites", "rule_by_number",
+]

@@ -1,0 +1,356 @@
+"""Array transformation rules (Appendix §3, rules 16–22, plus analogs).
+
+The paper notes "many of the multiset rules carry over to arrays; we do
+not list those here" — the ``XA…`` rules implement those carried-over
+analogs (combining successive ARR_APPLYs, distributing over ARR_CAT,
+identity elimination) that the array benchmarks and examples use.
+
+Indexing erratum: rules 18 and 20 as printed compose positions as
+``m+p`` / ``j+m``; with 1-based inclusive bounds the correct composition
+is ``m+p−1`` / ``j+m−1`` (the p-th element of A[m..n] is A[m+p−1]).  We
+implement the correct arithmetic; the property tests would reject the
+printed form.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..expr import Expr, Input, substitute_input
+from ..operators.arrays import (ArrApply, ArrCat, ArrCollapse, ArrDE,
+                                ArrExtract, SubArr)
+from .rule import NO_FACTS, RewriteFacts, Rule, contains_comp
+
+
+def _is_int(position) -> bool:
+    return isinstance(position, int)
+
+
+class ArrCatAssociativity(Rule):
+    """Rule 16: ARR_CAT(A, ARR_CAT(B, C)) = ARR_CAT(ARR_CAT(A, B), C)."""
+
+    name = "arrcat-associativity"
+    number = 16
+    description = "Concatenation associativity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, ArrCat):
+            if isinstance(expr.right, ArrCat):
+                a, b, c = expr.left, expr.right.left, expr.right.right
+                out.append(ArrCat(ArrCat(a, b), c))
+            if isinstance(expr.left, ArrCat):
+                a, b, c = expr.left.left, expr.left.right, expr.right
+                out.append(ArrCat(a, ArrCat(b, c)))
+        return out
+
+
+class ExtractFromConcatenation(Rule):
+    """Rule 17: ARR_EXTRACT_n(ARR_CAT(A, B)) splits on n vs |A|.
+
+    Needs |A| statically (a declared fact or an array constant): when
+    n ≤ |A| the extraction reads A, otherwise position n−|A| of B.
+    """
+
+    name = "extract-from-concatenation"
+    number = 17
+    description = "Extracting an element from a concatenation"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, ArrExtract) and _is_int(expr.position)
+                and isinstance(expr.source, ArrCat)):
+            return []
+        cat = expr.source
+        length = facts.known_length(cat.left)
+        if length is None:
+            return []
+        if expr.position <= length:
+            return [ArrExtract(expr.position, cat.left)]
+        return [ArrExtract(expr.position - length, cat.right)]
+
+
+class ExtractFromSubarray(Rule):
+    """Rule 18: ARR_EXTRACT_p(SUBARR_{m,n}(A)) = ARR_EXTRACT_{m+p−1}(A)
+    when p ≤ n−m+1 (else the left side is out of bounds)."""
+
+    name = "extract-from-subarray"
+    number = 18
+    description = "Extracting from a subarray"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, ArrExtract) and _is_int(expr.position)
+                and isinstance(expr.source, SubArr)):
+            return []
+        sub = expr.source
+        if not (_is_int(sub.lower) and _is_int(sub.upper)):
+            return []
+        p, m, n = expr.position, sub.lower, sub.upper
+        if p > n - m + 1:
+            return []
+        return [ArrExtract(m + p - 1, sub.source)]
+
+
+class ExtractFromArrApply(Rule):
+    """Rule 19: ARR_EXTRACT_n(ARR_APPLY_E(A)) = E(ARR_EXTRACT_n(A));
+    E is not (and contains no) COMP, so it cannot drop elements and
+    shift positions."""
+
+    name = "extract-from-arrapply"
+    number = 19
+    description = "Extracting from ARR_APPLY"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, ArrExtract)
+                and isinstance(expr.source, ArrApply)):
+            return []
+        apply_node = expr.source
+        if apply_node.type_filter is not None:
+            return []
+        if contains_comp(apply_node.body) or not apply_node.body.uses_input():
+            return []
+        extracted = ArrExtract(expr.position, apply_node.source)
+        return [substitute_input(apply_node.body, extracted)]
+
+
+class CombineSuccessiveSubarrays(Rule):
+    """Rule 20: SUBARR_{m,n}(SUBARR_{j,k}(A)) = SUBARR_{j+m−1, j+n−1}(A)
+    when n ≤ k−j+1 (the outer range must stay within the inner one)."""
+
+    name = "combine-successive-subarrays"
+    number = 20
+    description = "Combining successive SUBARRs"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, SubArr) and isinstance(expr.source, SubArr)):
+            return []
+        outer, inner = expr, expr.source
+        if not all(_is_int(b) for b in
+                   (outer.lower, outer.upper, inner.lower, inner.upper)):
+            return []
+        m, n, j, k = outer.lower, outer.upper, inner.lower, inner.upper
+        if n > k - j + 1:
+            return []
+        return [SubArr(j + m - 1, j + n - 1, inner.source)]
+
+
+class SubarrayFromConcatenation(Rule):
+    """Rule 21: SUBARR_{m,n}(ARR_CAT(A, B)) splits on m vs |A|.
+
+    With m ≤ |A|:  ARR_CAT(SUBARR_{m,|A|}(A), SUBARR_{1, n−|A|}(B))
+    (the right part degenerates to [] when n ≤ |A|, since an inverted
+    range is empty).  With m > |A|:  SUBARR_{m−|A|, n−|A|}(B).
+    """
+
+    name = "subarray-from-concatenation"
+    number = 21
+    description = "Taking a subarray from a concatenation"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, SubArr) and _is_int(expr.lower)
+                and _is_int(expr.upper) and isinstance(expr.source, ArrCat)):
+            return []
+        cat = expr.source
+        length = facts.known_length(cat.left)
+        if length is None:
+            return []
+        m, n = expr.lower, expr.upper
+        if n < m:
+            return []  # an inverted range is already the empty array
+        if m <= length:
+            if n <= length:
+                return [SubArr(m, n, cat.left)]
+            return [ArrCat(SubArr(m, length, cat.left),
+                           SubArr(1, n - length, cat.right))]
+        return [SubArr(m - length, n - length, cat.right)]
+
+
+class SubarrayFromArrApply(Rule):
+    """Rule 22: SUBARR_{m,n}(ARR_APPLY_E(A)) = ARR_APPLY_E(SUBARR_{m,n}(A));
+    E contains no COMP."""
+
+    name = "subarray-from-arrapply"
+    number = 22
+    description = "Taking a subarray from an ARR_APPLY"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, SubArr) and isinstance(expr.source, ArrApply):
+            apply_node = expr.source
+            if (apply_node.type_filter is None
+                    and not contains_comp(apply_node.body)):
+                out.append(ArrApply(
+                    apply_node.body,
+                    SubArr(expr.lower, expr.upper, apply_node.source)))
+        if isinstance(expr, ArrApply) and isinstance(expr.source, SubArr):
+            sub = expr.source
+            if expr.type_filter is None and not contains_comp(expr.body):
+                out.append(SubArr(sub.lower, sub.upper,
+                                  ArrApply(expr.body, sub.source)))
+        return out
+
+
+class CombineSuccessiveArrApplys(Rule):
+    """XA1: ARR_APPLY_{E1}(ARR_APPLY_{E2}(A)) = ARR_APPLY_{E1(E2)}(A) —
+    the array analog of rule 15, with the same strictness guard."""
+
+    name = "combine-successive-arrapplys"
+    number = "XA1"
+    description = "Combine successive ARR_APPLYs"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, ArrApply) and isinstance(expr.source, ArrApply)):
+            return []
+        outer, inner = expr, expr.source
+        if outer.type_filter is not None or inner.type_filter is not None:
+            return []
+        if not outer.body.uses_input():
+            return []
+        return [ArrApply(substitute_input(outer.body, inner.body),
+                         inner.source)]
+
+
+class IdentityArrApplyElimination(Rule):
+    """XA2: ARR_APPLY_{INPUT}(A) = A."""
+
+    name = "identity-arrapply-elimination"
+    number = "XA2"
+    description = "An identity ARR_APPLY body does nothing"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if (isinstance(expr, ArrApply) and expr.type_filter is None
+                and isinstance(expr.body, Input)):
+            return [expr.source]
+        return []
+
+
+class DistributeArrApplyOverArrCat(Rule):
+    """XA3: ARR_APPLY_E(ARR_CAT(A, B)) =
+    ARR_CAT(ARR_APPLY_E(A), ARR_APPLY_E(B)) — rule 12's array analog."""
+
+    name = "distribute-arrapply-arrcat"
+    number = "XA3"
+    description = "Distribute ARR_APPLY over ARR_CAT"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, ArrApply) and isinstance(expr.source, ArrCat):
+            cat = expr.source
+            out.append(ArrCat(
+                ArrApply(expr.body, cat.left, type_filter=expr.type_filter),
+                ArrApply(expr.body, cat.right, type_filter=expr.type_filter)))
+        if (isinstance(expr, ArrCat) and isinstance(expr.left, ArrApply)
+                and isinstance(expr.right, ArrApply)
+                and expr.left.body == expr.right.body
+                and expr.left.type_filter == expr.right.type_filter):
+            out.append(ArrApply(
+                expr.left.body, ArrCat(expr.left.source, expr.right.source),
+                type_filter=expr.left.type_filter))
+        return out
+
+
+class ArrDEIdempotence(Rule):
+    """XA4: ARR_DE(ARR_DE(A)) = ARR_DE(A)."""
+
+    name = "arrde-idempotence"
+    number = "XA4"
+    description = "ARR_DE is idempotent"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, ArrDE) and isinstance(expr.source, ArrDE):
+            return [expr.source]
+        return []
+
+
+class DistributeArrCollapseOverArrCat(Rule):
+    """XA5: ARR_COLLAPSE(ARR_CAT(A, B)) =
+    ARR_CAT(ARR_COLLAPSE(A), ARR_COLLAPSE(B)) — rule 11's array analog."""
+
+    name = "distribute-arrcollapse-arrcat"
+    number = "XA5"
+    description = "Distribute ARR_COLLAPSE over ARR_CAT"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, ArrCollapse) and isinstance(expr.source, ArrCat):
+            cat = expr.source
+            out.append(ArrCat(ArrCollapse(cat.left), ArrCollapse(cat.right)))
+        if (isinstance(expr, ArrCat) and isinstance(expr.left, ArrCollapse)
+                and isinstance(expr.right, ArrCollapse)):
+            out.append(ArrCollapse(
+                ArrCat(expr.left.source, expr.right.source)))
+        return out
+
+
+class EmptyArrayIdentities(Rule):
+    """XA6: ARR_CAT(A, []) = A = ARR_CAT([], A);  ARR_APPLY_E([]) = [];
+    ARR_DE([]) = [];  the empty array is ARR_CAT's identity and every
+    array operator's annihilator."""
+
+    name = "empty-array-identities"
+    number = "XA6"
+    description = "Identity and annihilator laws for the empty array"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        from ...core.expr import Const
+        from ..values import Arr
+        empty = Const(Arr())
+        out: List[Expr] = []
+        if isinstance(expr, ArrCat):
+            if expr.right == empty:
+                out.append(expr.left)
+            if expr.left == empty:
+                out.append(expr.right)
+        if isinstance(expr, ArrApply) and expr.source == empty:
+            out.append(empty)
+        if isinstance(expr, (ArrDE, ArrCollapse)) and expr.source == empty:
+            out.append(empty)
+        return out
+
+
+class ArrDEOfSingleton(Rule):
+    """XA7: ARR_DE(ARR(A)) = ARR(A) — a one-element array has no dups."""
+
+    name = "arrde-of-singleton"
+    number = "XA7"
+    description = "ARR_DE of a singleton array is the identity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        from .rule import NO_FACTS as _  # noqa: keep signature uniform
+        from ..operators.arrays import ArrCreate as _ArrCreate
+        if isinstance(expr, ArrDE) and isinstance(expr.source, _ArrCreate):
+            return [expr.source]
+        return []
+
+
+class ArrCollapseOfSingleton(Rule):
+    """XA8: ARR_COLLAPSE(ARR(A)) = A — collapsing a singleton nest."""
+
+    name = "arrcollapse-of-singleton"
+    number = "XA8"
+    description = "ARR_COLLAPSE of a singleton ARR is the identity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        from ..operators.arrays import ArrCreate as _ArrCreate
+        if isinstance(expr, ArrCollapse) and isinstance(expr.source,
+                                                        _ArrCreate):
+            return [expr.source.source]
+        return []
+
+
+ARRAY_RULES = [
+    ArrCatAssociativity(),
+    ExtractFromConcatenation(),
+    ExtractFromSubarray(),
+    ExtractFromArrApply(),
+    CombineSuccessiveSubarrays(),
+    SubarrayFromConcatenation(),
+    SubarrayFromArrApply(),
+    CombineSuccessiveArrApplys(),
+    IdentityArrApplyElimination(),
+    DistributeArrApplyOverArrCat(),
+    ArrDEIdempotence(),
+    DistributeArrCollapseOverArrCat(),
+    EmptyArrayIdentities(),
+    ArrDEOfSingleton(),
+    ArrCollapseOfSingleton(),
+]

@@ -1,0 +1,190 @@
+"""The rewrite engine: apply rules anywhere in a query tree.
+
+The optimizer (Section 5) explores a space of equivalent query trees by
+applying transformation rules at every node.  The engine provides:
+
+* :func:`rewrites_at_root` — rule applications at one node;
+* :func:`single_step_rewrites` — all trees one rewrite away (the rule
+  may fire at any position, including inside SET_APPLY/GRP/COMP
+  subscripts — "this ability to optimize within the subscripts of
+  operators in a straightforward manner is extremely useful", §5);
+* :class:`RewriteEngine` — bounded breadth-first exploration of the
+  equivalence class, recording which rule produced each tree (the
+  derivation), as the EXODUS optimizer generator's rule engine would.
+
+The many-sortedness pays off exactly as the paper argues: a rule whose
+pattern mentions SET_APPLY never even runs its matcher against an array
+node, so the large rule count does not blow up the search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..expr import Expr
+from ..predicates import Predicate
+from .rule import NO_FACTS, RewriteFacts, Rule
+
+
+def rewrites_at_root(expr: Expr, rules: Sequence[Rule],
+                     facts: RewriteFacts = NO_FACTS
+                     ) -> List[Tuple[Rule, Expr]]:
+    """All (rule, replacement) pairs produced at this node."""
+    out: List[Tuple[Rule, Expr]] = []
+    for rule in rules:
+        for replacement in rule.apply(expr, facts):
+            out.append((rule, replacement))
+    return out
+
+
+def _positions(expr: Expr):
+    """Every sub-expression with a rebuild function: yields
+    (node, rebuild) where rebuild(replacement) produces the whole tree
+    with that node replaced.  Includes predicate operand positions, so
+    rules fire inside COMP subscripts too."""
+    return _positions_under(expr, lambda replacement: replacement)
+
+
+def _positions_under(expr: Expr, rebuild):
+    yield expr, rebuild
+    for field in expr._fields:
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            def inner_rebuild(repl, expr=expr, field=field, rebuild=rebuild):
+                return rebuild(expr.replace(**{field: repl}))
+            for pos in _positions_under(value, inner_rebuild):
+                yield pos
+        elif isinstance(value, Predicate):
+            for pos in _pred_positions(expr, field, value, rebuild):
+                yield pos
+        elif isinstance(value, (list, tuple)):
+            for index, item in enumerate(value):
+                if not isinstance(item, Expr):
+                    continue
+
+                def seq_rebuild(repl, expr=expr, field=field, index=index,
+                                value=value, rebuild=rebuild):
+                    new_seq = list(value)
+                    new_seq[index] = repl
+                    if isinstance(value, tuple):
+                        new_seq = tuple(new_seq)
+                    return rebuild(expr.replace(**{field: new_seq}))
+                for pos in _positions_under(item, seq_rebuild):
+                    yield pos
+
+
+def _pred_positions(parent: Expr, field: str, pred: Predicate, rebuild):
+    """Positions of operand expressions inside a predicate tree."""
+    for sub_field in pred._fields:
+        value = getattr(pred, sub_field)
+        if isinstance(value, Expr):
+            def expr_rebuild(repl, parent=parent, field=field, pred=pred,
+                             sub_field=sub_field, rebuild=rebuild):
+                new_pred = type(pred)(**{
+                    f: (repl if f == sub_field else getattr(pred, f))
+                    for f in pred._fields})
+                return rebuild(parent.replace(**{field: new_pred}))
+            for pos in _positions_under(value, expr_rebuild):
+                yield pos
+        elif isinstance(value, Predicate):
+            def pred_rebuild_factory(sub_field=sub_field, pred=pred,
+                                     parent=parent, field=field,
+                                     rebuild=rebuild):
+                def assemble(new_inner_pred):
+                    new_pred = type(pred)(**{
+                        f: (new_inner_pred if f == sub_field
+                            else getattr(pred, f))
+                        for f in pred._fields})
+                    return rebuild(parent.replace(**{field: new_pred}))
+                return assemble
+            assemble = pred_rebuild_factory()
+            # Recurse by wrapping the inner predicate in a synthetic
+            # holder: reuse _pred_positions through a tiny adaptor.
+            for pos in _nested_pred_positions(value, assemble):
+                yield pos
+
+
+def _nested_pred_positions(pred: Predicate, assemble):
+    for sub_field in pred._fields:
+        value = getattr(pred, sub_field)
+        if isinstance(value, Expr):
+            def expr_rebuild(repl, pred=pred, sub_field=sub_field,
+                             assemble=assemble):
+                new_pred = type(pred)(**{
+                    f: (repl if f == sub_field else getattr(pred, f))
+                    for f in pred._fields})
+                return assemble(new_pred)
+            for pos in _positions_under(value, expr_rebuild):
+                yield pos
+        elif isinstance(value, Predicate):
+            def inner_assemble(new_inner, pred=pred, sub_field=sub_field,
+                               assemble=assemble):
+                new_pred = type(pred)(**{
+                    f: (new_inner if f == sub_field else getattr(pred, f))
+                    for f in pred._fields})
+                return assemble(new_pred)
+            for pos in _nested_pred_positions(value, inner_assemble):
+                yield pos
+
+
+def single_step_rewrites(expr: Expr, rules: Sequence[Rule],
+                         facts: RewriteFacts = NO_FACTS
+                         ) -> List[Tuple[Rule, Expr]]:
+    """Every tree reachable by one rule application at any position."""
+    out: List[Tuple[Rule, Expr]] = []
+    seen = {expr}
+    for node, rebuild in _positions(expr):
+        for rule, replacement in rewrites_at_root(node, rules, facts):
+            candidate = rebuild(replacement)
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append((rule, candidate))
+    return out
+
+
+class Derivation:
+    """A tree in the explored space plus the path that produced it."""
+
+    def __init__(self, expr: Expr, steps: Tuple[str, ...] = ()):
+        self.expr = expr
+        self.steps = steps
+
+    def __repr__(self) -> str:
+        return "Derivation(%s via %s)" % (self.expr.describe(),
+                                          " -> ".join(self.steps) or "<input>")
+
+
+class RewriteEngine:
+    """Bounded breadth-first exploration of a query's equivalence class."""
+
+    def __init__(self, rules: Sequence[Rule], facts: RewriteFacts = NO_FACTS,
+                 max_trees: int = 2000, max_depth: int = 6):
+        self.rules = list(rules)
+        self.facts = facts
+        self.max_trees = max_trees
+        self.max_depth = max_depth
+
+    def explore(self, expr: Expr) -> List[Derivation]:
+        """All distinct trees reachable within the bounds, including the
+        input itself (first)."""
+        seen: Dict[Expr, Derivation] = {expr: Derivation(expr)}
+        frontier: List[Derivation] = [seen[expr]]
+        depth = 0
+        while frontier and depth < self.max_depth and len(seen) < self.max_trees:
+            next_frontier: List[Derivation] = []
+            for derivation in frontier:
+                for rule, candidate in single_step_rewrites(
+                        derivation.expr, self.rules, self.facts):
+                    if candidate in seen:
+                        continue
+                    new = Derivation(candidate,
+                                     derivation.steps + (rule.name,))
+                    seen[candidate] = new
+                    next_frontier.append(new)
+                    if len(seen) >= self.max_trees:
+                        break
+                if len(seen) >= self.max_trees:
+                    break
+            frontier = next_frontier
+            depth += 1
+        return list(seen.values())

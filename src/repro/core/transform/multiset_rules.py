@@ -1,0 +1,620 @@
+"""Multiset transformation rules (Appendix §2, rules 1–15, plus extras).
+
+Rules marked with an appendix number reproduce the paper's equation;
+rules tagged ``X…`` are sound additions used by the worked examples of
+Section 5 (DE absorption, operator-identity elimination) — the paper's
+list "is not exhaustive" by its own statement.
+
+Null caveat: rules 4 and 10 are stated by the paper over predicate
+logic; in the presence of the ``unk`` truth value their two sides can
+differ in how many ``unk`` occurrences the result holds.  They are exact
+on the U-free fragment, which is what the property tests exercise (the
+paper's own examples never produce UNK).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..expr import Const, Expr, Input, substitute_input
+from ..operators.derived import sigma, union
+from ..operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
+                                  SetCollapse, SetCreate)
+from ..operators.tuples import TupCat, TupExtract
+from ..predicates import Atom, Comp, Or, TruePred
+from ..values import MultiSet
+from .rule import (NO_FACTS, RewriteFacts, Rule, make_pairwise_body,
+                   match_intersection, match_or, match_pairwise_body,
+                   match_sigma, match_union, pair_side_only)
+
+
+class BinaryAssociativity(Rule):
+    """Rule 1: A <op> (B <op> C) = (A <op> B) <op> C for ⊎, ∪, ∩."""
+
+    name = "binary-associativity"
+    number = 1
+    description = "Associativity of ⊎, ∪, and ∩"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        # ⊎ — a primitive node.
+        if isinstance(expr, AddUnion):
+            if isinstance(expr.left, AddUnion):
+                a, b, c = expr.left.left, expr.left.right, expr.right
+                out.append(AddUnion(a, AddUnion(b, c)))
+            if isinstance(expr.right, AddUnion):
+                a, b, c = expr.left, expr.right.left, expr.right.right
+                out.append(AddUnion(AddUnion(a, b), c))
+        # ∪ and ∩ — derived shapes.
+        u = match_union(expr)
+        if u:
+            x, c = u
+            inner = match_union(x)
+            if inner:
+                a, b = inner
+                out.append(union(a, union(b, c)))
+            right_inner = match_union(c)
+            if right_inner:
+                b, c2 = right_inner
+                out.append(union(union(x, b), c2))
+        i = match_intersection(expr)
+        if i:
+            x, c = i
+            inner = match_intersection(x)
+            if inner:
+                a, b = inner
+                out.append(Diff(a, Diff(a, Diff(b, Diff(b, c)))))
+            right_inner = match_intersection(c)
+            if right_inner:
+                b, c2 = right_inner
+                left = Diff(x, Diff(x, b))
+                out.append(Diff(left, Diff(left, c2)))
+        return out
+
+
+class DistributeCrossOverAddUnion(Rule):
+    """Rule 2: A × (B ⊎ C) = (A × B) ⊎ (A × C), and the left variant."""
+
+    name = "distribute-cross-addunion"
+    number = 2
+    description = "Distribution of × over ⊎"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Cross):
+            if isinstance(expr.right, AddUnion):
+                a, b, c = expr.left, expr.right.left, expr.right.right
+                out.append(AddUnion(Cross(a, b), Cross(a, c)))
+            if isinstance(expr.left, AddUnion):
+                a, b, c = expr.left.left, expr.left.right, expr.right
+                out.append(AddUnion(Cross(a, c), Cross(b, c)))
+        if isinstance(expr, AddUnion):
+            left, right = expr.left, expr.right
+            if isinstance(left, Cross) and isinstance(right, Cross):
+                if left.left == right.left:
+                    out.append(Cross(left.left, AddUnion(left.right, right.right)))
+                if left.right == right.right:
+                    out.append(Cross(AddUnion(left.left, right.left), left.right))
+        return out
+
+
+_PAIR_FLATTEN = TupCat(TupExtract("field1", Input()),
+                       TupExtract("field2", Input()))
+
+
+class RelCrossCommutativity(Rule):
+    """Rule 3: rel_×(A, B) = rel_×(B, A).
+
+    rel_× is the derived shape SET_APPLY_{TUP_CAT(field1,field2)}(A × B);
+    commutativity holds because TUP_CAT itself commutes (rule 23) under
+    named-record tuple equality.
+    """
+
+    name = "rel-cross-commutativity"
+    number = 3
+    description = "Commutativity of the relational-like cartesian product"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if (isinstance(expr, SetApply) and expr.type_filter is None
+                and expr.body == _PAIR_FLATTEN
+                and isinstance(expr.source, Cross)):
+            cross = expr.source
+            return [SetApply(_PAIR_FLATTEN, Cross(cross.right, cross.left))]
+        return []
+
+
+class DisjunctiveSelectionSplit(Rule):
+    """Rule 4: σ_{P1 ∨ P2}(A) = σ_{P1}(A) ∪ σ_{P2}(A)."""
+
+    name = "disjunctive-selection-split"
+    number = 4
+    description = "Breaking down a disjunctive selection"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        matched = match_sigma(expr)
+        if matched:
+            pred, source = matched
+            disjuncts = match_or(pred)
+            if disjuncts:
+                p1, p2 = disjuncts
+                out.append(union(sigma(p1, source), sigma(p2, source)))
+        # Reverse: σ_{P1}(A) ∪ σ_{P2}(A) → σ_{P1∨P2}(A).
+        u = match_union(expr)
+        if u:
+            left, right = u
+            ml, mr = match_sigma(left), match_sigma(right)
+            if ml and mr and ml[1] == mr[1]:
+                out.append(sigma(Or(ml[0], mr[0]), ml[1]))
+        return out
+
+
+class EliminateCrossUnderDE(Rule):
+    """Rule 5: DE(SET_APPLY_E(A × B)) = DE(SET_APPLY_{E'}(A)); E applies
+    only to A.
+
+    Side condition (implicit in the paper): B must be non-empty,
+    otherwise the left side is empty while the right is not — the rule
+    only fires when the facts declare the eliminated input non-empty.
+    """
+
+    name = "eliminate-cross-under-de"
+    number = 5
+    description = "Eliminating a cross product under duplicate elimination"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, DE) and isinstance(expr.source, SetApply)):
+            return []
+        apply_node = expr.source
+        if apply_node.type_filter is not None:
+            return []
+        if not isinstance(apply_node.source, Cross):
+            return []
+        cross = apply_node.source
+        out: List[Expr] = []
+        e1 = pair_side_only(apply_node.body, "1")
+        if e1 is not None and facts.is_nonempty(cross.right):
+            out.append(DE(SetApply(e1, cross.left)))
+        e2 = pair_side_only(apply_node.body, "2")
+        if e2 is not None and facts.is_nonempty(cross.left):
+            out.append(DE(SetApply(e2, cross.right)))
+        return out
+
+
+class GroupingIsDuplicateFree(Rule):
+    """Rule 6: DE(GRP_E(A)) = GRP_E(A) — grouping yields a set."""
+
+    name = "grouping-is-duplicate-free"
+    number = 6
+    description = "The result of grouping is a set without duplicates"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, DE) and isinstance(expr.source, Grp):
+            return [expr.source]
+        return []
+
+
+class DistributeDEOverCross(Rule):
+    """Rule 7: DE(A × B) = DE(A) × DE(B)."""
+
+    name = "distribute-de-cross"
+    number = 7
+    description = "Distribute DE across ×"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, DE) and isinstance(expr.source, Cross):
+            out.append(Cross(DE(expr.source.left), DE(expr.source.right)))
+        if (isinstance(expr, Cross) and isinstance(expr.left, DE)
+                and isinstance(expr.right, DE)):
+            out.append(DE(Cross(expr.left.source, expr.right.source)))
+        return out
+
+
+class DEBeforeOrAfterGrouping(Rule):
+    """Rule 8: GRP_E(DE(A)) = SET_APPLY_{DE}(GRP_E(A)).
+
+    Duplicates can be removed before grouping or within each group —
+    Example 1 of Section 5 uses this to shrink the DE input from
+    |S|·|E| occurrences to |S|+|E|.
+    """
+
+    name = "de-before-or-after-grouping"
+    number = 8
+    description = "Duplicates removed before or after a set is grouped"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Grp) and isinstance(expr.source, DE):
+            out.append(SetApply(DE(Input()), Grp(expr.by, expr.source.source)))
+        if (isinstance(expr, SetApply) and expr.type_filter is None
+                and expr.body == DE(Input())
+                and isinstance(expr.source, Grp)):
+            grp = expr.source
+            out.append(Grp(grp.by, DE(grp.source)))
+        return out
+
+
+class GroupOneSideOfCross(Rule):
+    """Rule 9: GRP_E(A × B) = SET_APPLY_{INPUT × B}(GRP_{E'}(A)); E
+    applies only to A (and, implicitly, B is non-empty)."""
+
+    name = "group-one-side-of-cross"
+    number = 9
+    description = "Group one input of a × and recombine per group"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, Grp) and isinstance(expr.source, Cross)):
+            return []
+        cross = expr.source
+        if cross.right.uses_input():
+            return []
+        e1 = pair_side_only(expr.by, "1")
+        if e1 is None or not facts.is_nonempty(cross.right):
+            return []
+        return [SetApply(Cross(Input(), cross.right), Grp(e1, cross.left))]
+
+
+def _nonempty_comp(body: Expr) -> Comp:
+    """COMP that keeps *body*'s result only when it is a non-empty
+    multiset (empty groups must vanish, matching σ-then-GRP)."""
+    return Comp(Atom(Input(), "!=", Const(MultiSet())), body)
+
+
+class GroupingPastSelection(Rule):
+    """Rule 10: GRP_{E1}(σ_{E2}(A)) = SET_APPLY_{σ_{E2}(INPUT)}(GRP_{E1}(A)).
+
+    Erratum handled: as printed, the right side retains groups that the
+    selection empties entirely, which the left side never produces.  The
+    generated right side therefore filters empty groups with a COMP —
+    expressible in the algebra and exactly equal to the left side.
+    """
+
+    name = "grouping-past-selection"
+    number = 10
+    description = "Push grouping ahead of a selection"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Grp):
+            matched = match_sigma(expr.source)
+            if matched:
+                pred, source = matched
+                body = _nonempty_comp(sigma(pred, Input()))
+                out.append(SetApply(body, Grp(expr.by, source)))
+        # Reverse: recognise the canonical right-hand shape.
+        if (isinstance(expr, SetApply) and expr.type_filter is None
+                and isinstance(expr.source, Grp)
+                and isinstance(expr.body, Comp)):
+            comp = expr.body
+            if comp == _nonempty_comp(comp.source):
+                matched = match_sigma(comp.source)
+                if matched and isinstance(matched[1], Input):
+                    pred = matched[0]
+                    grp = expr.source
+                    out.append(Grp(grp.by, sigma(pred, grp.source)))
+        return out
+
+
+class DistributeCollapseOverAddUnion(Rule):
+    """Rule 11: SET_COLLAPSE(A ⊎ B) = SET_COLLAPSE(A) ⊎ SET_COLLAPSE(B)."""
+
+    name = "distribute-collapse-addunion"
+    number = 11
+    description = "Distribute SET_COLLAPSE over ⊎"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, SetCollapse) and isinstance(expr.source, AddUnion):
+            au = expr.source
+            out.append(AddUnion(SetCollapse(au.left), SetCollapse(au.right)))
+        if (isinstance(expr, AddUnion) and isinstance(expr.left, SetCollapse)
+                and isinstance(expr.right, SetCollapse)):
+            out.append(SetCollapse(
+                AddUnion(expr.left.source, expr.right.source)))
+        return out
+
+
+class DistributeSetApplyOverAddUnion(Rule):
+    """Rule 12: SET_APPLY_E(A ⊎ B) = SET_APPLY_E(A) ⊎ SET_APPLY_E(B)."""
+
+    name = "distribute-setapply-addunion"
+    number = 12
+    description = "Distribute SET_APPLY over ⊎"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, SetApply) and isinstance(expr.source, AddUnion):
+            au = expr.source
+            out.append(AddUnion(
+                SetApply(expr.body, au.left, type_filter=expr.type_filter),
+                SetApply(expr.body, au.right, type_filter=expr.type_filter)))
+        if (isinstance(expr, AddUnion) and isinstance(expr.left, SetApply)
+                and isinstance(expr.right, SetApply)
+                and expr.left.body == expr.right.body
+                and expr.left.type_filter == expr.right.type_filter):
+            out.append(SetApply(expr.left.body,
+                                AddUnion(expr.left.source, expr.right.source),
+                                type_filter=expr.left.type_filter))
+        return out
+
+
+class DistributeSetApplyOverCross(Rule):
+    """Rule 13: SET_APPLY_E(A × B) = SET_APPLY_{E1}(A) × SET_APPLY_{E2}(B)
+    when E = E1(E2) factors into independent per-side maps that rebuild
+    the pair."""
+
+    name = "distribute-setapply-cross"
+    number = 13
+    description = "Distribute SET_APPLY over ×"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if (isinstance(expr, SetApply) and expr.type_filter is None
+                and isinstance(expr.source, Cross)):
+            factored = match_pairwise_body(expr.body)
+            if factored:
+                e1, e2 = factored
+                cross = expr.source
+                out.append(Cross(SetApply(e1, cross.left),
+                                 SetApply(e2, cross.right)))
+        if (isinstance(expr, Cross) and isinstance(expr.left, SetApply)
+                and isinstance(expr.right, SetApply)
+                and expr.left.type_filter is None
+                and expr.right.type_filter is None):
+            out.append(SetApply(
+                make_pairwise_body(expr.left.body, expr.right.body),
+                Cross(expr.left.source, expr.right.source)))
+        return out
+
+
+class SetApplyInsideCollapse(Rule):
+    """Rule 14: SET_APPLY_E(SET_COLLAPSE(A)) =
+    SET_COLLAPSE(SET_APPLY_{SET_APPLY_E(INPUT)}(A))."""
+
+    name = "setapply-inside-collapse"
+    number = 14
+    description = "Push SET_APPLY inside a SET_COLLAPSE"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, SetApply) and isinstance(expr.source, SetCollapse):
+            inner = SetApply(expr.body, Input(), type_filter=expr.type_filter)
+            out.append(SetCollapse(SetApply(inner, expr.source.source)))
+        if isinstance(expr, SetCollapse) and isinstance(expr.source, SetApply):
+            outer_apply = expr.source
+            if (outer_apply.type_filter is None
+                    and isinstance(outer_apply.body, SetApply)
+                    and isinstance(outer_apply.body.source, Input)):
+                inner = outer_apply.body
+                out.append(SetApply(inner.body, SetCollapse(outer_apply.source),
+                                    type_filter=inner.type_filter))
+        return out
+
+
+class CombineSuccessiveSetApplys(Rule):
+    """Rule 15: SET_APPLY_{E1}(SET_APPLY_{E2}(A)) = SET_APPLY_{E1(E2)}(A).
+
+    The composition E1(E2) is INPUT-substitution.  Guard: E1 must
+    actually consume INPUT (a constant body would resurrect occurrences
+    that E2 mapped to dne), and neither apply may carry a type filter
+    (the outer filter would inspect E2-results, not base occurrences).
+    """
+
+    name = "combine-successive-setapplys"
+    number = 15
+    description = "Combine successive SET_APPLYs"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, SetApply) and isinstance(expr.source, SetApply)):
+            return []
+        outer, inner = expr, expr.source
+        if outer.type_filter is not None or inner.type_filter is not None:
+            return []
+        if not outer.body.uses_input():
+            return []
+        return [SetApply(substitute_input(outer.body, inner.body),
+                         inner.source)]
+
+
+class DEIdempotence(Rule):
+    """X1: DE(DE(A)) = DE(A)."""
+
+    name = "de-idempotence"
+    number = "X1"
+    description = "DE is idempotent"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, DE) and isinstance(expr.source, DE):
+            return [expr.source]
+        return []
+
+
+class DEAbsorbsInputDuplicates(Rule):
+    """X2: DE(SET_APPLY_E(A)) = DE(SET_APPLY_E(DE(A))).
+
+    Sound unconditionally: deduplicating the input cannot change the
+    *set* of results.  This is the engine behind Example 1's second
+    transformation (Figure 8), pushing DE below the join inputs.
+    """
+
+    name = "de-absorbs-input-duplicates"
+    number = "X2"
+    description = "DE of a SET_APPLY may dedupe the apply's input first"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, DE) and isinstance(expr.source, SetApply):
+            apply_node = expr.source
+            if not isinstance(apply_node.source, DE):
+                out.append(DE(apply_node.replace(source=DE(apply_node.source))))
+            else:
+                out.append(DE(apply_node.replace(
+                    source=apply_node.source.source)))
+        return out
+
+
+class DEDistributesIntoAddUnion(Rule):
+    """X3: DE(A ⊎ B) = DE(DE(A) ⊎ DE(B))."""
+
+    name = "de-distributes-into-addunion"
+    number = "X3"
+    description = "DE of a ⊎ may dedupe the inputs first"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, DE) and isinstance(expr.source, AddUnion):
+            au = expr.source
+            if not (isinstance(au.left, DE) and isinstance(au.right, DE)):
+                return [DE(AddUnion(DE(au.left), DE(au.right)))]
+            return [DE(AddUnion(au.left.source, au.right.source))]
+        return []
+
+
+class IdentitySetApplyElimination(Rule):
+    """X5: SET_APPLY_{INPUT}(A) = A."""
+
+    name = "identity-setapply-elimination"
+    number = "X5"
+    description = "An identity SET_APPLY body does nothing"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if (isinstance(expr, SetApply) and expr.type_filter is None
+                and isinstance(expr.body, Input)):
+            return [expr.source]
+        return []
+
+
+class TrueCompElimination(Rule):
+    """X6: COMP_{true}(A) = A."""
+
+    name = "true-comp-elimination"
+    number = "X6"
+    description = "COMP with the constant-true predicate is the identity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, Comp) and expr.pred == TruePred():
+            return [expr.source]
+        return []
+
+
+class SigmaOverDifference(Rule):
+    """X7: σ_P(A − B) = σ_P(A) − σ_P(B).
+
+    Selection distributes over multiset difference because COMP is a
+    per-occurrence test: an element's surviving count max(0, a−b) is
+    filtered identically on both sides.  (U-free fragment, like rules
+    4/10/27: unk outputs of distinct elements pool into one unk count.)
+    """
+
+    name = "sigma-over-difference"
+    number = "X7"
+    description = "Selection distributes over multiset difference"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        matched = match_sigma(expr)
+        if matched and isinstance(matched[1], Diff):
+            pred, diff = matched
+            out.append(Diff(sigma(pred, diff.left), sigma(pred, diff.right)))
+        if isinstance(expr, Diff):
+            ml, mr = match_sigma(expr.left), match_sigma(expr.right)
+            if ml and mr and ml[0] == mr[0]:
+                out.append(sigma(ml[0], Diff(ml[1], mr[1])))
+        return out
+
+
+class CollapseOfSingleton(Rule):
+    """X8: SET_COLLAPSE(SET(A)) = A — collapsing a singleton nest."""
+
+    name = "collapse-of-singleton"
+    number = "X8"
+    description = "SET_COLLAPSE of a singleton SET is the identity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, SetCollapse) and isinstance(expr.source, SetCreate):
+            return [expr.source.source]
+        return []
+
+
+class DEOfSingleton(Rule):
+    """X9: DE(SET(A)) = SET(A) — a singleton has no duplicates."""
+
+    name = "de-of-singleton"
+    number = "X9"
+    description = "DE of a singleton SET is the identity"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, DE) and isinstance(expr.source, SetCreate):
+            return [expr.source]
+        return []
+
+
+class SelfDifferenceIsEmpty(Rule):
+    """X10: A − A = ∅ (A must be deterministic to evaluate once)."""
+
+    name = "self-difference-is-empty"
+    number = "X10"
+    description = "Subtracting a multiset from itself yields the empty set"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        from .rule import is_deterministic
+        if (isinstance(expr, Diff) and expr.left == expr.right
+                and is_deterministic(expr.left)
+                and not expr.left.uses_input()):
+            return [Const(MultiSet())]
+        return []
+
+
+class EmptySetIdentities(Rule):
+    """X11: A ⊎ ∅ = A,  A − ∅ = A,  A × ∅ = ∅,  SET_APPLY_E(∅) = ∅."""
+
+    name = "empty-set-identities"
+    number = "X11"
+    description = "Identity and annihilator laws for the empty multiset"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        empty = Const(MultiSet())
+        out: List[Expr] = []
+        if isinstance(expr, AddUnion):
+            if expr.right == empty:
+                out.append(expr.left)
+            if expr.left == empty:
+                out.append(expr.right)
+        if isinstance(expr, Diff) and expr.right == empty:
+            out.append(expr.left)
+        if isinstance(expr, Cross) and empty in (expr.left, expr.right):
+            out.append(empty)
+        if isinstance(expr, SetApply) and expr.source == empty:
+            out.append(empty)
+        if isinstance(expr, (DE, SetCollapse, Grp)) and expr.source == empty:
+            out.append(empty)
+        return out
+
+
+MULTISET_RULES = [
+    BinaryAssociativity(),
+    DistributeCrossOverAddUnion(),
+    RelCrossCommutativity(),
+    DisjunctiveSelectionSplit(),
+    EliminateCrossUnderDE(),
+    GroupingIsDuplicateFree(),
+    DistributeDEOverCross(),
+    DEBeforeOrAfterGrouping(),
+    GroupOneSideOfCross(),
+    GroupingPastSelection(),
+    DistributeCollapseOverAddUnion(),
+    DistributeSetApplyOverAddUnion(),
+    DistributeSetApplyOverCross(),
+    SetApplyInsideCollapse(),
+    CombineSuccessiveSetApplys(),
+    DEIdempotence(),
+    DEAbsorbsInputDuplicates(),
+    DEDistributesIntoAddUnion(),
+    IdentitySetApplyElimination(),
+    TrueCompElimination(),
+    SigmaOverDifference(),
+    CollapseOfSingleton(),
+    DEOfSingleton(),
+    SelfDifferenceIsEmpty(),
+    EmptySetIdentities(),
+]

@@ -1,0 +1,364 @@
+"""Tuple, reference, and predicate rules (Appendix §4, rules 23–28).
+
+Rule 26 — "push any expression inside COMP" — is the powerful
+generalization the paper singles out (it subsumes commuting relational
+selections and projections).  The equation is
+
+    E(COMP_{P1}(A)) = COMP_{P2}(E(A))    with P1(INPUT) = P2(E(INPUT)).
+
+Read right-to-left the rewrite is purely syntactic (compose P2 with E).
+Read left-to-right it requires *factoring* P1 through E; two sound
+factorizations are implemented:
+
+* subtree factoring — occurrences of E itself inside P1's operands are
+  replaced by INPUT (P1 literally re-computed E);
+* field-map factoring — when E rebuilds a tuple field-wise (a π, a
+  TUP_CAT of TUP[f](e_f), or a mix), each occurrence of e_f inside P1
+  becomes INPUT.f.  This is exactly the Example-2 rewrite (Figure 11),
+  where E = π_{name, DEREF(dept)} lets the COMP test the already
+  dereferenced department so it "needs to access the fields of dept"
+  only once.
+
+Both factorizations are verified by substituting back and comparing
+structurally, so an unsound factoring can never be emitted.
+
+Null caveat on rule 27: with three-valued predicates the merged
+conjunction can turn an ``unk`` outcome into ``dne`` when the other
+conjunct is false; the rule is exact on the U-free fragment (see the
+module docstring of multiset_rules).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..expr import Const, Expr, Input, substitute_input
+from ..operators.refs import Deref, RefOp
+from ..operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..predicates import And, Comp, Predicate
+from .rule import NO_FACTS, RewriteFacts, Rule, is_deterministic, static_fields
+
+
+class TupCatCommutativity(Rule):
+    """Rule 23: TUP_CAT(A, B) = TUP_CAT(B, A) (tuples are named records)."""
+
+    name = "tupcat-commutativity"
+    number = 23
+    description = "Commutativity of TUP_CAT"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, TupCat):
+            return [TupCat(expr.right, expr.left)]
+        return []
+
+
+class DistributePiOverTupCat(Rule):
+    """Rule 24: π_L(TUP_CAT(A, B)) = TUP_CAT(π_{L1}(A), π_{L2}(B))
+    where L splits into A-fields and B-fields (statically known)."""
+
+    name = "distribute-pi-tupcat"
+    number = 24
+    description = "Distribute π over TUP_CAT"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Pi) and isinstance(expr.source, TupCat):
+            cat = expr.source
+            left_fields = static_fields(cat.left)
+            right_fields = static_fields(cat.right)
+            if left_fields is not None and right_fields is not None:
+                l1 = [n for n in expr.names if n in left_fields]
+                l2 = [n for n in expr.names if n in right_fields]
+                if len(l1) + len(l2) == len(expr.names):
+                    out.append(TupCat(Pi(l1, cat.left), Pi(l2, cat.right)))
+        if (isinstance(expr, TupCat) and isinstance(expr.left, Pi)
+                and isinstance(expr.right, Pi)):
+            out.append(Pi(tuple(expr.left.names) + tuple(expr.right.names),
+                          TupCat(expr.left.source, expr.right.source)))
+        return out
+
+
+class ExtractFieldFromTupCat(Rule):
+    """Rule 25: TUP_EXTRACT_f(TUP_CAT(A, B)) = TUP_EXTRACT_f(A) when f
+    is statically a field of A (symmetrically for B)."""
+
+    name = "extract-field-from-tupcat"
+    number = 25
+    description = "Extracting a field from a TUP_CAT"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not (isinstance(expr, TupExtract)
+                and isinstance(expr.source, TupCat)):
+            return []
+        cat = expr.source
+        out: List[Expr] = []
+        left_fields = static_fields(cat.left)
+        if left_fields is not None and expr.field in left_fields:
+            out.append(TupExtract(expr.field, cat.left))
+        right_fields = static_fields(cat.right)
+        if right_fields is not None and expr.field in right_fields:
+            out.append(TupExtract(expr.field, cat.right))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Rule 26 machinery.
+# ---------------------------------------------------------------------------
+
+def _replace_subtree(expr: Expr, pattern: Expr, replacement: Expr) -> Expr:
+    """Replace occurrences of *pattern* (structural equality) in the
+    non-binding positions of *expr*.  Binding bodies rebind INPUT, so a
+    textual match inside one would mean something different."""
+    if expr == pattern:
+        return replacement
+    updates = {}
+    for field in expr._fields:
+        if field in expr._binding_fields:
+            continue
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            new = _replace_subtree(value, pattern, replacement)
+            if new is not value:
+                updates[field] = new
+        elif isinstance(value, (list, tuple)):
+            new_seq = [_replace_subtree(v, pattern, replacement)
+                       if isinstance(v, Expr) else v for v in value]
+            if any(a is not b for a, b in zip(new_seq, value)):
+                updates[field] = tuple(new_seq) if isinstance(
+                    value, tuple) else list(new_seq)
+    return expr.replace(**updates) if updates else expr
+
+
+def field_map(expr: Expr) -> Optional[Dict[str, Expr]]:
+    """If *expr* rebuilds a tuple field-wise from INPUT, return
+    {field: producing-expression}; otherwise None.
+
+    Recognised shapes: TUP[f](e), π_L(INPUT), and TUP_CAT combinations
+    of those.
+    """
+    if isinstance(expr, TupCreate):
+        return {expr.field: expr.source}
+    if isinstance(expr, Pi) and isinstance(expr.source, Input):
+        return {name: TupExtract(name, Input()) for name in expr.names}
+    if isinstance(expr, TupCat):
+        left = field_map(expr.left)
+        right = field_map(expr.right)
+        if left is None or right is None:
+            return None
+        if set(left) & set(right):
+            return None
+        merged = dict(left)
+        merged.update(right)
+        return merged
+    return None
+
+
+def _pred_substitute(pred: Predicate, replacement: Expr) -> Predicate:
+    """P[INPUT := replacement] applied to every operand expression."""
+    return pred.map_exprs(lambda e: substitute_input(e, replacement))
+
+
+def _factor_pred(pred: Predicate, e_in: Expr) -> Optional[Predicate]:
+    """Find P2 with P1 = P2(E(INPUT)), or None.
+
+    Tries subtree factoring, then field-map factoring; the candidate is
+    verified by substituting E back in and comparing with P1.
+    """
+    # Subtree factoring: replace occurrences of E itself by INPUT.
+    candidate = pred.map_exprs(
+        lambda e: _replace_subtree(e, e_in, Input()))
+    if candidate != pred and _pred_substitute(candidate, e_in) == pred:
+        return candidate
+    # Field-map factoring: replace each field-producing expression e_f
+    # by INPUT.f, then verify by mapping INPUT.f back to e_f (the
+    # semantic identity TUP_EXTRACT_f(E(x)) = e_f(x) justifies it).
+    mapping = field_map(e_in)
+    if mapping:
+        ordered = sorted(mapping.items(),
+                         key=lambda item: item[1].size(), reverse=True)
+
+        def rewrite(e: Expr) -> Expr:
+            for name, producer in ordered:
+                e = _replace_subtree(e, producer, TupExtract(name, Input()))
+            return e
+
+        def back(e: Expr) -> Expr:
+            for name, producer in ordered:
+                e = _replace_subtree(e, TupExtract(name, Input()), producer)
+            return e
+
+        candidate = pred.map_exprs(rewrite)
+        if candidate != pred and candidate.map_exprs(back) == pred:
+            # Reject leftover raw INPUT uses: P2 may only see the
+            # rebuilt tuple through its fields.
+            probe = candidate.map_exprs(
+                lambda e: _replace_subtree(
+                    _strip_field_reads(e, mapping), Input(), Input()))
+            if not any(op.uses_input()
+                       for op in probe.deep_exprs()):
+                return candidate
+    return None
+
+
+def _strip_field_reads(expr: Expr, mapping) -> Expr:
+    """Replace every INPUT.f (f in mapping) with a constant, exposing
+    any remaining raw INPUT reference."""
+    for name in mapping:
+        expr = _replace_subtree(expr, TupExtract(name, Input()), Const(0))
+    return expr
+
+
+def _one_layer(expr: Expr):
+    """If *expr* reads exactly one INPUT-carrying sub-expression in a
+    non-binding position, yield (field, child, E_in) where E_in is the
+    node as a function of that child."""
+    carriers = []
+    for field in expr._fields:
+        if field in expr._binding_fields:
+            continue
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            carriers.append((field, value))
+    if len(carriers) == 1:
+        field, child = carriers[0]
+        return field, child, expr.replace(**{field: Input()})
+    # Multi-child nodes qualify when exactly one child could carry data
+    # dependent on the COMP; require the others to be INPUT-free and
+    # deterministic so duplication/reordering is safe.
+    candidates = [(f, c) for f, c in carriers if isinstance(c, Comp)]
+    if len(candidates) == 1:
+        field, child = candidates[0]
+        others_ok = all(
+            is_deterministic(c) and not c.uses_input()
+            for f, c in carriers if f != field)
+        if others_ok:
+            return field, child, expr.replace(**{field: Input()})
+    return None
+
+
+def _non_binding_subtrees(expr: Expr):
+    """All sub-expressions reachable without crossing a binding field
+    (the positions where a COMP's value flows into this expression)."""
+    for field in expr._fields:
+        if field in expr._binding_fields:
+            continue
+        value = getattr(expr, field)
+        children = []
+        if isinstance(value, Expr):
+            children = [value]
+        elif isinstance(value, (list, tuple)):
+            children = [v for v in value if isinstance(v, Expr)]
+        for child in children:
+            yield child
+            for sub in _non_binding_subtrees(child):
+                yield sub
+
+
+class PushExpressionInsideComp(Rule):
+    """Rule 26 (left-to-right): E(COMP_{P1}(A)) = COMP_{P2}(E(A)).
+
+    E may read its input several times (a field-map rebuild does), so
+    the match looks for a COMP subtree c such that replacing *every*
+    occurrence of c by INPUT leaves an expression E with P1 = P2 ∘ E for
+    some P2 (see the factorizations in the module docstring).  E and the
+    COMP's own source must be deterministic (duplicating them is safe)
+    and E strict in INPUT (dne flows through).
+    """
+
+    name = "push-expression-inside-comp"
+    number = 26
+    description = "Push any expression inside COMP"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if isinstance(expr, (Comp, Input)):
+            return []
+        candidates = []
+        for node in _non_binding_subtrees(expr):
+            if isinstance(node, Comp) and node not in candidates:
+                candidates.append(node)
+        out: List[Expr] = []
+        for comp in candidates:
+            e_in = _replace_subtree(expr, comp, Input())
+            if not (e_in.uses_input() and is_deterministic(e_in)
+                    and is_deterministic(comp.source)):
+                continue
+            p2 = _factor_pred(comp.pred, e_in)
+            if p2 is None:
+                continue
+            out.append(Comp(p2, _replace_subtree(expr, comp, comp.source)))
+        return out
+
+
+class PullExpressionOutOfComp(Rule):
+    """Rule 26 (right-to-left): COMP_{P2}(E(A)) = E(COMP_{P1}(A)) with
+    P1 = P2[INPUT := E(INPUT)] — always constructible syntactically."""
+
+    name = "pull-expression-out-of-comp"
+    number = "26R"
+    description = "Pull an expression back out of COMP"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        if not isinstance(expr, Comp):
+            return []
+        inner = expr.source
+        if isinstance(inner, (Comp, Input, Const)):
+            return []
+        layer = _one_layer(inner)
+        if layer is None:
+            return []
+        field, child, e_in = layer
+        if isinstance(child, Comp):
+            return []  # stacked COMPs belong to rule 27
+        if not (is_deterministic(e_in) and e_in.uses_input()):
+            return []
+        p1 = _pred_substitute(expr.pred, e_in)
+        return [inner.replace(**{field: Comp(p1, child)})]
+
+
+class CombineSuccessiveComps(Rule):
+    """Rule 27: COMP_{P1}(COMP_{P2}(A)) = COMP_{P2 ∧ P1}(A).
+
+    The inner predicate is placed first in the conjunction (it was
+    evaluated first); ∧ is commutative on the U-free fragment.
+    """
+
+    name = "combine-successive-comps"
+    number = 27
+    description = "Combine successive COMPs into a conjunction"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Comp) and isinstance(expr.source, Comp):
+            inner = expr.source
+            out.append(Comp(And(inner.pred, expr.pred), inner.source))
+        if isinstance(expr, Comp) and isinstance(expr.pred, And):
+            conj = expr.pred
+            out.append(Comp(conj.right, Comp(conj.left, expr.source)))
+        return out
+
+
+class RefDerefInvertibility(Rule):
+    """Rule 28: DEREF(REF(A)) = REF(DEREF(A)) = A."""
+
+    name = "ref-deref-invertibility"
+    number = 28
+    description = "Invertibility of REF and DEREF"
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        out: List[Expr] = []
+        if isinstance(expr, Deref) and isinstance(expr.source, RefOp):
+            out.append(expr.source.source)
+        if isinstance(expr, RefOp) and isinstance(expr.source, Deref):
+            out.append(expr.source.source)
+        return out
+
+
+OBJECT_RULES = [
+    TupCatCommutativity(),
+    DistributePiOverTupCat(),
+    ExtractFieldFromTupCat(),
+    PushExpressionInsideComp(),
+    PullExpressionOutOfComp(),
+    CombineSuccessiveComps(),
+    RefDerefInvertibility(),
+]

@@ -1,0 +1,268 @@
+"""Rule framework for algebraic transformations (Section 5 + Appendix).
+
+A :class:`Rule` rewrites a *single node* of a query tree into zero or
+more semantically equivalent nodes; the engine (see
+:mod:`repro.core.transform.engine`) applies rules at every position.
+Rules fire bidirectionally where that is sound, so one Rule object
+covers both reading directions of the paper's equation.
+
+Several appendix rules carry side conditions the paper leaves implicit
+(they state equations over abstract instances, and the optimizer "knows"
+catalog facts).  :class:`RewriteFacts` carries the statically known
+facts a rule may need:
+
+* *non-emptiness* of an input (rules 5 and 9 are only valid when the
+  eliminated/retained input is non-empty);
+* *known length* of an array input (rules 17 and 21 split on n ≤ |A|).
+
+A rule that needs a fact simply does not fire without it — rewrites are
+only ever generated when provably sound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional
+
+from ..expr import Const, Expr, Input, substitute_input
+from ..operators.multiset import AddUnion, Diff, SetApply
+from ..operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..predicates import And, Comp, Not, Predicate
+from ..values import Arr, MultiSet, Tup
+
+
+class RewriteFacts:
+    """Catalog facts available to the rewriter.
+
+    Facts are keyed by structural expression equality, so declaring
+    ``nonempty(Named("Employees"))`` covers every occurrence of that
+    leaf in the tree.
+    """
+
+    def __init__(self):
+        self._nonempty: set = set()
+        self._lengths: Dict[Expr, int] = {}
+
+    def declare_nonempty(self, expr: Expr) -> "RewriteFacts":
+        self._nonempty.add(expr)
+        return self
+
+    def declare_length(self, expr: Expr, length: int) -> "RewriteFacts":
+        self._lengths[expr] = length
+        return self
+
+    def is_nonempty(self, expr: Expr) -> bool:
+        if expr in self._nonempty:
+            return True
+        if isinstance(expr, Const):
+            value = expr.value
+            if isinstance(value, (MultiSet, Arr)):
+                return len(value) > 0
+        return False
+
+    def known_length(self, expr: Expr) -> Optional[int]:
+        if expr in self._lengths:
+            return self._lengths[expr]
+        if isinstance(expr, Const) and isinstance(expr.value, Arr):
+            return len(expr.value)
+        return None
+
+
+#: Shared empty fact set for fact-free rewriting.
+NO_FACTS = RewriteFacts()
+
+
+class Rule:
+    """A named, numbered rewrite rule.
+
+    Subclasses implement :meth:`apply`, returning the list of equivalent
+    replacements for *expr* (possibly empty).  ``number`` is the
+    appendix rule number when the rule reproduces one; original
+    additions use a string tag like ``"X2"``.
+    """
+
+    name: str = "rule"
+    number: Any = None
+    description: str = ""
+
+    def apply(self, expr: Expr, facts: RewriteFacts = NO_FACTS) -> List[Expr]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        tag = " #%s" % self.number if self.number is not None else ""
+        return "<Rule %s%s>" % (self.name, tag)
+
+
+# ---------------------------------------------------------------------------
+# Shape recognisers for derived operators and × pair bodies.
+# ---------------------------------------------------------------------------
+
+def match_union(expr: Expr) -> Optional[tuple]:
+    """Recognise the derived ∪ shape (A − B) ⊎ B; returns (A, B)."""
+    if (isinstance(expr, AddUnion) and isinstance(expr.left, Diff)
+            and expr.left.right == expr.right):
+        return (expr.left.left, expr.right)
+    return None
+
+
+def match_intersection(expr: Expr) -> Optional[tuple]:
+    """Recognise the derived ∩ shape A − (A − B); returns (A, B)."""
+    if (isinstance(expr, Diff) and isinstance(expr.right, Diff)
+            and expr.right.left == expr.left):
+        return (expr.left, expr.right.right)
+    return None
+
+
+def match_or(pred: Predicate) -> Optional[tuple]:
+    """Recognise derived ∨: ¬(¬a ∧ ¬b); returns (a, b)."""
+    if (isinstance(pred, Not) and isinstance(pred.inner, And)
+            and isinstance(pred.inner.left, Not)
+            and isinstance(pred.inner.right, Not)):
+        return (pred.inner.left.inner, pred.inner.right.inner)
+    return None
+
+
+def match_sigma(expr: Expr) -> Optional[tuple]:
+    """Recognise σ = SET_APPLY_{COMP_P(INPUT)}(A); returns (P, A)."""
+    if (isinstance(expr, SetApply) and expr.type_filter is None
+            and isinstance(expr.body, Comp)
+            and isinstance(expr.body.source, Input)):
+        return (expr.body.pred, expr.source)
+    return None
+
+
+_PAIR_FIELDS = {"1": "field1", "2": "field2"}
+
+
+def pair_side_only(body: Expr, side: str) -> Optional[Expr]:
+    """If *body* touches only ``field<side>`` of a ×-produced pair,
+    return the equivalent single-input body (with the extraction
+    replaced by INPUT); otherwise None.
+
+    This is the formal content of the appendix's side condition
+    "E applies only to A" on rules 5, 9, and 13.
+    """
+    field = _PAIR_FIELDS[str(side)]
+    other = _PAIR_FIELDS["2" if str(side) == "1" else "1"]
+
+    marker = _SideMarker()
+
+    def rewrite(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, TupExtract) and isinstance(expr.source, Input):
+            if expr.field == field:
+                return Input()
+            if expr.field == other:
+                marker.touched_other = True
+                return expr
+            # Extracting a non-pair field from the raw pair: not a pair body.
+            marker.touched_other = True
+            return expr
+        if isinstance(expr, Input):
+            # The body uses the whole pair — cannot factor to one side.
+            marker.touched_other = True
+            return expr
+        return None
+
+    result = _rewrite_non_binding(body, rewrite)
+    if marker.touched_other:
+        return None
+    return result
+
+
+class _SideMarker:
+    def __init__(self):
+        self.touched_other = False
+
+
+def _rewrite_non_binding(expr: Expr, fn) -> Expr:
+    """Bottom-up rewrite of non-binding positions; *fn* returns a
+    replacement or None to recurse."""
+    direct = fn(expr)
+    if direct is not None:
+        return direct
+    updates = {}
+    for field in expr._fields:
+        if field in expr._binding_fields:
+            continue
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            new = _rewrite_non_binding(value, fn)
+            if new is not value:
+                updates[field] = new
+        elif isinstance(value, (list, tuple)):
+            new_seq = [_rewrite_non_binding(v, fn) if isinstance(v, Expr) else v
+                       for v in value]
+            if any(a is not b for a, b in zip(new_seq, value)):
+                updates[field] = tuple(new_seq) if isinstance(
+                    value, tuple) else list(new_seq)
+    return expr.replace(**updates) if updates else expr
+
+
+def match_pairwise_body(body: Expr) -> Optional[tuple]:
+    """Recognise a SET_APPLY-over-× body that maps the two pair sides
+    independently back into a pair:
+
+        TUP_CAT(TUP[field1](E1(field1-of-INPUT)),
+                TUP[field2](E2(field2-of-INPUT)))
+
+    Returns (E1, E2) as single-input bodies, for rule 13.
+    """
+    if not isinstance(body, TupCat):
+        return None
+    left, right = body.left, body.right
+    if not (isinstance(left, TupCreate) and left.field == "field1"
+            and isinstance(right, TupCreate) and right.field == "field2"):
+        return None
+    e1 = pair_side_only(left.source, "1")
+    e2 = pair_side_only(right.source, "2")
+    if e1 is None or e2 is None:
+        return None
+    return (e1, e2)
+
+
+def make_pairwise_body(e1: Expr, e2: Expr) -> Expr:
+    """Inverse of :func:`match_pairwise_body` (used right-to-left)."""
+    return TupCat(
+        TupCreate("field1", substitute_input(
+            e1, TupExtract("field1", Input()))),
+        TupCreate("field2", substitute_input(
+            e2, TupExtract("field2", Input()))))
+
+
+def static_fields(expr: Expr) -> Optional[FrozenSet[str]]:
+    """The statically known output field set of a tuple-producing
+    expression, or None when it cannot be determined.
+
+    Supports π, TUP, TUP_CAT, and tuple constants — enough for rules
+    24 and 25 to fire on the shapes the paper's examples build.
+    """
+    if isinstance(expr, Pi):
+        return frozenset(expr.names)
+    if isinstance(expr, TupCreate):
+        return frozenset([expr.field])
+    if isinstance(expr, TupCat):
+        left = static_fields(expr.left)
+        right = static_fields(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, Const) and isinstance(expr.value, Tup):
+        return frozenset(expr.value.field_names)
+    return None
+
+
+def is_deterministic(expr: Expr) -> bool:
+    """True when re-evaluating *expr* cannot observe/do anything new.
+
+    REF allocates store objects, so expressions containing it are not
+    freely duplicable/reorderable; everything else in the algebra is
+    pure.
+    """
+    from ..operators.refs import RefOp
+    return not any(isinstance(node, RefOp) for node in expr.walk())
+
+
+def contains_comp(expr: Expr) -> bool:
+    """True when *expr* contains a COMP anywhere (conservative guard for
+    the array rules 19 and 22, whose side condition is "E is not COMP" —
+    a COMP inside E could drop elements and shift positions)."""
+    return any(isinstance(node, Comp) for node in expr.walk())

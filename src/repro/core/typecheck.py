@@ -1,0 +1,346 @@
+"""Static schema inference for algebra trees.
+
+The algebra is many-sorted, and the paper's well-formedness story is
+all static: every operator has input sorts it accepts and an output
+schema derivable from its inputs.  This module implements that
+discipline — given schemas for the named top-level objects (and, inside
+operator subscripts, for INPUT), it infers the result schema of a whole
+tree, rejecting sort errors *before* evaluation (π on a multiset,
+SET_APPLY on a tuple, DEREF of a non-ref, TUP_CAT field clashes, …).
+
+It deliberately mirrors the run-time checks in the operators, so a
+tree that typechecks cannot raise a sort error at evaluation (function
+results and untyped leaves are the honest exceptions: a registered
+scalar function's output is opaque unless a signature is declared).
+
+Unknown pieces are represented by ``None`` ("any"), which unifies with
+everything — inference degrades gracefully instead of refusing
+partially-typed trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .expr import Const, Expr, Func, Input, Named
+from .methods import IndexedTypeScan, MethodCall, Param
+from .operators.arrays import (ArrApply, ArrCat, ArrCollapse, ArrCreate,
+                               ArrCross, ArrDE, ArrDiff, ArrExtract, SubArr)
+from .operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
+                                 SetCollapse, SetCreate)
+from .operators.refs import Deref, RefOp
+from .operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from .predicates import Comp
+from .schema import SchemaCatalog, SchemaNode, infer_schema
+
+
+class AlgebraTypeError(TypeError):
+    """A static sort/schema violation in an algebra tree."""
+
+
+#: ``None`` denotes the unknown ("any") schema throughout.
+MaybeSchema = Optional[SchemaNode]
+
+
+def _expect(schema: MaybeSchema, kind: str, operator: str) -> MaybeSchema:
+    """Check *schema* (if known) has node *kind*; return its component
+    knowledge for further inference."""
+    if schema is not None and schema.kind != kind:
+        raise AlgebraTypeError(
+            "%s expects a %s input, got %s (%s)"
+            % (operator, kind, schema.kind, schema.describe()))
+    return schema
+
+
+def _same_sort(a: MaybeSchema, b: MaybeSchema, operator: str) -> MaybeSchema:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.kind != b.kind:
+        raise AlgebraTypeError(
+            "%s expects matching sorts, got %s and %s"
+            % (operator, a.kind, b.kind))
+    return a
+
+
+def _element(schema: MaybeSchema) -> MaybeSchema:
+    if schema is None or not schema.children:
+        return None
+    return schema.children[0]
+
+
+class TypeChecker:
+    """Infers result schemas; raises :class:`AlgebraTypeError` on
+    sort violations.
+
+    Parameters
+    ----------
+    named_schemas:
+        Schemas of the named top-level objects (what a catalog of
+        ``create``\\ d objects provides).
+    catalog:
+        Resolves ref targets for DEREF inference.
+    signatures:
+        Optional result schemas for registered scalar functions,
+        name → SchemaNode (or a callable arg-schemas → SchemaNode).
+    """
+
+    def __init__(self, named_schemas: Dict[str, SchemaNode] = None,
+                 catalog: SchemaCatalog = None,
+                 signatures: Dict[str, Any] = None):
+        self.named = dict(named_schemas or {})
+        self.catalog = catalog or SchemaCatalog()
+        self.signatures = dict(signatures or {})
+
+    # -- public API ----------------------------------------------------
+
+    def check(self, expr: Expr,
+              input_schema: MaybeSchema = None) -> MaybeSchema:
+        """Infer the schema of *expr*; INPUT is bound to *input_schema*."""
+        method = getattr(self, "_chk_%s" % type(expr).__name__, None)
+        if method is None:
+            return None  # unknown node kinds stay opaque
+        return method(expr, input_schema)
+
+    # -- leaves --------------------------------------------------------------
+
+    def _chk_Input(self, expr, input_schema):
+        return input_schema
+
+    def _chk_Named(self, expr, input_schema):
+        return self.named.get(expr.name)
+
+    def _chk_Const(self, expr, input_schema):
+        try:
+            return infer_schema(expr.value)
+        except TypeError:
+            return None
+
+    def _chk_Param(self, expr, input_schema):
+        return None
+
+    def _chk_Func(self, expr, input_schema):
+        for arg in expr.args:
+            self.check(arg, input_schema)
+        signature = self.signatures.get(expr.name)
+        if callable(signature):
+            return signature([self.check(a, input_schema)
+                              for a in expr.args])
+        return signature
+
+    # -- multiset operators ---------------------------------------------
+
+    def _chk_SetApply(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "set",
+                         "SET_APPLY")
+        body = self.check(expr.body, _element(source))
+        return SchemaNode.set_of(body if body is not None
+                                 else SchemaNode.val())
+
+    def _chk_Grp(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "set", "GRP")
+        self.check(expr.by, _element(source))
+        inner = _element(source)
+        return SchemaNode.set_of(SchemaNode.set_of(
+            inner.clone() if inner is not None else SchemaNode.val()))
+
+    def _chk_DE(self, expr, input_schema):
+        return _expect(self.check(expr.source, input_schema), "set", "DE")
+
+    def _chk_SetCreate(self, expr, input_schema):
+        inner = self.check(expr.source, input_schema)
+        return SchemaNode.set_of(inner if inner is not None
+                                 else SchemaNode.val())
+
+    def _chk_SetCollapse(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "set",
+                         "SET_COLLAPSE")
+        inner = _element(source)
+        if inner is not None and inner.kind != "set":
+            raise AlgebraTypeError(
+                "SET_COLLAPSE needs a multiset of multisets, inner sort "
+                "is %s" % inner.kind)
+        return inner if inner is not None else SchemaNode.set_of(
+            SchemaNode.val())
+
+    def _chk_AddUnion(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "set", "⊎")
+        right = _expect(self.check(expr.right, input_schema), "set", "⊎")
+        return _same_sort(left, right, "⊎")
+
+    def _chk_Diff(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "set", "−")
+        _expect(self.check(expr.right, input_schema), "set", "−")
+        return left
+
+    def _chk_Cross(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "set", "×")
+        right = _expect(self.check(expr.right, input_schema), "set", "×")
+        pair = SchemaNode.tup({
+            "field1": (_element(left) or SchemaNode.val()).clone()
+            if _element(left) is not None else SchemaNode.val(),
+            "field2": (_element(right) or SchemaNode.val()).clone()
+            if _element(right) is not None else SchemaNode.val()})
+        return SchemaNode.set_of(pair)
+
+    # -- tuple operators ---------------------------------------------------
+
+    def _chk_Pi(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "tup", "π")
+        if source is None:
+            return None
+        fields = {}
+        for name in expr.names:
+            try:
+                fields[name] = source.field(name).clone()
+            except Exception:
+                raise AlgebraTypeError(
+                    "π names field %r absent from %s"
+                    % (name, source.describe()))
+        return SchemaNode.tup(fields)
+
+    def _chk_TupExtract(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "tup",
+                         "TUP_EXTRACT")
+        if source is None:
+            return None
+        try:
+            return source.field(expr.field)
+        except Exception:
+            raise AlgebraTypeError(
+                "TUP_EXTRACT names field %r absent from %s"
+                % (expr.field, source.describe()))
+
+    def _chk_TupCreate(self, expr, input_schema):
+        inner = self.check(expr.source, input_schema)
+        return SchemaNode.tup({expr.field: inner if inner is not None
+                               else SchemaNode.val()})
+
+    def _chk_TupCat(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "tup", "TUP_CAT")
+        right = _expect(self.check(expr.right, input_schema), "tup",
+                        "TUP_CAT")
+        if left is None or right is None:
+            return None
+        clash = set(left.field_names) & set(right.field_names)
+        if clash:
+            raise AlgebraTypeError(
+                "TUP_CAT field clash: %s" % ", ".join(sorted(clash)))
+        fields = {name: child.clone() for name, child in left.fields()}
+        fields.update({name: child.clone()
+                       for name, child in right.fields()})
+        return SchemaNode.tup(fields)
+
+    # -- array operators -----------------------------------------------------
+
+    def _chk_ArrApply(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "arr",
+                         "ARR_APPLY")
+        body = self.check(expr.body, _element(source))
+        return SchemaNode.arr_of(body if body is not None
+                                 else SchemaNode.val())
+
+    def _chk_ArrCreate(self, expr, input_schema):
+        inner = self.check(expr.source, input_schema)
+        return SchemaNode.arr_of(inner if inner is not None
+                                 else SchemaNode.val())
+
+    def _chk_ArrExtract(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "arr",
+                         "ARR_EXTRACT")
+        return _element(source)
+
+    def _chk_SubArr(self, expr, input_schema):
+        return _expect(self.check(expr.source, input_schema), "arr",
+                       "SUBARR")
+
+    def _chk_ArrCat(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "arr", "ARR_CAT")
+        _expect(self.check(expr.right, input_schema), "arr", "ARR_CAT")
+        return left
+
+    def _chk_ArrDiff(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "arr", "ARR_DIFF")
+        _expect(self.check(expr.right, input_schema), "arr", "ARR_DIFF")
+        return left
+
+    def _chk_ArrDE(self, expr, input_schema):
+        return _expect(self.check(expr.source, input_schema), "arr",
+                       "ARR_DE")
+
+    def _chk_ArrCollapse(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "arr",
+                         "ARR_COLLAPSE")
+        inner = _element(source)
+        if inner is not None and inner.kind != "arr":
+            raise AlgebraTypeError(
+                "ARR_COLLAPSE needs an array of arrays, inner sort is %s"
+                % inner.kind)
+        return inner
+
+    def _chk_ArrCross(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "arr",
+                       "ARR_CROSS")
+        right = _expect(self.check(expr.right, input_schema), "arr",
+                        "ARR_CROSS")
+        pair = SchemaNode.tup({
+            "field1": (_element(left).clone() if _element(left) is not None
+                       else SchemaNode.val()),
+            "field2": (_element(right).clone() if _element(right) is not None
+                       else SchemaNode.val())})
+        return SchemaNode.arr_of(pair)
+
+    # -- references, predicates, methods ------------------------------------
+
+    def _chk_Deref(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "ref",
+                         "DEREF")
+        if source is None:
+            return None
+        if source.target is not None and source.target in self.catalog:
+            return self.catalog.resolve(source.target)
+        if source.children:
+            return source.children[0]
+        return None
+
+    def _chk_RefOp(self, expr, input_schema):
+        inner = self.check(expr.source, input_schema)
+        if inner is not None:
+            return SchemaNode.ref_to(inner)
+        return SchemaNode.ref_to(SchemaNode.val())
+
+    def _chk_Comp(self, expr, input_schema):
+        source = self.check(expr.source, input_schema)
+        for operand in expr.pred.deep_exprs():
+            self.check(operand, source)
+        return source
+
+    def _chk_MethodCall(self, expr, input_schema):
+        self.check(expr.receiver, input_schema)
+        return None  # method result schemas live in the EXTRA layer
+
+    def _chk_IndexedTypeScan(self, expr, input_schema):
+        return self.named.get(expr.object_name)
+
+
+def checker_for_database(db) -> TypeChecker:
+    """A TypeChecker wired to a database: named-object schemas come
+    from the declared created_types (or are inferred from the values),
+    ref targets resolve through the EXTRA type catalog."""
+    from ..extra.ddl import ensure_type_system
+    types = ensure_type_system(db)
+    catalog = types.catalog
+    named: Dict[str, SchemaNode] = {}
+    for name in db.names():
+        declared = getattr(db, "created_types", {}).get(name)
+        if declared is not None:
+            named[name] = declared.schema(types)
+        else:
+            try:
+                named[name] = infer_schema(db.get(name))
+            except TypeError:
+                pass
+    for type_name in types.names():
+        types.schema_for(type_name)
+    return TypeChecker(named, catalog)

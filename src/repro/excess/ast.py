@@ -1,0 +1,305 @@
+"""Abstract syntax for EXCESS DML statements.
+
+The EXCESS of Section 2.2 is QUEL-derived: ``range of`` declarations,
+``retrieve`` statements with target lists, ``from`` bindings, ``where``
+predicates, ``by`` grouping, ``unique`` duplicate elimination, nested
+aggregates, path expressions with implicit dereferencing, and array
+indexing.  These classes are the parser's output and the translator's
+input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base AST node with structural equality for tests."""
+
+    _fields: Tuple[str, ...] = ()
+
+    def _values(self):
+        return tuple(getattr(self, f) for f in self._fields)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._values() == other._values()
+
+    def __hash__(self):
+        return hash((type(self).__name__, repr(self._values())))
+
+    def __repr__(self):
+        inner = ", ".join(repr(v) for v in self._values())
+        return "%s(%s)" % (type(self).__name__, inner)
+
+
+# -- value expressions -------------------------------------------------
+
+class Literal(Node):
+    """A scalar literal: integer, float, string, or boolean."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class Name(Node):
+    """A bare identifier: range variable, parameter, or named object."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class PathStep(Node):
+    """One step of a path: field access, method call, or indexing."""
+
+
+class FieldStep(PathStep):
+    """``.field`` — attribute access (dereferencing refs implicitly)."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class CallStep(PathStep):
+    """``.method(args…)`` — method invocation on the current value."""
+
+    _fields = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence["Node"]):
+        self.name = name
+        self.args = tuple(args)
+
+
+class IndexStep(PathStep):
+    """``[i]`` or ``[i..j]`` — array extraction or subarray."""
+
+    _fields = ("lower", "upper")
+
+    def __init__(self, lower, upper=None):
+        self.lower = lower
+        self.upper = upper  # None = single-element extraction
+
+    @property
+    def is_slice(self) -> bool:
+        return self.upper is not None
+
+
+class Path(Node):
+    """A base expression followed by steps: ``E.dept.floor``, ``TopTen[5].name``."""
+
+    _fields = ("base", "steps")
+
+    def __init__(self, base: Node, steps: Sequence[PathStep]):
+        self.base = base
+        self.steps = tuple(steps)
+
+
+class FuncCall(Node):
+    """``f(a, b, …)`` — scalar/builtin function application."""
+
+    _fields = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Node]):
+        self.name = name
+        self.args = tuple(args)
+
+
+class BinOp(Node):
+    """Arithmetic or collection operator: + - * / (typed at translation)."""
+
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Node, right: Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class SetLiteral(Node):
+    """``{ e1, e2, … }`` — multiset constructor in a target/expression."""
+
+    _fields = ("items",)
+
+    def __init__(self, items: Sequence[Node]):
+        self.items = tuple(items)
+
+
+class ArrayLiteral(Node):
+    """``[ e1, e2, … ]`` — array constructor."""
+
+    _fields = ("items",)
+
+    def __init__(self, items: Sequence[Node]):
+        self.items = tuple(items)
+
+
+class Aggregate(Node):
+    """``min(expr from v in dom where …)`` — an aggregate over a
+    (possibly correlated) subquery (Section 2.2's second example)."""
+
+    _fields = ("func", "expr", "from_clauses", "where")
+
+    def __init__(self, func: str, expr: Node,
+                 from_clauses: Sequence["FromClause"] = (),
+                 where: Optional["Pred"] = None):
+        self.func = func
+        self.expr = expr
+        self.from_clauses = tuple(from_clauses)
+        self.where = where
+
+
+#: Names recognised as aggregate functions.
+AGGREGATE_NAMES = ("min", "max", "count", "sum", "avg")
+
+
+# -- predicates --------------------------------------------------------
+
+class Pred(Node):
+    """Base class for where-clause predicates."""
+
+
+class Comparison(Pred):
+    """``left <op> right`` with op in =, !=, <, <=, >, >=, in."""
+
+    _fields = ("left", "op", "right")
+
+    def __init__(self, left: Node, op: str, right: Node):
+        self.left = left
+        self.op = op
+        self.right = right
+
+
+class AndPred(Pred):
+    _fields = ("left", "right")
+
+    def __init__(self, left: Pred, right: Pred):
+        self.left = left
+        self.right = right
+
+
+class OrPred(Pred):
+    _fields = ("left", "right")
+
+    def __init__(self, left: Pred, right: Pred):
+        self.left = left
+        self.right = right
+
+
+class NotPred(Pred):
+    _fields = ("inner",)
+
+    def __init__(self, inner: Pred):
+        self.inner = inner
+
+
+# -- statements --------------------------------------------------------
+
+class FromClause(Node):
+    """``var in domain`` — a local iteration binding."""
+
+    _fields = ("var", "domain")
+
+    def __init__(self, var: str, domain: Node):
+        self.var = var
+        self.domain = domain
+
+
+class Target(Node):
+    """One element of the retrieval list, optionally aliased."""
+
+    _fields = ("alias", "expr")
+
+    def __init__(self, expr: Node, alias: Optional[str] = None):
+        self.alias = alias
+        self.expr = expr
+
+
+class RangeDecl(Node):
+    """``range of E is Employees`` (possibly several pairs)."""
+
+    _fields = ("bindings",)
+
+    def __init__(self, bindings: Sequence[Tuple[str, str]]):
+        self.bindings = tuple(bindings)
+
+
+class Append(Node):
+    """``append to Name (targets…) [from …] [where …]``.
+
+    Evaluates like a retrieve and ⊎'s the result into the named
+    multiset (QUEL heritage; Section 2.2's "facilities for … updating
+    complex structures").
+    """
+
+    _fields = ("collection", "targets", "from_clauses", "where",
+               "value_mode")
+
+    def __init__(self, collection: str, targets: Sequence["Target"],
+                 from_clauses: Sequence[FromClause] = (),
+                 where: Optional[Pred] = None, value_mode: bool = False):
+        self.collection = collection
+        self.targets = tuple(targets)
+        self.from_clauses = tuple(from_clauses)
+        self.where = where
+        self.value_mode = value_mode
+
+
+class Delete(Node):
+    """``delete V [where pred]`` — V ranges over a named multiset;
+    qualifying occurrences are removed from the collection."""
+
+    _fields = ("var", "where")
+
+    def __init__(self, var: str, where: Optional[Pred] = None):
+        self.var = var
+        self.where = where
+
+
+class Replace(Node):
+    """``replace V (field = expr, …) [where pred]``.
+
+    For collections of references the *referenced objects* are updated
+    in place — identity is preserved, so every other reference sees the
+    change; for value collections the occurrences are replaced.
+    """
+
+    _fields = ("var", "assignments", "where")
+
+    def __init__(self, var: str, assignments: Sequence[Tuple[str, Node]],
+                 where: Optional[Pred] = None):
+        self.var = var
+        self.assignments = tuple(assignments)
+        self.where = where
+
+
+class Retrieve(Node):
+    """A ``retrieve`` statement.
+
+    ``value_mode`` is a documented extension used by the equipollence
+    printer: ``retrieve value (expr) …`` yields the bare expression
+    value (per binding when iterating) instead of wrapping results in
+    1-tuples.
+    """
+
+    _fields = ("targets", "from_clauses", "where", "by", "unique",
+               "value_mode", "into")
+
+    def __init__(self, targets: Sequence[Target],
+                 from_clauses: Sequence[FromClause] = (),
+                 where: Optional[Pred] = None,
+                 by: Sequence[Node] = (),
+                 unique: bool = False,
+                 value_mode: bool = False,
+                 into: Optional[str] = None):
+        self.targets = tuple(targets)
+        self.from_clauses = tuple(from_clauses)
+        self.where = where
+        self.by = tuple(by)
+        self.unique = unique
+        self.value_mode = value_mode
+        self.into = into

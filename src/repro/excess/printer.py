@@ -1,0 +1,252 @@
+"""Algebra → EXCESS translation (the theorem's second half, §3.4).
+
+The paper proves the reduction by cases on the outermost operator: each
+algebra expression with n operators is expressed as EXCESS statements
+over sub-results retrieved ``into`` temporary named objects — e.g.
+
+    E = E1 − E2   ⇒   retrieve (x) from x in (E1 − E2) into E
+    E = SET(E1)   ⇒   retrieve ( { E1 } ) into E
+
+:func:`print_program` follows that structure literally: it emits one
+``retrieve … into`` statement per operator, bottom-up, and returns the
+program plus the name holding the final result.  Running the program
+through :class:`~repro.excess.session.Session` must reproduce the value
+of evaluating the original tree — the round-trip the equipollence tests
+check.
+
+Bodies of the looping operators (SET_APPLY subscripts, COMP predicates,
+GRP keys) are printed *inline* over an iteration variable, which covers
+every non-binding composition of primitives (paths, operator functions,
+literals, scalar functions).  Out of scope, as documented limitations:
+typed SET_APPLY (a plan-level construct with no surface syntax),
+ARR_APPLY with arbitrary bodies (the paper's own proof handles it via a
+``define function`` detour), and bodies containing nested binding
+operators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from ..core.expr import Const, Expr, Func, Input, Named
+from ..core.operators import (DE, AddUnion, ArrCat, ArrCollapse, ArrCreate,
+                              ArrCross, ArrDE, ArrDiff, ArrExtract, Comp,
+                              Cross, Deref, Diff, Grp, Pi, RefOp, SetApply,
+                              SetCollapse, SetCreate, SubArr, TupCat,
+                              TupCreate, TupExtract)
+from ..core.predicates import And, Atom, Not, Predicate, TruePred
+from ..core.values import Arr, MultiSet, Tup, is_scalar
+
+
+class UnprintableError(ValueError):
+    """The expression falls outside the printer's supported subset."""
+
+
+_temp_counter = itertools.count(1)
+
+
+def _fresh_temp() -> str:
+    return "_T%d" % next(_temp_counter)
+
+
+def to_excess(expr: Expr) -> Tuple[str, str]:
+    """Translate an algebra tree to an EXCESS program.
+
+    Returns ``(program_text, result_name)``: executing the program
+    leaves the tree's value in the named object ``result_name``.
+    """
+    statements: List[str] = []
+    result = _emit(expr, statements)
+    return "\n".join(statements), result
+
+
+def _emit(expr: Expr, statements: List[str]) -> str:
+    """Emit statements computing *expr*; return the holding temp name."""
+    temp = _fresh_temp()
+
+    if isinstance(expr, Named):
+        statements.append("retrieve value (%s) into %s" % (expr.name, temp))
+        return temp
+    if isinstance(expr, Const):
+        statements.append("retrieve value (%s) into %s"
+                          % (_literal(expr.value), temp))
+        return temp
+
+    binary = {AddUnion: "addunion", Diff: "diff", Cross: "cross",
+              ArrCat: "arrcat", ArrDiff: "arrdiff", ArrCross: "arrcross"}
+    for node_type, func in binary.items():
+        if isinstance(expr, node_type):
+            left = _emit(expr.left, statements)
+            right = _emit(expr.right, statements)
+            statements.append("retrieve value (%s(%s, %s)) into %s"
+                              % (func, left, right, temp))
+            return temp
+
+    unary = {SetCollapse: "collapse", SetCreate: "setof", DE: "de",
+             ArrCollapse: "arrcollapse", ArrDE: "arrde", ArrCreate: "arr",
+             Deref: "deref", RefOp: "mkref"}
+    for node_type, func in unary.items():
+        if isinstance(expr, node_type):
+            source = _emit(expr.source, statements)
+            statements.append("retrieve value (%s(%s)) into %s"
+                              % (func, source, temp))
+            return temp
+
+    if isinstance(expr, TupExtract):
+        source = _emit(expr.source, statements)
+        statements.append("retrieve value (%s.%s) into %s"
+                          % (source, expr.field, temp))
+        return temp
+    if isinstance(expr, TupCreate):
+        source = _emit(expr.source, statements)
+        statements.append("retrieve (%s = %s) into %s"
+                          % (expr.field, source, temp))
+        return temp
+    if isinstance(expr, TupCat):
+        left = _emit(expr.left, statements)
+        right = _emit(expr.right, statements)
+        statements.append("retrieve value (tupcat(%s, %s)) into %s"
+                          % (left, right, temp))
+        return temp
+    if isinstance(expr, Pi):
+        source = _emit(expr.source, statements)
+        targets = ", ".join("%s = %s.%s" % (n, source, n) for n in expr.names)
+        statements.append("retrieve (%s) into %s" % (targets, temp))
+        return temp
+    if isinstance(expr, ArrExtract):
+        source = _emit(expr.source, statements)
+        statements.append("retrieve value (%s[%s]) into %s"
+                          % (source, expr.position, temp))
+        return temp
+    if isinstance(expr, SubArr):
+        source = _emit(expr.source, statements)
+        statements.append("retrieve value (%s[%s..%s]) into %s"
+                          % (source, expr.lower, expr.upper, temp))
+        return temp
+    if isinstance(expr, Func):
+        args = [_emit(a, statements) for a in expr.args]
+        statements.append("retrieve value (%s(%s)) into %s"
+                          % (expr.name, ", ".join(args), temp))
+        return temp
+
+    if isinstance(expr, SetApply):
+        if expr.type_filter is not None:
+            raise UnprintableError(
+                "typed SET_APPLY has no EXCESS surface syntax")
+        source = _emit(expr.source, statements)
+        # σ-shape prints as a where clause (COMP body over INPUT).
+        if isinstance(expr.body, Comp) and isinstance(expr.body.source, Input):
+            pred = _inline_pred(expr.body.pred, "x")
+            statements.append(
+                "retrieve value (x) from x in %s where %s into %s"
+                % (source, pred, temp))
+            return temp
+        body = _inline(expr.body, "x")
+        statements.append("retrieve value (%s) from x in %s into %s"
+                          % (body, source, temp))
+        return temp
+
+    if isinstance(expr, Grp):
+        source = _emit(expr.source, statements)
+        key = _inline(expr.by, "x")
+        statements.append(
+            "retrieve value (x) from x in %s by %s into %s"
+            % (source, key, temp))
+        return temp
+
+    if isinstance(expr, Comp):
+        source = _emit(expr.source, statements)
+        pred = _inline_pred(expr.pred, source)
+        statements.append("retrieve value (%s) where %s into %s"
+                          % (source, pred, temp))
+        return temp
+
+    raise UnprintableError("cannot print %s to EXCESS"
+                           % type(expr).__name__)
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return '"%s"' % value
+    if is_scalar(value):
+        return repr(value)
+    if isinstance(value, MultiSet):
+        return "{%s}" % ", ".join(_literal(v) for v in value)
+    if isinstance(value, Arr):
+        return "[%s]" % ", ".join(_literal(v) for v in value)
+    if isinstance(value, Tup):
+        # Build tuples with tup()/tupcat(); the empty tuple via tupcat
+        # identity is unreachable, so synthesize from the first field.
+        pieces = ['tup("%s", %s)' % (n, _literal(v)) for n, v in value.fields]
+        if not pieces:
+            raise UnprintableError("the empty tuple has no literal syntax")
+        text = pieces[0]
+        for piece in pieces[1:]:
+            text = "tupcat(%s, %s)" % (text, piece)
+        return text
+    raise UnprintableError("unprintable literal %r" % (value,))
+
+
+def _inline(expr: Expr, var: str) -> str:
+    """Print a loop body as an inline EXCESS expression over *var*."""
+    if isinstance(expr, Input):
+        return var
+    if isinstance(expr, Named):
+        return expr.name
+    if isinstance(expr, Const):
+        return _literal(expr.value)
+    if isinstance(expr, TupExtract):
+        return "%s.%s" % (_inline(expr.source, var), expr.field)
+    if isinstance(expr, Deref):
+        return "deref(%s)" % _inline(expr.source, var)
+    if isinstance(expr, RefOp):
+        return "mkref(%s)" % _inline(expr.source, var)
+    if isinstance(expr, ArrExtract):
+        return "%s[%s]" % (_inline(expr.source, var), expr.position)
+    if isinstance(expr, SubArr):
+        return "%s[%s..%s]" % (_inline(expr.source, var), expr.lower,
+                               expr.upper)
+    if isinstance(expr, Func):
+        return "%s(%s)" % (expr.name,
+                           ", ".join(_inline(a, var) for a in expr.args))
+    if isinstance(expr, TupCreate):
+        return 'tup("%s", %s)' % (expr.field, _inline(expr.source, var))
+    if isinstance(expr, TupCat):
+        return "tupcat(%s, %s)" % (_inline(expr.left, var),
+                                   _inline(expr.right, var))
+    binary = {AddUnion: "addunion", Diff: "diff", Cross: "cross",
+              ArrCat: "arrcat", ArrDiff: "arrdiff", ArrCross: "arrcross"}
+    for node_type, func in binary.items():
+        if isinstance(expr, node_type):
+            return "%s(%s, %s)" % (func, _inline(expr.left, var),
+                                   _inline(expr.right, var))
+    unary = {SetCollapse: "collapse", SetCreate: "setof", DE: "de",
+             ArrCollapse: "arrcollapse", ArrDE: "arrde", ArrCreate: "arr"}
+    for node_type, func in unary.items():
+        if isinstance(expr, node_type):
+            return "%s(%s)" % (func, _inline(expr.source, var))
+    raise UnprintableError("cannot inline %s in a loop body"
+                           % type(expr).__name__)
+
+
+def _inline_pred(pred: Predicate, var: str) -> str:
+    if isinstance(pred, Atom):
+        return "%s %s %s" % (_inline_operand(pred.left, var), pred.op,
+                             _inline_operand(pred.right, var))
+    if isinstance(pred, And):
+        return "(%s and %s)" % (_inline_pred(pred.left, var),
+                                _inline_pred(pred.right, var))
+    if isinstance(pred, Not):
+        return "not (%s)" % _inline_pred(pred.inner, var)
+    if isinstance(pred, TruePred):
+        return "1 = 1"
+    raise UnprintableError("cannot print predicate %s"
+                           % type(pred).__name__)
+
+
+def _inline_operand(expr: Expr, var: str) -> str:
+    text = _inline(expr, var)
+    return "(%s)" % text if " " in text else text

@@ -1,0 +1,298 @@
+"""EXCESS sessions: one entry point for DDL + DML, optionally optimized.
+
+A :class:`Session` holds the sticky pieces of an interactive EXCESS
+connection — the ``range of`` declarations and the database — and
+dispatches each statement to the EXTRA DDL interpreter or the EXCESS
+translator.  ``run`` parses, translates, (optionally) optimizes, and
+evaluates; ``retrieve … into X`` creates named results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.expr import Expr, evaluate
+from ..core.optimizer import Optimizer
+from ..extra.ddl import DDLInterpreter, ensure_type_system
+from ..extra.types import SetType
+from ..lang import Lexer
+from . import ast
+from .builtins import register_builtins
+from .parser import Parser
+from .translate import TranslationError, Translator
+
+
+class Result:
+    """The outcome of one executed statement."""
+
+    def __init__(self, statement: Any, expression: Optional[Expr],
+                 value: Any = None, into: Optional[str] = None):
+        self.statement = statement
+        self.expression = expression
+        self.value = value
+        self.into = into
+
+    def __repr__(self) -> str:
+        if self.into:
+            return "<Result into %s: %r>" % (self.into, self.value)
+        return "<Result %r>" % (self.value,)
+
+
+class Session:
+    """An EXCESS session over a database.
+
+    With ``typecheck`` enabled, every compiled retrieve is passed
+    through the static schema checker before execution, so sort errors
+    surface at compile time rather than mid-evaluation.
+    """
+
+    def __init__(self, database, optimizer: Optimizer = None,
+                 typecheck: bool = False):
+        self.db = database
+        ensure_type_system(database)
+        register_builtins(database)
+        self.ranges: Dict[str, str] = {}
+        self.optimizer = optimizer
+        self.typecheck = typecheck
+        self.ddl = DDLInterpreter(database,
+                                  function_translator=self._translate_function)
+
+    # -- translation --------------------------------------------------------
+
+    def translator(self) -> Translator:
+        return Translator(self.db, self.ranges)
+
+    def _translate_function(self, definition) -> None:
+        self.translator().translate_function(definition)
+
+    def translate(self, statement: ast.Retrieve) -> Expr:
+        """EXCESS retrieve AST → algebra tree (no execution)."""
+        expr, _ = self.translator().translate_retrieve(statement)
+        return expr
+
+    def compile(self, source: str) -> Expr:
+        """Source of a single retrieve statement → algebra tree."""
+        statements = Parser(source).parse_statements()
+        retrieves = [s for s in statements if isinstance(s, ast.Retrieve)]
+        if len(retrieves) != 1:
+            raise TranslationError(
+                "compile() expects exactly one retrieve statement")
+        for statement in statements:
+            if isinstance(statement, ast.RangeDecl):
+                for var, collection in statement.bindings:
+                    self.ranges[var] = collection
+        return self.translate(retrieves[0])
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, source: str, optimize: bool = False) -> List[Result]:
+        """Execute a mixed DDL/DML script; returns one Result per statement."""
+        results: List[Result] = []
+        lexer = Lexer(source)
+        while not lexer.at_end():
+            token = lexer.peek()
+            if token.is_word("define", "create"):
+                self.ddl.run_statement(lexer)
+                results.append(Result("ddl", None))
+                continue
+            parser = Parser.__new__(Parser)
+            parser.lexer = lexer
+            statement = parser.parse_statement()
+            if isinstance(statement, ast.RangeDecl):
+                for var, collection in statement.bindings:
+                    if collection not in self.db:
+                        raise TranslationError(
+                            "range over unknown object %r" % collection)
+                    self.ranges[var] = collection
+                results.append(Result(statement, None))
+                continue
+            if isinstance(statement, ast.Append):
+                results.append(self._run_append(statement))
+                continue
+            if isinstance(statement, ast.Delete):
+                results.append(self._run_delete(statement))
+                continue
+            if isinstance(statement, ast.Replace):
+                results.append(self._run_replace(statement))
+                continue
+            results.append(self._run_retrieve(statement, optimize))
+        return results
+
+    # -- update statements -------------------------------------------------
+
+    def _run_append(self, statement: ast.Append) -> Result:
+        """append to C (…): evaluate like a retrieve, ⊎ into C.
+
+        When C is declared ``{ ref T }`` and the computed elements are
+        plain structures, they are inserted into the store first and
+        their fresh references appended — the EXCESS way to create
+        objects with identity.
+        """
+        from ..core.values import MultiSet, Ref, Tup
+        from ..extra.types import RefType, SetType
+        collection = statement.collection
+        existing = self.db.get(collection)
+        if not isinstance(existing, MultiSet):
+            raise TranslationError(
+                "append target %r is not a multiset" % collection)
+        retrieve = ast.Retrieve(statement.targets, statement.from_clauses,
+                                statement.where,
+                                value_mode=statement.value_mode)
+        expr, _ = self.translator().translate_retrieve(retrieve)
+        value = evaluate(expr, self.db.context())
+        addition = value if isinstance(value, MultiSet) else MultiSet([value])
+
+        declared = getattr(self.db, "created_types", {}).get(collection)
+        if (isinstance(declared, SetType)
+                and isinstance(declared.element, RefType)):
+            target_type = declared.element.target
+            converted = []
+            for element in addition:
+                if isinstance(element, Ref):
+                    converted.append(element)
+                else:
+                    exact = (element.type_name if isinstance(element, Tup)
+                             and element.type_name else target_type)
+                    converted.append(self.db.store.insert(element, exact))
+            addition = MultiSet(converted)
+        self.db.create(collection, existing.add_union(addition))
+        return Result(statement, expr, addition, collection)
+
+    def _element_filter(self, var: str, collection: str,
+                        where: Optional[ast.Pred]):
+        """A per-element qualification test compiled through the
+        translator (so paths, implicit set-variables, and methods all
+        work inside update predicates)."""
+        from ..core.values import DNE, MultiSet, Ref
+        from ..extra.types import NamedType, RefType
+        from .translate import Scope, _QueryState
+
+        translator = self.translator()
+        elem_type = translator.collection_elem_type(collection)
+        if isinstance(elem_type, RefType):
+            elem_type = NamedType(elem_type.target)
+        scope = Scope(bare=var, types={var: elem_type})
+        stmt = ast.Retrieve([ast.Target(ast.Name(var))], (), where,
+                            value_mode=True)
+        expr, _ = _QueryState(translator, stmt, scope).build()
+        ctx = self.db.context()
+
+        def view(element):
+            if isinstance(element, Ref):
+                return self.db.store.get(element.oid, default=DNE)
+            return element
+
+        def qualifies(element) -> bool:
+            if where is None:
+                return True
+            result = expr.evaluate(view(element), ctx)
+            if result is DNE:
+                return False
+            if isinstance(result, MultiSet):
+                return len(result) > 0
+            return True
+
+        return view, qualifies
+
+    def _collection_for_var(self, var: str) -> str:
+        if var in self.ranges:
+            return self.ranges[var]
+        if var in self.db:
+            return var
+        raise TranslationError(
+            "%r is neither a range variable nor a named object" % var)
+
+    def _run_delete(self, statement: ast.Delete) -> Result:
+        from ..core.values import MultiSet
+        collection = self._collection_for_var(statement.var)
+        existing = self.db.get(collection)
+        if not isinstance(existing, MultiSet):
+            raise TranslationError(
+                "delete target %r is not a multiset" % collection)
+        _, qualifies = self._element_filter(statement.var, collection,
+                                            statement.where)
+        kept = {element: count
+                for element, count in existing.counts.items()
+                if not qualifies(element)}
+        removed = len(existing) - sum(kept.values())
+        self.db.create(collection, MultiSet(counts=kept))
+        return Result(statement, None, removed, collection)
+
+    def _run_replace(self, statement: ast.Replace) -> Result:
+        """replace V (f = e, …) [where P].
+
+        Reference collections update the referenced objects in place —
+        identity preserved, so every other reference observes the new
+        value; value collections get their occurrences replaced.
+        """
+        from ..core.values import MultiSet, Ref, Tup
+        collection = self._collection_for_var(statement.var)
+        existing = self.db.get(collection)
+        if not isinstance(existing, MultiSet):
+            raise TranslationError(
+                "replace target %r is not a multiset" % collection)
+        view, qualifies = self._element_filter(statement.var, collection,
+                                               statement.where)
+        translator = self.translator()
+        from ..extra.types import NamedType, RefType
+        from .translate import Scope, _QueryState
+        elem_type = translator.collection_elem_type(collection)
+        if isinstance(elem_type, RefType):
+            elem_type = NamedType(elem_type.target)
+        scope = Scope(bare=statement.var, types={statement.var: elem_type})
+        compiled = []
+        for field, value_ast in statement.assignments:
+            stmt = ast.Retrieve([ast.Target(value_ast)], (), None,
+                                value_mode=True)
+            expr, _ = _QueryState(translator, stmt, scope).build()
+            compiled.append((field, expr))
+        ctx = self.db.context()
+        changed = 0
+        out = {}
+        for element, count in existing.counts.items():
+            if not qualifies(element):
+                out[element] = out.get(element, 0) + count
+                continue
+            old = view(element)
+            if not isinstance(old, Tup):
+                raise TranslationError(
+                    "replace needs tuple-valued elements, got %r" % (old,))
+            updates = {field: expr.evaluate(old, ctx)
+                       for field, expr in compiled}
+            new_value = old.replace(**updates)
+            changed += count
+            if isinstance(element, Ref):
+                self.db.store.update(element.oid, new_value)
+                out[element] = out.get(element, 0) + count
+            else:
+                out[new_value] = out.get(new_value, 0) + count
+        self.db.create(collection, MultiSet(counts=out))
+        return Result(statement, None, changed, collection)
+
+    def _run_retrieve(self, statement: ast.Retrieve,
+                      optimize: bool) -> Result:
+        expr, result_type = self.translator().translate_retrieve(statement)
+        if self.typecheck:
+            from ..core.typecheck import checker_for_database
+            checker_for_database(self.db).check(expr)
+        if optimize and self.optimizer is not None:
+            expr = self.optimizer.optimize(expr).best
+        value = evaluate(expr, self.db.context())
+        if statement.into:
+            self.db.create(statement.into, value)
+            if result_type is not None:
+                self.db.created_types[statement.into] = result_type
+        return Result(statement, expr, value, statement.into)
+
+    def query(self, source: str, optimize: bool = False) -> Any:
+        """Run a script and return the last statement's value."""
+        results = self.run(source, optimize=optimize)
+        for result in reversed(results):
+            if result.expression is not None:
+                return result.value
+        return None
+
+
+def run(database, source: str, optimize: bool = False) -> Any:
+    """One-shot convenience: execute *source*, return the last value."""
+    return Session(database).query(source, optimize=optimize)

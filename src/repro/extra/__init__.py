@@ -1,0 +1,14 @@
+"""The EXTRA data model: type system and DDL (Section 2.1)."""
+
+from .ddl import (DDLInterpreter, FunctionDef, default_instance,
+                  ensure_type_system, parse_type_expr)
+from .types import (ArrayType, NamedType, RefType, ScalarType, SetType,
+                    TupleType, TupleTypeExpr, TypeExpr, TypeSystem,
+                    TypeError_)
+
+__all__ = [
+    "DDLInterpreter", "FunctionDef", "default_instance",
+    "ensure_type_system", "parse_type_expr",
+    "TypeSystem", "TupleType", "TypeExpr", "ScalarType", "NamedType",
+    "RefType", "SetType", "ArrayType", "TupleTypeExpr", "TypeError_",
+]

@@ -1,0 +1,5 @@
+"""Shared lexical analysis for the EXTRA DDL and the EXCESS DML."""
+
+from .lexer import Lexer, ParseError, Token, tokenize
+
+__all__ = ["Lexer", "ParseError", "Token", "tokenize"]

@@ -1,0 +1,165 @@
+"""Tokenizer shared by the EXTRA DDL and EXCESS DML parsers.
+
+Both languages (Section 2) are QUEL-flavoured: identifiers, dotted path
+expressions, numbers, quoted strings, brackets/braces/parens, and a
+small operator set.  Keywords are not reserved at the lexer level — the
+parsers decide (EXCESS lets ``name`` be both a keyword-free identifier
+and an attribute).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class ParseError(ValueError):
+    """A lexical or syntactic error, with position information."""
+
+    def __init__(self, message: str, line: int = None, column: int = None):
+        if line is not None:
+            message = "%s (line %d, column %d)" % (message, line, column)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    kind: str          # IDENT, INT, FLOAT, STRING, OP, EOF
+    value: str
+    line: int
+    column: int
+
+    def is_word(self, *words: str) -> bool:
+        """Case-insensitive keyword test on an identifier token."""
+        return self.kind == "IDENT" and self.value.lower() in words
+
+
+#: Multi-character operators, longest first.
+_OPERATORS = ["..", "!=", "<=", ">=", ":=", "(", ")", "{", "}", "[", "]",
+              ":", ",", ".", "=", "<", ">", ";", "+", "-", "*", "/"]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, raising :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#" or source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise ParseError("unterminated string", line, column)
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, column)
+            tokens.append(Token("STRING", source[i + 1:j], line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            # A float needs "digit . digit"; a bare ".." is a range op.
+            if (j < n - 1 and source[j] == "."
+                    and source[j + 1].isdigit()):
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+                tokens.append(Token("FLOAT", source[i:j], line, column))
+            else:
+                tokens.append(Token("INT", source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                column += len(op)
+                i += len(op)
+                break
+        else:
+            raise ParseError("unexpected character %r" % ch, line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class Lexer:
+    """A token cursor with the usual peek/expect helpers."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def accept_op(self, op: str) -> bool:
+        if self.peek().kind == "OP" and self.peek().value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if token.kind != "OP" or token.value != op:
+            raise ParseError("expected %r, found %r" % (op, token.value or "end of input"),
+                             token.line, token.column)
+        return self.advance()
+
+    def accept_word(self, *words: str) -> Optional[Token]:
+        if self.peek().is_word(*words):
+            return self.advance()
+        return None
+
+    def expect_word(self, *words: str) -> Token:
+        token = self.peek()
+        if not token.is_word(*words):
+            raise ParseError(
+                "expected %s, found %r" % (" or ".join(words),
+                                           token.value or "end of input"),
+                token.line, token.column)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise ParseError("expected an identifier, found %r"
+                             % (token.value or "end of input"),
+                             token.line, token.column)
+        return self.advance()

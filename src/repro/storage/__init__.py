@@ -1,0 +1,11 @@
+"""Object store, named database objects, and access methods."""
+
+from .indexes import IndexCatalog, KeyIndex, TypedPartitionIndex
+from .persist import (PersistError, database_from_json, database_to_json,
+                      load_database, save_database)
+from .store import DEFAULT_TYPE, Database, ObjectStore, StoreError
+
+__all__ = ["ObjectStore", "Database", "StoreError", "DEFAULT_TYPE",
+           "IndexCatalog", "KeyIndex", "TypedPartitionIndex",
+           "save_database", "load_database", "database_to_json",
+           "database_from_json", "PersistError"]

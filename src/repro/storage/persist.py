@@ -1,0 +1,158 @@
+"""Database persistence: save/load the whole EXTRA world to JSON.
+
+EXTRA provides "support for persistent structures of any type definable
+in the EXTRA type system"; the paper's system delegated durability to
+the EXODUS storage manager.  Here a database round-trips through a
+single JSON document containing:
+
+* the type hierarchy (in topological order) and every EXTRA tuple-type
+  definition (field types serialized as EXTRA type-expression text and
+  re-parsed on load — the DDL grammar is its own schema language);
+* the OID generator's f-codes and counters (so identity survives and
+  future allocations don't collide);
+* the object store (oid, exact type, value) and every named top-level
+  object, via the tagged value encoding;
+* stored methods — their *algebraic query trees* serialize node by
+  node, so "plugging in" keeps working after a reload;
+* the names of registered scalar functions (Python callables cannot be
+  serialized; they are re-registered by name — builtins automatically,
+  user functions via the ``functions`` argument of :func:`load_database`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from ..core.serialize import (expr_to_json, expr_from_json, value_from_json,
+                              value_to_json)
+from .store import Database
+
+
+class PersistError(ValueError):
+    """Malformed snapshot or unresolvable reference during load."""
+
+
+FORMAT_VERSION = 1
+
+
+def database_to_json(db: Database) -> Dict[str, Any]:
+    """The snapshot document for *db* (pure data, json.dump-able)."""
+    hierarchy = db.hierarchy
+    types = getattr(db, "types", None)
+    snapshot: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "hierarchy": [
+            {"name": name, "parents": hierarchy.parents(name)}
+            for name in hierarchy.topological()],
+        "oids": db.store.oids.snapshot(),
+        "objects": [
+            {"oid": oid, "type": db.store.exact_type(oid),
+             "value": value_to_json(db.store.get(oid))}
+            for oid in sorted(db.store._objects)],
+        "named": [
+            {"name": name, "value": value_to_json(db.get(name))}
+            for name in db.names()],
+        "created_types": [
+            {"name": name, "type": type_expr.describe()}
+            for name, type_expr in sorted(
+                getattr(db, "created_types", {}).items())
+            if type_expr is not None],
+        "types": [],
+        "methods": [],
+        "functions": sorted(db.functions),
+    }
+    if types is not None:
+        # Topological order so parents are re-defined before children.
+        for name in hierarchy.topological():
+            if name not in types:
+                continue
+            tuple_type = types.require(name)
+            snapshot["types"].append({
+                "name": name,
+                "parents": list(tuple_type.parents),
+                "fields": [[fname, ftype.describe()]
+                           for fname, ftype in tuple_type.own_fields],
+            })
+    if db.methods is not None:
+        for (type_name, method_name), method in sorted(
+                db.methods._methods.items()):
+            snapshot["methods"].append({
+                "type": type_name, "name": method_name,
+                "params": list(method.params),
+                "body": expr_to_json(method.body),
+            })
+    return snapshot
+
+
+def database_from_json(snapshot: Dict[str, Any],
+                       functions: Optional[Dict[str, Callable]] = None
+                       ) -> Database:
+    """Rebuild a database from a snapshot document."""
+    if snapshot.get("format") != FORMAT_VERSION:
+        raise PersistError("unsupported snapshot format %r"
+                           % snapshot.get("format"))
+    db = Database()
+    hierarchy = db.hierarchy
+    for entry in snapshot["hierarchy"]:
+        if entry["name"] not in hierarchy:
+            hierarchy.add_type(entry["name"], entry["parents"])
+
+    # EXTRA tuple types, re-parsed from their own DDL text.
+    if snapshot["types"]:
+        from ..extra.ddl import ensure_type_system, parse_type_expr
+        from ..lang import Lexer
+        types = ensure_type_system(db)
+        for entry in snapshot["types"]:
+            types.define(entry["name"],
+                         [(fname, parse_type_expr(Lexer(ftext), types))
+                          for fname, ftext in entry["fields"]],
+                         entry["parents"])
+
+    db.store.oids.restore(snapshot["oids"])
+    for entry in snapshot["objects"]:
+        oid = entry["oid"]
+        db.store._objects[oid] = value_from_json(entry["value"])
+        db.store._exact_types[oid] = entry["type"]
+        db.store._by_value.setdefault(db.store._objects[oid], oid)
+
+    for entry in snapshot["named"]:
+        db.create(entry["name"], value_from_json(entry["value"]))
+
+    if snapshot["created_types"]:
+        from ..extra.ddl import ensure_type_system, parse_type_expr
+        from ..lang import Lexer
+        types = ensure_type_system(db)
+        db.created_types = {
+            entry["name"]: parse_type_expr(Lexer(entry["type"]), types)
+            for entry in snapshot["created_types"]}
+
+    for entry in snapshot["methods"]:
+        db.methods.define(entry["type"], entry["name"], entry["params"],
+                          expr_from_json(entry["body"]))
+
+    # Re-register functions: builtins always, user functions as given.
+    from ..excess.builtins import register_builtins
+    register_builtins(db)
+    for name, fn in (functions or {}).items():
+        db.register_function(name, fn)
+    missing = [name for name in snapshot["functions"]
+               if name not in db.functions]
+    if missing:
+        db.missing_functions = missing  # surfaced, not fatal
+    return db
+
+
+def save_database(db: Database, path: str) -> None:
+    """Write *db* to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(database_to_json(db), handle)
+
+
+def load_database(path: str,
+                  functions: Optional[Dict[str, Callable]] = None
+                  ) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    return database_from_json(snapshot, functions)

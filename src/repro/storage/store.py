@@ -1,0 +1,232 @@
+"""The object store: OID table, extents, and named top-level objects.
+
+EXTRA objects with identity live "in the database independently of
+objects that reference them".  This module provides that substrate for
+the algebra: a table from OID to value, exact-type bookkeeping (for
+typed SET_APPLY dispatch and for type migration), per-type extents, and
+the named persistent objects created by EXTRA's ``create`` statement.
+
+The paper ran on the EXODUS storage manager; a dictionary-backed store
+preserves every behaviour the algebra observes (identity, dereferencing,
+extents, dangling references) without the disk machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from ..core.expr import EvalContext
+from ..core.hierarchy import TypeHierarchy
+from ..core.oid import OIDError, OIDGenerator
+from ..core.values import Arr, MultiSet, Ref, Tup
+
+#: Exact type recorded for objects inserted without one.
+DEFAULT_TYPE = "Object"
+
+_MISSING = object()
+
+
+class StoreError(KeyError):
+    """Raised for unknown OIDs or illegal store operations."""
+
+
+class ObjectStore:
+    """A value store keyed by OID, with exact-type tracking.
+
+    Parameters
+    ----------
+    hierarchy:
+        The type hierarchy OIDs are allocated against.  A fresh one (with
+        just the default root type) is created when omitted; unknown type
+        names are auto-registered as roots so ad-hoc use stays ergonomic.
+    oid_generator:
+        Generator implementing the paper's prefix construction; created
+        from *hierarchy* when omitted.
+    """
+
+    def __init__(self, hierarchy: TypeHierarchy = None,
+                 oid_generator: OIDGenerator = None):
+        self.hierarchy = hierarchy or TypeHierarchy()
+        if DEFAULT_TYPE not in self.hierarchy:
+            self.hierarchy.add_type(DEFAULT_TYPE)
+        self.oids = oid_generator or OIDGenerator(self.hierarchy)
+        self._objects: Dict[Any, Any] = {}
+        self._exact_types: Dict[Any, str] = {}
+        self._by_value: Dict[Any, Any] = {}  # value -> one representative oid
+
+    # -- basic object lifecycle ----------------------------------------
+
+    def _ensure_type(self, type_name: str) -> str:
+        if type_name is None:
+            return DEFAULT_TYPE
+        if type_name not in self.hierarchy:
+            self.hierarchy.add_type(type_name)
+        return type_name
+
+    def insert(self, value: Any, type_name: str = None) -> Ref:
+        """Create a new object holding *value*; returns its reference."""
+        type_name = self._ensure_type(type_name)
+        ref = self.oids.new_ref(type_name)
+        self._objects[ref.oid] = value
+        self._exact_types[ref.oid] = type_name
+        self._by_value.setdefault(value, ref.oid)
+        return ref
+
+    def get(self, oid: Any, default: Any = _MISSING) -> Any:
+        """The value of object *oid*; *default* (if given) when dangling."""
+        if oid in self._objects:
+            return self._objects[oid]
+        if default is not _MISSING:
+            return default
+        raise StoreError("no object with OID %r" % (oid,))
+
+    def __contains__(self, oid: Any) -> bool:
+        return oid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def update(self, oid: Any, value: Any) -> None:
+        """Replace the value of an existing object, keeping its identity."""
+        if oid not in self._objects:
+            raise StoreError("no object with OID %r" % (oid,))
+        old = self._objects[oid]
+        if self._by_value.get(old) == oid:
+            del self._by_value[old]
+        self._objects[oid] = value
+        self._by_value.setdefault(value, oid)
+
+    def delete(self, oid: Any) -> None:
+        """Remove an object.  References to it become dangling (DEREF
+        of a dangling reference yields ``dne``)."""
+        if oid not in self._objects:
+            raise StoreError("no object with OID %r" % (oid,))
+        old = self._objects.pop(oid)
+        self._exact_types.pop(oid, None)
+        if self._by_value.get(old) == oid:
+            del self._by_value[old]
+
+    # -- identity & typing ----------------------------------------------
+
+    def find_ref(self, value: Any) -> Optional[Ref]:
+        """A reference to some extant object with this exact value.
+
+        Supports REF's inverse role (rule 28); returns None when no such
+        object exists.
+        """
+        oid = self._by_value.get(value)
+        if oid is None:
+            return None
+        return Ref(oid, self._exact_types.get(oid))
+
+    def exact_type(self, oid: Any) -> Optional[str]:
+        """The exact (allocation or migrated-to) type of *oid*."""
+        return self._exact_types.get(oid)
+
+    def migrate(self, oid: Any, new_type: str) -> None:
+        """Type migration (end of Section 3.1).
+
+        Legal exactly when the OID is already a member of
+        Odom(new_type) — i.e. within the descendant cone of the pool the
+        OID was drawn from — so identity is preserved and no reference
+        anywhere becomes ill-typed.
+        """
+        if oid not in self._objects:
+            raise StoreError("no object with OID %r" % (oid,))
+        new_type = self._ensure_type(new_type)
+        if not self.oids.migrate_ok(oid, new_type):
+            raise OIDError(
+                "OID %r is not in Odom(%s); migration would forge identity"
+                % (oid, new_type))
+        self._exact_types[oid] = new_type
+
+    # -- extents -----------------------------------------------------------
+
+    def extent(self, type_name: str) -> List[Ref]:
+        """References to all objects whose *exact* type is *type_name*."""
+        return [Ref(oid, type_name)
+                for oid, t in self._exact_types.items() if t == type_name]
+
+    def extent_closure(self, type_name: str) -> List[Ref]:
+        """References to all objects of *type_name* or any subtype."""
+        members = self.hierarchy.descendants_or_self(type_name)
+        return [Ref(oid, t)
+                for oid, t in self._exact_types.items() if t in members]
+
+    # -- integrity ---------------------------------------------------------
+
+    def _refs_in(self, value: Any) -> Iterator[Ref]:
+        if isinstance(value, Ref):
+            yield value
+        elif isinstance(value, Tup):
+            for _, v in value.fields:
+                for r in self._refs_in(v):
+                    yield r
+        elif isinstance(value, (MultiSet, Arr)):
+            for v in value:
+                for r in self._refs_in(v):
+                    yield r
+
+    def dangling_refs(self) -> List[Ref]:
+        """Every reference reachable from stored values whose target is
+        gone.  Useful for failure-injection tests."""
+        out = []
+        for value in self._objects.values():
+            for ref in self._refs_in(value):
+                if ref.oid not in self._objects:
+                    out.append(ref)
+        return out
+
+
+class Database:
+    """Named, persistent top-level objects over an :class:`ObjectStore`.
+
+    This models EXTRA's ``create`` statement: a database is a collection
+    of named structures (Employees, Departments, TopTen, …), any of which
+    may contain references into the shared store.
+    """
+
+    def __init__(self, store: ObjectStore = None):
+        self.store = store or ObjectStore()
+        self._named: Dict[str, Any] = {}
+        self.functions: Dict[str, Any] = {}
+        from ..core.methods import MethodRegistry
+        self.methods = MethodRegistry(self.store.hierarchy)
+        from .indexes import IndexCatalog
+        self.indexes = IndexCatalog(self)
+
+    @property
+    def hierarchy(self) -> TypeHierarchy:
+        return self.store.hierarchy
+
+    def create(self, name: str, value: Any) -> None:
+        """Create (or replace) a named top-level object."""
+        self._named[name] = value
+        self.indexes.invalidate(name)
+
+    def drop(self, name: str) -> None:
+        if name not in self._named:
+            raise StoreError("no top-level object named %r" % name)
+        del self._named[name]
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._named[name]
+        except KeyError:
+            raise StoreError("no top-level object named %r" % name)
+
+    def names(self) -> List[str]:
+        return sorted(self._named)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._named
+
+    def register_function(self, name: str, fn) -> None:
+        """Register a scalar function (the E-language ADT stand-in)."""
+        self.functions[name] = fn
+
+    def context(self) -> EvalContext:
+        """An evaluation context bound to this database."""
+        return EvalContext(database=self._named, store=self.store,
+                           functions=self.functions, methods=self.methods,
+                           indexes=self.indexes)

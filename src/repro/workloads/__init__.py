@@ -1,0 +1,7 @@
+"""Synthetic workload generators for the benchmarks and examples."""
+
+from .university import (CITIES, DIVISIONS, FIGURE_1_DDL, University,
+                         build_university)
+
+__all__ = ["build_university", "University", "FIGURE_1_DDL", "CITIES",
+           "DIVISIONS"]

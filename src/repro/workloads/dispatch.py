@@ -1,0 +1,89 @@
+"""Section 4 workload: overridden methods over a heterogeneous set P.
+
+Reproduces the paper's setting exactly:
+
+* ``create P : { Person }`` where P holds Person, Student, and Employee
+  *structures* (substitutability);
+* the cheap ``boss`` method — "at most a DEREF and a TUP_EXTRACT" per
+  body — overridden on Student (advisor's name) and Employee (manager's
+  name);
+* the expensive ``rich_subords`` method, whose Employee override scans
+  the ``sub_ords`` component set ("much larger than the containing
+  set"), the case where the ⊎-based approach pays off because the
+  per-branch bodies dominate and can be optimized at compile time.
+
+The expensive bodies are deliberately written with a redundant DE —
+the kind of slack a stored, black-box method keeps forever but that the
+⊎-plan's inlined bodies lose to rule X1 under the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.expr import Const, Input, Named
+from ..core.methods import build_union_plan, switch_table_plan
+from ..core.operators import (DE, Deref, SetApply, TupExtract, sigma)
+from ..core.predicates import Atom
+from ..core.values import MultiSet, Tup
+from .university import University
+
+
+def build_population(uni: University) -> MultiSet:
+    """P : { Person } — materialized tuples of all three exact types."""
+    store = uni.db.store
+    people: List[Tup] = []
+    for ref in uni.employee_refs:
+        people.append(store.get(ref.oid))
+    for ref in uni.student_refs:
+        people.append(store.get(ref.oid))
+    # Plain Persons (neither students nor employees): synthesize from
+    # employee kids, which are Person-typed values already.
+    for ref in uni.employee_refs:
+        for kid in store.get(ref.oid)["kids"]:
+            people.append(kid)
+    population = MultiSet(people)
+    uni.db.create("P", population)
+    return population
+
+
+def define_boss_methods(uni: University) -> None:
+    """The cheap overridden method of Section 4's trade-off example."""
+    methods = uni.db.methods
+    methods.define("Person", "boss", [], TupExtract("name", Input()))
+    methods.define("Employee", "boss", [],
+                   TupExtract("name", Deref(TupExtract("manager", Input()))))
+    methods.define("Student", "boss", [],
+                   TupExtract("name", Deref(TupExtract("advisor", Input()))))
+
+
+def define_rich_subords_methods(uni: University,
+                                threshold: int = 60000) -> None:
+    """The expensive overridden method: the Employee body scans
+    sub_ords; Person/Student degenerate to an empty set.
+
+    Every body carries a redundant double-DE, standing in for the
+    optimizable slack the paper wants the ⊎-plan to expose.
+    """
+    methods = uni.db.methods
+    empty = DE(DE(Const(MultiSet())))
+    methods.define("Person", "rich_subords", [], empty)
+    methods.define("Student", "rich_subords", [], empty)
+    subords_names = SetApply(
+        TupExtract("name", Input()),
+        sigma(Atom(TupExtract("salary", Input()), ">", Const(threshold)),
+              SetApply(Deref(Input()), TupExtract("sub_ords", Input()))))
+    methods.define("Employee", "rich_subords", [], DE(DE(subords_names)))
+
+
+def switch_plan(method: str):
+    """Strategy 1: run-time switch-table dispatch over P."""
+    return switch_table_plan(method, [], Named("P"))
+
+
+def union_plan(uni: University, method: str, collapse: bool = True,
+               use_index: bool = False):
+    """Strategy 2: the ⊎-based compile-time plan of Figure 5."""
+    return build_union_plan(uni.db.methods, "Person", method, [],
+                            Named("P"), collapse_identical=collapse,
+                            use_index="P" if use_index else None)

@@ -1,0 +1,206 @@
+"""Query trees for every figure and worked example in the paper.
+
+Each builder returns the algebra tree(s) exactly in the shape the
+corresponding figure draws, over the populated university database, so
+tests can verify value-equivalence between a figure's alternatives and
+benchmarks can measure the work differences Section 5 claims.
+
+Covered artifacts:
+
+* Figure 3 — ``retrieve (TopTen[5].name, TopTen[5].salary)``;
+* Figure 4 — the functional join over Employees/Madison;
+* Figure 5 — the ⊎-based overridden-method plan (built via
+  :func:`repro.core.methods.build_union_plan`);
+* Figures 6–8 — Example 1's three alternatives (DE/GRP/join placement);
+* Figures 9–11 — Example 2's initial tree, the rule-15 collapse, and
+  the rule-10 + rule-26 alternative.
+
+Example 1 note: the paper assumes for that example that ``advisor`` is a
+*value* (the advisor's name) rather than a reference; ``value_views``
+materializes flat value-based views (StudentsV/EmployeesV) implementing
+that assumption, with disjoint field names so rel_join's TUP_CAT is
+well-formed.
+
+Figures 9/10 note (erratum, also handled in rule 10): the paper's trees
+filter *within* groups, which strands empty groups that the Figure 11
+alternative never creates; the per-group filter here therefore drops
+emptied groups with a COMP, making all three trees exactly equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.expr import Const, Expr, Input, Named, substitute_input
+from ..core.operators import (DE, ArrExtract, Comp, Deref, Grp, Pi, SetApply,
+                              TupCat, TupCreate, TupExtract, join_field,
+                              rel_join)
+from ..core.predicates import Atom
+from ..core.values import MultiSet, Tup
+from .university import University
+
+
+def _x(field: str) -> Expr:
+    return TupExtract(field, Input())
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+def figure_3() -> Expr:
+    """π_{name,salary}(DEREF(ARR_EXTRACT_5(TopTen))) — verbatim."""
+    return Pi(["name", "salary"], Deref(ArrExtract(5, Named("TopTen"))))
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+def figure_4(city: str = "Madison") -> Expr:
+    """The functional join, drawn bottom-up exactly as the figure:
+
+        SET_APPLY_{DEREF(INPUT)}(Employees)
+        → SET_APPLY_{COMP_{city = "Madison"}(INPUT)}
+        → SET_APPLY_{DEREF(TUP_EXTRACT_dept(INPUT))}
+        → SET_APPLY_{π_name}
+    """
+    dereffed = SetApply(Deref(Input()), Named("Employees"))
+    selected = SetApply(
+        Comp(Atom(_x("city"), "=", Const(city)), Input()), dereffed)
+    depts = SetApply(Deref(_x("dept")), selected)
+    return SetApply(Pi(["name"], Input()), depts)
+
+
+# ---------------------------------------------------------------------------
+# Example 1 (Figures 6, 7, 8)
+# ---------------------------------------------------------------------------
+
+def value_views(uni: University) -> None:
+    """Materialize the value-based views Example 1 assumes.
+
+    StudentsV: (sname, sdept, advisor)  — advisor is the *name* string;
+    EmployeesV: (ename,)                — disjoint fields for TUP_CAT.
+    """
+    store = uni.db.store
+    students = MultiSet(
+        Tup(sname=s["name"],
+            sdept=store.get(s["dept"].oid)["name"],
+            advisor=store.get(s["advisor"].oid)["name"])
+        for s in (store.get(r.oid) for r in uni.student_refs))
+    employees = MultiSet(
+        Tup(ename=e["name"])
+        for e in (store.get(r.oid) for r in uni.employee_refs))
+    uni.db.create("StudentsV", students)
+    uni.db.create("EmployeesV", employees)
+
+
+def _join_students_employees() -> Expr:
+    pred = Atom(join_field(1, "advisor"), "=", join_field(2, "ename"))
+    return rel_join(pred, Named("StudentsV"), Named("EmployeesV"))
+
+
+def _project_per_group(fields) -> Expr:
+    return SetApply(Pi(list(fields), Input()), Input())
+
+
+def figure_6() -> Expr:
+    """Example 1, initial tree: DE ∘ π ∘ GRP ∘ rel_join.
+
+    π and DE apply within each group (the figure omits those details);
+    grouping is on the student's department.
+    """
+    grouped = Grp(_x("sdept"), _join_students_employees())
+    projected = SetApply(_project_per_group(["sdept", "ename"]), grouped)
+    return SetApply(DE(Input()), projected)
+
+
+def figure_7() -> Expr:
+    """First transformation: DE (and π) pushed ahead of grouping —
+    GRP_{sdept}(DE(π(join))) — rule 8 plus the π-ahead-of-GRP move."""
+    projected = SetApply(Pi(["sdept", "ename"], Input()),
+                         _join_students_employees())
+    return Grp(_x("sdept"), DE(projected))
+
+
+def figure_8() -> Expr:
+    """Second transformation: DE and π pushed past the join (variants of
+    rule 7), so DE operates on |S| + |E| occurrences rather than
+    |S| · |E|."""
+    left = DE(SetApply(Pi(["sdept", "advisor"], Input()),
+                       Named("StudentsV")))
+    right = DE(SetApply(Pi(["ename"], Input()), Named("EmployeesV")))
+    pred = Atom(join_field(1, "advisor"), "=", join_field(2, "ename"))
+    joined = rel_join(pred, left, right)
+    projected = DE(SetApply(Pi(["sdept", "ename"], Input()), joined))
+    return Grp(_x("sdept"), projected)
+
+
+# ---------------------------------------------------------------------------
+# Example 2 (Figures 9, 10, 11)
+# ---------------------------------------------------------------------------
+
+def _students_dereffed() -> Expr:
+    return SetApply(Deref(Input()), Named("Students"))
+
+
+def _floor_pred(floor: int) -> Atom:
+    """floor(DEREF(dept(INPUT))) = floor — the repeated-DEREF shape."""
+    return Atom(TupExtract("floor", Deref(_x("dept"))), "=", Const(floor))
+
+
+def _group_filter_body(floor: int) -> Expr:
+    """Per-group filter (with the empty-group-dropping COMP)."""
+    filtered = SetApply(Comp(_floor_pred(floor), Input()), Input())
+    return Comp(Atom(Input(), "!=", Const(MultiSet())), filtered)
+
+
+def figure_9(floor: int = 5) -> Expr:
+    """Example 2, initial tree:
+
+        SET_APPLY_{SET_APPLY_{π_name}}
+        ∘ σ_{floor(DEREF(dept)) = floor}       (within each group)
+        ∘ GRP_{division(DEREF(dept))}
+        ∘ Students (dereferenced)
+    """
+    grouped = Grp(TupExtract("division", Deref(_x("dept"))),
+                  _students_dereffed())
+    filtered = SetApply(_group_filter_body(floor), grouped)
+    return SetApply(_project_per_group(["name"]), filtered)
+
+
+def figure_10(floor: int = 5) -> Expr:
+    """First transformation: successive SET_APPLYs collapsed twice
+    (rule 15) — one scan of the group set, and within the subscript the
+    projection is composed onto the filter."""
+    grouped = Grp(TupExtract("division", Deref(_x("dept"))),
+                  _students_dereffed())
+    inner = substitute_input(_project_per_group(["name"]),
+                             _group_filter_body(floor))
+    return SetApply(inner, grouped)
+
+
+def figure_11(floor: int = 5) -> Expr:
+    """Alternative first transformation (rules 10 and 26): the selection
+    is pushed ahead of grouping, and the projection-with-DEREF is pushed
+    inside the COMP, so "the dept attribute needs to be DEREF'd only
+    once" — the GRP key then reads the materialized dept directly."""
+    rebuild = TupCat(TupCreate("name", _x("name")),
+                     TupCreate("dept", Deref(_x("dept"))))
+    pushed_pred = Atom(TupExtract("floor", _x("dept")), "=", Const(floor))
+    select_body = Comp(pushed_pred, rebuild)
+    selected = SetApply(select_body, _students_dereffed())
+    grouped = Grp(TupExtract("division", _x("dept")), selected)
+    return SetApply(_project_per_group(["name"]), grouped)
+
+
+ALL_FIGURES: Dict[str, object] = {
+    "figure_3": figure_3,
+    "figure_4": figure_4,
+    "figure_6": figure_6,
+    "figure_7": figure_7,
+    "figure_8": figure_8,
+    "figure_9": figure_9,
+    "figure_10": figure_10,
+    "figure_11": figure_11,
+}

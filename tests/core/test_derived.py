@@ -1,0 +1,97 @@
+"""Derived operators (Appendix §1): ∪, ∩, σ, rel_join, rel_×."""
+
+from repro.core.expr import Const, EvalContext, Input, evaluate
+from repro.core.operators import (AddUnion, Diff, SetApply, arr_sigma,
+                                  intersection, join_field, rel_cross,
+                                  rel_join, sigma, union)
+from repro.core.predicates import Atom
+from repro.core.values import Arr, MultiSet, Tup
+
+
+def ctx():
+    return EvalContext()
+
+
+def test_union_max_semantics():
+    q = union(Const(MultiSet([1, 1, 2])), Const(MultiSet([1, 3])))
+    assert evaluate(q, ctx()) == MultiSet([1, 1, 2, 3])
+
+
+def test_union_is_composed_of_primitives():
+    q = union(Const(MultiSet()), Const(MultiSet()))
+    assert isinstance(q, AddUnion)
+    assert isinstance(q.left, Diff)
+
+
+def test_intersection_min_semantics():
+    q = intersection(Const(MultiSet([1, 1, 2])), Const(MultiSet([1, 1, 1])))
+    assert evaluate(q, ctx()) == MultiSet([1, 1])
+
+
+def test_intersection_is_redundant_composition():
+    q = intersection(Const(MultiSet()), Const(MultiSet()))
+    assert isinstance(q, Diff) and isinstance(q.right, Diff)
+
+
+def test_sigma_simulates_relational_selection():
+    data = MultiSet([Tup(a=1), Tup(a=2), Tup(a=2), Tup(a=3)])
+    from repro.core.operators import TupExtract
+    q = sigma(Atom(TupExtract("a", Input()), "=", Const(2)), Const(data))
+    assert evaluate(q, ctx()) == MultiSet([Tup(a=2), Tup(a=2)])
+
+
+def test_sigma_shape_is_set_apply_comp():
+    q = sigma(Atom(Input(), "=", Const(1)), Const(MultiSet()))
+    assert isinstance(q, SetApply)
+
+
+def test_arr_sigma_preserves_order():
+    q = arr_sigma(Atom(Input(), ">", Const(1)), Const(Arr([3, 1, 2])))
+    assert evaluate(q, ctx()) == Arr([3, 2])
+
+
+def test_rel_cross_flattens_pairs():
+    a = MultiSet([Tup(x=1)])
+    b = MultiSet([Tup(y=2), Tup(y=3)])
+    result = evaluate(rel_cross(Const(a), Const(b)), ctx())
+    assert result == MultiSet([Tup(x=1, y=2), Tup(x=1, y=3)])
+
+
+def test_rel_join_equijoin():
+    employees = MultiSet([Tup(ename="e1", d=1), Tup(ename="e2", d=2)])
+    departments = MultiSet([Tup(dname="CS", dno=1), Tup(dname="EE", dno=3)])
+    pred = Atom(join_field(1, "d"), "=", join_field(2, "dno"))
+    result = evaluate(rel_join(pred, Const(employees), Const(departments)),
+                      ctx())
+    assert result == MultiSet([Tup(ename="e1", d=1, dname="CS", dno=1)])
+
+
+def test_rel_join_theta():
+    left = MultiSet([Tup(a=1), Tup(a=5)])
+    right = MultiSet([Tup(b=3)])
+    pred = Atom(join_field(1, "a"), ">", join_field(2, "b"))
+    result = evaluate(rel_join(pred, Const(left), Const(right)), ctx())
+    assert result == MultiSet([Tup(a=5, b=3)])
+
+
+def test_rel_join_preserves_duplicates():
+    left = MultiSet([Tup(a=1), Tup(a=1)])
+    right = MultiSet([Tup(b=1)])
+    pred = Atom(join_field(1, "a"), "=", join_field(2, "b"))
+    result = evaluate(rel_join(pred, Const(left), Const(right)), ctx())
+    assert result.cardinality(Tup(a=1, b=1)) == 2
+
+
+def test_derived_ops_simulate_relational_algebra():
+    """σ ∘ rel_join over the university-style tables behaves like the
+    textbook relational pipeline."""
+    emp = MultiSet([Tup(e=i, d=i % 2) for i in range(6)])
+    dept = MultiSet([Tup(d2=0, floor=1), Tup(d2=1, floor=2)])
+    pred = Atom(join_field(1, "d"), "=", join_field(2, "d2"))
+    joined = rel_join(pred, Const(emp), Const(dept))
+    from repro.core.operators import TupExtract
+    selected = sigma(Atom(TupExtract("floor", Input()), "=", Const(2)),
+                     joined)
+    result = evaluate(selected, ctx())
+    assert len(result) == 3
+    assert all(t["floor"] == 2 for t in result)

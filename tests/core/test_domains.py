@@ -1,0 +1,153 @@
+"""dom(S) / DOM(S) membership tests (Section 3.1)."""
+
+import random
+
+import pytest
+
+from repro.core.domains import DomainChecker, DomainSampler
+from repro.core.hierarchy import TypeHierarchy
+from repro.core.oid import OIDGenerator
+from repro.core.schema import SchemaCatalog, SchemaNode
+from repro.core.values import DNE, UNK, Arr, MultiSet, Ref, Tup
+
+
+@pytest.fixture
+def checker():
+    return DomainChecker()
+
+
+def test_val_domain(checker):
+    schema = SchemaNode.val(int)
+    assert checker.contains(schema, 5)
+    assert not checker.contains(schema, "x")
+    assert not checker.contains(schema, Tup())
+
+
+def test_val_domain_untyped_admits_any_scalar(checker):
+    schema = SchemaNode.val()
+    for value in (1, 1.5, "s", True):
+        assert checker.contains(schema, value)
+    assert not checker.contains(schema, MultiSet())
+
+
+def test_bool_is_not_int(checker):
+    assert not checker.contains(SchemaNode.val(int), True)
+    assert checker.contains(SchemaNode.val(bool), True)
+
+
+def test_tup_domain(checker):
+    schema = SchemaNode.tup({"a": SchemaNode.val(int),
+                             "b": SchemaNode.val(str)})
+    assert checker.contains(schema, Tup(a=1, b="x"))
+    assert not checker.contains(schema, Tup(a=1))
+    assert not checker.contains(schema, Tup(a="bad", b="x"))
+
+
+def test_empty_tuple_domain(checker):
+    assert checker.contains(SchemaNode.tup({}), Tup())
+
+
+def test_set_domain(checker):
+    schema = SchemaNode.set_of(SchemaNode.val(int))
+    assert checker.contains(schema, MultiSet([1, 1, 2]))
+    assert checker.contains(schema, MultiSet())
+    assert not checker.contains(schema, MultiSet(["x"]))
+    assert not checker.contains(schema, Arr([1]))
+
+
+def test_arr_domain_variable_length(checker):
+    schema = SchemaNode.arr_of(SchemaNode.val(int))
+    assert checker.contains(schema, Arr())
+    assert checker.contains(schema, Arr([1, 2, 3]))
+    assert not checker.contains(schema, Arr(["x"]))
+
+
+def test_arr_domain_fixed_length(checker):
+    schema = SchemaNode.arr_of(SchemaNode.val(int), fixed_length=3)
+    assert checker.contains(schema, Arr([1, 2, 3]))
+    assert not checker.contains(schema, Arr([1, 2]))
+
+
+def test_nulls_admitted_everywhere(checker):
+    for schema in (SchemaNode.val(int), SchemaNode.set_of(SchemaNode.val())):
+        assert checker.contains(schema, DNE)
+        assert checker.contains(schema, UNK)
+
+
+def test_explain_messages_are_readable(checker):
+    schema = SchemaNode.tup({"a": SchemaNode.val(int)})
+    reason = checker.explain(schema, Tup(a="bad"))
+    assert "field a" in reason
+
+
+def test_ref_domain_via_oid_generator():
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    gen = OIDGenerator(h)
+    catalog = SchemaCatalog()
+    checker = DomainChecker(catalog, h, gen)
+    schema = SchemaNode.ref_to("Person")
+    student_ref = gen.new_ref("Student")
+    person_ref = gen.new_ref("Person")
+    assert checker.contains(schema, student_ref)   # rule 3: substitutable
+    assert checker.contains(schema, person_ref)
+    assert not checker.contains(SchemaNode.ref_to("Student"), person_ref)
+
+
+def test_ref_domain_via_type_names_only():
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    checker = DomainChecker(SchemaCatalog(), h)
+    schema = SchemaNode.ref_to("Person")
+    assert checker.contains(schema, Ref(1, "Student"))
+    assert not checker.contains(schema, Ref(1, "Unrelated"))
+    assert checker.explain(SchemaNode.ref_to("Student"),
+                           Ref(1, "Person")) is not None
+
+
+def test_dom_substitutability_for_tuples():
+    """DOM(Person) includes Student tuples (inheritance)."""
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    catalog = SchemaCatalog()
+    person = SchemaNode.tup({"name": SchemaNode.val(str)}, name="Person")
+    student = SchemaNode.tup({"name": SchemaNode.val(str),
+                              "gpa": SchemaNode.val(float)}, name="Student")
+    catalog.register(person)
+    catalog.register(student)
+    checker = DomainChecker(catalog, h)
+    student_value = Tup({"name": "s", "gpa": 3.5}, type_name="Student")
+    assert checker.contains(person, student_value)
+    # …and through components: a set of Person admits Students.
+    set_schema = SchemaNode.set_of(person.clone())
+    assert checker.contains(set_schema, MultiSet([student_value]))
+
+
+def test_sampler_is_deterministic_and_in_domain():
+    schema = SchemaNode.set_of(SchemaNode.tup({
+        "a": SchemaNode.val(int),
+        "b": SchemaNode.arr_of(SchemaNode.val(str)),
+    }))
+    checker = DomainChecker()
+    first = DomainSampler(random.Random(7)).sample(schema)
+    second = DomainSampler(random.Random(7)).sample(schema)
+    assert first == second
+    assert checker.contains(schema, first)
+
+
+def test_sampler_fixed_length_arrays():
+    schema = SchemaNode.arr_of(SchemaNode.val(int), fixed_length=4)
+    sample = DomainSampler(random.Random(1)).sample(schema)
+    assert len(sample) == 4
+
+
+def test_sampler_refs_need_allocator():
+    schema = SchemaNode.ref_to("T")
+    with pytest.raises(ValueError):
+        DomainSampler(random.Random(1)).sample(schema)
+    sampler = DomainSampler(random.Random(1),
+                            alloc=lambda t: Ref(99, t))
+    assert sampler.sample(schema) == Ref(99, "T")

@@ -1,0 +1,111 @@
+"""Type hierarchy (multiple inheritance DAG) tests."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchyError, TypeHierarchy
+
+
+@pytest.fixture
+def diamond():
+    """A — the classic diamond: A → B, A → C, {B, C} → D."""
+    h = TypeHierarchy()
+    h.add_type("A")
+    h.add_type("B", ["A"])
+    h.add_type("C", ["A"])
+    h.add_type("D", ["B", "C"])
+    return h
+
+
+def test_basic_membership(diamond):
+    assert "A" in diamond and "Z" not in diamond
+    assert sorted(diamond.types()) == ["A", "B", "C", "D"]
+
+
+def test_parents_children(diamond):
+    assert diamond.parents("D") == ["B", "C"]
+    assert sorted(diamond.children("A")) == ["B", "C"]
+    assert diamond.parents("A") == []
+
+
+def test_ancestors_descendants(diamond):
+    assert diamond.ancestors("D") == {"A", "B", "C"}
+    assert diamond.descendants("A") == {"B", "C", "D"}
+    assert diamond.ancestors_or_self("B") == {"A", "B"}
+    assert diamond.descendants_or_self("C") == {"C", "D"}
+
+
+def test_is_subtype(diamond):
+    assert diamond.is_subtype("D", "A")
+    assert diamond.is_subtype("B", "B")
+    assert not diamond.is_subtype("A", "D")
+    assert not diamond.is_subtype("B", "C")
+
+
+def test_unknown_parent_rejected():
+    h = TypeHierarchy()
+    with pytest.raises(HierarchyError):
+        h.add_type("X", ["Missing"])
+
+
+def test_duplicate_type_rejected(diamond):
+    with pytest.raises(HierarchyError):
+        diamond.add_type("A")
+
+
+def test_duplicate_parent_rejected(diamond):
+    with pytest.raises(HierarchyError):
+        diamond.add_type("E", ["A", "A"])
+
+
+def test_unknown_type_queries(diamond):
+    with pytest.raises(HierarchyError):
+        diamond.ancestors("Nope")
+
+
+def test_c3_linearization_diamond(diamond):
+    # D, then its parents in declaration order, then the shared root.
+    assert diamond.linearize("D") == ["D", "B", "C", "A"]
+    assert diamond.linearize("A") == ["A"]
+
+
+def test_c3_linearization_deep():
+    h = TypeHierarchy()
+    h.add_type("Object")
+    h.add_type("Person", ["Object"])
+    h.add_type("Teacher", ["Person"])
+    h.add_type("Student", ["Person"])
+    h.add_type("TA", ["Teacher", "Student"])
+    assert h.linearize("TA") == ["TA", "Teacher", "Student", "Person",
+                                 "Object"]
+
+
+def test_c3_respects_local_precedence_order():
+    h = TypeHierarchy()
+    h.add_type("A")
+    h.add_type("B")
+    h.add_type("C", ["A", "B"])
+    h.add_type("D", ["B", "A"])
+    assert h.linearize("C") == ["C", "A", "B"]
+    assert h.linearize("D") == ["D", "B", "A"]
+
+
+def test_c3_inconsistent_hierarchy_raises():
+    h = TypeHierarchy()
+    h.add_type("A")
+    h.add_type("B")
+    h.add_type("C", ["A", "B"])
+    h.add_type("D", ["B", "A"])
+    h.add_type("E", ["C", "D"])
+    with pytest.raises(HierarchyError):
+        h.linearize("E")
+
+
+def test_topological_order(diamond):
+    order = list(diamond.topological())
+    assert order.index("A") < order.index("B") < order.index("D")
+    assert order.index("C") < order.index("D")
+    assert sorted(order) == ["A", "B", "C", "D"]
+
+
+def test_roots(diamond):
+    assert diamond.roots() == ["A"]

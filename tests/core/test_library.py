@@ -1,0 +1,159 @@
+"""The derived-operator library (nest/unnest, semijoins, per-group
+aggregates) — compositions of primitives, per the paper's future-work
+program of "testing a wide variety of algebraic operators"."""
+
+import pytest
+
+from repro.core.expr import Const, EvalContext, Input, Named, evaluate
+from repro.core.operators import (aggregate_per_group, antijoin,
+                                  field_map_rebuild, join_field, nest,
+                                  register_library_functions,
+                                  select_into_groups, semijoin, sigma,
+                                  unnest, TupExtract)
+from repro.core.predicates import Atom
+from repro.core.transform import ALL_RULES, single_step_rewrites
+from repro.core.values import MultiSet, Tup
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    register_library_functions(database)
+    database.create("Emp", MultiSet([
+        Tup(ename="a", dept="CS", sal=10),
+        Tup(ename="b", dept="CS", sal=20),
+        Tup(ename="c", dept="EE", sal=30),
+    ]))
+    database.create("Dept", MultiSet([Tup(dname="CS"), Tup(dname="Hist")]))
+    return database
+
+
+def ctx(db):
+    return db.context()
+
+
+# ---------------------------------------------------------------------------
+# nest / unnest
+# ---------------------------------------------------------------------------
+
+
+def test_nest_packs_groups(db):
+    """ν drops the key from the packed members (so μ can restore it)."""
+    result = evaluate(nest(["dept"], "members", Named("Emp")), ctx(db))
+    assert result.distinct_count() == 2
+    cs = next(t for t in result.elements() if t["dept"] == "CS")
+    assert cs["members"] == MultiSet([Tup(ename="a", sal=10),
+                                      Tup(ename="b", sal=20)])
+
+
+def test_unnest_flattens(db):
+    """unnest is nest's left inverse: μ(ν(R)) = R."""
+    nested = evaluate(nest(["dept"], "members", Named("Emp")), ctx(db))
+    db.create("Nested", nested)
+    flat = evaluate(unnest("members", Named("Nested")), ctx(db))
+    assert flat == db.get("Emp")
+
+
+def test_unnest_multiplies_cardinality(db):
+    db.create("Parents", MultiSet([
+        Tup(pid=1, kids=MultiSet([Tup(k="x"), Tup(k="y")])),
+        Tup(pid=2, kids=MultiSet()),
+    ]))
+    flat = evaluate(unnest("kids", Named("Parents")), ctx(db))
+    assert len(flat) == 2  # the empty nest contributes nothing
+    assert Tup(pid=1, k="x") in flat
+
+
+# ---------------------------------------------------------------------------
+# semijoin / antijoin
+# ---------------------------------------------------------------------------
+
+
+def _dept_match():
+    return Atom(join_field(1, "dept"), "=", join_field(2, "dname"))
+
+
+def test_semijoin(db):
+    result = evaluate(semijoin(_dept_match(), Named("Emp"), Named("Dept")),
+                      ctx(db))
+    assert result == MultiSet([Tup(ename="a", dept="CS", sal=10),
+                               Tup(ename="b", dept="CS", sal=20)])
+
+
+def test_semijoin_keeps_duplicates(db):
+    db.create("Dupes", MultiSet([Tup(dept="CS")] * 3))
+    pred = Atom(join_field(1, "dept"), "=", join_field(2, "dname"))
+    result = evaluate(semijoin(pred, Named("Dupes"), Named("Dept")), ctx(db))
+    assert result.cardinality(Tup(dept="CS")) == 3
+
+
+def test_antijoin_complements_semijoin(db):
+    semi = evaluate(semijoin(_dept_match(), Named("Emp"), Named("Dept")),
+                    ctx(db))
+    anti = evaluate(antijoin(_dept_match(), Named("Emp"), Named("Dept")),
+                    ctx(db))
+    assert semi.add_union(anti) == db.get("Emp")
+    assert semi.intersection(anti) == MultiSet()
+
+
+# ---------------------------------------------------------------------------
+# aggregate_per_group / select_into_groups
+# ---------------------------------------------------------------------------
+
+
+def test_aggregate_per_group(db):
+    result = evaluate(
+        aggregate_per_group(TupExtract("dept", Input()), "sum",
+                            TupExtract("sal", Input()), Named("Emp")),
+        ctx(db))
+    assert result == MultiSet([Tup(key="CS", agg=30), Tup(key="EE", agg=30)])
+
+
+def test_aggregate_per_group_count(db):
+    result = evaluate(
+        aggregate_per_group(TupExtract("dept", Input()), "count",
+                            Input(), Named("Emp")),
+        ctx(db))
+    assert Tup(key="CS", agg=2) in result
+
+
+def test_select_into_groups_equals_select_then_group(db):
+    from repro.core.operators import Grp
+    pred = Atom(TupExtract("sal", Input()), ">", Const(15))
+    key = TupExtract("dept", Input())
+    packaged = select_into_groups(pred, key, Named("Emp"))
+    reference = Grp(key, sigma(pred, Named("Emp")))
+    assert evaluate(packaged, ctx(db)) == evaluate(reference, ctx(db))
+
+
+def test_field_map_rebuild_shape(db):
+    body = field_map_rebuild({"x": TupExtract("ename", Input()),
+                              "y": Const(1)})
+    value = body.evaluate(Tup(ename="a", dept="CS", sal=10), ctx(db))
+    assert value == Tup(x="a", y=1)
+    with pytest.raises(ValueError):
+        field_map_rebuild({})
+
+
+# ---------------------------------------------------------------------------
+# Optimizability: rules see through the compositions
+# ---------------------------------------------------------------------------
+
+
+def test_rules_fire_inside_library_operators(db):
+    """The whole point of deriving rather than adding primitives: the
+    existing rules rewrite inside a nest's GRP, a semijoin's σ, etc."""
+    from repro.core.operators import DE
+    tree = nest(["dept"], "members", DE(DE(Named("Emp"))))
+    rewrites = single_step_rewrites(tree, ALL_RULES)
+    assert any("de-idempotence" == rule.name for rule, _ in rewrites)
+
+
+def test_semijoin_is_pure_composition(db):
+    tree = semijoin(_dept_match(), Named("Emp"), Named("Dept"))
+    from repro.core.expr import Expr
+    kinds = {type(node).__name__ for node in tree.walk()}
+    # No new node types: only primitives, predicates, and leaves.
+    assert kinds <= {"SetApply", "Comp", "Cross", "SetCreate", "Named",
+                     "Input", "Const", "Func", "TupExtract"}

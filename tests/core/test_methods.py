@@ -1,0 +1,232 @@
+"""Method overriding and the two dispatch strategies (Section 4)."""
+
+import pytest
+
+from repro.core.expr import Const, Input, Named, evaluate
+from repro.core.hierarchy import TypeHierarchy
+from repro.core.methods import (IndexedTypeScan, MethodCall, MethodError,
+                                MethodRegistry, Param, bind_params,
+                                build_union_plan, switch_table_plan)
+from repro.core.operators import Comp, SetApply, TupExtract
+from repro.core.predicates import Atom
+from repro.core.values import MultiSet, Tup
+
+
+@pytest.fixture
+def registry():
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Employee", ["Person"])
+    h.add_type("Student", ["Person"])
+    h.add_type("TA", ["Employee", "Student"])
+    r = MethodRegistry(h)
+    r.define("Person", "boss", [], TupExtract("name", Input()))
+    r.define("Employee", "boss", [], TupExtract("manager", Input()))
+    r.define("Student", "boss", [], TupExtract("advisor", Input()))
+    return r
+
+
+def make_population():
+    return MultiSet([
+        Tup({"name": "p1"}, type_name="Person"),
+        Tup({"name": "s1", "advisor": "adv"}, type_name="Student"),
+        Tup({"name": "e1", "manager": "mgr"}, type_name="Employee"),
+        Tup({"name": "t1", "manager": "mgr2", "advisor": "adv2"},
+            type_name="TA"),
+    ])
+
+
+def people_ctx(db_value):
+    from repro.core.expr import EvalContext
+    return EvalContext({"P": db_value})
+
+
+# ---------------------------------------------------------------------------
+# Registry / overriding semantics
+# ---------------------------------------------------------------------------
+
+
+def test_resolution_prefers_exact_type(registry):
+    assert registry.resolve("Employee", "boss").type_name == "Employee"
+    assert registry.resolve("Person", "boss").type_name == "Person"
+
+
+def test_resolution_inherits_when_not_overridden(registry):
+    registry.define("Person", "greet", [], Const("hi"))
+    assert registry.resolve("Student", "greet").type_name == "Person"
+
+
+def test_multiple_inheritance_resolution_uses_c3(registry):
+    # TA inherits boss from both Employee and Student; the C3 order
+    # (TA, Employee, Student, Person) picks Employee's.
+    assert registry.resolve("TA", "boss").type_name == "Employee"
+
+
+def test_missing_method(registry):
+    with pytest.raises(MethodError):
+        registry.resolve("Person", "nothing")
+
+
+def test_override_must_keep_signature(registry):
+    registry.define("Person", "pay", ["amount"], Param("amount"))
+    with pytest.raises(MethodError):
+        registry.define("Employee", "pay", ["amount", "bonus"],
+                        Param("amount"))
+
+
+def test_unknown_type_rejected(registry):
+    with pytest.raises(MethodError):
+        registry.define("Alien", "boss", [], Input())
+
+
+def test_implementations_per_type(registry):
+    impls = registry.implementations("Person", "boss")
+    assert impls["Person"].type_name == "Person"
+    assert impls["Employee"].type_name == "Employee"
+    assert impls["TA"].type_name == "Employee"
+
+
+def test_distinct_implementations_grouping(registry):
+    """The paper's improvement: only as many branches as distinct bodies
+    (TA shares Employee's)."""
+    groups = dict((m.type_name, types) for m, types in
+                  registry.distinct_implementations("Person", "boss"))
+    assert groups["Employee"] == ["Employee", "TA"]
+    assert groups["Person"] == ["Person"]
+    assert groups["Student"] == ["Student"]
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+# ---------------------------------------------------------------------------
+
+
+def test_param_binding():
+    body = Comp(Atom(TupExtract("name", Input()), "=", Param("who")),
+                Input())
+    bound = bind_params(body, {"who": Const("x")})
+    assert not any(isinstance(n, Param) for n in bound.walk())
+
+
+def test_unbound_param_raises_at_eval():
+    from repro.core.expr import EvalContext
+    with pytest.raises(MethodError):
+        evaluate(Param("x"), EvalContext(), input_value=1)
+
+
+def test_instantiate_arity_check(registry):
+    method = registry.resolve("Person", "boss")
+    with pytest.raises(MethodError):
+        method.instantiate([Const(1)])
+
+
+# ---------------------------------------------------------------------------
+# Dispatch strategies: both must compute the same answer
+# ---------------------------------------------------------------------------
+
+EXPECTED = MultiSet(["p1", "adv", "mgr", "mgr2"])
+
+
+def test_switch_table_plan(registry):
+    ctx = people_ctx(make_population())
+    ctx.methods = registry
+    plan = switch_table_plan("boss", [], Named("P"))
+    assert evaluate(plan, ctx) == EXPECTED
+    assert ctx.stats["method_dispatches"] == 4
+
+
+def test_union_plan_equivalent(registry):
+    ctx = people_ctx(make_population())
+    ctx.methods = registry
+    plan = build_union_plan(registry, "Person", "boss", [], Named("P"))
+    assert evaluate(plan, ctx) == EXPECTED
+    assert "method_dispatches" not in ctx.stats  # fully compile-time
+
+
+def test_union_plan_without_collapse_scans_per_type(registry):
+    ctx = people_ctx(make_population())
+    ctx.methods = registry
+    plan = build_union_plan(registry, "Person", "boss", [], Named("P"),
+                            collapse_identical=False)
+    assert evaluate(plan, ctx) == EXPECTED
+    # One scan of P per type in the hierarchy (4 types × 4 occurrences).
+    assert ctx.stats["elements_scanned"] == 16
+
+
+def test_union_plan_collapse_reduces_scans(registry):
+    ctx = people_ctx(make_population())
+    ctx.methods = registry
+    plan = build_union_plan(registry, "Person", "boss", [], Named("P"),
+                            collapse_identical=True)
+    evaluate(plan, ctx)
+    # Only 3 distinct bodies → 3 scans.
+    assert ctx.stats["elements_scanned"] == 12
+
+
+def test_union_plan_bodies_are_inlined_subtrees(registry):
+    plan = build_union_plan(registry, "Person", "boss", [], Named("P"))
+    bodies = [n.body for n in plan.walk() if isinstance(n, SetApply)]
+    assert TupExtract("manager", Input()) in bodies
+    assert TupExtract("name", Input()) in bodies
+
+
+def test_union_plan_no_methods_raises(registry):
+    with pytest.raises(MethodError):
+        build_union_plan(registry, "Person", "unknown", [], Named("P"))
+
+
+def test_method_call_on_refs_dispatches_on_store_type(registry):
+    from repro.core.expr import EvalContext
+    from repro.storage import ObjectStore
+    store = ObjectStore(registry.hierarchy)
+    ref = store.insert(Tup({"name": "e", "manager": "m"},
+                           type_name="Employee"), "Employee")
+    ctx = EvalContext({"P": MultiSet([ref])}, store=store, methods=registry)
+    plan = switch_table_plan("boss", [], Named("P"))
+    assert evaluate(plan, ctx) == MultiSet(["m"])
+
+
+def test_indexed_type_scan_fallback_and_index(registry):
+    """Without an index the scan is full; with one it reads the
+    partition directly — Section 4's index-based variant."""
+    from repro.core.expr import EvalContext
+    population = make_population()
+    ctx = EvalContext({"P": population}, methods=registry)
+    scan = IndexedTypeScan("P", ["Employee", "TA"])
+    result = evaluate(scan, ctx)
+    assert result.distinct_count() == 2
+    assert ctx.stats["elements_scanned"] == 4  # fallback: full scan
+
+    from repro.storage import Database, TypedPartitionIndex
+    db = Database()
+    for t, parents in (("Person", []), ("Employee", ["Person"]),
+                       ("Student", ["Person"]),
+                       ("TA", ["Employee", "Student"])):
+        db.hierarchy.add_type(t, parents)
+    db.create("P", population)
+    db.methods = registry
+    db.indexes.build_typed("P")
+    ctx2 = db.context()
+    assert evaluate(scan, ctx2) == result
+    assert "elements_scanned" not in ctx2.stats
+    assert ctx2.stats["index_lookups"] == 1
+
+
+def test_indexed_union_plan_eliminates_scans(registry):
+    from repro.storage import Database
+    db = Database()
+    for t, parents in (("Person", []), ("Employee", ["Person"]),
+                       ("Student", ["Person"]),
+                       ("TA", ["Employee", "Student"])):
+        db.hierarchy.add_type(t, parents)
+    db.create("P", make_population())
+    db.methods = registry
+    db.indexes.build_typed("P")
+    plan = build_union_plan(registry, "Person", "boss", [], Named("P"),
+                            use_index="P")
+    ctx = db.context()
+    assert evaluate(plan, ctx) == EXPECTED
+    # Each occurrence is touched exactly once (4 total) instead of once
+    # per branch (12 without the index); the branches read partitions.
+    assert ctx.stats["elements_scanned"] == 4
+    assert ctx.stats["index_lookups"] == 3

@@ -1,0 +1,159 @@
+"""OID domain semantics: the five rules of Section 3.1.
+
+The paper's construction — f(n) ones followed by a zero — makes the raw
+pools R(n) disjoint and infinite; Odom(A) is the union of the pools of
+A and its descendants.  These tests check the rules on hand-built
+hierarchies and on hypothesis-generated random DAGs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import TypeHierarchy
+from repro.core.oid import OIDError, OIDGenerator
+
+
+@pytest.fixture
+def university_hierarchy():
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Employee", ["Person"])
+    h.add_type("Student", ["Person"])
+    h.add_type("TA", ["Employee", "Student"])  # multiple inheritance
+    return h
+
+
+@pytest.fixture
+def gen(university_hierarchy):
+    return OIDGenerator(university_hierarchy)
+
+
+def test_prefix_construction_literal(gen):
+    """The decimal form is f(n) ones, a zero, then a counter."""
+    oid = gen.new_oid("Person")
+    code = gen.code_for("Person")
+    assert str(oid).startswith("1" * code + "0")
+
+
+def test_oids_are_unique(gen):
+    seen = {gen.new_oid("Person") for _ in range(100)}
+    seen |= {gen.new_oid("Student") for _ in range(100)}
+    assert len(seen) == 200
+
+
+def test_exact_type_decoding(gen):
+    for name in ("Person", "Employee", "Student", "TA"):
+        oid = gen.new_oid(name)
+        assert gen.exact_type_of(oid) == name
+
+
+def test_malformed_oid_rejected(gen):
+    gen.new_oid("Person")  # assign at least one code
+    with pytest.raises(OIDError):
+        gen.exact_type_of(999)  # no 1…10 prefix
+    with pytest.raises(OIDError):
+        gen.exact_type_of(0)
+
+
+def test_unknown_type_rejected(gen):
+    with pytest.raises(OIDError):
+        gen.new_oid("Nope")
+
+
+def test_rule3_subtype_oids_belong_to_supertype(gen):
+    """R → S ⇒ Odom(S) ⊆ Odom(R): every Student OID is a Person OID."""
+    student = gen.new_oid("Student")
+    assert gen.in_odom(student, "Student")
+    assert gen.in_odom(student, "Person")
+    assert not gen.in_odom(student, "Employee")
+
+
+def test_rule4_unrelated_types_disjoint(gen):
+    """Employee and Student share descendant TA, so TA OIDs are in both;
+    but a plain Employee OID is never a Student OID."""
+    employee = gen.new_oid("Employee")
+    assert not gen.in_odom(employee, "Student")
+
+
+def test_rule5_multiple_inheritance_intersection(gen):
+    """A TA OID lies in Odom(Employee) ∩ Odom(Student) ∩ Odom(Person)."""
+    ta = gen.new_oid("TA")
+    for supertype in ("TA", "Employee", "Student", "Person"):
+        assert gen.in_odom(ta, supertype)
+
+
+def test_rule2_residue_structural(gen):
+    """Odom(Person) − ⋃ subtypes still contains R(Person): allocating a
+    Person never steals from a subtype pool."""
+    person = gen.new_oid("Person")
+    for subtype in ("Employee", "Student", "TA"):
+        assert not gen.in_odom(person, subtype)
+
+
+def test_check_rules_passes(gen):
+    for name in ("Person", "Employee", "Student", "TA"):
+        gen.new_oid(name)
+    gen.check_rules()  # must not raise
+
+
+def test_odom_types(gen):
+    assert gen.odom_types("Person") == {"Person", "Employee", "Student", "TA"}
+    assert gen.odom_types("TA") == {"TA"}
+
+
+def test_odom_sample_members(gen):
+    for oid in gen.odom_sample("Employee", per_type=2):
+        assert gen.in_odom(oid, "Employee")
+        assert gen.in_odom(oid, "Person")
+
+
+def test_migration_upward_allowed(gen):
+    """An object allocated as TA may present itself as Student (its OID
+    is already in Odom(Student)); a Person cannot migrate down."""
+    ta = gen.new_oid("TA")
+    assert gen.migrate_ok(ta, "Student")
+    assert gen.migrate_ok(ta, "Person")
+    person = gen.new_oid("Person")
+    assert not gen.migrate_ok(person, "Student")
+
+
+def test_new_ref_carries_type(gen):
+    ref = gen.new_ref("Employee")
+    assert ref.type_name == "Employee"
+    assert gen.in_odom(ref.oid, "Person")
+
+
+# ---------------------------------------------------------------------------
+# Property test: rules hold on random hierarchies.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_hierarchy(draw):
+    n = draw(st.integers(2, 8))
+    h = TypeHierarchy()
+    names = ["T%d" % i for i in range(n)]
+    for i, name in enumerate(names):
+        candidates = names[:i]
+        k = draw(st.integers(0, min(2, len(candidates))))
+        parents = draw(st.permutations(candidates)) if candidates else []
+        h.add_type(name, parents[:k])
+    return h
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_hierarchy())
+def test_rules_hold_on_random_dags(h):
+    gen = OIDGenerator(h)
+    oids = {name: gen.new_oid(name) for name in h.types()}
+    gen.check_rules()
+    for a in h.types():
+        for b in h.types():
+            # rule 3 / rule 5: subtype OIDs are member OIDs of every
+            # supertype; rule 4: no shared descendants → disjoint.
+            if h.is_subtype(b, a):
+                assert gen.in_odom(oids[b], a)
+            shared = (h.descendants_or_self(a) & h.descendants_or_self(b))
+            if not shared:
+                assert not gen.in_odom(oids[b], a)
+                assert not gen.in_odom(oids[a], b)

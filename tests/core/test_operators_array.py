@@ -1,0 +1,139 @@
+"""The nine array operators (Section 3.2.3)."""
+
+import pytest
+
+from repro.core.expr import (AlgebraError, Const, EvalContext, Func, Input,
+                             evaluate)
+from repro.core.operators import (ArrApply, ArrCat, ArrCollapse, ArrCreate,
+                                  ArrCross, ArrDE, ArrDiff, ArrExtract, Comp,
+                                  SubArr)
+from repro.core.predicates import Atom
+from repro.core.values import DNE, Arr, Tup
+
+
+def ctx():
+    return EvalContext(functions={"inc": lambda x: x + 1})
+
+
+def test_arr_create():
+    assert evaluate(ArrCreate(Const(5)), ctx()) == Arr([5])
+    assert evaluate(ArrCreate(Const(Arr([1]))), ctx()) == Arr([Arr([1])])
+
+
+def test_arr_extract_unwraps_element():
+    q = ArrExtract(2, Const(Arr([10, 20, 30])))
+    assert evaluate(q, ctx()) == 20  # the element, not [20]
+
+
+def test_arr_extract_last():
+    assert evaluate(ArrExtract("last", Const(Arr([1, 2, 3]))), ctx()) == 3
+
+
+def test_arr_extract_out_of_bounds_is_dne():
+    assert evaluate(ArrExtract(5, Const(Arr([1]))), ctx()) is DNE
+    assert evaluate(ArrExtract("last", Const(Arr())), ctx()) is DNE
+
+
+def test_arr_extract_position_validation():
+    with pytest.raises(AlgebraError):
+        ArrExtract(0, Const(Arr([1])))
+    with pytest.raises(AlgebraError):
+        ArrExtract(-3, Const(Arr([1])))
+
+
+def test_arr_apply_preserves_order():
+    q = ArrApply(Func("inc", [Input()]), Const(Arr([3, 1, 2])))
+    assert evaluate(q, ctx()) == Arr([4, 2, 3])
+
+
+def test_arr_apply_drops_dne_keeps_order():
+    pred = Atom(Input(), ">", Const(1))
+    q = ArrApply(Comp(pred, Input()), Const(Arr([1, 3, 1, 2])))
+    assert evaluate(q, ctx()) == Arr([3, 2])
+
+
+def test_arr_apply_typed_filter():
+    data = Arr([Tup({"v": 1}, type_name="A"), Tup({"v": 2}, type_name="B")])
+    from repro.core.operators import TupExtract
+    q = ArrApply(TupExtract("v", Input()), Const(data), type_filter="B")
+    assert evaluate(q, ctx()) == Arr([2])
+
+
+def test_arr_apply_requires_array():
+    with pytest.raises(AlgebraError):
+        evaluate(ArrApply(Input(), Const(5)), ctx())
+
+
+def test_subarr_inclusive():
+    q = SubArr(2, 3, Const(Arr([1, 2, 3, 4])))
+    assert evaluate(q, ctx()) == Arr([2, 3])
+
+
+def test_subarr_last():
+    q = SubArr(2, "last", Const(Arr([1, 2, 3])))
+    assert evaluate(q, ctx()) == Arr([2, 3])
+
+
+def test_subarr_produces_array_unlike_extract():
+    q = SubArr(2, 2, Const(Arr([1, 2, 3])))
+    assert evaluate(q, ctx()) == Arr([2])
+
+
+def test_subarr_empty_when_inverted():
+    assert evaluate(SubArr(3, 1, Const(Arr([1, 2, 3]))), ctx()) == Arr()
+
+
+def test_arr_cat_order():
+    q = ArrCat(Const(Arr([1, 2])), Const(Arr([3])))
+    assert evaluate(q, ctx()) == Arr([1, 2, 3])
+
+
+def test_arr_collapse():
+    q = ArrCollapse(Const(Arr([Arr([1, 2]), Arr(), Arr([3])])))
+    assert evaluate(q, ctx()) == Arr([1, 2, 3])
+
+
+def test_arr_collapse_needs_arrays():
+    with pytest.raises(AlgebraError):
+        evaluate(ArrCollapse(Const(Arr([1]))), ctx())
+
+
+def test_arr_diff_removes_earliest_occurrences():
+    q = ArrDiff(Const(Arr([1, 2, 1, 3, 1])), Const(Arr([1, 1])))
+    assert evaluate(q, ctx()) == Arr([2, 3, 1])
+
+
+def test_arr_diff_agrees_with_multiset_diff_on_counts():
+    from repro.core.values import MultiSet
+    a, b = Arr([1, 2, 1, 3]), Arr([1, 3, 3])
+    result = evaluate(ArrDiff(Const(a), Const(b)), ctx())
+    assert MultiSet(result) == MultiSet(a).difference(MultiSet(b))
+
+
+def test_arr_de_keeps_first():
+    q = ArrDE(Const(Arr([2, 1, 2, 3, 1])))
+    assert evaluate(q, ctx()) == Arr([2, 1, 3])
+
+
+def test_arr_cross_row_major():
+    q = ArrCross(Const(Arr([1, 2])), Const(Arr(["a", "b"])))
+    assert evaluate(q, ctx()) == Arr([
+        Tup(field1=1, field2="a"), Tup(field1=1, field2="b"),
+        Tup(field1=2, field2="a"), Tup(field1=2, field2="b")])
+
+
+def test_null_propagation_through_array_ops():
+    assert evaluate(ArrCat(Const(DNE), Const(Arr())), ctx()) is DNE
+    assert evaluate(SubArr(1, 2, Const(DNE)), ctx()) is DNE
+    assert evaluate(ArrExtract(1, Const(DNE)), ctx()) is DNE
+
+
+def test_order_preserving_analogs_match_multiset_semantics():
+    """ARR_DE / ARR_COLLAPSE are the order-preserving analogs: forgetting
+    order recovers the multiset operators."""
+    from repro.core.operators import DE, SetCollapse
+    from repro.core.values import MultiSet
+    arr = Arr([1, 2, 2, 3, 3])
+    arr_deduped = evaluate(ArrDE(Const(arr)), ctx())
+    set_deduped = evaluate(DE(Const(MultiSet(arr))), ctx())
+    assert MultiSet(arr_deduped) == set_deduped

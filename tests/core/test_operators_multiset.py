@@ -1,0 +1,188 @@
+"""The eight fundamental multiset operators (Section 3.2.1)."""
+
+import pytest
+
+from repro.core.expr import (AlgebraError, Const, EvalContext, Func, Input,
+                             Named, evaluate)
+from repro.core.operators import (DE, AddUnion, Comp, Cross, Diff, Grp,
+                                  SetApply, SetCollapse, SetCreate,
+                                  TupExtract)
+from repro.core.predicates import Atom
+from repro.core.values import DNE, UNK, MultiSet, Tup
+
+
+def ctx(**objects):
+    return EvalContext(objects, functions={"inc": lambda x: x + 1})
+
+
+def test_add_union():
+    q = AddUnion(Const(MultiSet([1, 1])), Const(MultiSet([1, 2])))
+    assert evaluate(q, ctx()) == MultiSet([1, 1, 1, 2])
+
+
+def test_add_union_type_error():
+    with pytest.raises(AlgebraError):
+        evaluate(AddUnion(Const(1), Const(MultiSet())), ctx())
+
+
+def test_add_union_null_propagation():
+    q = AddUnion(Const(DNE), Const(MultiSet([1])))
+    assert evaluate(q, ctx()) is DNE
+
+
+def test_set_create_wraps_anything():
+    assert evaluate(SetCreate(Const(5)), ctx()) == MultiSet([5])
+    nested = evaluate(SetCreate(Const(MultiSet([1]))), ctx())
+    assert nested == MultiSet([MultiSet([1])])
+
+
+def test_set_apply_paper_example():
+    """SET_APPLY_{INPUT − {1}}({{1,1,2},{2,3,4},{1}}) =
+    {{1,2},{2,3,4},{}}  (Section 3.2.1)."""
+    a = MultiSet([MultiSet([1, 1, 2]), MultiSet([2, 3, 4]), MultiSet([1])])
+    q = SetApply(Diff(Input(), Const(MultiSet([1]))), Const(a))
+    expected = MultiSet([MultiSet([1, 2]), MultiSet([2, 3, 4]), MultiSet()])
+    assert evaluate(q, ctx()) == expected
+
+
+def test_set_apply_preserves_cardinalities():
+    q = SetApply(Func("inc", [Input()]), Const(MultiSet([1, 1, 2])))
+    assert evaluate(q, ctx()) == MultiSet([2, 2, 3])
+
+
+def test_set_apply_merges_collisions():
+    q = SetApply(Const(0), Const(MultiSet([1, 2, 3])))
+    assert evaluate(q, ctx()) == MultiSet([0, 0, 0])
+
+
+def test_set_apply_drops_dne_results():
+    pred = Atom(Input(), ">", Const(1))
+    q = SetApply(Comp(pred, Input()), Const(MultiSet([1, 2, 3])))
+    assert evaluate(q, ctx()) == MultiSet([2, 3])
+
+
+def test_set_apply_keeps_unk_results():
+    pred = Atom(Input(), "=", Const(UNK))
+    q = SetApply(Comp(pred, Input()), Const(MultiSet([1, 2])))
+    assert evaluate(q, ctx()) == MultiSet([UNK, UNK])
+
+
+def test_set_apply_requires_multiset():
+    with pytest.raises(AlgebraError):
+        evaluate(SetApply(Input(), Const(5)), ctx())
+
+
+def test_set_apply_typed_filter():
+    collection = MultiSet([
+        Tup({"v": 1}, type_name="A"),
+        Tup({"v": 2}, type_name="B"),
+        Tup({"v": 3}, type_name="A"),
+    ])
+    q = SetApply(TupExtract("v", Input()), Const(collection), type_filter="A")
+    assert evaluate(q, ctx()) == MultiSet([1, 3])
+
+
+def test_set_apply_typed_filter_union_reconstructs():
+    """⊎ of typed SET_APPLYs over all types == untyped SET_APPLY."""
+    collection = MultiSet([
+        Tup({"v": 1}, type_name="A"),
+        Tup({"v": 2}, type_name="B"),
+    ])
+    body = TupExtract("v", Input())
+    split = AddUnion(
+        SetApply(body, Const(collection), type_filter="A"),
+        SetApply(body, Const(collection), type_filter="B"))
+    whole = SetApply(body, Const(collection))
+    assert evaluate(split, ctx()) == evaluate(whole, ctx())
+
+
+def test_set_apply_filter_skips_untyped_occurrences():
+    collection = MultiSet([Tup({"v": 1}, type_name="A"), 7])
+    q = SetApply(Input(), Const(collection), type_filter="A")
+    assert evaluate(q, ctx()) == MultiSet([Tup({"v": 1}, type_name="A")])
+
+
+def test_grp_partitions_by_key():
+    data = MultiSet([Tup(k=1, v="a"), Tup(k=1, v="b"), Tup(k=2, v="c")])
+    q = Grp(TupExtract("k", Input()), Const(data))
+    groups = evaluate(q, ctx())
+    assert groups.distinct_count() == 2
+    assert MultiSet([Tup(k=1, v="a"), Tup(k=1, v="b")]) in groups
+    assert MultiSet([Tup(k=2, v="c")]) in groups
+
+
+def test_grp_result_is_duplicate_free():
+    data = MultiSet([1, 1, 2])
+    groups = evaluate(Grp(Input(), Const(data)), ctx())
+    assert groups.is_set()
+
+
+def test_grp_groups_are_pairwise_disjoint():
+    data = MultiSet([1, 1, 2, 3, 3, 3])
+    groups = evaluate(Grp(Input(), Const(data)), ctx())
+    seen = MultiSet()
+    for group in groups.elements():
+        assert seen.intersection(group) == MultiSet()
+        seen = seen.add_union(group)
+    assert seen == data
+
+
+def test_grp_drops_dne_keys():
+    pred = Atom(Input(), ">", Const(1))
+    q = Grp(Comp(pred, Input()), Const(MultiSet([1, 2])))
+    groups = evaluate(q, ctx())
+    assert groups == MultiSet([MultiSet([2])])
+
+
+def test_de():
+    assert evaluate(DE(Const(MultiSet([1, 1, 2]))), ctx()) == MultiSet([1, 2])
+
+
+def test_de_charges_per_occurrence():
+    context = ctx()
+    evaluate(DE(Const(MultiSet([1, 1, 1, 2]))), context)
+    assert context.stats["de_elements"] == 4
+
+
+def test_diff():
+    q = Diff(Const(MultiSet([1, 1, 2])), Const(MultiSet([1, 3])))
+    assert evaluate(q, ctx()) == MultiSet([1, 2])
+
+
+def test_cross_produces_field_pairs():
+    q = Cross(Const(MultiSet([1, 1])), Const(MultiSet(["x"])))
+    result = evaluate(q, ctx())
+    assert result.cardinality(Tup(field1=1, field2="x")) == 2
+
+
+def test_cross_counts_pairs():
+    context = ctx()
+    evaluate(Cross(Const(MultiSet([1, 2])), Const(MultiSet([3, 4, 5]))),
+             context)
+    assert context.stats["cross_pairs"] == 6
+
+
+def test_set_collapse():
+    data = MultiSet([MultiSet([1, 2]), MultiSet([2])])
+    assert evaluate(SetCollapse(Const(data)), ctx()) == MultiSet([1, 2, 2])
+
+
+def test_set_collapse_needs_nested_multisets():
+    with pytest.raises((AlgebraError, TypeError)):
+        evaluate(SetCollapse(Const(MultiSet([1]))), ctx())
+
+
+def test_named_sources():
+    context = ctx(A=MultiSet([1, 2]))
+    assert evaluate(DE(Named("A")), context) == MultiSet([1, 2])
+
+
+def test_elements_scanned_counter_with_filter():
+    """A typed SET_APPLY still scans everything — the basis of the
+    Section 4 scan-count trade-off."""
+    collection = MultiSet([Tup({"v": i}, type_name="A" if i % 2 else "B")
+                           for i in range(10)])
+    context = ctx()
+    evaluate(SetApply(Input(), Const(collection), type_filter="A"), context)
+    assert context.stats["elements_scanned"] == 10
+    assert context.stats["set_apply_elements"] == 5

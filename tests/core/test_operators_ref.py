@@ -1,0 +1,85 @@
+"""REF and DEREF (Section 3.2.4) against the object store."""
+
+import pytest
+
+from repro.core.expr import AlgebraError, Const, EvalContext, evaluate
+from repro.core.operators import Deref, RefOp
+from repro.core.values import DNE, Ref, Tup
+from repro.storage import ObjectStore
+
+
+@pytest.fixture
+def store():
+    return ObjectStore()
+
+
+def ctx(store):
+    return EvalContext({}, store=store)
+
+
+def test_deref_materializes(store):
+    ref = store.insert(Tup(name="CS"), "Department")
+    result = evaluate(Deref(Const(ref)), ctx(store))
+    assert result == Tup(name="CS")
+
+
+def test_deref_counts_work(store):
+    ref = store.insert(5)
+    context = ctx(store)
+    evaluate(Deref(Const(ref)), context)
+    assert context.stats["deref_count"] == 1
+
+
+def test_deref_dangling_yields_dne(store):
+    ref = store.insert(5)
+    store.delete(ref.oid)
+    assert evaluate(Deref(Const(ref)), ctx(store)) is DNE
+
+
+def test_deref_requires_ref(store):
+    with pytest.raises(AlgebraError):
+        evaluate(Deref(Const(5)), ctx(store))
+
+
+def test_deref_requires_store():
+    with pytest.raises(AlgebraError):
+        evaluate(Deref(Const(Ref(1))), EvalContext())
+
+
+def test_deref_propagates_null(store):
+    assert evaluate(Deref(Const(DNE)), ctx(store)) is DNE
+
+
+def test_ref_creates_object(store):
+    result = evaluate(RefOp(Const(42), type_name="Num"), ctx(store))
+    assert isinstance(result, Ref)
+    assert store.get(result.oid) == 42
+    assert store.exact_type(result.oid) == "Num"
+
+
+def test_rule_28_deref_of_ref(store):
+    """DEREF(REF(A)) = A."""
+    assert evaluate(Deref(RefOp(Const(7))), ctx(store)) == 7
+
+
+def test_rule_28_ref_of_deref(store):
+    """REF(DEREF(A)) = A — REF recovers the extant object's identity."""
+    ref = store.insert(Tup(x=1), "T")
+    recovered = evaluate(RefOp(Deref(Const(ref))), ctx(store))
+    assert recovered == ref
+
+
+def test_ref_reuses_value_identical_object(store):
+    first = evaluate(RefOp(Const("shared")), ctx(store))
+    second = evaluate(RefOp(Const("shared")), ctx(store))
+    assert first == second
+    assert len(store) == 1
+
+
+def test_ref_requires_store():
+    with pytest.raises(AlgebraError):
+        evaluate(RefOp(Const(5)), EvalContext())
+
+
+def test_ref_null_propagation(store):
+    assert evaluate(RefOp(Const(DNE)), ctx(store)) is DNE

@@ -1,0 +1,83 @@
+"""The four tuple operators (Section 3.2.2)."""
+
+import pytest
+
+from repro.core.expr import AlgebraError, Const, EvalContext, evaluate
+from repro.core.operators import Pi, TupCat, TupCreate, TupExtract
+from repro.core.values import DNE, Tup
+
+
+def ctx():
+    return EvalContext()
+
+
+def test_pi_keeps_named_fields_in_order():
+    q = Pi(["c", "a"], Const(Tup(a=1, b=2, c=3)))
+    result = evaluate(q, ctx())
+    assert result == Tup(c=3, a=1)
+    assert result.field_names == ("c", "a")
+
+
+def test_pi_still_produces_a_tuple():
+    q = Pi(["a"], Const(Tup(a=1, b=2)))
+    assert isinstance(evaluate(q, ctx()), Tup)
+
+
+def test_pi_empty_projection():
+    assert evaluate(Pi([], Const(Tup(a=1))), ctx()) == Tup()
+
+
+def test_pi_unknown_field():
+    with pytest.raises(KeyError):
+        evaluate(Pi(["zzz"], Const(Tup(a=1))), ctx())
+
+
+def test_pi_requires_tuple():
+    with pytest.raises(AlgebraError):
+        evaluate(Pi(["a"], Const(5)), ctx())
+
+
+def test_tup_cat():
+    q = TupCat(Const(Tup(a=1)), Const(Tup(b=2)))
+    assert evaluate(q, ctx()) == Tup(a=1, b=2)
+
+
+def test_tup_cat_clash():
+    with pytest.raises(ValueError):
+        evaluate(TupCat(Const(Tup(a=1)), Const(Tup(a=2))), ctx())
+
+
+def test_tup_cat_null_propagation():
+    assert evaluate(TupCat(Const(DNE), Const(Tup())), ctx()) is DNE
+
+
+def test_tup_extract_unwraps():
+    q = TupExtract("a", Const(Tup(a=Tup(inner=1))))
+    result = evaluate(q, ctx())
+    assert result == Tup(inner=1)  # the field itself, not a 1-tuple
+
+
+def test_tup_extract_differs_from_pi():
+    source = Const(Tup(a=5))
+    assert evaluate(TupExtract("a", source), ctx()) == 5
+    assert evaluate(Pi(["a"], source), ctx()) == Tup(a=5)
+
+
+def test_tup_extract_missing_field():
+    with pytest.raises(KeyError):
+        evaluate(TupExtract("b", Const(Tup(a=1))), ctx())
+
+
+def test_tup_create():
+    assert evaluate(TupCreate("f1", Const(9)), ctx()) == Tup(f1=9)
+
+
+def test_tup_create_needs_source():
+    with pytest.raises(AlgebraError):
+        TupCreate("f1")
+
+
+def test_tup_create_plus_cat_adds_a_field():
+    """The paper's use case: TUP + TUP_CAT extend an existing tuple."""
+    q = TupCat(Const(Tup(a=1)), TupCreate("b", Const(2)))
+    assert evaluate(q, ctx()) == Tup(a=1, b=2)

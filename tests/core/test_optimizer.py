@@ -1,0 +1,226 @@
+"""Cost model and optimizer tests.
+
+The model's job is to rank the paper's worked-example alternatives the
+way Section 5 argues — DE on |S|+|E| beats DE on |S|·|E|, selection
+pushed ahead of grouping wins at low selectivity, fewer DEREFs win.
+"""
+
+import pytest
+
+from repro.core.expr import Const, Input, Named
+from repro.core.operators import (DE, Comp, Cross, Deref, Grp, SetApply,
+                                  TupExtract, sigma)
+from repro.core.optimizer import (CostModel, Estimate, ObjectStats,
+                                  OptimizationResult, Optimizer, Statistics)
+from repro.core.predicates import Atom, TruePred
+from repro.core.transform import ALL_RULES, RewriteFacts
+from repro.core.values import MultiSet
+
+
+@pytest.fixture
+def stats():
+    s = Statistics()
+    s.set_object("S", ObjectStats(cardinality=100, distinct=40))
+    s.set_object("E", ObjectStats(cardinality=200, distinct=200))
+    return s
+
+
+@pytest.fixture
+def model(stats):
+    return CostModel(stats)
+
+
+def test_named_cardinality_from_stats(model):
+    est = model.estimate(Named("S"))
+    assert est.card == 100 and est.distinct == 40
+
+
+def test_unknown_object_gets_default(model):
+    assert model.estimate(Named("ZZZ")).card == 100.0
+
+
+def test_const_cardinality(model):
+    assert model.estimate(Const(MultiSet([1, 2, 3]))).card == 3
+    assert model.estimate(Const(5)).card == 1
+
+
+def test_cross_cost_is_product(model):
+    est = model.estimate(Cross(Named("S"), Named("E")))
+    assert est.card == 100 * 200
+    assert est.cost >= 100 * 200
+
+
+def test_de_reduces_to_distinct(model):
+    est = model.estimate(DE(Named("S")))
+    assert est.card == 40
+
+
+def test_selection_applies_selectivity(model, stats):
+    pred = Atom(TupExtract("a", Input()), "=", Const(1))
+    est = model.estimate(sigma(pred, Named("S")))
+    assert est.card == pytest.approx(100 * 0.1)
+
+
+def test_custom_selectivity(model, stats):
+    pred = Atom(TupExtract("a", Input()), "=", Const(1))
+    stats.set_selectivity(pred, 0.01)
+    est = model.estimate(sigma(pred, Named("S")))
+    assert est.card == pytest.approx(1.0)
+
+
+def test_deref_weight_charged_per_element(model):
+    cheap = SetApply(TupExtract("a", Input()), Named("S"))
+    costly = SetApply(TupExtract("a", Deref(Input())), Named("S"))
+    assert model.cost(costly) > model.cost(cheap) + 100  # 100 derefs × 5
+
+
+def test_de_after_cross_costlier_than_de_before(model):
+    """The Example 1 ranking: DE over the product of S and E costs more
+    than DE over the inputs separately (rule 7's motivation)."""
+    after = DE(Cross(Named("S"), Named("E")))
+    before = Cross(DE(Named("S")), DE(Named("E")))
+    assert model.cost(after) > model.cost(before)
+
+
+def test_selection_before_grouping_cheaper_at_low_selectivity(stats):
+    """The Example 2 ranking (rule 10 read right-to-left)."""
+    model = CostModel(stats)
+    pred = Atom(TupExtract("floor", Input()), "=", Const(5))
+    stats.set_selectivity(pred, 0.05)
+    key = TupExtract("division", Input())
+    select_then_group = Grp(key, sigma(pred, Named("S")))
+    group_then_select = SetApply(
+        Comp(Atom(Input(), "!=", Const(MultiSet())),
+             sigma(pred, Input())), Grp(key, Named("S")))
+    assert model.cost(select_then_group) < model.cost(group_then_select)
+
+
+def test_optimizer_removes_redundant_de(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), max_depth=2)
+    query = DE(DE(Named("S")))
+    result = optimizer.optimize(query)
+    assert result.best == DE(Named("S"))
+    assert result.best_cost < result.initial_cost
+    assert result.improvement > 1
+
+
+def test_optimizer_eliminates_identity_apply(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), max_depth=2)
+    query = SetApply(Input(), Named("S"))
+    assert optimizer.optimize(query).best == Named("S")
+
+
+def test_optimizer_pushes_de_below_cross(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), max_depth=3)
+    query = DE(Cross(Named("S"), Named("E")))
+    best = optimizer.optimize(query).best
+    # DE(S) × DE(E) (rule 7) is the cheapest equivalent.
+    assert best == Cross(DE(Named("S")), DE(Named("E")))
+
+
+def test_optimizer_reports_derivation(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), max_depth=2)
+    result = optimizer.optimize(DE(DE(Named("S"))))
+    assert "de-idempotence" in result.steps
+    assert result.explored >= 2
+    assert "OptimizationResult" in repr(result)
+
+
+def test_estimate_repr():
+    assert "cost" in repr(Estimate(1.0, 2.0))
+
+
+def test_comp_merging_reduces_cost(stats):
+    """Rule 27: one COMP beats two stacked COMPs."""
+    model = CostModel(stats)
+    optimizer = Optimizer(cost_model=model, max_depth=2)
+    p1 = Atom(TupExtract("a", Input()), ">", Const(1))
+    p2 = Atom(TupExtract("b", Input()), "<", Const(9))
+    query = Comp(p1, Comp(p2, Named("S")))
+    result = optimizer.optimize(query)
+    assert result.best_cost <= model.cost(query)
+
+
+# ---------------------------------------------------------------------------
+# Collected statistics
+# ---------------------------------------------------------------------------
+
+
+def test_statistics_from_database():
+    from repro.core.values import Arr, MultiSet, Tup
+    from repro.storage import Database
+    db = Database()
+    db.create("Mixed", MultiSet(
+        [Tup({"v": 1}, type_name="A")] * 3
+        + [Tup({"v": 2}, type_name="B")]))
+    db.create("Nested", MultiSet([MultiSet([1, 2]), MultiSet([1, 2, 3, 4])]))
+    db.create("Arr", Arr([1, 1, 2]))
+    collected = Statistics.from_database(db)
+    mixed = collected.object("Mixed")
+    assert mixed.cardinality == 4
+    assert mixed.distinct == 2
+    assert mixed.type_fractions["A"] == pytest.approx(0.75)
+    assert collected.object("Nested").avg_nested_size == pytest.approx(3.0)
+    assert collected.object("Arr").cardinality == 3
+    assert collected.object("Arr").distinct == 2
+
+
+def test_collected_stats_drive_real_optimization():
+    """The optimizer, fed collected stats, still picks the DE-past-×
+    plan on real data and the plan's measured work improves."""
+    from repro.core.values import MultiSet
+    from repro.storage import Database
+    from repro.core.expr import EvalContext, evaluate
+    db = Database()
+    db.create("Big", MultiSet(i % 7 for i in range(300)))
+    db.create("Small", MultiSet(i % 3 for i in range(40)))
+    collected = Statistics.from_database(db)
+    optimizer = Optimizer(cost_model=CostModel(collected), max_depth=2)
+    query = DE(Cross(Named("Big"), Named("Small")))
+    result = optimizer.optimize(query)
+    assert result.best == Cross(DE(Named("Big")), DE(Named("Small")))
+    ctx_before, ctx_after = db.context(), db.context()
+    assert evaluate(query, ctx_before) == evaluate(result.best, ctx_after)
+    assert (ctx_after.stats["de_elements"]
+            < ctx_before.stats["de_elements"])
+
+
+# ---------------------------------------------------------------------------
+# Greedy strategy
+# ---------------------------------------------------------------------------
+
+
+def test_greedy_finds_downhill_plans(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), strategy="greedy",
+                          max_depth=6)
+    result = optimizer.optimize(DE(DE(DE(Named("S")))))
+    assert result.best == DE(Named("S"))
+    assert result.steps == ("de-idempotence", "de-idempotence")
+
+
+def test_greedy_matches_exhaustive_on_simple_plans(stats):
+    query = DE(Cross(Named("S"), Named("E")))
+    exhaustive = Optimizer(cost_model=CostModel(stats),
+                           max_depth=3).optimize(query)
+    greedy = Optimizer(cost_model=CostModel(stats), strategy="greedy",
+                       max_depth=6).optimize(query)
+    assert greedy.best == exhaustive.best
+
+
+def test_greedy_stops_at_local_minimum(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), strategy="greedy")
+    result = optimizer.optimize(Named("S"))
+    assert result.best == Named("S")
+    assert result.steps == ()
+
+
+def test_greedy_respects_max_depth(stats):
+    optimizer = Optimizer(cost_model=CostModel(stats), strategy="greedy",
+                          max_depth=1)
+    result = optimizer.optimize(DE(DE(DE(Named("S")))))
+    assert len(result.steps) == 1
+
+
+def test_bad_strategy_rejected():
+    with pytest.raises(ValueError):
+        Optimizer(strategy="quantum")

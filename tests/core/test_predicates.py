@@ -1,0 +1,171 @@
+"""COMP and three-valued predicate logic tests (Section 3.2.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.expr import AlgebraError, Const, EvalContext, Input, evaluate
+from repro.core.predicates import (And, Atom, Comp, Not, Or, T, F, U,
+                                   TruePred, kleene_and, kleene_not,
+                                   kleene_or)
+from repro.core.values import DNE, UNK, Arr, MultiSet, Tup
+
+TRUTH = [T, F, U]
+
+
+def ctx():
+    return EvalContext()
+
+
+# ---------------------------------------------------------------------------
+# Kleene logic
+# ---------------------------------------------------------------------------
+
+
+def test_kleene_and_table():
+    assert kleene_and(T, T) == T
+    assert kleene_and(T, F) == F
+    assert kleene_and(F, U) == F
+    assert kleene_and(T, U) == U
+    assert kleene_and(U, U) == U
+
+
+def test_kleene_or_table():
+    assert kleene_or(F, F) == F
+    assert kleene_or(T, U) == T
+    assert kleene_or(F, U) == U
+
+
+def test_kleene_not():
+    assert kleene_not(T) == F
+    assert kleene_not(F) == T
+    assert kleene_not(U) == U
+
+
+@given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+def test_de_morgan(a, b):
+    assert kleene_not(kleene_and(a, b)) == kleene_or(kleene_not(a),
+                                                     kleene_not(b))
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+
+
+def test_atom_equality_is_value_equality():
+    """One equality for everything — including nested structures."""
+    atom = Atom(Input(), "=", Const(MultiSet([Tup(a=1)])))
+    assert atom.test(MultiSet([Tup(a=1)]), ctx()) == T
+    assert atom.test(MultiSet([Tup(a=2)]), ctx()) == F
+
+
+def test_paper_comp_example():
+    """COMP_E((1 4 6 4 1)) = (1 4 6 4 1) when fld2 = fld4."""
+    value = Tup(fld1=1, fld2=4, fld3=6, fld4=4, fld5=1)
+    from repro.core.operators import TupExtract
+    pred = Atom(TupExtract("fld2", Input()), "=",
+                TupExtract("fld4", Input()))
+    assert evaluate(Comp(pred, Const(value)), ctx()) == value
+
+
+def test_atom_order_comparators():
+    for op, expected in (("<", T), ("<=", T), (">", F), (">=", F)):
+        assert Atom(Const(1), op, Const(2)).test(None, ctx()) == expected
+    assert Atom(Const(2), "!=", Const(3)).test(None, ctx()) == T
+
+
+def test_atom_incomparable_types_are_unknown():
+    assert Atom(Const(1), "<", Const("x")).test(None, ctx()) == U
+
+
+def test_atom_membership_multiset():
+    atom = Atom(Const(2), "in", Const(MultiSet([1, 2, 2])))
+    assert atom.test(None, ctx()) == T
+    assert Atom(Const(5), "in",
+                Const(MultiSet([1]))).test(None, ctx()) == F
+
+
+def test_atom_membership_array():
+    assert Atom(Const(2), "in", Const(Arr([1, 2]))).test(None, ctx()) == T
+
+
+def test_atom_membership_bad_operand():
+    with pytest.raises(AlgebraError):
+        Atom(Const(2), "in", Const(3)).test(None, ctx())
+
+
+def test_atom_bad_comparator_rejected():
+    with pytest.raises(AlgebraError):
+        Atom(Const(1), "~", Const(2))
+
+
+def test_atom_null_semantics():
+    assert Atom(Const(UNK), "=", Const(1)).test(None, ctx()) == U
+    assert Atom(Const(DNE), "=", Const(DNE)).test(None, ctx()) == F
+
+
+# ---------------------------------------------------------------------------
+# COMP
+# ---------------------------------------------------------------------------
+
+
+def test_comp_returns_input_on_true():
+    assert evaluate(Comp(TruePred(), Const(7)), ctx()) == 7
+
+
+def test_comp_returns_dne_on_false():
+    pred = Atom(Input(), ">", Const(10))
+    assert evaluate(Comp(pred, Const(7)), ctx()) is DNE
+
+
+def test_comp_returns_unk_on_unknown():
+    pred = Atom(Input(), "=", Const(UNK))
+    assert evaluate(Comp(pred, Const(7)), ctx()) is UNK
+
+
+def test_comp_propagates_null_input():
+    assert evaluate(Comp(TruePred(), Const(DNE)), ctx()) is DNE
+    assert evaluate(Comp(TruePred(), Const(UNK)), ctx()) is UNK
+
+
+def test_comp_counts_evaluations():
+    context = ctx()
+    evaluate(Comp(TruePred(), Const(1)), context)
+    assert context.stats["comp_evals"] == 1
+
+
+def test_connectives_compose():
+    a_true = Atom(Const(1), "=", Const(1))
+    a_false = Atom(Const(1), "=", Const(2))
+    assert And(a_true, a_false).test(None, ctx()) == F
+    assert Or(a_true, a_false).test(None, ctx()) == T
+    assert Not(a_false).test(None, ctx()) == T
+
+
+def test_or_is_derived_not_primitive():
+    """∨ expands to ¬(¬a ∧ ¬b) — the predicate tree has only ∧ and ¬."""
+    disjunction = Or(TruePred(), TruePred())
+    assert isinstance(disjunction, Not)
+    assert isinstance(disjunction.inner, And)
+
+
+def test_predicate_structural_equality():
+    a = And(Atom(Input(), "=", Const(1)), TruePred())
+    b = And(Atom(Input(), "=", Const(1)), TruePred())
+    assert a == b and hash(a) == hash(b)
+    assert a != And(TruePred(), TruePred())
+
+
+def test_map_exprs_descends():
+    pred = And(Atom(Input(), "=", Const(1)), Not(Atom(Input(), "<", Const(2))))
+    rewritten = pred.map_exprs(
+        lambda e: Const(9) if e == Const(1) else e)
+    assert rewritten == And(Atom(Input(), "=", Const(9)),
+                            Not(Atom(Input(), "<", Const(2))))
+
+
+def test_deep_exprs():
+    pred = And(Atom(Input(), "=", Const(1)), Not(TruePred()))
+    exprs = pred.deep_exprs()
+    assert Const(1) in exprs and Input() in exprs

@@ -1,0 +1,166 @@
+"""Schema digraph tests: conditions (i)–(iv) of Section 3.1, Figure 2."""
+
+import pytest
+
+from repro.core.schema import (SchemaCatalog, SchemaError, SchemaNode,
+                               infer_schema)
+from repro.core.values import Arr, MultiSet, Ref, Tup
+
+
+def figure_2_schema() -> SchemaNode:
+    """The paper's Figure 2: a multiset of 3-tuples (scalar, array of
+    scalars, reference to a scalar)."""
+    return SchemaNode.set_of(SchemaNode.tup({
+        "a": SchemaNode.val(int),
+        "b": SchemaNode.arr_of(SchemaNode.val(int)),
+        "c": SchemaNode.ref_to(SchemaNode.val(int)),
+    }))
+
+
+def test_figure_2_builds_and_validates():
+    schema = figure_2_schema()
+    schema.validate()
+    assert schema.kind == "set"
+    assert schema.children[0].kind == "tup"
+
+
+def test_condition_i_val_has_no_components():
+    with pytest.raises(SchemaError):
+        SchemaNode("val", children=[SchemaNode.val()])
+
+
+def test_condition_ii_empty_tuple_allowed():
+    SchemaNode.tup({}).validate()  # the empty tuple type is legal
+
+
+def test_condition_iii_set_needs_one_component():
+    with pytest.raises(SchemaError):
+        SchemaNode("set", children=[])
+    with pytest.raises(SchemaError):
+        SchemaNode("set", children=[SchemaNode.val(), SchemaNode.val()])
+
+
+def test_condition_iii_ref_needs_target_or_component():
+    with pytest.raises(SchemaError):
+        SchemaNode("ref")
+    with pytest.raises(SchemaError):
+        SchemaNode("ref", target="T", children=[SchemaNode.val()])
+
+
+def test_condition_iv_shared_node_rejected():
+    shared = SchemaNode.val(int)
+    schema = SchemaNode.tup({"a": shared, "b": shared})
+    with pytest.raises(SchemaError):
+        schema.validate()
+
+
+def test_cycles_must_go_through_ref():
+    # Employee.manager: ref Employee — representable because the ref
+    # carries the target *name*.
+    catalog = SchemaCatalog()
+    employee = SchemaNode.tup({"manager": SchemaNode.ref_to("Employee")},
+                              name="Employee")
+    catalog.register(employee)
+    employee.validate()
+    resolved = catalog.target_of(employee.field("manager"))
+    assert resolved is employee
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(SchemaError):
+        SchemaNode("tup", children=[SchemaNode.val(), SchemaNode.val()],
+                   field_names=["a", "a"])
+
+
+def test_field_lookup():
+    schema = figure_2_schema().children[0]
+    assert schema.field("a").kind == "val"
+    with pytest.raises(SchemaError):
+        schema.field("zzz")
+    with pytest.raises(SchemaError):
+        SchemaNode.val().field("a")
+
+
+def test_component_accessors():
+    schema = figure_2_schema()
+    assert schema.component.kind == "tup"
+    with pytest.raises(SchemaError):
+        SchemaNode.val().component
+    named_ref = SchemaNode.ref_to("T")
+    with pytest.raises(SchemaError):
+        named_ref.component  # must resolve through a catalog
+
+
+def test_describe_is_extra_flavoured():
+    text = figure_2_schema().describe()
+    assert text.startswith("{ (")
+    assert "array of int" in text
+    fixed = SchemaNode.arr_of(SchemaNode.val(int), fixed_length=10)
+    assert fixed.describe() == "array [1..10] of int"
+    assert SchemaNode.ref_to("Employee").describe() == "ref Employee"
+
+
+def test_structural_equality_ignores_names():
+    assert figure_2_schema().structurally_equal(figure_2_schema())
+    other = SchemaNode.set_of(SchemaNode.val(int))
+    assert not figure_2_schema().structurally_equal(other)
+
+
+def test_structural_equality_respects_fixed_length():
+    a = SchemaNode.arr_of(SchemaNode.val(int), fixed_length=10)
+    b = SchemaNode.arr_of(SchemaNode.val(int))
+    assert not a.structurally_equal(b)
+
+
+def test_clone_is_deep_and_renamed():
+    original = figure_2_schema()
+    copy = original.clone()
+    assert copy.structurally_equal(original)
+    assert copy.name != original.name
+    # Cloned trees can be embedded twice without violating (iv).
+    SchemaNode.tup({"x": original.clone(), "y": original.clone()}).validate()
+
+
+def test_clone_preserves_base_name():
+    named = SchemaNode.tup({}, name="Person")
+    assert named.clone().base_name == "Person"
+
+
+def test_catalog_duplicate_name_rejected():
+    catalog = SchemaCatalog()
+    catalog.register(SchemaNode.val(int), "T")
+    with pytest.raises(SchemaError):
+        catalog.register(SchemaNode.val(str), "T")
+    with pytest.raises(SchemaError):
+        catalog.resolve("missing")
+    assert "T" in catalog
+    assert catalog.names() == ["T"]
+
+
+def test_infer_schema_from_figure_2_instance():
+    # The paper's example instance: { (26, [1, 21], x), (25, [], y) }.
+    x, y = Ref("x"), Ref("y")
+    instance = MultiSet([Tup(a=26, b=Arr([1, 21]), c=x),
+                         Tup(a=25, b=Arr(), c=y)])
+    schema = infer_schema(instance)
+    assert schema.kind == "set"
+    tup = schema.component
+    assert tup.field("a").kind == "val"
+    assert tup.field("b").kind == "arr"
+    assert tup.field("c").kind == "ref"
+
+
+def test_infer_schema_scalars_and_empty():
+    assert infer_schema(5).scalar_type is int
+    assert infer_schema(MultiSet()).component.kind == "val"
+    assert infer_schema(Arr()).component.kind == "val"
+    assert infer_schema(Ref(1, "Person")).target == "Person"
+    with pytest.raises(TypeError):
+        infer_schema(object())
+
+
+def test_walk_stops_at_named_ref_targets():
+    employee = SchemaNode.tup({"manager": SchemaNode.ref_to("Employee")},
+                              name="Employee")
+    kinds = [node.kind for node in employee.walk()]
+    assert kinds == ["tup", "ref"]  # the cycle is not followed

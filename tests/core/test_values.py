@@ -1,0 +1,347 @@
+"""Unit and property tests for the runtime value model (Section 3.2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (DNE, UNK, Arr, MultiSet, Null, Ref, Tup,
+                               is_null, is_scalar, is_value, sort_of)
+
+# ---------------------------------------------------------------------------
+# Nulls
+# ---------------------------------------------------------------------------
+
+
+def test_null_singletons():
+    assert Null("dne") is DNE
+    assert Null("unk") is UNK
+    assert DNE is not UNK
+
+
+def test_null_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        Null("maybe")
+
+
+def test_is_null():
+    assert is_null(DNE) and is_null(UNK)
+    assert not is_null(None)
+    assert not is_null(0)
+
+
+def test_null_repr():
+    assert repr(DNE) == "dne"
+    assert repr(UNK) == "unk"
+
+
+# ---------------------------------------------------------------------------
+# Tup
+# ---------------------------------------------------------------------------
+
+
+def test_tup_field_access_and_order():
+    t = Tup(a=1, b=2)
+    assert t["a"] == 1
+    assert t.field_names == ("a", "b")
+    assert len(t) == 2
+    assert "a" in t and "z" not in t
+
+
+def test_tup_missing_field():
+    with pytest.raises(KeyError):
+        Tup(a=1)["b"]
+
+
+def test_empty_tuple_is_legal():
+    t = Tup()
+    assert len(t) == 0
+    assert t == Tup()
+
+
+def test_tup_equality_is_order_insensitive():
+    # Named-record semantics: validates TUP_CAT commutativity (rule 23).
+    assert Tup(a=1, b=2) == Tup(b=2, a=1)
+    assert hash(Tup(a=1, b=2)) == hash(Tup(b=2, a=1))
+
+
+def test_tup_type_name_participates_in_equality():
+    plain = Tup({"name": "x"})
+    typed = Tup({"name": "x"}, type_name="Person")
+    assert plain != typed
+    assert typed == Tup({"name": "x"}, type_name="Person")
+
+
+def test_tup_project_drops_type_and_keeps_order():
+    t = Tup({"a": 1, "b": 2, "c": 3}, type_name="T")
+    p = t.project(["c", "a"])
+    assert p.field_names == ("c", "a")
+    assert p.type_name is None
+
+
+def test_tup_concat_disjoint():
+    assert Tup(a=1).concat(Tup(b=2)) == Tup(a=1, b=2)
+
+
+def test_tup_concat_clash_rejected():
+    with pytest.raises(ValueError):
+        Tup(a=1).concat(Tup(a=2))
+
+
+def test_tup_replace_keeps_type_name():
+    t = Tup({"a": 1}, type_name="T")
+    assert t.replace(a=9) == Tup({"a": 9}, type_name="T")
+    with pytest.raises(KeyError):
+        t.replace(z=0)
+
+
+def test_tup_immutable():
+    with pytest.raises(AttributeError):
+        Tup(a=1).x = 5
+
+
+def test_tup_get_default():
+    assert Tup(a=1).get("b", 7) == 7
+
+
+# ---------------------------------------------------------------------------
+# Arr
+# ---------------------------------------------------------------------------
+
+
+def test_arr_basics():
+    a = Arr([1, 2, 3])
+    assert len(a) == 3
+    assert list(a) == [1, 2, 3]
+    assert a[0] == 1
+    assert a[1:] == Arr([2, 3])
+
+
+def test_arr_extract_is_one_based_and_unwrapped():
+    a = Arr([10, 20, 30])
+    assert a.extract(1) == 10
+    assert a.extract(3) == 30
+
+
+def test_arr_extract_out_of_bounds():
+    with pytest.raises(IndexError):
+        Arr([1]).extract(2)
+    with pytest.raises(IndexError):
+        Arr([1]).extract(0)
+
+
+def test_subarr_inclusive_bounds():
+    a = Arr([1, 2, 3, 4, 5])
+    assert a.subarr(2, 4) == Arr([2, 3, 4])
+
+
+def test_subarr_last_token():
+    a = Arr([1, 2, 3])
+    assert a.subarr(2, "last") == Arr([2, 3])
+    assert a.subarr("last", "last") == Arr([3])
+
+
+def test_subarr_clamps_and_empties():
+    a = Arr([1, 2, 3])
+    assert a.subarr(2, 10) == Arr([2, 3])
+    assert a.subarr(3, 2) == Arr()  # inverted range: the empty array
+
+
+def test_subarr_lower_bound_validation():
+    with pytest.raises(IndexError):
+        Arr([1]).subarr(0, 1)
+
+
+def test_arr_concat_order():
+    assert Arr([1]).concat(Arr([2, 3])) == Arr([1, 2, 3])
+
+
+def test_empty_array_is_legal():
+    assert len(Arr()) == 0
+    assert Arr().subarr(1, 5) == Arr()
+
+
+def test_arr_equality_is_order_sensitive():
+    assert Arr([1, 2]) != Arr([2, 1])
+
+
+# ---------------------------------------------------------------------------
+# MultiSet
+# ---------------------------------------------------------------------------
+
+
+def test_multiset_cardinalities():
+    m = MultiSet([1, 1, 2])
+    assert m.cardinality(1) == 2
+    assert m.cardinality(2) == 1
+    assert m.cardinality(3) == 0
+    assert len(m) == 3
+    assert m.distinct_count() == 2
+
+
+def test_multiset_equality_is_cardinality_wise():
+    assert MultiSet([1, 1, 2]) == MultiSet([2, 1, 1])
+    assert MultiSet([1, 1]) != MultiSet([1])
+
+
+def test_multiset_drops_dne_keeps_unk():
+    m = MultiSet([1, DNE, UNK, DNE])
+    assert len(m) == 2
+    assert UNK in m and DNE not in m
+
+
+def test_multiset_counts_constructor():
+    m = MultiSet(counts={5: 3})
+    assert m.cardinality(5) == 3
+    with pytest.raises(ValueError):
+        MultiSet(counts={5: -1})
+
+
+def test_multiset_zero_count_absent():
+    m = MultiSet(counts={5: 0})
+    assert 5 not in m and len(m) == 0
+
+
+def test_add_union_sums():
+    a, b = MultiSet([1, 1]), MultiSet([1, 2])
+    assert a.add_union(b) == MultiSet([1, 1, 1, 2])
+
+
+def test_difference_floors_at_zero():
+    a, b = MultiSet([1, 1, 2]), MultiSet([1, 1, 1, 3])
+    assert a.difference(b) == MultiSet([2])
+
+
+def test_union_is_max():
+    a, b = MultiSet([1, 1, 2]), MultiSet([1, 3])
+    assert a.union(b) == MultiSet([1, 1, 2, 3])
+
+
+def test_intersection_is_min():
+    a, b = MultiSet([1, 1, 2]), MultiSet([1, 1, 1])
+    assert a.intersection(b) == MultiSet([1, 1])
+
+
+def test_dedup():
+    assert MultiSet([1, 1, 2]).dedup() == MultiSet([1, 2])
+    assert MultiSet([1, 2]).is_set()
+    assert not MultiSet([1, 1]).is_set()
+
+
+def test_cross_multiplies_cardinalities():
+    a, b = MultiSet([1, 1]), MultiSet(["x"])
+    product = a.cross(b)
+    assert product.cardinality(Tup(field1=1, field2="x")) == 2
+
+
+def test_collapse():
+    m = MultiSet([MultiSet([1, 2]), MultiSet([2]), MultiSet([2])])
+    assert m.collapse() == MultiSet([1, 2, 2, 2])
+
+
+def test_collapse_needs_multisets():
+    with pytest.raises(TypeError):
+        MultiSet([1]).collapse()
+
+
+def test_multiset_nests():
+    outer = MultiSet([MultiSet([1]), MultiSet([1])])
+    assert outer.cardinality(MultiSet([1])) == 2
+
+
+def test_occurrence_iteration():
+    assert sorted(MultiSet([1, 1, 2])) == [1, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Ref & sorts
+# ---------------------------------------------------------------------------
+
+
+def test_ref_equality_is_oid_only():
+    assert Ref(1, "A") == Ref(1, "B")
+    assert Ref(1) != Ref(2)
+    assert hash(Ref(1, "A")) == hash(Ref(1))
+
+
+def test_ref_immutable():
+    with pytest.raises(AttributeError):
+        Ref(1).oid = 2
+
+
+def test_sort_of():
+    assert sort_of(1) == "val"
+    assert sort_of(Tup()) == "tup"
+    assert sort_of(Arr()) == "arr"
+    assert sort_of(MultiSet()) == "set"
+    assert sort_of(Ref(1)) == "ref"
+    assert sort_of(DNE) == "null"
+    with pytest.raises(TypeError):
+        sort_of(object())
+
+
+def test_is_value_and_scalar():
+    assert is_scalar(1.5) and is_scalar("x") and is_scalar(True)
+    assert not is_scalar(Tup())
+    assert is_value(MultiSet([Arr([Tup(a=Ref(1))])]))
+    assert not is_value(object())
+
+
+# ---------------------------------------------------------------------------
+# Property tests: multiset algebra laws
+# ---------------------------------------------------------------------------
+
+small_multisets = st.lists(st.integers(0, 5), max_size=8).map(MultiSet)
+
+
+@given(small_multisets, small_multisets)
+def test_add_union_commutes(a, b):
+    assert a.add_union(b) == b.add_union(a)
+
+
+@given(small_multisets, small_multisets, small_multisets)
+def test_add_union_associates(a, b, c):
+    assert a.add_union(b).add_union(c) == a.add_union(b.add_union(c))
+
+
+@given(small_multisets, small_multisets)
+def test_union_via_difference_identity(a, b):
+    # A ∪ B = (A − B) ⊎ B  (the appendix's derivation).
+    assert a.union(b) == a.difference(b).add_union(b)
+
+
+@given(small_multisets, small_multisets)
+def test_intersection_via_difference_identity(a, b):
+    # A ∩ B = A − (A − B).
+    assert a.intersection(b) == a.difference(a.difference(b))
+
+
+@given(small_multisets)
+def test_dedup_idempotent(a):
+    assert a.dedup().dedup() == a.dedup()
+
+
+@given(small_multisets, small_multisets)
+def test_cardinality_arithmetic(a, b):
+    u = a.add_union(b)
+    for element in set(list(a.elements()) + list(b.elements())):
+        assert u.cardinality(element) == (a.cardinality(element)
+                                          + b.cardinality(element))
+
+
+@given(small_multisets, small_multisets)
+def test_difference_cardinalities(a, b):
+    d = a.difference(b)
+    for element in a.elements():
+        expected = max(0, a.cardinality(element) - b.cardinality(element))
+        assert d.cardinality(element) == expected
+
+
+@given(small_multisets, small_multisets)
+def test_cross_total_size(a, b):
+    assert len(a.cross(b)) == len(a) * len(b)
+
+
+@given(small_multisets)
+def test_collapse_of_singletons(a):
+    wrapped = MultiSet([MultiSet([x]) for x in a])
+    assert wrapped.collapse() == a

@@ -1,0 +1,94 @@
+"""Lexer tests for the shared EXTRA/EXCESS tokenizer."""
+
+import pytest
+
+from repro.lang import Lexer, ParseError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "EOF"]
+
+
+def test_identifiers_and_numbers():
+    assert kinds("abc x_1 42 3.5") == [
+        ("IDENT", "abc"), ("IDENT", "x_1"), ("INT", "42"), ("FLOAT", "3.5")]
+
+
+def test_range_operator_vs_float():
+    """`1..10` is INT DOTDOT INT, not a float."""
+    assert kinds("1..10") == [("INT", "1"), ("OP", ".."), ("INT", "10")]
+
+
+def test_dotted_path():
+    assert kinds("a.b.c") == [("IDENT", "a"), ("OP", "."), ("IDENT", "b"),
+                              ("OP", "."), ("IDENT", "c")]
+
+
+def test_strings_both_quotes():
+    assert kinds('"hi" \'there\'') == [("STRING", "hi"), ("STRING", "there")]
+
+
+def test_string_preserves_braces_and_spaces():
+    assert kinds('"a { b } c"') == [("STRING", "a { b } c")]
+
+
+def test_multichar_operators_longest_first():
+    assert kinds("<= >= != ..") == [("OP", "<="), ("OP", ">="),
+                                    ("OP", "!="), ("OP", "..")]
+
+
+def test_comments_hash_and_dashes():
+    assert kinds("a # comment\nb -- another\nc") == [
+        ("IDENT", "a"), ("IDENT", "b"), ("IDENT", "c")]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("ab\n  cd")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_unterminated_string_raises_with_position():
+    with pytest.raises(ParseError) as info:
+        tokenize('x = "oops')
+    assert info.value.line == 1
+
+
+def test_newline_inside_string_rejected():
+    with pytest.raises(ParseError):
+        tokenize('"a\nb"')
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        tokenize("a @ b")
+
+
+def test_lexer_cursor_helpers():
+    lexer = Lexer("a , b")
+    assert lexer.peek().value == "a"
+    assert lexer.expect_ident().value == "a"
+    assert lexer.accept_op(",")
+    assert not lexer.accept_op(",")
+    assert lexer.expect_ident().value == "b"
+    assert lexer.at_end()
+    # EOF is sticky.
+    assert lexer.advance().kind == "EOF"
+    assert lexer.advance().kind == "EOF"
+
+
+def test_expect_failures_raise():
+    lexer = Lexer("x")
+    with pytest.raises(ParseError):
+        lexer.expect_op("(")
+    with pytest.raises(ParseError):
+        lexer.expect_word("retrieve")
+    lexer2 = Lexer("(")
+    with pytest.raises(ParseError):
+        lexer2.expect_ident()
+
+
+def test_keyword_matching_is_case_insensitive():
+    lexer = Lexer("RETRIEVE Retrieve retrieve")
+    for _ in range(3):
+        assert lexer.accept_word("retrieve")

@@ -1,0 +1,217 @@
+"""EXCESS surface-syntax parser tests."""
+
+import pytest
+
+from repro.excess import ast, parse
+from repro.lang import ParseError
+
+
+def parse_one(source):
+    statements = parse(source)
+    assert len(statements) == 1
+    return statements[0]
+
+
+def test_range_decl_single():
+    stmt = parse_one("range of E is Employees")
+    assert stmt == ast.RangeDecl([("E", "Employees")])
+
+
+def test_range_decl_multiple():
+    stmt = parse_one("range of S is Students, E is Employees")
+    assert stmt.bindings == (("S", "Students"), ("E", "Employees"))
+
+
+def test_retrieve_simple_target():
+    stmt = parse_one("retrieve (C.name)")
+    assert isinstance(stmt, ast.Retrieve)
+    target = stmt.targets[0]
+    assert target.expr == ast.Path(ast.Name("C"), [ast.FieldStep("name")])
+
+
+def test_retrieve_paper_query_1():
+    stmt = parse_one(
+        "retrieve (C.name) from C in E.kids where E.dept.floor = 2")
+    assert stmt.from_clauses == (ast.FromClause(
+        "C", ast.Path(ast.Name("E"), [ast.FieldStep("kids")])),)
+    assert isinstance(stmt.where, ast.Comparison)
+    assert stmt.where.op == "="
+    assert stmt.where.right == ast.Literal(2)
+
+
+def test_retrieve_paper_query_2_nested_aggregate():
+    stmt = parse_one("""
+        retrieve (EMP.name, min(E.kids.age
+            from E in Employees
+            where E.dept.floor = EMP.dept.floor))
+    """)
+    aggregate = stmt.targets[1].expr
+    assert isinstance(aggregate, ast.Aggregate)
+    assert aggregate.func == "min"
+    assert aggregate.from_clauses[0].var == "E"
+    assert isinstance(aggregate.where, ast.Comparison)
+
+
+def test_retrieve_unique_and_by():
+    stmt = parse_one("retrieve unique (S.dept.name, E.name) by S.dept "
+                     "where S.advisor = E.name")
+    assert stmt.unique
+    assert len(stmt.by) == 1
+    assert stmt.where is not None
+
+
+def test_clause_order_is_flexible():
+    a = parse_one("retrieve (S.name) by S.dept where S.floor = 5")
+    b = parse_one("retrieve (S.name) where S.floor = 5 by S.dept")
+    assert a.by == b.by and a.where == b.where
+
+
+def test_array_indexing():
+    stmt = parse_one("retrieve (TopTen[5].name)")
+    path = stmt.targets[0].expr
+    assert path.steps[0] == ast.IndexStep(5)
+    assert path.steps[1] == ast.FieldStep("name")
+
+
+def test_array_slicing_and_last():
+    stmt = parse_one("retrieve (TopTen[2..last])")
+    step = stmt.targets[0].expr.steps[0]
+    assert step.lower == 2 and step.upper == "last"
+    assert step.is_slice
+
+
+def test_method_call_step():
+    stmt = parse_one('retrieve (E.get_ssnum("Joe"))')
+    step = stmt.targets[0].expr.steps[0]
+    assert step == ast.CallStep("get_ssnum", [ast.Literal("Joe")])
+
+
+def test_into_clause():
+    assert parse_one("retrieve (x) from x in A into B").into == "B"
+
+
+def test_value_mode():
+    stmt = parse_one("retrieve value (A)")
+    assert stmt.value_mode
+
+
+def test_aliased_targets():
+    stmt = parse_one("retrieve (total = x.a + x.b)")
+    target = stmt.targets[0]
+    assert target.alias == "total"
+    assert isinstance(target.expr, ast.BinOp)
+
+
+def test_set_and_array_literals():
+    stmt = parse_one("retrieve ({1, 2, 2}, [3, 4])")
+    assert stmt.targets[0].expr == ast.SetLiteral(
+        [ast.Literal(1), ast.Literal(2), ast.Literal(2)])
+    assert stmt.targets[1].expr == ast.ArrayLiteral(
+        [ast.Literal(3), ast.Literal(4)])
+
+
+def test_empty_set_literal():
+    assert parse_one("retrieve ({})").targets[0].expr == ast.SetLiteral([])
+
+
+def test_arithmetic_precedence():
+    stmt = parse_one("retrieve (a + b * c)")
+    expr = stmt.targets[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_unary_minus():
+    stmt = parse_one("retrieve (-x)")
+    assert stmt.targets[0].expr == ast.FuncCall("neg", [ast.Name("x")])
+
+
+def test_predicate_connectives():
+    stmt = parse_one(
+        "retrieve (x) where x.a = 1 and not (x.b = 2 or x.c = 3)")
+    assert isinstance(stmt.where, ast.AndPred)
+    assert isinstance(stmt.where.right, ast.NotPred)
+    assert isinstance(stmt.where.right.inner, ast.OrPred)
+
+
+def test_parenthesized_comparison_in_where():
+    """The Section 4 method body style: where (this.kids.name = kname)."""
+    stmt = parse_one("retrieve (this.kids.ssnum) "
+                     "where (this.kids.name = kname)")
+    assert isinstance(stmt.where, ast.Comparison)
+
+
+def test_membership_predicate():
+    stmt = parse_one("retrieve (x) where x in A")
+    assert stmt.where.op == "in"
+
+
+def test_string_and_float_and_bool_literals():
+    stmt = parse_one('retrieve ("Madison", 2.5, true, false)')
+    values = [t.expr.value for t in stmt.targets]
+    assert values == ["Madison", 2.5, True, False]
+
+
+def test_multiple_statements():
+    statements = parse("range of E is Employees retrieve (E.name)")
+    assert len(statements) == 2
+
+
+def test_errors_carry_positions():
+    with pytest.raises(ParseError) as info:
+        parse("retrieve (")
+    assert "line" in str(info.value)
+
+
+def test_unknown_statement():
+    with pytest.raises(ParseError):
+        parse("drop everything")
+
+
+def test_update_statements_parse():
+    append, delete, replace = parse(
+        'append to Xs value (1) '
+        'delete X where X.a = 1 '
+        'replace X (a = 2) where X.a = 1')
+    assert append.collection == "Xs" and append.value_mode
+    assert delete.var == "X" and delete.where is not None
+    assert replace.assignments[0][0] == "a"
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        parse('retrieve ("oops)')
+
+
+def test_aggregate_without_subquery_is_plain():
+    stmt = parse_one("retrieve (count(E.kids))")
+    aggregate = stmt.targets[0].expr
+    assert isinstance(aggregate, ast.Aggregate)
+    assert not aggregate.from_clauses and aggregate.where is None
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing: the parser fails cleanly, never crashes
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+_tokens = st.sampled_from([
+    "retrieve", "range", "of", "is", "from", "where", "by", "into",
+    "unique", "value", "append", "delete", "replace", "to", "and", "or",
+    "not", "in", "(", ")", "{", "}", "[", "]", ",", ".", "..", "=", "<",
+    ">", "<=", ">=", "!=", "+", "-", "*", "/", "x", "y", "Employees",
+    "1", "2.5", '"s"', "min", "last", "this",
+])
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_tokens, max_size=12).map(" ".join))
+def test_parser_never_crashes(soup):
+    """Arbitrary token soup either parses or raises ParseError — no
+    other exception type escapes the parser."""
+    try:
+        parse(soup)
+    except ParseError:
+        pass

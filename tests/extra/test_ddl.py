@@ -1,0 +1,177 @@
+"""EXTRA DDL parser/interpreter tests over the Figure 1 schema."""
+
+import pytest
+
+from repro.core.values import Arr, MultiSet, Tup
+from repro.extra import DDLInterpreter, TypeError_, parse_type_expr
+from repro.extra.types import (ArrayType, NamedType, RefType, ScalarType,
+                               SetType)
+from repro.lang import Lexer, ParseError
+from repro.storage import Database
+from repro.workloads import FIGURE_1_DDL
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def ddl(db):
+    return DDLInterpreter(db)
+
+
+def parse_type(db, text):
+    return parse_type_expr(Lexer(text), DDLInterpreter(db).types)
+
+
+# ---------------------------------------------------------------------------
+# Type expressions
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_keywords(db):
+    assert parse_type(db, "int4").py_type is int
+    assert parse_type(db, "float4").py_type is float
+    assert parse_type(db, "bool").py_type is bool
+    assert parse_type(db, "Date").py_type is str
+
+
+def test_char_with_and_without_length(db):
+    assert parse_type(db, "char[20]").py_type is str
+    assert parse_type(db, "char[]").py_type is str
+
+
+def test_ref_type(db):
+    t = parse_type(db, "ref Department")
+    assert isinstance(t, RefType) and t.target == "Department"
+
+
+def test_set_type(db):
+    t = parse_type(db, "{ ref Employee }")
+    assert isinstance(t, SetType)
+    assert isinstance(t.element, RefType)
+
+
+def test_fixed_array_type(db):
+    t = parse_type(db, "array [1..10] of ref Employee")
+    assert isinstance(t, ArrayType) and t.fixed_length == 10
+
+
+def test_variable_array_type(db):
+    t = parse_type(db, "array of int4")
+    assert isinstance(t, ArrayType) and t.fixed_length is None
+
+
+def test_inline_tuple_type(db):
+    t = parse_type(db, "(x: int4, y: { Person })")
+    assert t.fields[0][0] == "x"
+    assert isinstance(t.fields[1][1], SetType)
+    assert isinstance(t.fields[1][1].element, NamedType)
+
+
+def test_nested_constructors(db):
+    t = parse_type(db, "{ array [1..3] of { ref T } }")
+    assert isinstance(t, SetType)
+    assert isinstance(t.element, ArrayType)
+    assert isinstance(t.element.element, SetType)
+
+
+def test_bad_type_expression(db):
+    with pytest.raises(ParseError):
+        parse_type(db, "{ }")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+def test_figure_1_ddl_loads(ddl, db):
+    ddl.run(FIGURE_1_DDL)
+    assert sorted(db.types.names()) == ["Department", "Employee", "Person",
+                                        "Student"]
+    assert db.hierarchy.is_subtype("Employee", "Person")
+    assert db.hierarchy.is_subtype("Student", "Person")
+    assert sorted(db.names()) == ["Departments", "Employees", "Students",
+                                  "TopTen"]
+
+
+def test_created_objects_start_empty(ddl, db):
+    ddl.run(FIGURE_1_DDL)
+    assert db.get("Employees") == MultiSet()
+    assert db.get("TopTen") == Arr()
+    assert isinstance(db.created_types["TopTen"], ArrayType)
+
+
+def test_created_tuple_object_default(ddl, db):
+    ddl.run("define type Pt: (x: int4, y: int4) create Origin: Pt")
+    assert db.get("Origin") == Tup({"x": 0, "y": 0}, type_name="Pt")
+
+
+def test_create_bare_ref_rejected(ddl, db):
+    ddl.run("define type T: (x: int4)")
+    with pytest.raises(TypeError_):
+        ddl.run("create R: ref T")
+
+
+def test_multiple_inheritance_ddl(ddl, db):
+    ddl.run("""
+        define type A: (x: int4)
+        define type B: (y: int4)
+        define type C: (z: int4) inherits A, B
+    """)
+    assert db.hierarchy.parents("C") == ["A", "B"]
+    fields = [f for f, _ in db.types.effective_fields("C")]
+    assert set(fields) == {"x", "y", "z"}
+
+
+def test_define_function_requires_translator(ddl, db):
+    ddl.run("define type T: (x: int4)")
+    with pytest.raises(TypeError_):
+        ddl.run("define T function f () returns int4 { retrieve (this.x) }")
+
+
+def test_define_function_with_translator(db):
+    captured = []
+    interp = DDLInterpreter(db, function_translator=captured.append)
+    interp.run("""
+        define type T: (x: int4)
+        define T function f (n: int4) returns int4 { retrieve (this.x) }
+    """)
+    definition = captured[0]
+    assert definition.type_name == "T"
+    assert definition.name == "f"
+    assert definition.params[0][0] == "n"
+    assert "retrieve" in definition.body_text
+    assert "this" in definition.body_text
+
+
+def test_function_body_preserves_strings_and_nesting(db):
+    captured = []
+    interp = DDLInterpreter(db, function_translator=captured.append)
+    interp.run('define type T: (x: int4) '
+               'define T function f () returns int4 '
+               '{ retrieve (this.x) where (this.x = "a { b }") }')
+    assert '"a { b }"' in captured[0].body_text
+
+
+def test_unterminated_function_body(db):
+    interp = DDLInterpreter(db, function_translator=lambda d: None)
+    with pytest.raises(ParseError):
+        interp.run("define type T: (x: int4) "
+                   "define T function f () returns int4 { retrieve (")
+
+
+def test_bad_statement(ddl):
+    with pytest.raises(ParseError):
+        ddl.run("drop table foo")
+
+
+def test_comments_are_skipped(ddl, db):
+    ddl.run("""
+    # a comment
+    define type T: (x: int4)  -- trailing comment
+    create Ts: { T }
+    """)
+    assert "Ts" in db

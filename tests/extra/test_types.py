@@ -1,0 +1,187 @@
+"""EXTRA type system tests: inheritance, overriding, schemas, instances."""
+
+import pytest
+
+from repro.core.hierarchy import HierarchyError
+from repro.core.values import Arr, MultiSet, Ref, Tup
+from repro.extra.types import (ArrayType, NamedType, RefType, ScalarType,
+                               SetType, TupleTypeExpr, TypeSystem,
+                               TypeError_)
+
+
+@pytest.fixture
+def ts():
+    system = TypeSystem()
+    system.define("Person", [
+        ("ssnum", ScalarType("int4", int)),
+        ("name", ScalarType("char[]", str)),
+    ])
+    return system
+
+
+def test_define_and_lookup(ts):
+    assert "Person" in ts
+    assert ts.names() == ["Person"]
+    assert ts.require("Person").name == "Person"
+    with pytest.raises(TypeError_):
+        ts.require("Nope")
+
+
+def test_duplicate_definition_rejected(ts):
+    with pytest.raises(TypeError_):
+        ts.define("Person", [])
+
+
+def test_unknown_parent_rejected(ts):
+    with pytest.raises(TypeError_):
+        ts.define("X", [], parents=["Ghost"])
+
+
+def test_attribute_inheritance(ts):
+    ts.define("Student", [("gpa", ScalarType("float4", float))],
+              parents=["Person"])
+    fields = [f for f, _ in ts.effective_fields("Student")]
+    assert fields == ["ssnum", "name", "gpa"]  # ancestors first
+
+
+def test_attribute_override_replaces_in_place(ts):
+    """Any inherited attribute can be overridden with a new type
+    specification (Section 2.1)."""
+    ts.define("Weird", [("name", ScalarType("int4", int))],
+              parents=["Person"])
+    assert ts.field_type("Weird", "name").py_type is int
+    fields = [f for f, _ in ts.effective_fields("Weird")]
+    assert fields == ["ssnum", "name"]  # position preserved
+
+
+def test_multiple_inheritance_merges_fields(ts):
+    ts.define("Employee", [("salary", ScalarType("int4", int))],
+              parents=["Person"])
+    ts.define("Student", [("gpa", ScalarType("float4", float))],
+              parents=["Person"])
+    ts.define("TA", [("hours", ScalarType("int4", int))],
+              parents=["Employee", "Student"])
+    fields = [f for f, _ in ts.effective_fields("TA")]
+    assert fields == ["ssnum", "name", "gpa", "salary", "hours"]
+
+
+def test_multiple_inheritance_conflict_resolved_by_c3(ts):
+    ts.define("A", [("x", ScalarType("int4", int))], parents=["Person"])
+    ts.define("B", [("x", ScalarType("char[]", str))], parents=["Person"])
+    ts.define("C", [], parents=["A", "B"])
+    # C3 linearization is [C, A, B, Person]; layout is built in reverse,
+    # so the *nearest* (first-listed) parent's spec wins.
+    assert ts.field_type("C", "x").py_type is int
+
+
+def test_field_type_unknown(ts):
+    with pytest.raises(TypeError_):
+        ts.field_type("Person", "ghost")
+
+
+def test_schema_for_builds_tuple_schema(ts):
+    schema = ts.schema_for("Person")
+    assert schema.kind == "tup"
+    assert schema.field("ssnum").scalar_type is int
+    assert schema.name == "Person"
+
+
+def test_schema_with_all_constructors(ts):
+    ts.define("Department", [("name", ScalarType("char[]", str))])
+    ts.define("Employee", [
+        ("dept", RefType("Department")),
+        ("kids", SetType(NamedType("Person"))),
+        ("top", ArrayType(ScalarType("int4", int), 1, 10)),
+        ("address", TupleTypeExpr([("city", ScalarType("char[]", str))])),
+    ], parents=["Person"])
+    schema = ts.schema_for("Employee")
+    assert schema.field("dept").kind == "ref"
+    assert schema.field("dept").target == "Department"
+    assert schema.field("kids").kind == "set"
+    assert schema.field("top").fixed_length == 10
+    assert schema.field("address").kind == "tup"
+    schema.validate()
+
+
+def test_ref_to_unknown_type_rejected(ts):
+    ts.define("Bad", [("r", RefType("Ghost"))])
+    with pytest.raises(TypeError_):
+        ts.schema_for("Bad")
+
+
+def test_value_recursion_rejected(ts):
+    ts.define("Loop", [("self", NamedType("Loop"))])
+    with pytest.raises(TypeError_):
+        ts.schema_for("Loop")
+
+
+def test_ref_recursion_allowed(ts):
+    ts.define("Node", [("next", RefType("Node"))])
+    ts.schema_for("Node").validate()
+
+
+def test_same_named_type_embedded_twice(ts):
+    ts.define("Couple", [("left", NamedType("Person")),
+                         ("right", NamedType("Person"))])
+    ts.schema_for("Couple").validate()
+
+
+def test_new_builds_typed_instance(ts):
+    person = ts.new("Person", ssnum=1, name="Ann")
+    assert person.type_name == "Person"
+    assert person.field_names == ("ssnum", "name")
+
+
+def test_new_checks_field_domains(ts):
+    with pytest.raises(TypeError_):
+        ts.new("Person", ssnum="not-an-int", name="Ann")
+    ts.new("Person", ssnum="not-an-int", name="Ann", check=False)
+
+
+def test_new_missing_and_unknown_fields(ts):
+    with pytest.raises(TypeError_):
+        ts.new("Person", ssnum=1)
+    with pytest.raises(TypeError_):
+        ts.new("Person", ssnum=1, name="A", ghost=2)
+
+
+def test_new_accepts_subtype_values_via_dom(ts):
+    ts.define("Student", [("gpa", ScalarType("float4", float))],
+              parents=["Person"])
+    ts.define("Club", [("members", SetType(NamedType("Person")))])
+    student = ts.new("Student", ssnum=2, name="Bob", gpa=3.0)
+    club = ts.new("Club", members=MultiSet([student]))
+    assert student in club["members"]
+
+
+def test_scalar_aliases(ts):
+    ts.register_scalar_alias("Money", float)
+    assert ts.scalar_alias("Money") is float
+    assert ts.scalar_alias("Date") is str  # built-in
+
+
+def test_array_bounds_validation():
+    with pytest.raises(TypeError_):
+        ArrayType(ScalarType("int4", int), 2, 10)  # lower must be 1
+    with pytest.raises(TypeError_):
+        ArrayType(ScalarType("int4", int), 1, None)
+
+
+def test_type_expr_descriptions(ts):
+    assert RefType("Person").describe() == "ref Person"
+    assert SetType(NamedType("Person")).describe() == "{ Person }"
+    assert (ArrayType(ScalarType("int4", int), 1, 5).describe()
+            == "array [1..5] of int4")
+    assert (TupleTypeExpr([("x", ScalarType("int4", int))]).describe()
+            == "(x: int4)")
+
+
+def test_conflicting_hierarchy_registration():
+    from repro.core.hierarchy import TypeHierarchy
+    h = TypeHierarchy()
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    system = TypeSystem(h)
+    system.define("Person", [])  # upgrade of a parentless stub is fine
+    with pytest.raises(HierarchyError):
+        system.define("Student", [], parents=[])  # ancestry mismatch

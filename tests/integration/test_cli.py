@@ -1,0 +1,137 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import Shell, format_value, _split_statements
+from repro.core.values import Arr, MultiSet, Tup
+
+
+@pytest.fixture
+def shell():
+    return Shell()
+
+
+def test_ddl_and_query_via_feed(shell):
+    assert shell.feed("create Nums: { int4 }") == ["ok"]
+    shell.feed("append to Nums value (1)")
+    shell.feed("append to Nums value (2)")
+    output = shell.feed("retrieve value (x) from x in Nums where x > 1")
+    assert "2" in output[0]
+
+
+def test_meta_help_and_names(shell):
+    assert "EXCESS" in shell.handle_meta(".help")
+    assert shell.handle_meta(".names") == "(no named objects)"
+    shell.feed("create Nums: { int4 }")
+    assert "Nums" in shell.handle_meta(".names")
+
+
+def test_meta_types(shell):
+    assert "(no types" in shell.handle_meta(".types")
+    shell.feed("define type A: (x: int4)")
+    shell.feed("define type B: (y: int4) inherits A")
+    listing = shell.handle_meta(".types")
+    assert "B inherits A" in listing
+
+
+def test_meta_plan(shell):
+    shell.feed("create Nums: { int4 }")
+    plan = shell.handle_meta(".plan retrieve value (x) from x in Nums")
+    assert "SET_APPLY" in plan
+
+
+def test_meta_plan_error_is_reported(shell):
+    assert shell.handle_meta(".plan retrieve (").startswith("error:")
+
+
+def test_meta_optimize_toggle_and_plan(shell):
+    shell.feed("create Nums: { int4 }")
+    assert shell.handle_meta(".optimize on") == "optimization on"
+    plan = shell.handle_meta(
+        ".plan retrieve value (de(de(Nums)))")
+    assert "optimized" in plan
+    assert shell.handle_meta(".optimize off") == "optimization off"
+
+
+def test_meta_stats_after_query(shell):
+    assert "(no query" in shell.handle_meta(".stats")
+    shell.feed("create Nums: { int4 }")
+    shell.feed("append to Nums value (5)")
+    shell.feed("retrieve value (Nums)")
+    assert shell.handle_meta(".stats")  # non-empty counters or empty str ok
+
+
+def test_meta_demo_loads_university(shell):
+    message = shell.handle_meta(".demo")
+    assert "university" in message
+    output = shell.feed(
+        "range of E is Employees retrieve (E.name) where E.dept.floor = 1")
+    assert output[0] == "ok"  # the range declaration
+    assert "multiset" in output[1]
+
+
+def test_meta_quit_raises_eof(shell):
+    with pytest.raises(EOFError):
+        shell.handle_meta(".quit")
+
+
+def test_unknown_meta(shell):
+    assert "unknown command" in shell.handle_meta(".bogus")
+
+
+def test_errors_are_messages_not_crashes(shell):
+    output = shell.feed("retrieve (Ghost.name)")
+    assert output[0].startswith("error:")
+
+
+def test_format_value_multiset_truncation():
+    big = MultiSet(range(100))
+    text = format_value(big, limit=5)
+    assert "95 more" in text
+
+
+def test_format_value_duplicates_annotated():
+    text = format_value(MultiSet([1, 1, 1]))
+    assert "×3" in text
+
+
+def test_format_value_array_and_scalar():
+    assert "array" in format_value(Arr([1, 2]))
+    assert format_value(42) == "42"
+
+
+def test_split_statements_mixes_meta_and_sql():
+    blocks = _split_statements(".demo\nretrieve (x) from x in A;\n.names\n")
+    assert blocks[0] == ".demo"
+    assert "retrieve" in blocks[1]
+    assert blocks[2] == ".names"
+
+
+def test_batch_mode_subprocess():
+    script = (".demo\n"
+              "range of E is Employees "
+              "retrieve value (count(Employees));\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"], input=script,
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0
+    assert "30" in proc.stdout  # default university has 30 employees
+
+
+def test_save_and_load_meta(shell, tmp_path):
+    shell.feed("create Nums: { int4 }")
+    shell.feed("append to Nums value (7)")
+    path = str(tmp_path / "snap.json")
+    assert "saved" in shell.handle_meta(".save %s" % path)
+    fresh = Shell()
+    assert "loaded" in fresh.handle_meta(".load %s" % path)
+    assert "7" in fresh.feed("retrieve value (Nums)")[0]
+
+
+def test_save_load_usage_and_errors(shell, tmp_path):
+    assert "usage" in shell.handle_meta(".save")
+    assert "usage" in shell.handle_meta(".load")
+    assert "error" in shell.handle_meta(".load /nonexistent/nope.json")

@@ -1,0 +1,36 @@
+"""The example applications stay runnable (deliverable b)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Children of employees", "same reference? True"],
+    "university_queries.py": ["all three plans agree", "figure 8"],
+    "method_overriding.py": ["plans agree", "switch-table"],
+    "optimizer_walkthrough.py": ["Optimizer chose", "same answer: True"],
+    "registrar_app.py": ["Enrollment", "departments with students"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in proc.stdout, (
+            "%s output missing %r" % (script, marker))
+
+
+def test_every_example_is_covered():
+    scripts = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "new example scripts need markers here")

@@ -1,0 +1,176 @@
+"""Expressiveness (§3.4): simulating other algebras.
+
+The paper: "it is capable of simulating most of the algebras mentioned
+in Section 1 as long as these algebras do not contain the powerset
+operator".  This module demonstrates the two classical targets
+concretely:
+
+* the **relational algebra** (σ, π, ×, ∪, −) over sets of tuples, run
+  against the textbook suppliers-parts database, with answers checked
+  against independently computed sets;
+* the **nested relational algebra** (ν/μ restructuring), via the
+  library's nest/unnest, including the ν∘μ and μ∘ν identities on flat
+  and nested relations.
+
+The paper also distinguishes SET_APPLY-style iteration loops from the
+while-loops powerset enables; the final test shows SET_APPLY is a
+*per-element map* — its output size is bounded by its input size —
+which is the structural reason powerset-style blowup cannot be
+expressed by a single application.
+"""
+
+import pytest
+
+from repro.core.expr import Const, EvalContext, Input, Named, evaluate
+from repro.core.operators import (DE, Cross, Diff, Pi, SetApply, join_field,
+                                  nest, register_library_functions, rel_join,
+                                  sigma, union, unnest, TupExtract)
+from repro.core.predicates import And, Atom
+from repro.core.values import MultiSet, Tup
+from repro.storage import Database
+
+# The classic suppliers-and-parts instance (Date's textbook flavour).
+SUPPLIERS = [("S1", "Smith", "London"), ("S2", "Jones", "Paris"),
+             ("S3", "Blake", "Paris"), ("S4", "Clark", "London")]
+PARTS = [("P1", "Nut", "Red"), ("P2", "Bolt", "Green"),
+         ("P3", "Screw", "Blue")]
+SHIPMENTS = [("S1", "P1", 300), ("S1", "P2", 200), ("S2", "P1", 300),
+             ("S2", "P2", 400), ("S3", "P2", 200), ("S4", "P3", 100)]
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    register_library_functions(database)
+    database.create("S", MultiSet(
+        Tup(sno=a, sname=b, city=c) for a, b, c in SUPPLIERS))
+    database.create("P", MultiSet(
+        Tup(pno=a, pname=b, color=c) for a, b, c in PARTS))
+    database.create("SP", MultiSet(
+        Tup(sno2=a, pno2=b, qty=c) for a, b, c in SHIPMENTS))
+    return database
+
+
+def run(db, expr):
+    return evaluate(expr, db.context())
+
+
+# ---------------------------------------------------------------------------
+# The five relational operators
+# ---------------------------------------------------------------------------
+
+
+def test_relational_selection(db):
+    """σ_{city='Paris'}(S)."""
+    result = run(db, sigma(Atom(TupExtract("city", Input()), "=",
+                                Const("Paris")), Named("S")))
+    assert {t["sno"] for t in result.elements()} == {"S2", "S3"}
+
+
+def test_relational_projection_with_de(db):
+    """π_{city}(S) — set semantics need π followed by DE."""
+    result = run(db, DE(SetApply(Pi(["city"], Input()), Named("S"))))
+    assert result == MultiSet([Tup(city="London"), Tup(city="Paris")])
+
+
+def test_relational_union(db):
+    london = sigma(Atom(TupExtract("city", Input()), "=", Const("London")),
+                   Named("S"))
+    paris = sigma(Atom(TupExtract("city", Input()), "=", Const("Paris")),
+                  Named("S"))
+    result = run(db, union(london, paris))
+    assert len(result) == 4
+
+
+def test_relational_difference(db):
+    london = sigma(Atom(TupExtract("city", Input()), "=", Const("London")),
+                   Named("S"))
+    result = run(db, Diff(Named("S"), london))
+    assert {t["city"] for t in result.elements()} == {"Paris"}
+
+
+def test_relational_cross_and_join(db):
+    """The classic query: names of suppliers who supply part P2."""
+    supplies_p2 = sigma(Atom(TupExtract("pno2", Input()), "=", Const("P2")),
+                        Named("SP"))
+    pred = Atom(join_field(1, "sno"), "=", join_field(2, "sno2"))
+    joined = rel_join(pred, Named("S"), supplies_p2)
+    names = run(db, DE(SetApply(Pi(["sname"], Input()), joined)))
+    assert names == MultiSet([Tup(sname="Smith"), Tup(sname="Jones"),
+                              Tup(sname="Blake")])
+
+
+def test_three_way_join(db):
+    """Supplier names and part names for every shipment — a two-step
+    rel_join chain over three relations."""
+    pred1 = Atom(join_field(1, "sno"), "=", join_field(2, "sno2"))
+    s_sp = rel_join(pred1, Named("S"), Named("SP"))
+    pred2 = Atom(join_field(1, "pno2"), "=", join_field(2, "pno"))
+    full = rel_join(pred2, s_sp, Named("P"))
+    result = run(db, DE(SetApply(Pi(["sname", "pname"], Input()), full)))
+    assert Tup(sname="Smith", pname="Nut") in result
+    assert len(result) == len(SHIPMENTS)
+
+
+def test_division_style_query(db):
+    """Suppliers supplying *all* red-or-green parts — relational
+    division expressed with − and × (the textbook derivation)."""
+    wanted_parts = DE(SetApply(
+        Pi(["pno"], Input()),
+        sigma(Atom(TupExtract("color", Input()), "in",
+                   Const(MultiSet(["Red", "Green"]))), Named("P"))))
+    supplier_ids = DE(SetApply(Pi(["sno2"], Input()), Named("SP")))
+    all_pairs = SetApply(
+        Pi(["sno2", "pno"], Input()),
+        rel_join(Atom(Const(1), "=", Const(1)), supplier_ids, wanted_parts))
+    actual_pairs = DE(SetApply(
+        Pi(["sno2", "pno"], Input()),
+        SetApply(
+            Pi(["sno2", "pno2", "pno"], Input()),
+            rel_join(Atom(join_field(1, "pno2"), "=", join_field(2, "pno")),
+                     Named("SP"), Named("P")))))
+    missing = Diff(all_pairs, actual_pairs)
+    dividers = Diff(supplier_ids, DE(SetApply(Pi(["sno2"], Input()),
+                                              missing)))
+    result = run(db, dividers)
+    # S1 and S2 supply both P1 (red) and P2 (green).
+    assert result == MultiSet([Tup(sno2="S1"), Tup(sno2="S2")])
+
+
+# ---------------------------------------------------------------------------
+# Nested relational algebra (ν / μ)
+# ---------------------------------------------------------------------------
+
+
+def test_nested_relational_round_trip(db):
+    """μ(ν(SP)) = SP — the fundamental nested-relational identity."""
+    nested = nest(["sno2"], "supplied", Named("SP"))
+    flat = unnest("supplied", nested)
+    assert run(db, flat) == db.get("SP")
+
+
+def test_nested_relation_querying(db):
+    """Query a genuinely nested structure: suppliers with > 1 shipment
+    — a selection on the nested set's cardinality."""
+    from repro.core.expr import Func
+    nested = nest(["sno2"], "supplied", Named("SP"))
+    busy = sigma(Atom(Func("count", [TupExtract("supplied", Input())]),
+                      ">", Const(1)), nested)
+    result = run(db, SetApply(Pi(["sno2"], Input()), busy))
+    assert result == MultiSet([Tup(sno2="S1"), Tup(sno2="S2")])
+
+
+# ---------------------------------------------------------------------------
+# The SET_APPLY / while-loop distinction (§3.4)
+# ---------------------------------------------------------------------------
+
+
+def test_set_apply_output_is_input_bounded(db):
+    """A single SET_APPLY maps each occurrence to one result (or none),
+    so |output| ≤ |input| — the structural reason the algebra's loops
+    are iteration loops, not the while-loops powerset would enable."""
+    collection = MultiSet(range(10))
+    ctx = EvalContext({"A": collection})
+    from repro.core.operators import SetCreate
+    blown_up = evaluate(SetApply(SetCreate(Input()), Named("A")), ctx)
+    assert len(blown_up) == len(collection)  # nested, but not larger

@@ -1,0 +1,74 @@
+"""Workload generator invariants: the Figure 1 database is well-formed."""
+
+from repro.core.values import Arr, MultiSet, Ref, Tup
+from repro.workloads import build_university
+
+
+def test_deterministic_given_seed():
+    a = build_university(n_employees=8, n_students=8, seed=5)
+    b = build_university(n_employees=8, n_students=8, seed=5)
+    assert a.db.get("Employees") == b.db.get("Employees")
+    store_a = [a.db.store.get(r.oid) for r in a.employee_refs]
+    store_b = [b.db.store.get(r.oid) for r in b.employee_refs]
+    assert store_a == store_b
+
+
+def test_cardinalities(university):
+    assert len(university.db.get("Employees")) == 20
+    assert len(university.db.get("Students")) == 30
+    assert len(university.db.get("Departments")) == 4
+    assert len(university.db.get("TopTen")) == 10
+
+
+def test_no_dangling_references(university):
+    assert university.db.store.dangling_refs() == []
+
+
+def test_all_refs_resolve_and_are_typed(university):
+    store = university.db.store
+    for ref in university.db.get("Employees"):
+        employee = store.get(ref.oid)
+        assert employee.type_name == "Employee"
+        assert store.exact_type(ref.oid) == "Employee"
+        assert store.get(employee["dept"].oid).type_name == "Department"
+        assert store.get(employee["manager"].oid).type_name == "Employee"
+
+
+def test_oid_domains_respected(university):
+    """Every stored reference is a member of the Odom its field
+    declares — the Section 3.1 rules hold on generated data."""
+    store = university.db.store
+    gen = store.oids
+    for ref in university.db.get("Students"):
+        student = store.get(ref.oid)
+        assert gen.in_odom(student["dept"].oid, "Department")
+        assert gen.in_odom(student["advisor"].oid, "Employee")
+        assert gen.in_odom(ref.oid, "Person")  # rule 3
+
+
+def test_instances_are_in_their_domains(university):
+    """Generated tuples are members of DOM of their declared type."""
+    checker = university.db.types.checker()
+    schema = university.db.types.schema_for("Employee")
+    store = university.db.store
+    for ref in list(university.db.get("Employees"))[:5]:
+        reason = checker.explain(schema, store.get(ref.oid))
+        assert reason is None, reason
+
+
+def test_kids_are_person_values_not_refs(university):
+    store = university.db.store
+    employee = store.get(next(university.db.get("Employees").elements()).oid)
+    for kid in employee["kids"]:
+        assert isinstance(kid, Tup) and kid.type_name == "Person"
+
+
+def test_subords_fanout(university):
+    store = university.db.store
+    for ref in university.db.get("Employees"):
+        assert len(store.get(ref.oid)["sub_ords"]) == 3
+
+
+def test_age_method_registered(university):
+    method = university.db.methods.resolve("Student", "age")
+    assert method.type_name == "Person"  # inherited virtual field

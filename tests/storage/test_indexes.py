@@ -1,0 +1,85 @@
+"""Access-method tests: typed partitions and key indexes."""
+
+import pytest
+
+from repro.core.expr import EvalContext, Input
+from repro.core.operators import TupExtract
+from repro.core.values import MultiSet, Tup
+from repro.storage import (Database, IndexCatalog, KeyIndex,
+                           TypedPartitionIndex)
+
+
+def population():
+    return MultiSet([
+        Tup({"v": 1}, type_name="A"),
+        Tup({"v": 2}, type_name="A"),
+        Tup({"v": 2}, type_name="B"),
+        Tup({"v": 3}, type_name="B"),
+        Tup({"v": 3}, type_name="B"),
+    ])
+
+
+def test_typed_partition_lookup():
+    index = TypedPartitionIndex(population(), EvalContext())
+    a_side = index.lookup("A")
+    assert len(a_side) == 2
+    assert all(t.type_name == "A" for t in a_side)
+    both = index.lookup(["A", "B"])
+    assert both == population()
+
+
+def test_typed_partition_preserves_cardinalities():
+    index = TypedPartitionIndex(population(), EvalContext())
+    b_side = index.lookup("B")
+    assert b_side.cardinality(Tup({"v": 3}, type_name="B")) == 2
+
+
+def test_typed_partition_unknown_type_is_empty():
+    index = TypedPartitionIndex(population(), EvalContext())
+    assert index.lookup("Z") == MultiSet()
+
+
+def test_typed_partition_requires_multiset():
+    with pytest.raises(TypeError):
+        TypedPartitionIndex([1, 2], EvalContext())
+
+
+def test_key_index_lookup():
+    index = KeyIndex(TupExtract("v", Input()), population(), EvalContext())
+    assert len(index.lookup(2)) == 2
+    assert index.lookup(99) == MultiSet()
+    assert sorted(index.keys()) == [1, 2, 3]
+
+
+def test_key_index_requires_multiset():
+    with pytest.raises(TypeError):
+        KeyIndex(Input(), Tup(), EvalContext())
+
+
+def test_catalog_build_and_staleness():
+    db = Database()
+    db.create("P", population())
+    index = db.indexes.build_typed("P")
+    assert db.indexes.typed("P") is index
+    # Re-creating the named object invalidates the snapshot.
+    db.create("P", MultiSet())
+    assert db.indexes.typed("P") is None
+
+
+def test_catalog_keyed_index():
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    index = db.indexes.build_keyed("P", key)
+    assert db.indexes.keyed("P", key) is index
+    assert db.indexes.keyed("P", TupExtract("other", Input())) is None
+    db.create("P", MultiSet())
+    assert db.indexes.keyed("P", key) is None
+
+
+def test_catalog_explicit_invalidate():
+    db = Database()
+    db.create("P", population())
+    db.indexes.build_typed("P")
+    db.indexes.invalidate("P")
+    assert db.indexes.typed("P") is None

@@ -1,0 +1,145 @@
+"""Object store tests: identity, extents, migration, integrity."""
+
+import pytest
+
+from repro.core.oid import OIDError
+from repro.core.values import Arr, MultiSet, Ref, Tup
+from repro.storage import Database, ObjectStore, StoreError
+
+
+@pytest.fixture
+def store():
+    s = ObjectStore()
+    s.hierarchy.add_type("Person")
+    s.hierarchy.add_type("Student", ["Person"])
+    return s
+
+
+def test_insert_get_roundtrip(store):
+    ref = store.insert(Tup(a=1), "Person")
+    assert store.get(ref.oid) == Tup(a=1)
+    assert ref.oid in store
+    assert len(store) == 1
+
+
+def test_get_missing(store):
+    with pytest.raises(StoreError):
+        store.get(12345)
+    assert store.get(12345, default=None) is None
+
+
+def test_insert_auto_registers_type(store):
+    ref = store.insert(5, "Brand New Type".replace(" ", ""))
+    assert store.exact_type(ref.oid) == "BrandNewType"
+
+
+def test_insert_default_type(store):
+    ref = store.insert(5)
+    assert store.exact_type(ref.oid) == "Object"
+
+
+def test_update_preserves_identity(store):
+    ref = store.insert(Tup(a=1), "Person")
+    store.update(ref.oid, Tup(a=2))
+    assert store.get(ref.oid) == Tup(a=2)
+    with pytest.raises(StoreError):
+        store.update(999, Tup())
+
+
+def test_delete_and_dangling(store):
+    target = store.insert(5, "Person")
+    holder = store.insert(Tup(link=target), "Person")
+    store.delete(target.oid)
+    assert target.oid not in store
+    dangling = store.dangling_refs()
+    assert dangling == [target]
+    with pytest.raises(StoreError):
+        store.delete(target.oid)
+
+
+def test_dangling_refs_scans_nested_structures(store):
+    target = store.insert(1, "Person")
+    store.insert(MultiSet([Arr([Tup(r=target)])]), "Person")
+    store.delete(target.oid)
+    assert store.dangling_refs() == [target]
+
+
+def test_find_ref_by_value(store):
+    ref = store.insert("shared", "Person")
+    assert store.find_ref("shared") == ref
+    assert store.find_ref("missing") is None
+
+
+def test_find_ref_tracks_updates(store):
+    ref = store.insert("old", "Person")
+    store.update(ref.oid, "new")
+    assert store.find_ref("old") is None
+    assert store.find_ref("new") == ref
+
+
+def test_extents(store):
+    p = store.insert(1, "Person")
+    s = store.insert(2, "Student")
+    assert [r.oid for r in store.extent("Person")] == [p.oid]
+    closure_oids = {r.oid for r in store.extent_closure("Person")}
+    assert closure_oids == {p.oid, s.oid}
+
+
+def test_migration_upward(store):
+    ref = store.insert(Tup(), "Student")
+    store.migrate(ref.oid, "Person")
+    assert store.exact_type(ref.oid) == "Person"
+
+
+def test_migration_downward_rejected(store):
+    """A Person OID is not in Odom(Student) — migration would forge
+    identity (Section 3.1's domain rules)."""
+    ref = store.insert(Tup(), "Person")
+    with pytest.raises(OIDError):
+        store.migrate(ref.oid, "Student")
+
+
+def test_migration_affects_typed_dispatch(store):
+    from repro.core.expr import EvalContext
+    from repro.core.operators.multiset import exact_type_of
+    ref = store.insert(Tup(), "Student")
+    ctx = EvalContext({}, store=store)
+    assert exact_type_of(ref, ctx) == "Student"
+    store.migrate(ref.oid, "Person")
+    assert exact_type_of(ref, ctx) == "Person"
+
+
+# ---------------------------------------------------------------------------
+# Database (named top-level objects)
+# ---------------------------------------------------------------------------
+
+
+def test_database_create_get_drop():
+    db = Database()
+    db.create("Xs", MultiSet([1]))
+    assert "Xs" in db
+    assert db.get("Xs") == MultiSet([1])
+    db.drop("Xs")
+    assert "Xs" not in db
+    with pytest.raises(StoreError):
+        db.get("Xs")
+    with pytest.raises(StoreError):
+        db.drop("Xs")
+
+
+def test_database_context_wires_everything():
+    db = Database()
+    db.create("A", MultiSet([1]))
+    db.register_function("f", lambda x: x)
+    ctx = db.context()
+    assert ctx.lookup("A") == MultiSet([1])
+    assert ctx.store is db.store
+    assert ctx.methods is db.methods
+    assert ctx.indexes is db.indexes
+
+
+def test_database_names_sorted():
+    db = Database()
+    db.create("B", 1)
+    db.create("A", 2)
+    assert db.names() == ["A", "B"]

@@ -1,0 +1,79 @@
+"""Rewrite engine tests: positions, exploration, derivations."""
+
+from repro.core.expr import Const, Input, Named
+from repro.core.operators import (DE, AddUnion, Comp, Cross, SetApply,
+                                  TupExtract)
+from repro.core.predicates import Atom
+from repro.core.transform import (ALL_RULES, Derivation, RewriteEngine,
+                                  rewrites_at_root, single_step_rewrites)
+from repro.core.transform.multiset_rules import DEIdempotence
+
+
+def test_rewrites_at_root_only_fires_matching_rules():
+    expr = DE(DE(Named("A")))
+    pairs = rewrites_at_root(expr, [DEIdempotence()])
+    assert [(r.name, t) for r, t in pairs] == [
+        ("de-idempotence", DE(Named("A")))]
+
+
+def test_single_step_covers_nested_positions():
+    expr = Cross(DE(DE(Named("A"))), Named("B"))
+    rewrites = single_step_rewrites(expr, [DEIdempotence()])
+    assert any(t == Cross(DE(Named("A")), Named("B")) for _, t in rewrites)
+
+
+def test_single_step_reaches_binding_bodies():
+    expr = SetApply(DE(DE(Input())), Named("A"))
+    rewrites = single_step_rewrites(expr, [DEIdempotence()])
+    assert any(t == SetApply(DE(Input()), Named("A")) for _, t in rewrites)
+
+
+def test_single_step_reaches_predicate_operands():
+    pred = Atom(DE(DE(Input())), "=", Const(0))
+    expr = Comp(pred, Named("A"))
+    rewrites = single_step_rewrites(expr, [DEIdempotence()])
+    assert any(t == Comp(Atom(DE(Input()), "=", Const(0)), Named("A"))
+               for _, t in rewrites)
+
+
+def test_single_step_deduplicates():
+    expr = AddUnion(DE(DE(Named("A"))), DE(DE(Named("A"))))
+    rewrites = single_step_rewrites(expr, [DEIdempotence()])
+    trees = [t for _, t in rewrites]
+    assert len(trees) == len(set(trees))
+
+
+def test_explore_includes_input_and_records_steps():
+    engine = RewriteEngine([DEIdempotence()], max_depth=3)
+    derivations = engine.explore(DE(DE(DE(Named("A")))))
+    exprs = {d.expr for d in derivations}
+    assert DE(Named("A")) in exprs
+    final = next(d for d in derivations if d.expr == DE(Named("A")))
+    assert final.steps == ("de-idempotence", "de-idempotence")
+
+
+def test_explore_respects_max_trees():
+    engine = RewriteEngine(ALL_RULES, max_trees=5, max_depth=10)
+    expr = AddUnion(AddUnion(Named("A"), Named("B")),
+                    AddUnion(Named("C"), Named("D")))
+    assert len(engine.explore(expr)) <= 5
+
+
+def test_explore_respects_max_depth():
+    engine = RewriteEngine([DEIdempotence()], max_depth=1)
+    derivations = engine.explore(DE(DE(DE(Named("A")))))
+    assert DE(Named("A")) not in {d.expr for d in derivations}
+
+
+def test_many_sortedness_limits_applicable_rules():
+    """An array expression triggers no multiset rules (the paper's
+    argument that the big rule count doesn't blow up the search)."""
+    from repro.core.operators import ArrCat
+    from repro.core.transform import MULTISET_RULES
+    expr = ArrCat(ArrCat(Named("A"), Named("B")), Named("C"))
+    assert single_step_rewrites(expr, MULTISET_RULES) == []
+
+
+def test_derivation_repr():
+    d = Derivation(Named("A"), ("step",))
+    assert "step" in repr(d)

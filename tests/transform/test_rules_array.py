@@ -1,0 +1,192 @@
+"""Unit tests for the array transformation rules (Appendix §3)."""
+
+import pytest
+
+from repro.core.expr import Const, EvalContext, Func, Input, Named, evaluate
+from repro.core.operators import (ArrApply, ArrCat, ArrCollapse, ArrCreate,
+                                  ArrDE, ArrExtract, Comp, SubArr)
+from repro.core.predicates import Atom
+from repro.core.transform import RewriteFacts, rule_by_number
+from repro.core.values import Arr
+
+A, B, C = Named("A"), Named("B"), Named("C")
+DATA = dict(A=Arr([1, 2, 3]), B=Arr([4, 5]), C=Arr([6]),
+            NESTED=Arr([Arr([1]), Arr([2, 3])]))
+
+
+def apply_rule(number, expr, facts=None):
+    return rule_by_number(number).apply(expr, facts or RewriteFacts())
+
+
+def assert_equivalent(original, rewritten):
+    ctx1 = EvalContext(DATA, functions={"inc": lambda x: x + 1})
+    ctx2 = EvalContext(DATA, functions={"inc": lambda x: x + 1})
+    assert evaluate(original, ctx1) == evaluate(rewritten, ctx2)
+
+
+def test_rule16_arrcat_associativity():
+    expr = ArrCat(ArrCat(A, B), C)
+    results = apply_rule(16, expr)
+    assert ArrCat(A, ArrCat(B, C)) in results
+    for r in results:
+        assert_equivalent(expr, r)
+
+
+def test_rule17_extract_from_concat_left():
+    facts = RewriteFacts().declare_length(A, 3)
+    expr = ArrExtract(2, ArrCat(A, B))
+    results = apply_rule(17, expr, facts)
+    assert results == [ArrExtract(2, A)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule17_extract_from_concat_right():
+    facts = RewriteFacts().declare_length(A, 3)
+    expr = ArrExtract(5, ArrCat(A, B))
+    results = apply_rule(17, expr, facts)
+    assert results == [ArrExtract(2, B)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule17_needs_length_fact():
+    assert apply_rule(17, ArrExtract(2, ArrCat(A, B))) == []
+
+
+def test_rule17_const_arrays_carry_length():
+    expr = ArrExtract(4, ArrCat(Const(Arr([1, 2, 3])), B))
+    results = apply_rule(17, expr)
+    assert results == [ArrExtract(1, B)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule18_extract_from_subarray():
+    """Erratum check: p-th element of A[m..n] is A[m+p−1] (not m+p)."""
+    expr = ArrExtract(2, SubArr(2, 3, A))
+    results = apply_rule(18, expr)
+    assert results == [ArrExtract(3, A)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule18_out_of_range_does_not_fire():
+    expr = ArrExtract(3, SubArr(2, 3, A))  # subarray has only 2 elements
+    assert apply_rule(18, expr) == []
+
+
+def test_rule19_extract_from_arrapply():
+    body = Func("inc", [Input()])
+    expr = ArrExtract(2, ArrApply(body, A))
+    results = apply_rule(19, expr)
+    assert results == [Func("inc", [ArrExtract(2, A)])]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule19_guards_comp_bodies():
+    body = Comp(Atom(Input(), ">", Const(1)), Input())
+    expr = ArrExtract(1, ArrApply(body, A))
+    assert apply_rule(19, expr) == []
+
+
+def test_rule20_combine_subarrays():
+    """Erratum check: SUBARR_{m,n}(SUBARR_{j,k}(A)) = SUBARR_{j+m−1, j+n−1}."""
+    expr = SubArr(1, 2, SubArr(2, 3, A))
+    results = apply_rule(20, expr)
+    assert results == [SubArr(2, 3, A)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule20_out_of_range_guard():
+    expr = SubArr(1, 5, SubArr(2, 3, A))  # outer wants 5 > inner's 2
+    assert apply_rule(20, expr) == []
+
+
+def test_rule21_subarray_from_concat_spanning():
+    facts = RewriteFacts().declare_length(A, 3)
+    expr = SubArr(2, 4, ArrCat(A, B))
+    results = apply_rule(21, expr, facts)
+    assert results == [ArrCat(SubArr(2, 3, A), SubArr(1, 1, B))]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule21_subarray_entirely_right():
+    facts = RewriteFacts().declare_length(A, 3)
+    expr = SubArr(4, 5, ArrCat(A, B))
+    results = apply_rule(21, expr, facts)
+    assert results == [SubArr(1, 2, B)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule21_subarray_entirely_left():
+    facts = RewriteFacts().declare_length(A, 3)
+    expr = SubArr(1, 2, ArrCat(A, B))
+    results = apply_rule(21, expr, facts)
+    assert results == [SubArr(1, 2, A)]
+    assert_equivalent(expr, results[0])
+
+
+def test_rule22_subarr_arrapply_commute():
+    body = Func("inc", [Input()])
+    expr = SubArr(2, 3, ArrApply(body, A))
+    results = apply_rule(22, expr)
+    assert ArrApply(body, SubArr(2, 3, A)) in results
+    for r in results:
+        assert_equivalent(expr, r)
+
+
+def test_rule22_guards_comp():
+    body = Comp(Atom(Input(), ">", Const(1)), Input())
+    assert apply_rule(22, SubArr(1, 2, ArrApply(body, A))) == []
+
+
+def test_xa1_combine_arrapplys():
+    body = Func("inc", [Input()])
+    expr = ArrApply(body, ArrApply(body, A))
+    results = apply_rule("XA1", expr)
+    assert results == [ArrApply(Func("inc", [Func("inc", [Input()])]), A)]
+    assert_equivalent(expr, results[0])
+
+
+def test_xa2_identity_arrapply():
+    assert apply_rule("XA2", ArrApply(Input(), A)) == [A]
+
+
+def test_xa3_distribute_arrapply_over_arrcat():
+    body = Func("inc", [Input()])
+    expr = ArrApply(body, ArrCat(A, B))
+    results = apply_rule("XA3", expr)
+    assert ArrCat(ArrApply(body, A), ArrApply(body, B)) in results
+    for r in results:
+        assert_equivalent(expr, r)
+
+
+def test_xa4_arrde_idempotent():
+    assert apply_rule("XA4", ArrDE(ArrDE(A))) == [ArrDE(A)]
+
+
+def test_xa5_distribute_arrcollapse():
+    expr = ArrCollapse(ArrCat(ArrCreate(A), ArrCreate(B)))
+    results = apply_rule("XA5", expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r)
+
+
+def test_xa6_empty_array_identities():
+    empty = Const(Arr())
+    assert A in apply_rule("XA6", ArrCat(A, empty))
+    assert A in apply_rule("XA6", ArrCat(empty, A))
+    assert empty in apply_rule("XA6", ArrApply(Input(), empty))
+    assert empty in apply_rule("XA6", ArrDE(empty))
+    for expr in (ArrCat(A, empty), ArrCat(empty, A)):
+        for r in apply_rule("XA6", expr):
+            assert_equivalent(expr, r)
+
+
+def test_xa7_arrde_of_singleton():
+    expr = ArrDE(ArrCreate(Const(5)))
+    assert apply_rule("XA7", expr) == [ArrCreate(Const(5))]
+    assert_equivalent(expr, ArrCreate(Const(5)))
+
+
+def test_xa8_arrcollapse_of_singleton():
+    assert apply_rule("XA8", ArrCollapse(ArrCreate(A))) == [A]
+    assert_equivalent(ArrCollapse(ArrCreate(A)), A)

@@ -1,0 +1,357 @@
+"""Unit tests for the multiset transformation rules (Appendix §2)."""
+
+import pytest
+
+from repro.core.expr import Const, EvalContext, Func, Input, Named, evaluate
+from repro.core.operators import (DE, AddUnion, Comp, Cross, Diff, Grp,
+                                  SetApply, SetCollapse, SetCreate,
+                                  TupCreate, TupCat, TupExtract, sigma,
+                                  union, intersection, rel_cross)
+from repro.core.predicates import Atom, Or, TruePred
+from repro.core.transform import (ALL_RULES, RewriteFacts, rule_by_number,
+                                  rewrites_at_root, single_step_rewrites)
+from repro.core.values import MultiSet, Tup
+
+
+def apply_rule(number, expr, facts=None):
+    rule = rule_by_number(number)
+    return rule.apply(expr, facts or RewriteFacts())
+
+
+def assert_equivalent(original, rewritten, **objects):
+    ctx1 = EvalContext(objects, functions={"inc": lambda x: x + 1})
+    ctx2 = EvalContext(objects, functions={"inc": lambda x: x + 1})
+    assert evaluate(original, ctx1) == evaluate(rewritten, ctx2)
+
+
+A, B, C = Named("A"), Named("B"), Named("C")
+DATA = dict(A=MultiSet([1, 1, 2]), B=MultiSet([2, 3]), C=MultiSet([3]))
+TUPS = dict(TA=MultiSet([Tup(a=1, b=1), Tup(a=1, b=2), Tup(a=2, b=2)]),
+            TB=MultiSet([Tup(c=1), Tup(c=1)]))
+
+
+def test_rule1_addunion_associativity():
+    expr = AddUnion(AddUnion(A, B), C)
+    results = apply_rule(1, expr)
+    assert AddUnion(A, AddUnion(B, C)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule1_union_associativity():
+    expr = union(union(A, B), C)
+    results = apply_rule(1, expr)
+    assert union(A, union(B, C)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule1_intersection_associativity():
+    expr = intersection(intersection(A, B), C)
+    results = apply_rule(1, expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule2_distribute_cross_over_addunion():
+    expr = Cross(A, AddUnion(B, C))
+    results = apply_rule(2, expr)
+    assert AddUnion(Cross(A, B), Cross(A, C)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+    # and back
+    back = apply_rule(2, AddUnion(Cross(A, B), Cross(A, C)))
+    assert expr in back
+
+
+def test_rule3_rel_cross_commutativity():
+    expr = rel_cross(Named("TA"), Named("TB"))
+    results = apply_rule(3, expr)
+    assert len(results) == 1
+    assert_equivalent(expr, results[0], **TUPS)
+
+
+def test_rule4_disjunction_split():
+    pred = Or(Atom(Input(), "=", Const(1)), Atom(Input(), "=", Const(3)))
+    expr = sigma(pred, A)
+    results = apply_rule(4, expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule4_reverse_merges_disjuncts():
+    s1 = sigma(Atom(Input(), "=", Const(1)), A)
+    s2 = sigma(Atom(Input(), "=", Const(3)), A)
+    results = apply_rule(4, union(s1, s2))
+    assert results
+    assert_equivalent(union(s1, s2), results[0], **DATA)
+
+
+def test_rule5_requires_nonempty_fact():
+    body = Func("inc", [TupExtract("field1", Input())])
+    expr = DE(SetApply(body, Cross(A, B)))
+    assert apply_rule(5, expr) == []  # no fact, no rewrite
+    facts = RewriteFacts().declare_nonempty(B)
+    results = apply_rule(5, expr, facts)
+    assert results == [DE(SetApply(Func("inc", [Input()]), A))]
+    assert_equivalent(expr, results[0], **DATA)
+
+
+def test_rule5_other_side():
+    body = Func("inc", [TupExtract("field2", Input())])
+    expr = DE(SetApply(body, Cross(A, B)))
+    facts = RewriteFacts().declare_nonempty(A)
+    results = apply_rule(5, expr, facts)
+    assert results == [DE(SetApply(Func("inc", [Input()]), B))]
+
+
+def test_rule5_does_not_fire_when_body_uses_both_sides():
+    body = TupCat(TupCreate("x", TupExtract("field1", Input())),
+                  TupCreate("y", TupExtract("field2", Input())))
+    expr = DE(SetApply(body, Cross(A, B)))
+    facts = RewriteFacts().declare_nonempty(A).declare_nonempty(B)
+    assert apply_rule(5, expr, facts) == []
+
+
+def test_rule6_grouping_is_duplicate_free():
+    expr = DE(Grp(Input(), A))
+    results = apply_rule(6, expr)
+    assert results == [Grp(Input(), A)]
+    assert_equivalent(expr, results[0], **DATA)
+
+
+def test_rule7_de_over_cross_both_directions():
+    expr = DE(Cross(A, B))
+    forward = apply_rule(7, expr)
+    assert forward == [Cross(DE(A), DE(B))]
+    assert_equivalent(expr, forward[0], **DATA)
+    back = apply_rule(7, forward[0])
+    assert expr in back
+
+
+def test_rule8_de_before_or_after_grouping():
+    key = TupExtract("a", Input())
+    expr = Grp(key, DE(Named("TA")))
+    results = apply_rule(8, expr)
+    assert results == [SetApply(DE(Input()), Grp(key, Named("TA")))]
+    assert_equivalent(expr, results[0], **TUPS)
+    back = apply_rule(8, results[0])
+    assert expr in back
+
+
+def test_rule9_group_one_side_of_cross():
+    key = TupExtract("a", TupExtract("field1", Input()))
+    expr = Grp(key, Cross(Named("TA"), Named("TB")))
+    facts = RewriteFacts().declare_nonempty(Named("TB"))
+    results = apply_rule(9, expr, facts)
+    assert results
+    assert_equivalent(expr, results[0], **TUPS)
+
+
+def test_rule9_needs_nonempty(capsys):
+    key = TupExtract("a", TupExtract("field1", Input()))
+    expr = Grp(key, Cross(Named("TA"), Named("TB")))
+    assert apply_rule(9, expr) == []
+
+
+def test_rule10_grouping_past_selection():
+    key = TupExtract("a", Input())
+    pred = Atom(TupExtract("b", Input()), "=", Const(2))
+    expr = Grp(key, sigma(pred, Named("TA")))
+    results = apply_rule(10, expr)
+    assert results
+    assert_equivalent(expr, results[0], **TUPS)
+
+
+def test_rule10_reverse_round_trips():
+    key = TupExtract("a", Input())
+    pred = Atom(TupExtract("b", Input()), "=", Const(2))
+    expr = Grp(key, sigma(pred, Named("TA")))
+    rewritten = apply_rule(10, expr)[0]
+    assert expr in apply_rule(10, rewritten)
+
+
+def test_rule10_drops_emptied_groups():
+    """The erratum fix: groups emptied by the selection must vanish."""
+    key = TupExtract("a", Input())
+    pred = Atom(TupExtract("b", Input()), "=", Const(2))
+    expr = Grp(key, sigma(pred, Named("TA")))
+    rewritten = apply_rule(10, expr)[0]
+    ctx = EvalContext(TUPS)
+    groups = evaluate(rewritten, ctx)
+    assert MultiSet() not in groups
+
+
+def test_rule11_collapse_over_addunion():
+    expr = SetCollapse(AddUnion(SetCreate(A), SetCreate(B)))
+    results = apply_rule(11, expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule12_setapply_over_addunion():
+    body = Func("inc", [Input()])
+    expr = SetApply(body, AddUnion(A, B))
+    results = apply_rule(12, expr)
+    assert AddUnion(SetApply(body, A), SetApply(body, B)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule12_preserves_type_filter():
+    body = Input()
+    expr = SetApply(body, AddUnion(A, B), type_filter="T")
+    results = apply_rule(12, expr)
+    assert all(n.type_filter == frozenset(["T"])
+               for r in results for n in r.walk()
+               if isinstance(n, SetApply))
+
+
+def test_rule13_factorable_body_distributes():
+    body = TupCat(
+        TupCreate("field1", Func("inc", [TupExtract("field1", Input())])),
+        TupCreate("field2", TupExtract("field2", Input())))
+    expr = SetApply(body, Cross(A, B))
+    results = apply_rule(13, expr)
+    assert Cross(SetApply(Func("inc", [Input()]), A),
+                 SetApply(Input(), B)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule13_reverse():
+    expr = Cross(SetApply(Func("inc", [Input()]), A), SetApply(Input(), B))
+    results = apply_rule(13, expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+
+
+def test_rule14_setapply_inside_collapse():
+    body = Func("inc", [Input()])
+    expr = SetApply(body, SetCollapse(SetCreate(A)))
+    results = apply_rule(14, expr)
+    assert results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+    back = apply_rule(14, results[0])
+    assert expr in back
+
+
+def test_rule15_combines_setapplys():
+    outer = Func("inc", [Input()])
+    inner = Func("inc", [Input()])
+    expr = SetApply(outer, SetApply(inner, A))
+    results = apply_rule(15, expr)
+    assert results == [SetApply(Func("inc", [Func("inc", [Input()])]), A)]
+    assert_equivalent(expr, results[0], **DATA)
+
+
+def test_rule15_guards_constant_bodies():
+    """A constant outer body would resurrect dne-dropped occurrences."""
+    inner = Comp(Atom(Input(), ">", Const(1)), Input())
+    expr = SetApply(Const(0), SetApply(inner, A))
+    assert apply_rule(15, expr) == []
+
+
+def test_rule15_guards_type_filters():
+    expr = SetApply(Input(), SetApply(Input(), A, type_filter="T"))
+    assert apply_rule(15, expr) == []
+
+
+def test_x1_de_idempotence():
+    results = apply_rule("X1", DE(DE(A)))
+    assert results == [DE(A)]
+
+
+def test_x2_de_absorbs_input_duplicates():
+    body = Func("inc", [Input()])
+    expr = DE(SetApply(body, A))
+    results = apply_rule("X2", expr)
+    assert results == [DE(SetApply(body, DE(A)))]
+    assert_equivalent(expr, results[0], **DATA)
+    back = apply_rule("X2", results[0])
+    assert expr in back
+
+
+def test_x3_de_into_addunion():
+    expr = DE(AddUnion(A, B))
+    results = apply_rule("X3", expr)
+    assert results == [DE(AddUnion(DE(A), DE(B)))]
+    assert_equivalent(expr, results[0], **DATA)
+
+
+def test_x5_identity_setapply():
+    assert apply_rule("X5", SetApply(Input(), A)) == [A]
+    assert apply_rule("X5", SetApply(Input(), A, type_filter="T")) == []
+
+
+def test_x6_true_comp():
+    assert apply_rule("X6", Comp(TruePred(), A)) == [A]
+
+
+def test_single_step_rewrites_fire_inside_subscripts():
+    """Section 5: "this ability to optimize within the subscripts of
+    operators … is extremely useful" — the engine rewrites a body."""
+    inner = SetApply(Input(), Named("TB"))
+    body = Comp(Atom(Input(), "=", inner), Input())
+    expr = SetApply(body, Named("TA"))
+    rewrites = single_step_rewrites(expr, ALL_RULES)
+    simplified = SetApply(Comp(Atom(Input(), "=", Named("TB")), Input()),
+                          Named("TA"))
+    assert any(t == simplified for _, t in rewrites)
+
+
+def test_rule_registry_lookup():
+    assert rule_by_number(15).name == "combine-successive-setapplys"
+    with pytest.raises(KeyError):
+        rule_by_number(999)
+
+
+def test_x7_sigma_over_difference():
+    pred = Atom(Input(), ">", Const(1))
+    expr = sigma(pred, Diff(A, B))
+    results = apply_rule("X7", expr)
+    assert Diff(sigma(pred, A), sigma(pred, B)) in results
+    for r in results:
+        assert_equivalent(expr, r, **DATA)
+    back = apply_rule("X7", Diff(sigma(pred, A), sigma(pred, B)))
+    assert expr in back
+
+
+def test_x8_collapse_of_singleton():
+    assert apply_rule("X8", SetCollapse(SetCreate(A))) == [A]
+
+
+def test_x9_de_of_singleton():
+    assert apply_rule("X9", DE(SetCreate(A))) == [SetCreate(A)]
+
+
+def test_x10_self_difference():
+    results = apply_rule("X10", Diff(A, A))
+    assert results == [Const(MultiSet())]
+    assert_equivalent(Diff(A, A), results[0], **DATA)
+
+
+def test_x10_guards_input_dependence():
+    # INPUT-dependent operands are fine (same binding both sides) but
+    # REF-containing ones are not duplicable; outside a binding context
+    # an INPUT-using expr cannot be rewritten to a global constant.
+    from repro.core.operators import RefOp
+    assert apply_rule("X10", Diff(RefOp(A), RefOp(A))) == []
+
+
+def test_x11_empty_set_identities():
+    empty = Const(MultiSet())
+    assert A in apply_rule("X11", AddUnion(A, empty))
+    assert A in apply_rule("X11", AddUnion(empty, A))
+    assert A in apply_rule("X11", Diff(A, empty))
+    assert empty in apply_rule("X11", Cross(A, empty))
+    assert empty in apply_rule("X11", SetApply(Input(), empty))
+    assert empty in apply_rule("X11", DE(empty))
+    for expr in (AddUnion(A, empty), Diff(A, empty), Cross(A, empty)):
+        for r in apply_rule("X11", expr):
+            assert_equivalent(expr, r, **DATA)

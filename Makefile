@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-engine
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tier-2 sanity gate: one tiny run per paper figure (<30 s), asserting
+# the paper-claimed winner directions and engine agreement.
+bench-smoke:
+	$(PYTHON) -m repro.cli bench --smoke
+
+# Full interpreted-vs-compiled comparison; writes BENCH_engine.json.
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_compare.py -q

@@ -1,0 +1,137 @@
+"""Interpreted vs compiled engine, head to head.
+
+Times the Figure 4 functional join and both Figure 5 dispatch
+strategies under the recursive interpreter (``Expr.evaluate``) and the
+streaming plan compiler (:mod:`repro.core.engine`), on a population
+large enough for per-element overheads to dominate.  Compiled plans
+are compiled once and executed per round — a compiled
+:class:`~repro.core.engine.Pipeline` is a reusable artifact, which is
+precisely its point (the interpreter has the same split: the tree is
+built once and walked per round).
+
+The final test aggregates the pytest-benchmark means into
+``BENCH_engine.json`` — per-workload wall-clock, speedups, engine
+work counters (including deref-cache hit/miss rates) — and asserts
+the headline claim: the compiled engine is at least 2× faster on the
+Fig. 4 and Fig. 5 workloads, with deref-cache hits actually observed.
+
+Run via ``make bench-engine`` or
+``PYTHONPATH=src python -m pytest benchmarks/bench_engine_compare.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import evaluate
+from repro.core.engine import compile_plan
+from repro.workloads import build_university, figures
+from repro.workloads.dispatch import (build_population, define_boss_methods,
+                                      define_rich_subords_methods,
+                                      switch_plan, union_plan)
+
+#: workload -> engine -> mean seconds, filled as the benchmarks run.
+MEANS = {}
+
+SPEEDUP_FLOOR = 2.0
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_engine.json")
+
+
+@pytest.fixture(scope="session")
+def big_uni():
+    """Sized so fig4 touches thousands of objects per run."""
+    handle = build_university(n_departments=4, n_employees=2000,
+                              n_students=500, subords_per_employee=12,
+                              advisor_pool=6, employee_name_pool=6, seed=1)
+    figures.value_views(handle)
+    build_population(handle)
+    define_boss_methods(handle)
+    define_rich_subords_methods(handle)
+    return handle
+
+
+def _plans(uni):
+    return {
+        "fig4_functional_join": figures.figure_4(),
+        "fig5_switch_dispatch": switch_plan("boss"),
+        "fig5_union_dispatch": union_plan(uni, "boss"),
+    }
+
+
+def _record(benchmark, workload, engine, runner):
+    value = benchmark(runner)
+    MEANS.setdefault(workload, {})[engine] = benchmark.stats.stats.mean
+    return value
+
+
+def _interpreted(uni, workload):
+    expr = _plans(uni)[workload]
+    ctx = uni.db.context()
+
+    def runner():
+        ctx.begin_query()
+        return evaluate(expr, ctx)
+    return runner, ctx
+
+
+def _compiled(uni, workload):
+    pipeline = compile_plan(_plans(uni)[workload])
+    ctx = uni.db.context()
+
+    def runner():
+        ctx.begin_query()
+        return pipeline.execute(ctx)
+    return runner, ctx
+
+
+@pytest.mark.parametrize("workload", ["fig4_functional_join",
+                                      "fig5_switch_dispatch",
+                                      "fig5_union_dispatch"])
+def test_interpreted(benchmark, big_uni, workload):
+    runner, _ = _interpreted(big_uni, workload)
+    value = _record(benchmark, workload, "interpreted", runner)
+    assert len(value) > 0
+
+
+@pytest.mark.parametrize("workload", ["fig4_functional_join",
+                                      "fig5_switch_dispatch",
+                                      "fig5_union_dispatch"])
+def test_compiled(benchmark, big_uni, workload):
+    runner, _ = _compiled(big_uni, workload)
+    value = _record(benchmark, workload, "compiled", runner)
+    assert len(value) > 0
+
+
+def test_engines_agree_and_report(big_uni):
+    """Correctness cross-check, speedup floor, and the JSON report."""
+    if not MEANS:
+        pytest.skip("benchmark means not collected (tests deselected)")
+    report = {"population": {"n_employees": 2000, "n_students": 500},
+              "speedup_floor": SPEEDUP_FLOOR, "workloads": {}}
+    for workload in _plans(big_uni):
+        i_runner, i_ctx = _interpreted(big_uni, workload)
+        c_runner, c_ctx = _compiled(big_uni, workload)
+        assert i_runner() == c_runner(), workload
+        means = MEANS.get(workload, {})
+        entry = {
+            "interpreted_mean_s": means.get("interpreted"),
+            "compiled_mean_s": means.get("compiled"),
+            "interpreted_stats": dict(sorted(i_ctx.stats.items())),
+            "compiled_stats": dict(sorted(c_ctx.stats.items())),
+        }
+        if means.get("interpreted") and means.get("compiled"):
+            entry["speedup"] = means["interpreted"] / means["compiled"]
+        report["workloads"][workload] = entry
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    hits = sum(w["compiled_stats"].get("deref_cache_hit", 0)
+               for w in report["workloads"].values())
+    assert hits > 0, "compiled runs never hit the deref cache"
+    for workload in ("fig4_functional_join", "fig5_switch_dispatch"):
+        speedup = report["workloads"][workload].get("speedup")
+        assert speedup is not None, "no timing for %s" % workload
+        assert speedup >= SPEEDUP_FLOOR, (
+            "%s: compiled only %.2fx faster" % (workload, speedup))

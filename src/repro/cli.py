@@ -9,6 +9,8 @@ commands (lines starting with a dot):
     .types               list defined EXTRA types
     .plan <retrieve …>   show the algebra tree without executing
     .optimize on|off     toggle rule-based optimization of queries
+    .engine [name]       show or set the execution engine
+                         (interpreted | compiled)
     .stats               work counters of the last executed query
     .demo                load the populated Figure-1 university
     .save <path>         persist the database to a JSON snapshot
@@ -17,6 +19,10 @@ commands (lines starting with a dot):
 
 Statements may span lines; they execute when the line ends with ``;``
 (the terminator is stripped — the languages themselves don't use it).
+
+``python -m repro.cli bench --smoke`` runs the quick benchmark smoke
+check (the paper's claimed plan-quality directions plus
+interpreted/compiled engine agreement) without entering the shell.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ def format_value(value, indent: str = "  ", limit: int = 20) -> str:
         lines = ["{multiset, %d occurrence(s), %d distinct}"
                  % (len(value), value.distinct_count())]
         for i, (element, count) in enumerate(sorted(
-                value.counts.items(), key=lambda kv: repr(kv[0]))):
+                value.items(), key=lambda kv: repr(kv[0]))):
             if i >= limit:
                 lines.append(indent + "… (%d more)"
                              % (value.distinct_count() - limit))
@@ -102,6 +108,14 @@ class Shell:
         if command == ".optimize":
             self.optimize = argument.strip().lower() == "on"
             return "optimization %s" % ("on" if self.optimize else "off")
+        if command == ".engine":
+            choice = argument.strip().lower()
+            if not choice:
+                return "engine: %s" % self.session.engine
+            if choice not in ("interpreted", "compiled"):
+                return "usage: .engine interpreted|compiled"
+            self.session.engine = choice
+            return "engine set to %s" % choice
         if command == ".stats":
             if not self.last_stats:
                 return "(no query executed yet)"
@@ -110,7 +124,7 @@ class Shell:
         if command == ".demo":
             from .workloads import build_university
             build_university(database=self.db)
-            self.session = Session(self.db)
+            self.session = Session(self.db, engine=self.session.engine)
             return ("loaded the Figure-1 university "
                     "(Employees, Students, Departments, TopTen)")
         if command == ".save":
@@ -127,7 +141,7 @@ class Shell:
                 self.db = load_database(argument.strip())
             except (OSError, ValueError) as error:
                 return "error: %s" % error
-            self.session = Session(self.db)
+            self.session = Session(self.db, engine=self.session.engine)
             missing = getattr(self.db, "missing_functions", [])
             note = (" (re-register functions: %s)" % ", ".join(missing)
                     if missing else "")
@@ -138,8 +152,8 @@ class Shell:
 
     def _optimizer(self) -> Optimizer:
         stats = Statistics.from_database(self.db)
-        return Optimizer(cost_model=CostModel(stats), max_depth=3,
-                         max_trees=500)
+        model = CostModel(stats, engine=self.session.engine)
+        return Optimizer(cost_model=model, max_depth=3, max_trees=500)
 
     # -- statements -------------------------------------------------------
 
@@ -157,12 +171,17 @@ class Shell:
                 out.append("ok (%r affected %s)"
                            % (result.value, result.into or ""))
             else:
-                expr = result.expression
                 if self.optimize:
-                    expr = self._optimizer().optimize(expr).best
-                ctx = self.db.context()
-                value = evaluate(expr, ctx)
-                self.last_stats = dict(ctx.stats)
+                    # Re-run only when optimization rewrites the plan;
+                    # the session already executed the original tree.
+                    expr = self._optimizer().optimize(result.expression).best
+                    ctx = self.session.context
+                    ctx.begin_query()
+                    value = evaluate(expr, ctx, mode=self.session.engine)
+                    self.last_stats = dict(ctx.stats)
+                else:
+                    value = result.value
+                    self.last_stats = dict(result.stats)
                 if result.into:
                     out.append("stored %s" % result.into)
                 else:
@@ -181,6 +200,9 @@ class Shell:
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from .workloads.smoke import run_smoke
+        return run_smoke(smoke="--smoke" in argv[1:] or len(argv) == 1)
     shell = Shell()
     banner = ("repro — the EXCESS algebra (Vandenberg & DeWitt, "
               "SIGMOD 1991)\nType .help for commands, .demo for sample "
@@ -238,3 +260,7 @@ def _split_statements(source: str) -> List[str]:
         if plain:
             blocks.append("\n".join(plain))
     return blocks
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""The per-query OID deref cache.
+
+Example 2 of the paper is entirely about repeated DEREFs of the same
+attribute ("the dept attribute needs to be DEREF'd only once"), and its
+rewrite rules exist to hoist such derefs out of loops.  The compiled
+engine complements those *logical* rewrites with a *physical* fix: a
+small LRU map from OID to stored value, consulted by every compiled
+DEREF (and by compiled method dispatch when it unwraps a Ref receiver).
+
+The cache lives on the :class:`~repro.core.expr.EvalContext` and its
+contract is per-query: ``EvalContext.begin_query()`` clears it, so
+updates applied between statements can never serve a stale object.
+Within one query the store is immutable except for REF-minted *new*
+objects, which cannot collide with cached OIDs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+#: Default number of cached objects; generous for the workloads here
+#: while still bounding memory on reference-heavy scans.
+DEFAULT_CAPACITY = 4096
+
+_MISSING = object()
+
+
+class DerefCache:
+    """A bounded LRU map from OID to stored value.
+
+    Dangling references cache their ``dne`` result too — a reference
+    that dangles at one point of a query dangles for all of it.
+
+    ``hits`` / ``misses`` are lifetime counters bumped by the compiled
+    DEREF operator; :meth:`repro.core.engine.Pipeline.execute` flushes
+    their per-run deltas into the context's stats as
+    ``deref_cache_hit`` / ``deref_cache_miss`` (and ``deref_count``),
+    so the hot path pays one integer add instead of dict updates.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("deref cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, oid: Any, default: Any = None) -> Any:
+        """The cached value for *oid*, refreshing its recency."""
+        entries = self._entries
+        found = entries.get(oid, _MISSING)
+        if found is _MISSING:
+            return default
+        entries.move_to_end(oid)
+        return found
+
+    def put(self, oid: Any, value: Any) -> None:
+        entries = self._entries
+        if oid in entries:
+            entries.move_to_end(oid)
+        entries[oid] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, oid: Any) -> bool:
+        return oid in self._entries
+
+    def __repr__(self) -> str:
+        return "DerefCache(%d/%d)" % (len(self._entries), self.capacity)

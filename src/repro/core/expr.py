@@ -56,10 +56,16 @@ class EvalContext:
                  indexes=None):
         self.database = database if database is not None else {}
         self.store = store
-        self.functions = dict(functions or {})
+        # Kept by reference (not copied) so functions registered on the
+        # database after this context was created remain callable — a
+        # session holds one context across many statements.
+        self.functions = functions if functions is not None else {}
         self.methods = methods
         self.indexes = indexes
         self.stats: Dict[str, int] = {}
+        #: Per-query OID → value cache used by the compiled engine's
+        #: DEREF operator; created lazily, cleared by begin_query().
+        self.deref_cache = None
 
     def tick(self, counter: str, amount: int = 1) -> None:
         """Bump a work counter (elements scanned, derefs, …)."""
@@ -67,6 +73,18 @@ class EvalContext:
 
     def reset_stats(self) -> None:
         self.stats = {}
+
+    def begin_query(self) -> None:
+        """Start a fresh top-level query on this context.
+
+        Resets the work counters (so ``.stats`` always describes one
+        query, not a whole session) and empties the deref cache (whose
+        contract is per-query: updates between statements must not serve
+        stale objects).
+        """
+        self.stats = {}
+        if self.deref_cache is not None:
+            self.deref_cache.clear()
 
     def lookup(self, name: str) -> Any:
         try:
@@ -267,12 +285,25 @@ class Func(Expr):
         return "%s(%s)" % (self.name, ", ".join(a.describe() for a in self.args))
 
 
-def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND) -> Any:
+def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
+             mode: str = "interpreted") -> Any:
     """Evaluate a top-level expression.
 
     A bare INPUT at top level is an error unless *input_value* is given
     (method bodies are evaluated against a bound receiver, for example).
+
+    ``mode`` selects the execution engine: ``"interpreted"`` (the
+    recursive ``Expr.evaluate`` walk, one materialized value per node)
+    or ``"compiled"`` (the streaming engine of
+    :mod:`repro.core.engine`, which lowers the tree once and pipelines
+    occurrence pairs through fused physical operators).
     """
+    if mode == "compiled":
+        from .engine import compile_plan
+        return compile_plan(expr).execute(ctx, input_value)
+    if mode != "interpreted":
+        raise ValueError("unknown engine mode %r "
+                         "(use 'interpreted' or 'compiled')" % (mode,))
     return expr.evaluate(input_value, ctx)
 
 

@@ -264,7 +264,7 @@ class IndexedTypeScan(Expr):
         if not isinstance(collection, MultiSet):
             raise MethodError("IndexedTypeScan needs a multiset object")
         tally = {}
-        for element, count in collection.counts.items():
+        for element, count in collection.items():
             ctx.tick("elements_scanned", count)
             if exact_type_of(element, ctx) in self.types:
                 tally[element] = count

@@ -116,7 +116,7 @@ class SetApply(Expr):
             raise AlgebraError(
                 "SET_APPLY needs a multiset input, got %r" % (collection,))
         tally: Dict[Any, int] = {}
-        for element, count in collection.counts.items():
+        for element, count in collection.items():
             ctx.tick("elements_scanned", count)
             if self.type_filter is not None:
                 exact = exact_type_of(element, ctx)
@@ -164,7 +164,7 @@ class Grp(Expr):
         if not isinstance(collection, MultiSet):
             raise AlgebraError("GRP needs a multiset input")
         groups: Dict[Any, Dict[Any, int]] = {}
-        for element, count in collection.counts.items():
+        for element, count in collection.items():
             ctx.tick("elements_scanned", count)
             ctx.tick("grp_elements", count)
             key = self.by.evaluate(element, ctx)

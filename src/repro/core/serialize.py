@@ -51,7 +51,7 @@ def value_to_json(value: Any) -> Any:
     if isinstance(value, MultiSet):
         return {"t": "set",
                 "counts": [[value_to_json(element), count]
-                           for element, count in value.counts.items()]}
+                           for element, count in value.items()]}
     if isinstance(value, Arr):
         return {"t": "arr", "items": [value_to_json(v) for v in value]}
     if isinstance(value, Ref):

@@ -124,7 +124,7 @@ class Tup:
     in equality: a Student is never value-equal to an untyped tuple.
     """
 
-    __slots__ = ("_fields", "_hash", "type_name")
+    __slots__ = ("_fields", "_map", "_hash", "type_name")
 
     def __init__(self, fields: Mapping[str, Any] = None,
                  type_name: str = None, **kwargs: Any):
@@ -133,11 +133,26 @@ class Tup:
             items.update(fields)
         items.update(kwargs)
         object.__setattr__(self, "_fields", tuple(items.items()))
+        # The same pairs as a dict, for O(1) field access (dict insertion
+        # order keeps it consistent with _fields).
+        object.__setattr__(self, "_map", items)
         object.__setattr__(self, "type_name", type_name)
         object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Tup is immutable")
+
+    @classmethod
+    def _from_map(cls, items: Dict[str, Any],
+                  type_name: str = None) -> "Tup":
+        """Internal fast constructor: adopt *items* (not copied) as the
+        field map.  Callers must hand over a fresh dict."""
+        self = cls.__new__(cls)
+        object.__setattr__(self, "_fields", tuple(items.items()))
+        object.__setattr__(self, "_map", items)
+        object.__setattr__(self, "type_name", type_name)
+        object.__setattr__(self, "_hash", None)
+        return self
 
     @property
     def fields(self) -> Tuple[Tuple[str, Any], ...]:
@@ -152,20 +167,17 @@ class Tup:
         return len(self._fields)
 
     def __contains__(self, name: str) -> bool:
-        return any(n == name for n, _ in self._fields)
+        return name in self._map
 
     def __getitem__(self, name: str) -> Any:
-        for n, v in self._fields:
-            if n == name:
-                return v
-        raise KeyError("tuple has no field %r (fields: %s)"
-                       % (name, ", ".join(self.field_names) or "<none>"))
+        try:
+            return self._map[name]
+        except KeyError:
+            raise KeyError("tuple has no field %r (fields: %s)"
+                           % (name, ", ".join(self.field_names) or "<none>"))
 
     def get(self, name: str, default: Any = None) -> Any:
-        for n, v in self._fields:
-            if n == name:
-                return v
-        return default
+        return self._map.get(name, default)
 
     def project(self, names: Iterable[str]) -> "Tup":
         """Return a new tuple keeping only *names*, in the order given.
@@ -173,7 +185,11 @@ class Tup:
         The declared type name is dropped: a projection of a Student is
         no longer a Student.
         """
-        return Tup({name: self[name] for name in names})
+        m = self._map
+        try:
+            return Tup._from_map({name: m[name] for name in names})
+        except KeyError:
+            return Tup({name: self[name] for name in names})
 
     def concat(self, other: "Tup") -> "Tup":
         """TUP_CAT: concatenate two tuples.
@@ -181,8 +197,8 @@ class Tup:
         Raises ``ValueError`` on duplicate field names, since the result
         would be ambiguous under field extraction.
         """
-        mine = set(self.field_names)
-        clash = [n for n in other.field_names if n in mine]
+        mine = self._map
+        clash = [n for n in other._map if n in mine]
         if clash:
             raise ValueError("TUP_CAT field name clash: %s" % ", ".join(clash))
         merged = dict(self._fields)
@@ -220,7 +236,7 @@ class Tup:
     def __eq__(self, other: Any) -> bool:
         return (isinstance(other, Tup)
                 and self.type_name == other.type_name
-                and dict(self._fields) == dict(other._fields))
+                and self._map == other._map)
 
     def __ne__(self, other: Any) -> bool:
         return not self.__eq__(other)
@@ -337,12 +353,41 @@ class MultiSet:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("MultiSet is immutable")
 
+    # -- construction fast path ---------------------------------------
+
+    @classmethod
+    def _from_tally(cls, tally: Dict[Any, int]) -> "MultiSet":
+        """Adopt *tally* as the counts dict without copying or checking.
+
+        Internal fast path for operators and the streaming engine, which
+        build tallies element-by-element and can guarantee the invariants
+        (no DNE keys, strictly positive counts).  The caller must not
+        mutate *tally* afterwards.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_counts", tally)
+        object.__setattr__(self, "_hash", None)
+        return self
+
     # -- inspection ---------------------------------------------------
 
     @property
     def counts(self) -> Mapping[Any, int]:
-        """Read-only view of element → cardinality."""
+        """Copy of element → cardinality (safe to mutate).
+
+        Hot paths should prefer :meth:`items` / :meth:`occurrences`,
+        which iterate the underlying tally without copying it.
+        """
         return dict(self._counts)
+
+    def items(self):
+        """Zero-copy iteration over (element, cardinality) pairs."""
+        return self._counts.items()
+
+    def occurrences(self):
+        """Alias of :meth:`items`: the multiset as (element, count)
+        occurrence pairs — the chunk format the streaming engine uses."""
+        return self._counts.items()
 
     def cardinality(self, element: Any) -> int:
         """Number of occurrences of *element* (0 if absent)."""
@@ -380,7 +425,7 @@ class MultiSet:
         tally = dict(self._counts)
         for element, n in other._counts.items():
             tally[element] = tally.get(element, 0) + n
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     def difference(self, other: "MultiSet") -> "MultiSet":
         """− : result cardinality is max(0, card(A) − card(B))."""
@@ -389,7 +434,7 @@ class MultiSet:
             remaining = n - other._counts.get(element, 0)
             if remaining > 0:
                 tally[element] = remaining
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     def union(self, other: "MultiSet") -> "MultiSet":
         """∪ — derived: cardinalities are the max of the inputs.
@@ -399,7 +444,7 @@ class MultiSet:
         tally = dict(other._counts)
         for element, n in self._counts.items():
             tally[element] = max(tally.get(element, 0), n)
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     def intersection(self, other: "MultiSet") -> "MultiSet":
         """∩ — derived: cardinalities are the min of the inputs.
@@ -411,11 +456,11 @@ class MultiSet:
             m = min(n, other._counts.get(element, 0))
             if m > 0:
                 tally[element] = m
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     def dedup(self) -> "MultiSet":
         """DE — duplicate elimination: every cardinality becomes 1."""
-        return MultiSet(counts={element: 1 for element in self._counts})
+        return MultiSet._from_tally({element: 1 for element in self._counts})
 
     def cross(self, other: "MultiSet") -> "MultiSet":
         """× — cartesian product producing pairs as 2-field tuples.
@@ -429,7 +474,7 @@ class MultiSet:
             for b, nb in other._counts.items():
                 pair = Tup(field1=a, field2=b)
                 tally[pair] = tally.get(pair, 0) + na * nb
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     def collapse(self) -> "MultiSet":
         """SET_COLLAPSE — ⊎ of all member multisets.
@@ -444,7 +489,7 @@ class MultiSet:
                     % (element,))
             for inner, m in element._counts.items():
                 tally[inner] = tally.get(inner, 0) + n * m
-        return MultiSet(counts=tally)
+        return MultiSet._from_tally(tally)
 
     # -- dunder plumbing ----------------------------------------------
 

@@ -23,14 +23,21 @@ from .translate import TranslationError, Translator
 
 
 class Result:
-    """The outcome of one executed statement."""
+    """The outcome of one executed statement.
+
+    ``stats`` is a snapshot of the evaluation context's work counters
+    for this statement alone (the session calls ``begin_query()`` per
+    statement, so counters never leak across statements).
+    """
 
     def __init__(self, statement: Any, expression: Optional[Expr],
-                 value: Any = None, into: Optional[str] = None):
+                 value: Any = None, into: Optional[str] = None,
+                 stats: Optional[Dict[str, int]] = None):
         self.statement = statement
         self.expression = expression
         self.value = value
         self.into = into
+        self.stats = dict(stats) if stats else {}
 
     def __repr__(self) -> str:
         if self.into:
@@ -47,13 +54,19 @@ class Session:
     """
 
     def __init__(self, database, optimizer: Optimizer = None,
-                 typecheck: bool = False):
+                 typecheck: bool = False, engine: str = "interpreted"):
+        if engine not in ("interpreted", "compiled"):
+            raise ValueError("engine must be 'interpreted' or 'compiled'")
         self.db = database
         ensure_type_system(database)
         register_builtins(database)
         self.ranges: Dict[str, str] = {}
         self.optimizer = optimizer
         self.typecheck = typecheck
+        self.engine = engine
+        # One evaluation context for the whole session: the deref cache
+        # and stats live here, reset per statement via begin_query().
+        self.context = database.context()
         self.ddl = DDLInterpreter(database,
                                   function_translator=self._translate_function)
 
@@ -139,7 +152,8 @@ class Session:
                                 statement.where,
                                 value_mode=statement.value_mode)
         expr, _ = self.translator().translate_retrieve(retrieve)
-        value = evaluate(expr, self.db.context())
+        self.context.begin_query()
+        value = evaluate(expr, self.context, mode=self.engine)
         addition = value if isinstance(value, MultiSet) else MultiSet([value])
 
         declared = getattr(self.db, "created_types", {}).get(collection)
@@ -212,7 +226,7 @@ class Session:
         _, qualifies = self._element_filter(statement.var, collection,
                                             statement.where)
         kept = {element: count
-                for element, count in existing.counts.items()
+                for element, count in existing.items()
                 if not qualifies(element)}
         removed = len(existing) - sum(kept.values())
         self.db.create(collection, MultiSet(counts=kept))
@@ -249,7 +263,7 @@ class Session:
         ctx = self.db.context()
         changed = 0
         out = {}
-        for element, count in existing.counts.items():
+        for element, count in existing.items():
             if not qualifies(element):
                 out[element] = out.get(element, 0) + count
                 continue
@@ -277,12 +291,14 @@ class Session:
             checker_for_database(self.db).check(expr)
         if optimize and self.optimizer is not None:
             expr = self.optimizer.optimize(expr).best
-        value = evaluate(expr, self.db.context())
+        self.context.begin_query()
+        value = evaluate(expr, self.context, mode=self.engine)
         if statement.into:
             self.db.create(statement.into, value)
             if result_type is not None:
                 self.db.created_types[statement.into] = result_type
-        return Result(statement, expr, value, statement.into)
+        return Result(statement, expr, value, statement.into,
+                      stats=self.context.stats)
 
     def query(self, source: str, optimize: bool = False) -> Any:
         """Run a script and return the last statement's value."""
@@ -293,6 +309,7 @@ class Session:
         return None
 
 
-def run(database, source: str, optimize: bool = False) -> Any:
+def run(database, source: str, optimize: bool = False,
+        engine: str = "interpreted") -> Any:
     """One-shot convenience: execute *source*, return the last value."""
-    return Session(database).query(source, optimize=optimize)
+    return Session(database, engine=engine).query(source, optimize=optimize)

@@ -41,7 +41,7 @@ class TypedPartitionIndex:
         if not isinstance(collection, MultiSet):
             raise TypeError("TypedPartitionIndex needs a MultiSet")
         self._partitions: Dict[Optional[str], Dict[Any, int]] = {}
-        for element, count in collection.counts.items():
+        for element, count in collection.items():
             exact = exact_type_of(element, ctx)
             bucket = self._partitions.setdefault(exact, {})
             bucket[element] = count
@@ -73,7 +73,7 @@ class KeyIndex:
             raise TypeError("KeyIndex needs a MultiSet")
         self.key = key
         self._buckets: Dict[Any, Dict[Any, int]] = {}
-        for element, count in collection.counts.items():
+        for element, count in collection.items():
             k = key.evaluate(element, ctx)
             if k is DNE:
                 continue

@@ -74,8 +74,9 @@ class ObjectStore:
 
     def get(self, oid: Any, default: Any = _MISSING) -> Any:
         """The value of object *oid*; *default* (if given) when dangling."""
-        if oid in self._objects:
-            return self._objects[oid]
+        found = self._objects.get(oid, _MISSING)
+        if found is not _MISSING:
+            return found
         if default is not _MISSING:
             return default
         raise StoreError("no object with OID %r" % (oid,))

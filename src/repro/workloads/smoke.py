@@ -1,0 +1,121 @@
+"""The benchmark smoke check: ``python -m repro.cli bench --smoke``.
+
+One tiny run per paper figure (seconds, not minutes — this is the
+tier-2 sanity gate, not the measurement), asserting the *directions*
+Section 5 claims rather than absolute numbers:
+
+* Figure 3 — the array extract dereferences exactly one object;
+* Figure 4 — the functional join forms zero ×-pairs;
+* Figure 5 — ⊎-based dispatch does no run-time dispatches (the switch
+  table does one per occurrence), and per-type indexes remove the
+  extra scans the ⊎ plan pays;
+* Example 1 (Figures 7→8) — pushing DE below the join shrinks both the
+  DE work and the pair count;
+* Example 2 (Figures 9→11) — the rule-15 collapse scans fewer
+  elements, the rule-26 alternative dereferences fewer objects.
+
+Every figure also runs on both execution engines and must produce the
+same value, and the compiled engine must report deref-cache hits —
+the smoke check doubles as a quick engine-agreement probe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from ..core.expr import Expr, evaluate
+from . import dispatch, figures
+from .university import build_university
+
+
+def _run(ctx, expr: Expr, mode: str) -> Tuple[object, Dict[str, int]]:
+    ctx.begin_query()
+    value = evaluate(expr, ctx, mode=mode)
+    return value, dict(ctx.stats)
+
+
+def run_smoke(smoke: bool = True, n_employees: int = 150,
+              echo: Callable[[str], None] = print) -> int:
+    """Run every check; prints one PASS/FAIL line each, returns 0/1."""
+    started = time.time()
+    # Small distinct pools (advisors, employee names) so the Example 1
+    # claim is visible: DE-early only wins when DE actually dedups.
+    uni = build_university(n_employees=n_employees,
+                           n_students=max(10, n_employees // 3),
+                           advisor_pool=4, employee_name_pool=4,
+                           subords_per_employee=6, seed=7)
+    figures.value_views(uni)
+    dispatch.build_population(uni)
+    dispatch.define_boss_methods(uni)
+    dispatch.define_rich_subords_methods(uni)
+    uni.db.indexes.build_typed("P")
+    ctx = uni.db.context()
+
+    floor = 2
+    plans: Dict[str, Expr] = {
+        "fig3": figures.figure_3(),
+        "fig4": figures.figure_4(),
+        "fig5_switch": dispatch.switch_plan("boss"),
+        "fig5_union": dispatch.union_plan(uni, "boss"),
+        "fig5_union_idx": dispatch.union_plan(uni, "boss", use_index=True),
+        "fig6": figures.figure_6(),
+        "fig7": figures.figure_7(),
+        "fig8": figures.figure_8(),
+        "fig9": figures.figure_9(floor),
+        "fig10": figures.figure_10(floor),
+        "fig11": figures.figure_11(floor),
+    }
+
+    interp: Dict[str, Dict[str, int]] = {}
+    compiled: Dict[str, Dict[str, int]] = {}
+    failures: List[str] = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        echo("%-44s %s%s" % (label, "PASS" if ok else "FAIL",
+                             "  (%s)" % detail if detail else ""))
+        if not ok:
+            failures.append(label)
+
+    for name, expr in plans.items():
+        vi, si = _run(ctx, expr, "interpreted")
+        vc, sc = _run(ctx, expr, "compiled")
+        interp[name], compiled[name] = si, sc
+        check("%s: engines agree" % name, vi == vc)
+
+    s = interp
+    check("fig3: exactly one deref",
+          s["fig3"].get("deref_count") == 1,
+          "deref_count=%s" % s["fig3"].get("deref_count"))
+    check("fig4: functional join forms no pairs",
+          s["fig4"].get("cross_pairs", 0) == 0)
+    check("fig5: switch dispatches per occurrence",
+          s["fig5_switch"].get("method_dispatches", 0) > 0)
+    check("fig5: union plan needs no run-time dispatch",
+          s["fig5_union"].get("method_dispatches", 0) == 0)
+    check("fig5: indexes remove the extra scans",
+          (compiled["fig5_union_idx"].get("index_lookups", 0) > 0
+           and s["fig5_union_idx"].get("elements_scanned", 0)
+           < s["fig5_union"].get("elements_scanned", 0)))
+    check("ex1: DE below join shrinks DE work (fig8 < fig7)",
+          s["fig8"].get("de_elements", 0) < s["fig7"].get("de_elements", 0),
+          "%s vs %s" % (s["fig8"].get("de_elements"),
+                        s["fig7"].get("de_elements")))
+    check("ex1: DE below join shrinks pair count (fig8 < fig7)",
+          s["fig8"].get("cross_pairs", 0) < s["fig7"].get("cross_pairs", 0))
+    check("ex2: rule-15 collapse scans less (fig10 < fig9)",
+          s["fig10"].get("elements_scanned", 0)
+          < s["fig9"].get("elements_scanned", 0))
+    check("ex2: rule-26 halves the derefs (fig11 < fig9)",
+          s["fig11"].get("deref_count", 0) < s["fig9"].get("deref_count", 0),
+          "%s vs %s" % (s["fig11"].get("deref_count"),
+                        s["fig9"].get("deref_count")))
+    cache_hits = sum(stats.get("deref_cache_hit", 0)
+                     for stats in compiled.values())
+    check("compiled: deref cache hits observed", cache_hits > 0,
+          "hits=%d" % cache_hits)
+
+    elapsed = time.time() - started
+    echo("%d check(s), %d failure(s), %.1fs"
+         % (len(plans) + 10, len(failures), elapsed))
+    return 1 if failures else 0

@@ -1,10 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-engine
+.PHONY: test lint verify-plans bench-smoke bench-engine
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Style + typing gates. Both tools are optional at dev time: skip with
+# a notice when they aren't installed (the repo has no runtime deps).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro/core/analysis tests/analysis; \
+	else echo "ruff not installed; skipping style check"; fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/core/analysis; \
+	else echo "mypy not installed; skipping type check"; fi
+
+# Offline rewrite-soundness sweep: fire all 28 appendix rules on the
+# generated corpus and require every firing to preserve schemas.
+verify-plans:
+	$(PYTHON) -m repro.core.analysis.rulecheck
 
 # Tier-2 sanity gate: one tiny run per paper figure (<30 s), asserting
 # the paper-claimed winner directions and engine agreement.

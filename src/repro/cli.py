@@ -8,6 +8,8 @@ commands (lines starting with a dot):
     .names               list named top-level objects
     .types               list defined EXTRA types
     .plan <retrieve …>   show the algebra tree without executing
+    .lint <retrieve …>   run the plan linter (typing, dead π, redundant
+                         DE, dangling DEREF, dne hazards, dispatch)
     .optimize on|off     toggle rule-based optimization of queries
     .engine [name]       show or set the execution engine
                          (interpreted | compiled)
@@ -23,6 +25,11 @@ Statements may span lines; they execute when the line ends with ``;``
 ``python -m repro.cli bench --smoke`` runs the quick benchmark smoke
 check (the paper's claimed plan-quality directions plus
 interpreted/compiled engine agreement) without entering the shell.
+
+``python -m repro.cli lint [--demo] [path]`` lints the retrieve
+statements in *path* (stdin when omitted) without executing them,
+printing coded diagnostics with source positions; the exit status is 1
+when any error-severity finding is reported.
 """
 
 from __future__ import annotations
@@ -58,6 +65,38 @@ def format_value(value, indent: str = "  ", limit: int = 20) -> str:
     if isinstance(value, Arr):
         return "[array, %d element(s)] %r" % (len(value), value)
     return repr(value)
+
+
+def lint_source(session: Session, source: str):
+    """Lint every retrieve statement in *source* without executing.
+
+    Range declarations update the session's bindings so later
+    statements resolve; DDL and update statements are skipped.  Returns
+    ``(blocks, errors)`` — printable text blocks and the count of
+    error-severity diagnostics.
+    """
+    from .core.analysis import Linter
+    from .excess import ast as excess_ast
+    from .excess.parser import Parser
+    blocks: List[str] = []
+    errors = 0
+    for statement in Parser(source).parse_statements():
+        if isinstance(statement, excess_ast.RangeDecl):
+            for var, collection in statement.bindings:
+                session.ranges[var] = collection
+            continue
+        if not isinstance(statement, excess_ast.Retrieve):
+            continue
+        translator = session.translator()
+        expr, _ = translator.translate_retrieve(statement)
+        diagnostics = Linter(session.db,
+                             source_map=translator.source_map).lint(expr)
+        errors += sum(1 for d in diagnostics if d.severity == "error")
+        if diagnostics:
+            blocks.extend(d.describe() for d in diagnostics)
+        else:
+            blocks.append("ok: no findings")
+    return blocks, errors
 
 
 class Shell:
@@ -105,6 +144,14 @@ class Shell:
                             " -> ".join(result.steps) or "<unchanged>",
                             explain(result.best, model)))
             return text
+        if command == ".lint":
+            if not argument.strip():
+                return "usage: .lint <retrieve …>"
+            try:
+                blocks, _ = lint_source(self.session, argument)
+            except (ParseError, Exception) as error:
+                return "error: %s" % error
+            return "\n".join(blocks) if blocks else "(nothing to lint)"
         if command == ".optimize":
             self.optimize = argument.strip().lower() == "on"
             return "optimization %s" % ("on" if self.optimize else "off")
@@ -198,11 +245,36 @@ class Shell:
         return self.execute(stripped)
 
 
+def run_lint(argv: List[str]) -> int:
+    """The ``lint`` subcommand: diagnostics only, no execution."""
+    database = Database()
+    if "--demo" in argv:
+        from .workloads import build_university
+        build_university(database=database)
+        argv = [a for a in argv if a != "--demo"]
+    if argv:
+        with open(argv[0]) as handle:
+            source = handle.read()
+    else:
+        source = sys.stdin.read()
+    session = Session(database)
+    try:
+        blocks, errors = lint_source(session, source.replace(";", "\n"))
+    except (ParseError, Exception) as error:
+        print("error: %s" % error)
+        return 2
+    for block in blocks:
+        print(block)
+    return 1 if errors else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         from .workloads.smoke import run_smoke
         return run_smoke(smoke="--smoke" in argv[1:] or len(argv) == 1)
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:])
     shell = Shell()
     banner = ("repro — the EXCESS algebra (Vandenberg & DeWitt, "
               "SIGMOD 1991)\nType .help for commands, .demo for sample "

@@ -1,0 +1,144 @@
+"""Diagnostic primitives for the plan linter.
+
+A diagnostic is a coded finding about an algebra tree: a stable code
+(``L101`` …), a severity, a message, the offending sub-expression, and
+— when the tree came from the EXCESS translator — a source span
+pointing back at the query text.  Codes are stable so tests, docs, and
+downstream tooling can rely on them; the table lives in ``LINT_CODES``.
+
+This module is deliberately leaf-level: no imports from the rest of
+the analysis package and none from ``repro.excess`` (the translator
+imports *us* to attach spans).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Severity:
+    """Diagnostic severities, orderable by :func:`rank`."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._RANK.get(severity, 99)
+
+
+class Span:
+    """A position in EXCESS source text (1-based line/column)."""
+
+    __slots__ = ("line", "column", "text")
+
+    def __init__(self, line: int, column: int,
+                 text: Optional[str] = None):
+        self.line = line
+        self.column = column
+        self.text = text
+
+    def describe(self) -> str:
+        return "%d:%d" % (self.line, self.column)
+
+    def __repr__(self) -> str:
+        return "Span(%d, %d)" % (self.line, self.column)
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Span) and self.line == other.line
+                and self.column == other.column)
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class SourceMap:
+    """expr → :class:`Span`, for trees built by the EXCESS translator.
+
+    Algebra expressions use structural equality, so the map is keyed by
+    object identity (two structurally equal subtrees can come from
+    different places in the query text); the recorded expressions are
+    kept alive so ids stay valid.
+    """
+
+    def __init__(self):
+        self._spans: Dict[int, Span] = {}
+        self._keep_alive: List[Any] = []
+
+    def record(self, expr: Any, span: Span) -> None:
+        """Associate *span* with *expr* and every sub-expression of it
+        that has no span yet (inner nodes inherit the target's span)."""
+        for node in expr.walk():
+            if id(node) not in self._spans:
+                self._spans[id(node)] = span
+                self._keep_alive.append(node)
+
+    def span_of(self, expr: Any) -> Optional[Span]:
+        return self._spans.get(id(expr))
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class Diagnostic:
+    """One linter finding."""
+
+    __slots__ = ("code", "severity", "message", "expr", "span", "hint")
+
+    def __init__(self, code: str, severity: str, message: str,
+                 expr: Any = None, span: Optional[Span] = None,
+                 hint: Optional[str] = None):
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.expr = expr
+        self.span = span
+        self.hint = hint
+
+    def describe(self) -> str:
+        where = " at %s" % self.span.describe() if self.span else ""
+        text = "%s %s%s: %s" % (self.code, self.severity, where,
+                                self.message)
+        if self.hint:
+            text += " (hint: %s)" % self.hint
+        return text
+
+    def __repr__(self) -> str:
+        return "<Diagnostic %s>" % self.describe()
+
+
+#: code → (default severity, one-line summary).  Stable public table.
+LINT_CODES: Dict[str, Any] = {
+    "L100": (Severity.ERROR,
+             "plan does not typecheck (static sort/schema violation)"),
+    "L101": (Severity.WARNING,
+             "dead projected attribute: a π keeps fields never used "
+             "downstream (pushdown opportunity)"),
+    "L102": (Severity.INFO,
+             "redundant DE: the input is provably duplicate-free"),
+    "L103": (Severity.WARNING,
+             "DEREF may encounter a dangling reference (object absent "
+             "from the store)"),
+    "L104": (Severity.INFO,
+             "dne-discard hazard: a COMP predicate reads a value that "
+             "may be dne, silently discarding the occurrence"),
+    "L105": (Severity.ERROR,
+             "incomplete switch-table dispatch: some receiver type has "
+             "no implementation of the called method"),
+    "L106": (Severity.INFO,
+             "opaque function: no declared signature, result schema "
+             "unknown to inference"),
+}
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Severity-major, code-minor stable ordering for display."""
+    return sorted(diagnostics,
+                  key=lambda d: (Severity.rank(d.severity), d.code))
+
+
+def iter_codes() -> Iterator[str]:
+    return iter(sorted(LINT_CODES))

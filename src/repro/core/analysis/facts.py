@@ -1,0 +1,92 @@
+"""Derived plan facts the engines may consume as optimization licenses.
+
+The flagship fact is *duplicate-freedom*: a multiset expression whose
+result provably carries every occurrence at most once.  The linter uses
+it to flag redundant ``DE`` (code L102), and the compiled engine uses
+it to turn a ``DE`` operator into a pass-through (PR 1's hash dedup
+still works without it; the license only removes the hash table).
+
+The derivation is deliberately conservative — only constructs whose
+*output* is duplicate-free by definition qualify:
+
+* ``DE(A)`` and ``ARR_DE(A)`` — that is their semantics;
+* ``GRP`` — groups are keyed by the grouping value, so each inner
+  multiset occurs once per key;
+* ``SET_CREATE(e)`` — a singleton;
+* ``A − B`` when A is duplicate-free (− removes occurrences);
+* a ``Const`` multiset literal that happens to contain no duplicates.
+
+Note σ (COMP inside SET_APPLY) does **not** preserve the property:
+distinct inputs can map to equal outputs under the identity body only,
+and a filtering SET_APPLY keeps the *source* occurrences — but a
+non-identity body can merge distinct elements into duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..expr import Const, Expr
+from ..operators.arrays import ArrDE
+from ..operators.multiset import DE, Diff, Grp, SetCreate
+from ..values import MultiSet
+
+
+def duplicate_free(expr: Expr) -> bool:
+    """Structurally provable duplicate-freedom of *expr*'s result."""
+    if isinstance(expr, (DE, ArrDE, Grp, SetCreate)):
+        return True
+    if isinstance(expr, Diff):
+        return duplicate_free(expr.left)
+    if isinstance(expr, Const) and isinstance(expr.value, MultiSet):
+        return expr.value.distinct_count() == len(expr.value)
+    return False
+
+
+class PlanFacts:
+    """Facts about a specific plan, keyed by sub-expression.
+
+    Structural derivation (:func:`duplicate_free`) is always consulted;
+    explicitly declared facts extend it — e.g. the verifier declares a
+    ``Named`` source duplicate-free after inspecting the stored value.
+    """
+
+    def __init__(self):
+        self._duplicate_free: List[Expr] = []
+
+    def declare_duplicate_free(self, expr: Expr) -> "PlanFacts":
+        self._duplicate_free.append(expr)
+        return self
+
+    def is_duplicate_free(self, expr: Expr) -> bool:
+        if duplicate_free(expr):
+            return True
+        return any(expr == declared for declared in self._duplicate_free)
+
+
+def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
+    """PlanFacts seeded from the stored values of named objects.
+
+    Scans each named multiset once; those without duplicate occurrences
+    become declared duplicate-free, so ``DE(Named(n))`` over them can be
+    elided by the compiled engine.
+    """
+    from ..expr import Named
+
+    facts = PlanFacts()
+    mentioned: Optional[set] = None
+    if plan is not None:
+        mentioned = {node.name for node in plan.walk()
+                     if isinstance(node, Named)}
+    for name in db.names():
+        if mentioned is not None and name not in mentioned:
+            continue
+        value = db.get(name)
+        if (isinstance(value, MultiSet)
+                and value.distinct_count() == len(value)):
+            facts.declare_duplicate_free(Named(name))
+    return facts
+
+
+#: Placeholder for future fact kinds (nonemptiness, known lengths, …).
+FactTable = Dict[str, Any]

@@ -1,0 +1,267 @@
+"""Inheritance-aware schema inference over algebra trees.
+
+Extends the base :class:`~repro.core.typecheck.TypeChecker` with the
+parts of the paper's static story the base checker leaves opaque:
+
+* **DOM(S) substitutability** — ⊎ of a ``{Student}`` and an
+  ``{Employee}`` infers ``{Person}`` (the least upper bound in the
+  type hierarchy) instead of failing or forgetting everything;
+* **typed SET_APPLY narrowing** — a type filter narrows the body's
+  INPUT schema to the filtered types (that is the point of the
+  ⊎-based method plans: each branch knows its receiver's type);
+* **declared function signatures** — builtin and registered scalar
+  functions, including signatures that need the argument *expressions*
+  (``drop_field`` reads field names from Const args);
+* **method dispatch** — a MethodCall's schema is the lub of the
+  schemas of every implementation the receiver's static type can
+  dispatch to, each checked against its defining type's schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from ..hierarchy import TypeHierarchy
+from ..schema import SchemaCatalog, SchemaNode
+from ..typecheck import (AlgebraTypeError, MaybeSchema, TypeChecker,
+                         _element, _expect, database_schemas, is_unknown,
+                         unknown_schema)
+
+
+def substitutable(sub: MaybeSchema, sup: MaybeSchema,
+                  hierarchy: Optional[TypeHierarchy] = None) -> bool:
+    """DOM(S) substitutability: may a *sub*-typed value appear where
+    *sup* is expected?  Width/depth subtyping on tuples, inheritance on
+    named refs and tuple base types, componentwise on collections."""
+    if is_unknown(sub) or is_unknown(sup):
+        return True
+    if sub.kind != sup.kind:
+        return False
+    if sub.kind == "val":
+        return (sup.scalar_type is None or sub.scalar_type is None
+                or sub.scalar_type == sup.scalar_type)
+    if sub.kind == "ref":
+        if sub.target is not None and sup.target is not None:
+            if hierarchy and sub.target in hierarchy \
+                    and sup.target in hierarchy:
+                return hierarchy.is_subtype(sub.target, sup.target)
+            return sub.target == sup.target
+        return True
+    if sub.kind == "tup":
+        if (hierarchy and sub.base_name and sup.base_name
+                and sub.base_name in hierarchy
+                and sup.base_name in hierarchy):
+            return hierarchy.is_subtype(sub.base_name, sup.base_name)
+        sub_fields = set(sub.field_names)
+        return all(name in sub_fields
+                   and substitutable(sub.field(name), sup.field(name),
+                                     hierarchy)
+                   for name in sup.field_names)
+    return substitutable(sub.children[0], sup.children[0], hierarchy)
+
+
+class TypeInference(TypeChecker):
+    """The full checker: base sort discipline + inheritance + dispatch."""
+
+    def __init__(self, named_schemas: Optional[Dict[str, SchemaNode]] = None,
+                 catalog: Optional[SchemaCatalog] = None,
+                 signatures: Optional[Dict[str, Any]] = None,
+                 hierarchy: Optional[TypeHierarchy] = None,
+                 methods: Any = None):
+        super().__init__(named_schemas, catalog, signatures)
+        self.hierarchy = hierarchy
+        self.methods = methods
+        self._method_stack: Set[Any] = set()
+
+    # -- least upper bounds under inheritance ---------------------------
+
+    def _common_supertype(self, a: str, b: str) -> Optional[str]:
+        """Most specific common supertype of two type names, or None."""
+        if self.hierarchy is None or a not in self.hierarchy \
+                or b not in self.hierarchy:
+            return a if a == b else None
+        for candidate in self.hierarchy.linearize(a):
+            if self.hierarchy.is_subtype(b, candidate):
+                return candidate
+        return None
+
+    def lub(self, a: MaybeSchema, b: MaybeSchema) -> MaybeSchema:
+        """Least upper bound of two inferred schemas (None = unknown)."""
+        if is_unknown(a):
+            return b
+        if is_unknown(b):
+            return a
+        if a.kind != b.kind:
+            return None
+        if a.kind == "val":
+            if a.scalar_type == b.scalar_type:
+                return a
+            return SchemaNode.val()
+        if a.kind == "ref":
+            if a.target is not None and b.target is not None:
+                if a.target == b.target:
+                    return a
+                common = self._common_supertype(a.target, b.target)
+                return SchemaNode.ref_to(common) if common else None
+            return a if a.target is None and b.target is None else None
+        if a.kind == "tup":
+            if a.base_name and a.base_name == b.base_name:
+                return a
+            common = None
+            if a.base_name and b.base_name:
+                common = self._common_supertype(a.base_name, b.base_name)
+            if common is not None:
+                return self._schema_of_type(common) or a
+            shared = [n for n in a.field_names if n in set(b.field_names)]
+            if not shared:
+                return None
+            return SchemaNode.tup(
+                {name: (self.lub(a.field(name), b.field(name))
+                        or unknown_schema()).clone()
+                 for name in shared})
+        wrap = SchemaNode.set_of if a.kind == "set" else SchemaNode.arr_of
+        merged = self.lub(a.children[0], b.children[0])
+        return wrap(merged.clone() if merged is not None
+                    else unknown_schema())
+
+    # -- typed SET_APPLY / ARR_APPLY narrowing --------------------------
+
+    def _schema_of_type(self, type_name: str) -> MaybeSchema:
+        if type_name in self.catalog:
+            return self.catalog.resolve(type_name)
+        return None
+
+    def _narrow(self, element: MaybeSchema,
+                type_filter: FrozenSet[str]) -> MaybeSchema:
+        """The body's INPUT schema under a type filter: only elements
+        whose exact type is in the filter reach the body."""
+        if not type_filter:
+            return element
+        if element is not None and element.kind == "ref":
+            narrowed = None
+            for type_name in sorted(type_filter):
+                narrowed = self.lub(narrowed, SchemaNode.ref_to(type_name))
+            return narrowed if narrowed is not None else element
+        narrowed = None
+        for type_name in sorted(type_filter):
+            schema = self._schema_of_type(type_name)
+            if schema is None:
+                return element  # unknown filtered type: keep what we had
+            narrowed = self.lub(narrowed, schema)
+        return narrowed if narrowed is not None else element
+
+    # -- overridden node checks -----------------------------------------
+
+    def _chk_AddUnion(self, expr, input_schema):
+        left = _expect(self.check(expr.left, input_schema), "set", "⊎")
+        right = _expect(self.check(expr.right, input_schema), "set", "⊎")
+        if left is None or right is None:
+            return left if right is None else right
+        merged = self.lub(_element(left), _element(right))
+        return SchemaNode.set_of(merged.clone() if merged is not None
+                                 else unknown_schema())
+
+    def _chk_SetApply(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "set",
+                         "SET_APPLY")
+        element = _element(source)
+        type_filter = getattr(expr, "type_filter", None)
+        if type_filter:
+            element = self._narrow(element, type_filter)
+        body = self.check(expr.body, element)
+        return SchemaNode.set_of(body if body is not None
+                                 else unknown_schema())
+
+    def _chk_ArrApply(self, expr, input_schema):
+        source = _expect(self.check(expr.source, input_schema), "arr",
+                         "ARR_APPLY")
+        element = _element(source)
+        type_filter = getattr(expr, "type_filter", None)
+        if type_filter:
+            element = self._narrow(element, type_filter)
+        body = self.check(expr.body, element)
+        return SchemaNode.arr_of(body if body is not None
+                                 else unknown_schema())
+
+    def _chk_Func(self, expr, input_schema):
+        arg_schemas = [self.check(arg, input_schema) for arg in expr.args]
+        signature = self.signatures.get(expr.name)
+        if callable(signature):
+            if getattr(signature, "wants_exprs", False):
+                return signature(arg_schemas, list(expr.args))
+            return signature(arg_schemas)
+        return signature
+
+    def _chk_MethodCall(self, expr, input_schema):
+        receiver = self.check(expr.receiver, input_schema)
+        root = self._receiver_type(receiver)
+        if root is None or self.methods is None:
+            return None
+        key = (root, expr.name, len(expr.args))
+        if key in self._method_stack:
+            return None  # recursive method: give up on a fixed point
+        try:
+            implementations = self.methods.implementations(root, expr.name)
+        except Exception:
+            return None  # unresolvable dispatch is the linter's finding
+        result: MaybeSchema = None
+        self._method_stack.add(key)
+        try:
+            for type_name, method in implementations.items():
+                try:
+                    body = method.instantiate(list(expr.args))
+                except Exception:
+                    return None
+                self_schema = self._schema_of_type(type_name)
+                try:
+                    schema = self.check(body, self_schema)
+                except AlgebraTypeError:
+                    # A body ill-typed for a type that may never occur at
+                    # run time must not fail the whole plan statically.
+                    return None
+                if schema is None:
+                    return None
+                result = schema if result is None else self.lub(result,
+                                                                schema)
+        finally:
+            self._method_stack.discard(key)
+        return result
+
+    def _receiver_type(self, receiver: MaybeSchema) -> Optional[str]:
+        """The static type name a MethodCall dispatches under, if known."""
+        if receiver is None or self.hierarchy is None:
+            return None
+        if receiver.kind == "ref" and receiver.target in self.hierarchy:
+            return receiver.target
+        if receiver.kind == "tup" and receiver.base_name in self.hierarchy:
+            return receiver.base_name
+        return None
+
+
+def inference_for_database(db) -> TypeInference:
+    """A TypeInference wired to a database: named-object schemas, the
+    type catalog, the hierarchy/method registry, and every declared
+    signature source (builtins, the operator library, registered
+    functions)."""
+    named, catalog = database_schemas(db)
+    signatures: Dict[str, Any] = {}
+    # Lazy imports: repro.excess imports this package (span plumbing),
+    # so pulling its modules in at import time would cycle.
+    try:
+        from ...excess.builtins import BUILTIN_SIGNATURES
+        signatures.update(BUILTIN_SIGNATURES)
+    except ImportError:  # pragma: no cover - excess layer always ships
+        pass
+    try:
+        from ..operators.library import LIBRARY_SIGNATURES
+        signatures.update(LIBRARY_SIGNATURES)
+    except ImportError:  # pragma: no cover
+        pass
+    signatures.update(getattr(db, "function_signatures", None) or {})
+    return TypeInference(named, catalog, signatures,
+                         hierarchy=db.hierarchy,
+                         methods=getattr(db, "methods", None))
+
+
+__all__: List[str] = ["TypeInference", "inference_for_database",
+                      "substitutable"]

@@ -1,0 +1,286 @@
+"""Null-flow analysis: may ``unk``/``dne`` reach a subtree's result?
+
+Section 3 of the paper fixes how the two nulls move: ``unk`` ("value
+unknown") propagates through expressions and makes COMP predicates
+three-valued, while ``dne`` ("does not exist") is *discarded by
+multiset construction* — a SET_APPLY body returning dne contributes
+nothing, and a COMP whose predicate is false-or-unknown yields dne for
+that occurrence.  This pass computes, per subtree, a conservative
+*may* description of where the nulls can be, so the linter can flag
+predicates that silently discard occurrences (code L104).
+
+The lattice element is :class:`NullInfo`: a may-set for the value
+itself plus recursive element/field structure for collections and
+tuples.  Unknown positions default to the empty may-set — the analysis
+is optimistic, so every reported hazard is backed by an actual null in
+the data (a stored occurrence, a dne-returning builtin, a DEREF) and
+not by ignorance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional
+
+from ..expr import Expr
+from ..values import Arr, MultiSet, Null, Ref, Tup
+
+UNK_FLAG = "unk"
+DNE_FLAG = "dne"
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class NullInfo:
+    """May-information for one value position."""
+
+    __slots__ = ("value", "element", "fields")
+
+    def __init__(self, value: FrozenSet[str] = _EMPTY,
+                 element: Optional["NullInfo"] = None,
+                 fields: Optional[Dict[str, "NullInfo"]] = None):
+        self.value = frozenset(value)
+        self.element = element
+        self.fields = fields
+
+    def may_unk(self) -> bool:
+        return UNK_FLAG in self.value
+
+    def may_dne(self) -> bool:
+        return DNE_FLAG in self.value
+
+    def join(self, other: "NullInfo") -> "NullInfo":
+        element = self.element
+        if other.element is not None:
+            element = (other.element if element is None
+                       else element.join(other.element))
+        fields = None
+        if self.fields is not None or other.fields is not None:
+            fields = dict(self.fields or {})
+            for name, info in (other.fields or {}).items():
+                fields[name] = (fields[name].join(info) if name in fields
+                                else info)
+        return NullInfo(self.value | other.value, element, fields)
+
+    def with_value(self, extra: FrozenSet[str]) -> "NullInfo":
+        return NullInfo(self.value | extra, self.element, self.fields)
+
+    def without_value(self, dropped: FrozenSet[str]) -> "NullInfo":
+        return NullInfo(self.value - dropped, self.element, self.fields)
+
+    def field(self, name: str) -> "NullInfo":
+        if self.fields is None:
+            return EMPTY_INFO
+        return self.fields.get(name, NullInfo(frozenset([DNE_FLAG])))
+
+    def __repr__(self) -> str:
+        return "NullInfo(%s)" % sorted(self.value)
+
+
+EMPTY_INFO = NullInfo()
+
+
+def info_of_value(value: Any) -> NullInfo:
+    """The exact null content of a stored runtime value."""
+    if isinstance(value, Null):
+        return NullInfo(frozenset([value.kind]))  # kind is "unk" or "dne"
+    if isinstance(value, Tup):
+        return NullInfo(fields={name: info_of_value(v)
+                                for name, v in value.fields})
+    if isinstance(value, MultiSet):
+        element = None
+        for occurrence in value.elements():
+            info = info_of_value(occurrence)
+            element = info if element is None else element.join(info)
+        return NullInfo(element=element or EMPTY_INFO)
+    if isinstance(value, Arr):
+        element = None
+        for occurrence in value:
+            info = info_of_value(occurrence)
+            element = info if element is None else element.join(info)
+        return NullInfo(element=element or EMPTY_INFO)
+    if isinstance(value, Ref):
+        return EMPTY_INFO
+    return EMPTY_INFO
+
+
+class NullFlow:
+    """Computes :class:`NullInfo` for algebra subtrees.
+
+    ``observer(comp_expr, operand_expr, operand_info)`` — when given —
+    is invoked for every COMP predicate operand as it is analysed, so a
+    caller (the linter) can collect dne-discard hazards without
+    re-walking the tree.
+    """
+
+    def __init__(self, named_infos: Optional[Dict[str, NullInfo]] = None,
+                 dne_functions: Optional[FrozenSet[str]] = None,
+                 observer: Optional[Callable] = None):
+        self.named = dict(named_infos or {})
+        self.dne_functions = frozenset(dne_functions or ())
+        self.observer = observer
+
+    def check(self, expr: Expr,
+              input_info: NullInfo = EMPTY_INFO) -> NullInfo:
+        method = getattr(self, "_nf_%s" % type(expr).__name__, None)
+        if method is None:
+            return EMPTY_INFO  # optimistic: unknown nodes add no nulls
+        return method(expr, input_info)
+
+    # -- leaves ---------------------------------------------------------
+
+    def _nf_Input(self, expr, input_info):
+        return input_info
+
+    def _nf_Named(self, expr, input_info):
+        return self.named.get(expr.name, EMPTY_INFO)
+
+    def _nf_Const(self, expr, input_info):
+        return info_of_value(expr.value)
+
+    def _nf_Func(self, expr, input_info):
+        flags = frozenset()
+        for arg in expr.args:
+            flags |= self.check(arg, input_info).value
+        if expr.name in self.dne_functions:
+            flags |= frozenset([DNE_FLAG])
+        return NullInfo(flags)
+
+    # -- multiset operators ---------------------------------------------
+
+    def _nf_SetApply(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        body = self.check(expr.body, source.element or EMPTY_INFO)
+        # dne results are discarded by multiset construction (§3).
+        return NullInfo(element=body.without_value(
+            frozenset([DNE_FLAG])))
+
+    def _nf_Grp(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        self.check(expr.by, source.element or EMPTY_INFO)
+        return NullInfo(element=NullInfo(element=source.element))
+
+    def _nf_DE(self, expr, input_info):
+        return self.check(expr.source, input_info)
+
+    def _nf_SetCreate(self, expr, input_info):
+        inner = self.check(expr.source, input_info)
+        return NullInfo(element=inner.without_value(
+            frozenset([DNE_FLAG])))
+
+    def _nf_SetCollapse(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        inner = source.element or EMPTY_INFO
+        return NullInfo(element=inner.element)
+
+    def _nf_AddUnion(self, expr, input_info):
+        return self.check(expr.left, input_info).join(
+            self.check(expr.right, input_info))
+
+    def _nf_Diff(self, expr, input_info):
+        self.check(expr.right, input_info)
+        return self.check(expr.left, input_info)
+
+    def _nf_Cross(self, expr, input_info):
+        left = self.check(expr.left, input_info)
+        right = self.check(expr.right, input_info)
+        pair = NullInfo(fields={"field1": left.element or EMPTY_INFO,
+                                "field2": right.element or EMPTY_INFO})
+        return NullInfo(element=pair)
+
+    # -- tuple operators -------------------------------------------------
+
+    def _nf_Pi(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        if source.fields is None:
+            return EMPTY_INFO
+        return NullInfo(fields={name: source.field(name)
+                                for name in expr.names
+                                if name in source.fields})
+
+    def _nf_TupExtract(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        if source.fields is None:
+            return EMPTY_INFO
+        return source.field(expr.field)
+
+    def _nf_TupCreate(self, expr, input_info):
+        return NullInfo(fields={expr.field: self.check(expr.source,
+                                                       input_info)})
+
+    def _nf_TupCat(self, expr, input_info):
+        left = self.check(expr.left, input_info)
+        right = self.check(expr.right, input_info)
+        fields = dict(left.fields or {})
+        fields.update(right.fields or {})
+        return NullInfo(fields=fields)
+
+    # -- references, predicates ------------------------------------------
+
+    def _nf_Deref(self, expr, input_info):
+        self.check(expr.source, input_info)
+        # A dangling ref dereferences to dne; the object's own nulls are
+        # unknown to this pass (optimistically empty).
+        return NullInfo(frozenset([DNE_FLAG]))
+
+    def _nf_RefOp(self, expr, input_info):
+        self.check(expr.source, input_info)
+        return EMPTY_INFO
+
+    def _nf_Comp(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        may_unk = False
+        for operand in expr.pred.deep_exprs():
+            operand_info = self.check(operand, source)
+            if self.observer is not None:
+                self.observer(expr, operand, operand_info)
+            if operand_info.may_unk():
+                may_unk = True
+        flags = frozenset([DNE_FLAG])  # pred false/unknown → dne
+        if may_unk:
+            flags |= frozenset([UNK_FLAG])
+        return source.with_value(flags)
+
+    # -- arrays -----------------------------------------------------------
+
+    def _nf_ArrApply(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        body = self.check(expr.body, source.element or EMPTY_INFO)
+        # Array construction keeps dne occurrences (positions matter).
+        return NullInfo(element=body)
+
+    def _nf_ArrCreate(self, expr, input_info):
+        return NullInfo(element=self.check(expr.source, input_info))
+
+    def _nf_ArrExtract(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        # Out-of-bounds extraction yields dne.
+        return (source.element or EMPTY_INFO).with_value(
+            frozenset([DNE_FLAG]))
+
+    def _nf_SubArr(self, expr, input_info):
+        return self.check(expr.source, input_info)
+
+    def _nf_ArrCat(self, expr, input_info):
+        return self.check(expr.left, input_info).join(
+            self.check(expr.right, input_info))
+
+    def _nf_ArrDE(self, expr, input_info):
+        return self.check(expr.source, input_info)
+
+    def _nf_ArrCollapse(self, expr, input_info):
+        source = self.check(expr.source, input_info)
+        inner = source.element or EMPTY_INFO
+        return NullInfo(element=inner.element)
+
+
+def nullflow_for_database(db, observer: Optional[Callable] = None
+                          ) -> NullFlow:
+    """A NullFlow seeded with the exact null content of every named
+    object and the dne-returning builtins (min/max/avg on ∅)."""
+    named = {name: info_of_value(db.get(name)) for name in db.names()}
+    try:
+        from ...excess.builtins import MAY_RETURN_DNE
+        dne_functions = frozenset(MAY_RETURN_DNE)
+    except ImportError:  # pragma: no cover - excess layer always ships
+        dne_functions = frozenset(["min", "max", "avg"])
+    return NullFlow(named, dne_functions, observer)

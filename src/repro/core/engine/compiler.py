@@ -448,8 +448,12 @@ class PlanCompiler:
     extension operators).
     """
 
-    def __init__(self):
+    def __init__(self, facts=None):
         self.notes: List[str] = []
+        #: Verified plan facts (``PlanFacts`` from the analysis layer, or
+        #: any object with ``is_duplicate_free(expr)``) used as
+        #: optimization licenses; None disables fact-based lowering.
+        self.facts = facts
 
     def note(self, text: str) -> None:
         self.notes.append(text)
@@ -904,6 +908,29 @@ class PlanCompiler:
     def _s_DE(self, expr: DE) -> StreamFn:
         src = self.stream(expr.source, "DE needs a multiset input")
 
+        if self.facts is not None and self.facts.is_duplicate_free(expr.source):
+            # License: the input provably carries each occurrence once,
+            # so DE is the identity — drop the hash table but keep the
+            # exact counter ticks the hashing operator would produce.
+            self.note("DE[pass-through: input proven duplicate-free]")
+
+            def gen_passthrough(chunks, ctx):
+                total = 0
+                try:
+                    for element, count in chunks:
+                        total += count
+                        yield element, 1
+                finally:
+                    ctx.tick("elements_scanned", total)
+                    ctx.tick("de_elements", total)
+
+            def fn_passthrough(v, ctx):
+                chunks = src(v, ctx)
+                if isinstance(chunks, Null):
+                    return chunks
+                return gen_passthrough(chunks, ctx)
+            return fn_passthrough
+
         def gen(chunks, ctx):
             seen = set()
             add = seen.add
@@ -1303,13 +1330,15 @@ class Pipeline:
                                                len(self.notes))
 
 
-def compile_plan(expr: Expr, ctx: EvalContext = None) -> Pipeline:
+def compile_plan(expr: Expr, ctx: EvalContext = None,
+                 facts=None) -> Pipeline:
     """Lower *expr* into a streaming :class:`Pipeline`.
 
     *ctx* is accepted for signature symmetry with ``evaluate`` (a future
     compiler may consult catalog statistics); compilation itself is
-    purely structural today.
+    structural plus whatever *facts* license — e.g. verified
+    duplicate-freedom turns DE into a pass-through.
     """
-    compiler = PlanCompiler()
+    compiler = PlanCompiler(facts=facts)
     run = compiler.value(expr)
     return Pipeline(expr, run, compiler.notes)

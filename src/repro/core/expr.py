@@ -286,7 +286,7 @@ class Func(Expr):
 
 
 def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
-             mode: str = "interpreted") -> Any:
+             mode: str = "interpreted", facts: Any = None) -> Any:
     """Evaluate a top-level expression.
 
     A bare INPUT at top level is an error unless *input_value* is given
@@ -297,10 +297,14 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     or ``"compiled"`` (the streaming engine of
     :mod:`repro.core.engine`, which lowers the tree once and pipelines
     occurrence pairs through fused physical operators).
+
+    ``facts`` (compiled engine only) carries verified plan facts —
+    e.g. duplicate-freedom from the static analysis layer — that the
+    compiler may use as optimization licenses.
     """
     if mode == "compiled":
         from .engine import compile_plan
-        return compile_plan(expr).execute(ctx, input_value)
+        return compile_plan(expr, facts=facts).execute(ctx, input_value)
     if mode != "interpreted":
         raise ValueError("unknown engine mode %r "
                          "(use 'interpreted' or 'compiled')" % (mode,))

@@ -151,6 +151,49 @@ def field_map_rebuild(mapping: Dict[str, Expr]) -> Expr:
     return body
 
 
+# -- declared type signatures for the static analysis layer -------------
+
+def _sig_one_of(arg_schemas):
+    """one_of: a representative element of the collection argument."""
+    from ..typecheck import is_unknown, unknown_schema
+    if arg_schemas and arg_schemas[0] is not None \
+            and not is_unknown(arg_schemas[0]) \
+            and arg_schemas[0].kind in ("set", "arr"):
+        return arg_schemas[0].children[0].clone()
+    return unknown_schema()
+
+
+def _dropping_signature(split):
+    """Signature factory for drop_field/drop_fields: the result is the
+    argument tuple minus the named fields.  Needs the argument
+    *expressions* — the dropped names live in a Const literal."""
+    def signature(arg_schemas, exprs):
+        from ..schema import SchemaNode
+        from ..typecheck import is_unknown, unknown_schema
+        if len(arg_schemas) != 2 or arg_schemas[0] is None \
+                or is_unknown(arg_schemas[0]) \
+                or arg_schemas[0].kind != "tup":
+            return unknown_schema()
+        if not isinstance(exprs[1], Const) \
+                or not isinstance(exprs[1].value, str):
+            return unknown_schema()
+        dropped = split(exprs[1].value)
+        source = arg_schemas[0]
+        return SchemaNode.tup({name: source.field(name).clone()
+                               for name in source.field_names
+                               if name not in dropped})
+
+    signature.wants_exprs = True
+    return signature
+
+
+LIBRARY_SIGNATURES = {
+    "one_of": _sig_one_of,
+    "drop_field": _dropping_signature(lambda value: {value}),
+    "drop_fields": _dropping_signature(lambda value: set(value.split(","))),
+}
+
+
 def register_library_functions(database) -> None:
     """Register the helper scalars the library compositions use
     (plus the aggregate builtins semijoin/antijoin count with)."""
@@ -168,11 +211,16 @@ def register_library_functions(database) -> None:
         return t.project([n for n in t.field_names if n not in dropped])
 
     if "one_of" not in database.functions:
-        database.register_function("one_of", one_of)
+        database.register_function("one_of", one_of,
+                                   signature=LIBRARY_SIGNATURES["one_of"])
     if "drop_field" not in database.functions:
-        database.register_function("drop_field", drop_field)
+        database.register_function(
+            "drop_field", drop_field,
+            signature=LIBRARY_SIGNATURES["drop_field"])
     if "drop_fields" not in database.functions:
-        database.register_function("drop_fields", drop_fields)
+        database.register_function(
+            "drop_fields", drop_fields,
+            signature=LIBRARY_SIGNATURES["drop_fields"])
     # The aggregates the compositions lean on (count for semijoins,
     # sum/min/max/avg for aggregate_per_group).
     from ...excess.builtins import register_builtins

@@ -30,6 +30,11 @@ from .values import Arr, MultiSet, Null, Ref, Tup, is_scalar
 #: Legal node kinds.
 NODE_KINDS = ("val", "tup", "set", "arr", "ref")
 
+#: Base name marking a "nothing known" component — the inferred element
+#: of an empty collection.  The static checkers treat such nodes as the
+#: unknown ("any") schema rather than as a genuine scalar.
+UNKNOWN_NAME = "_unknown_"
+
 _anon_counter = itertools.count(1)
 
 
@@ -341,9 +346,10 @@ def _merge_inferred(a: Optional["SchemaNode"],
     if a.kind == "tup":
         if a.field_names != b.field_names:
             return a
-        return SchemaNode.tup({
-            name: _merge_inferred(ca, cb)
-            for (name, ca), (_, cb) in zip(a.fields(), b.fields())})
+        return SchemaNode.tup(
+            {name: _merge_inferred(ca, cb)
+             for (name, ca), (_, cb) in zip(a.fields(), b.fields())},
+            name=(a.base_name if a.base_name == b.base_name else None))
     return a  # refs: keep the first target
 
 
@@ -359,24 +365,25 @@ def infer_schema(value: Any, catalog: SchemaCatalog = None) -> SchemaNode:
     if is_scalar(value):
         return SchemaNode.val(type(value))
     if isinstance(value, Null):
-        return SchemaNode.val()
+        return SchemaNode.val(name=UNKNOWN_NAME)
     if isinstance(value, Tup):
         return SchemaNode.tup(
-            {name: infer_schema(v, catalog) for name, v in value.fields})
+            {name: infer_schema(v, catalog) for name, v in value.fields},
+            name=value.type_name)
     if isinstance(value, MultiSet):
         component = None
         for element in value.elements():
             component = _merge_inferred(component,
                                         infer_schema(element, catalog))
         return SchemaNode.set_of(component if component is not None
-                                 else SchemaNode.val())
+                                 else SchemaNode.val(name=UNKNOWN_NAME))
     if isinstance(value, Arr):
         component = None
         for element in value:
             component = _merge_inferred(component,
                                         infer_schema(element, catalog))
         return SchemaNode.arr_of(component if component is not None
-                                 else SchemaNode.val())
+                                 else SchemaNode.val(name=UNKNOWN_NAME))
     if isinstance(value, Ref):
         if value.type_name:
             return SchemaNode.ref_to(value.type_name)

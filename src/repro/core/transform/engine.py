@@ -158,11 +158,16 @@ class RewriteEngine:
     """Bounded breadth-first exploration of a query's equivalence class."""
 
     def __init__(self, rules: Sequence[Rule], facts: RewriteFacts = NO_FACTS,
-                 max_trees: int = 2000, max_depth: int = 6):
+                 max_trees: int = 2000, max_depth: int = 6, verifier=None):
         self.rules = list(rules)
         self.facts = facts
         self.max_trees = max_trees
         self.max_depth = max_depth
+        #: Optional debug hook called as ``verifier(rule, before, after)``
+        #: for every new tree the engine admits; a soundness gate (see
+        #: :mod:`repro.core.analysis.soundness`) raises if the rewrite
+        #: changed the inferred schema.
+        self.verifier = verifier
 
     def explore(self, expr: Expr) -> List[Derivation]:
         """All distinct trees reachable within the bounds, including the
@@ -177,6 +182,8 @@ class RewriteEngine:
                         derivation.expr, self.rules, self.facts):
                     if candidate in seen:
                         continue
+                    if self.verifier is not None:
+                        self.verifier(rule, derivation.expr, candidate)
                     new = Derivation(candidate,
                                      derivation.steps + (rule.name,))
                     seen[candidate] = new

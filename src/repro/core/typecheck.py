@@ -31,43 +31,81 @@ from .operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
 from .operators.refs import Deref, RefOp
 from .operators.tuples import Pi, TupCat, TupCreate, TupExtract
 from .predicates import Comp
-from .schema import SchemaCatalog, SchemaNode, infer_schema
+from .schema import (UNKNOWN_NAME, SchemaCatalog, SchemaNode,
+                     infer_schema)
 
 
 class AlgebraTypeError(TypeError):
-    """A static sort/schema violation in an algebra tree."""
+    """A static sort/schema violation in an algebra tree.
+
+    Besides the human-readable message, the error carries structured
+    fields so downstream tooling (the linter's diagnostics) can report
+    *which* operator failed and what sort mismatch occurred without
+    parsing the message text.
+    """
+
+    def __init__(self, message: str, operator: Optional[str] = None,
+                 expected: Optional[str] = None, got: Optional[str] = None,
+                 expr: Optional[Expr] = None):
+        super().__init__(message)
+        self.operator = operator
+        self.expected = expected
+        self.got = got
+        self.expr = expr
 
 
 #: ``None`` denotes the unknown ("any") schema throughout.
 MaybeSchema = Optional[SchemaNode]
 
+#: Marker base name for "collection of something unknown" components.
+#: A collection whose element schema could not be inferred still *is* a
+#: known collection; its component is an UNKNOWN-flavoured val node that
+#: every check treats as "any" rather than as a genuine scalar.
+_UNKNOWN_BASE = UNKNOWN_NAME
+
+
+def unknown_schema() -> SchemaNode:
+    """A fresh unknown-component placeholder node."""
+    return SchemaNode.val(name=_UNKNOWN_BASE)
+
+
+def is_unknown(schema: MaybeSchema) -> bool:
+    """True for the unknown-component placeholder (or ``None``)."""
+    return schema is None or (schema.kind == "val"
+                              and schema.base_name == _UNKNOWN_BASE)
+
 
 def _expect(schema: MaybeSchema, kind: str, operator: str) -> MaybeSchema:
     """Check *schema* (if known) has node *kind*; return its component
     knowledge for further inference."""
-    if schema is not None and schema.kind != kind:
+    if is_unknown(schema):
+        return None
+    if schema.kind != kind:
         raise AlgebraTypeError(
             "%s expects a %s input, got %s (%s)"
-            % (operator, kind, schema.kind, schema.describe()))
+            % (operator, kind, schema.kind, schema.describe()),
+            operator=operator, expected=kind, got=schema.kind)
     return schema
 
 
 def _same_sort(a: MaybeSchema, b: MaybeSchema, operator: str) -> MaybeSchema:
-    if a is None:
+    if is_unknown(a):
         return b
-    if b is None:
+    if is_unknown(b):
         return a
     if a.kind != b.kind:
         raise AlgebraTypeError(
             "%s expects matching sorts, got %s and %s"
-            % (operator, a.kind, b.kind))
+            % (operator, a.kind, b.kind),
+            operator=operator, expected=a.kind, got=b.kind)
     return a
 
 
 def _element(schema: MaybeSchema) -> MaybeSchema:
     if schema is None or not schema.children:
         return None
-    return schema.children[0]
+    child = schema.children[0]
+    return None if is_unknown(child) else child
 
 
 class TypeChecker:
@@ -86,9 +124,9 @@ class TypeChecker:
         name → SchemaNode (or a callable arg-schemas → SchemaNode).
     """
 
-    def __init__(self, named_schemas: Dict[str, SchemaNode] = None,
-                 catalog: SchemaCatalog = None,
-                 signatures: Dict[str, Any] = None):
+    def __init__(self, named_schemas: Optional[Dict[str, SchemaNode]] = None,
+                 catalog: Optional[SchemaCatalog] = None,
+                 signatures: Optional[Dict[str, Any]] = None):
         self.named = dict(named_schemas or {})
         self.catalog = catalog or SchemaCatalog()
         self.signatures = dict(signatures or {})
@@ -101,7 +139,13 @@ class TypeChecker:
         method = getattr(self, "_chk_%s" % type(expr).__name__, None)
         if method is None:
             return None  # unknown node kinds stay opaque
-        return method(expr, input_schema)
+        try:
+            return method(expr, input_schema)
+        except AlgebraTypeError as error:
+            if error.expr is None:
+                # The innermost failing node wins; outer frames pass it up.
+                error.expr = expr
+            raise
 
     # -- leaves --------------------------------------------------------------
 
@@ -136,14 +180,14 @@ class TypeChecker:
                          "SET_APPLY")
         body = self.check(expr.body, _element(source))
         return SchemaNode.set_of(body if body is not None
-                                 else SchemaNode.val())
+                                 else unknown_schema())
 
     def _chk_Grp(self, expr, input_schema):
         source = _expect(self.check(expr.source, input_schema), "set", "GRP")
         self.check(expr.by, _element(source))
         inner = _element(source)
         return SchemaNode.set_of(SchemaNode.set_of(
-            inner.clone() if inner is not None else SchemaNode.val()))
+            inner.clone() if inner is not None else unknown_schema()))
 
     def _chk_DE(self, expr, input_schema):
         return _expect(self.check(expr.source, input_schema), "set", "DE")
@@ -151,7 +195,7 @@ class TypeChecker:
     def _chk_SetCreate(self, expr, input_schema):
         inner = self.check(expr.source, input_schema)
         return SchemaNode.set_of(inner if inner is not None
-                                 else SchemaNode.val())
+                                 else unknown_schema())
 
     def _chk_SetCollapse(self, expr, input_schema):
         source = _expect(self.check(expr.source, input_schema), "set",
@@ -160,9 +204,10 @@ class TypeChecker:
         if inner is not None and inner.kind != "set":
             raise AlgebraTypeError(
                 "SET_COLLAPSE needs a multiset of multisets, inner sort "
-                "is %s" % inner.kind)
+                "is %s" % inner.kind,
+                operator="SET_COLLAPSE", expected="set", got=inner.kind)
         return inner if inner is not None else SchemaNode.set_of(
-            SchemaNode.val())
+            unknown_schema())
 
     def _chk_AddUnion(self, expr, input_schema):
         left = _expect(self.check(expr.left, input_schema), "set", "⊎")
@@ -178,10 +223,10 @@ class TypeChecker:
         left = _expect(self.check(expr.left, input_schema), "set", "×")
         right = _expect(self.check(expr.right, input_schema), "set", "×")
         pair = SchemaNode.tup({
-            "field1": (_element(left) or SchemaNode.val()).clone()
-            if _element(left) is not None else SchemaNode.val(),
-            "field2": (_element(right) or SchemaNode.val()).clone()
-            if _element(right) is not None else SchemaNode.val()})
+            "field1": (_element(left).clone() if _element(left) is not None
+                       else unknown_schema()),
+            "field2": (_element(right).clone() if _element(right) is not None
+                       else unknown_schema())})
         return SchemaNode.set_of(pair)
 
     # -- tuple operators ---------------------------------------------------
@@ -197,7 +242,8 @@ class TypeChecker:
             except Exception:
                 raise AlgebraTypeError(
                     "π names field %r absent from %s"
-                    % (name, source.describe()))
+                    % (name, source.describe()),
+                    operator="π", expected=name, got=source.describe())
         return SchemaNode.tup(fields)
 
     def _chk_TupExtract(self, expr, input_schema):
@@ -210,12 +256,14 @@ class TypeChecker:
         except Exception:
             raise AlgebraTypeError(
                 "TUP_EXTRACT names field %r absent from %s"
-                % (expr.field, source.describe()))
+                % (expr.field, source.describe()),
+                operator="TUP_EXTRACT", expected=expr.field,
+                got=source.describe())
 
     def _chk_TupCreate(self, expr, input_schema):
         inner = self.check(expr.source, input_schema)
         return SchemaNode.tup({expr.field: inner if inner is not None
-                               else SchemaNode.val()})
+                               else unknown_schema()})
 
     def _chk_TupCat(self, expr, input_schema):
         left = _expect(self.check(expr.left, input_schema), "tup", "TUP_CAT")
@@ -226,7 +274,9 @@ class TypeChecker:
         clash = set(left.field_names) & set(right.field_names)
         if clash:
             raise AlgebraTypeError(
-                "TUP_CAT field clash: %s" % ", ".join(sorted(clash)))
+                "TUP_CAT field clash: %s" % ", ".join(sorted(clash)),
+                operator="TUP_CAT", expected="disjoint fields",
+                got=", ".join(sorted(clash)))
         fields = {name: child.clone() for name, child in left.fields()}
         fields.update({name: child.clone()
                        for name, child in right.fields()})
@@ -239,12 +289,12 @@ class TypeChecker:
                          "ARR_APPLY")
         body = self.check(expr.body, _element(source))
         return SchemaNode.arr_of(body if body is not None
-                                 else SchemaNode.val())
+                                 else unknown_schema())
 
     def _chk_ArrCreate(self, expr, input_schema):
         inner = self.check(expr.source, input_schema)
         return SchemaNode.arr_of(inner if inner is not None
-                                 else SchemaNode.val())
+                                 else unknown_schema())
 
     def _chk_ArrExtract(self, expr, input_schema):
         source = _expect(self.check(expr.source, input_schema), "arr",
@@ -276,7 +326,8 @@ class TypeChecker:
         if inner is not None and inner.kind != "arr":
             raise AlgebraTypeError(
                 "ARR_COLLAPSE needs an array of arrays, inner sort is %s"
-                % inner.kind)
+                % inner.kind,
+                operator="ARR_COLLAPSE", expected="arr", got=inner.kind)
         return inner
 
     def _chk_ArrCross(self, expr, input_schema):
@@ -286,9 +337,9 @@ class TypeChecker:
                         "ARR_CROSS")
         pair = SchemaNode.tup({
             "field1": (_element(left).clone() if _element(left) is not None
-                       else SchemaNode.val()),
+                       else unknown_schema()),
             "field2": (_element(right).clone() if _element(right) is not None
-                       else SchemaNode.val())})
+                       else unknown_schema())})
         return SchemaNode.arr_of(pair)
 
     # -- references, predicates, methods ------------------------------------
@@ -308,7 +359,7 @@ class TypeChecker:
         inner = self.check(expr.source, input_schema)
         if inner is not None:
             return SchemaNode.ref_to(inner)
-        return SchemaNode.ref_to(SchemaNode.val())
+        return SchemaNode.ref_to(unknown_schema())
 
     def _chk_Comp(self, expr, input_schema):
         source = self.check(expr.source, input_schema)
@@ -324,10 +375,13 @@ class TypeChecker:
         return self.named.get(expr.object_name)
 
 
-def checker_for_database(db) -> TypeChecker:
-    """A TypeChecker wired to a database: named-object schemas come
-    from the declared created_types (or are inferred from the values),
-    ref targets resolve through the EXTRA type catalog."""
+def database_schemas(db) -> "tuple[Dict[str, SchemaNode], SchemaCatalog]":
+    """(named-object schemas, type catalog) for a database.
+
+    Named-object schemas come from the declared ``created_types`` (or
+    are inferred from the stored values); the catalog resolves ref
+    targets through the EXTRA type system.
+    """
     from ..extra.ddl import ensure_type_system
     types = ensure_type_system(db)
     catalog = types.catalog
@@ -343,4 +397,12 @@ def checker_for_database(db) -> TypeChecker:
                 pass
     for type_name in types.names():
         types.schema_for(type_name)
-    return TypeChecker(named, catalog)
+    return named, catalog
+
+
+def checker_for_database(db) -> TypeChecker:
+    """A TypeChecker wired to a database: named-object schemas, the
+    type catalog, and any declared scalar-function signatures."""
+    named, catalog = database_schemas(db)
+    return TypeChecker(named, catalog,
+                       getattr(db, "function_signatures", None))

@@ -14,9 +14,16 @@ from typing import Any, Optional, Sequence, Tuple
 
 
 class Node:
-    """Base AST node with structural equality for tests."""
+    """Base AST node with structural equality for tests.
+
+    ``span`` — a ``(line, column)`` pair recorded by the parser —
+    rides along outside ``_fields`` so it never disturbs structural
+    equality; the translator forwards it to the analysis layer's
+    source map for diagnostics.
+    """
 
     _fields: Tuple[str, ...] = ()
+    span: Optional[Tuple[int, int]] = None
 
     def _values(self):
         return tuple(getattr(self, f) for f in self._fields)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict
 
+from ..core.schema import SchemaNode
 from ..core.values import DNE, Arr, MultiSet
 
 
@@ -100,9 +101,74 @@ BUILTINS: Dict[str, Callable] = {
     "bagof": bagof,
 }
 
+#: Builtins that can produce ``dne`` from non-null inputs (the empty-
+#: collection aggregates); the null-flow analysis treats their results
+#: as may-dne.
+MAY_RETURN_DNE = frozenset(["min", "max", "avg"])
+
+
+# -- declared type signatures for the static analysis layer -------------
+#
+# A signature is a callable (list of argument schemas) → result schema;
+# None (or an unknown result) means "nothing known" and inference keeps
+# going with the unknown placeholder.
+
+def _element_schema(arg_schemas):
+    """The element schema of a collection argument, if visible."""
+    from ..core.typecheck import is_unknown, unknown_schema
+    if arg_schemas and arg_schemas[0] is not None \
+            and not is_unknown(arg_schemas[0]) \
+            and arg_schemas[0].kind in ("set", "arr"):
+        return arg_schemas[0].children[0].clone()
+    return unknown_schema()
+
+
+def _sig_aggregate_element(arg_schemas):
+    return _element_schema(arg_schemas)
+
+
+def _sig_count(arg_schemas):
+    return SchemaNode.val(int)
+
+
+def _sig_numeric(arg_schemas):
+    return SchemaNode.val()
+
+
+def _sig_polymorphic_binary(arg_schemas):
+    """plus/minus keep their operand sort (⊎ on multisets, ARR_CAT on
+    arrays, arithmetic on scalars)."""
+    from ..core.typecheck import is_unknown, unknown_schema
+    for schema in arg_schemas:
+        if schema is not None and not is_unknown(schema):
+            return schema.clone()
+    return unknown_schema()
+
+
+def _sig_bagof(arg_schemas):
+    return SchemaNode.set_of(_element_schema(arg_schemas))
+
+
+BUILTIN_SIGNATURES: Dict[str, Callable] = {
+    "min": _sig_aggregate_element,
+    "max": _sig_aggregate_element,
+    "count": _sig_count,
+    "sum": _sig_aggregate_element,
+    "avg": _sig_numeric,
+    "plus": _sig_polymorphic_binary,
+    "minus": _sig_polymorphic_binary,
+    "times": _sig_numeric,
+    "divide": _sig_numeric,
+    "neg": _sig_numeric,
+    "bagof": _sig_bagof,
+}
+
 
 def register_builtins(database) -> None:
     """Register every builtin not already present on *database*."""
+    signatures = getattr(database, "function_signatures", None)
     for name, fn in BUILTINS.items():
         if name not in database.functions:
             database.register_function(name, fn)
+        if signatures is not None and name not in signatures:
+            signatures[name] = BUILTIN_SIGNATURES.get(name)

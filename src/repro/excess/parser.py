@@ -161,6 +161,7 @@ class Parser:
                                      token.line, token.column)
                 self.lexer.advance()
                 where = self.parse_pred()
+                where.span = (token.line, token.column)
             elif token.is_word("by"):
                 self.lexer.advance()
                 by.append(self.parse_expr())
@@ -179,20 +180,27 @@ class Parser:
         # and the ident isn't itself the start of a comparison (targets
         # hold value expressions, so a leading "x =" can only be an alias).
         token = self.lexer.peek()
+        span = (token.line, token.column)
         if (token.kind == "IDENT"
                 and self.lexer.peek(1).kind == "OP"
                 and self.lexer.peek(1).value == "="):
             alias = self.lexer.advance().value
             self.lexer.advance()  # '='
-            return ast.Target(self.parse_expr(), alias=alias)
-        return ast.Target(self.parse_expr())
+            target = ast.Target(self.parse_expr(), alias=alias)
+        else:
+            target = ast.Target(self.parse_expr())
+        target.span = span
+        return target
 
     def _parse_from_list(self) -> List[ast.FromClause]:
         clauses: List[ast.FromClause] = []
         while True:
+            token = self.lexer.peek()
             var = self.lexer.expect_ident().value
             self.lexer.expect_word("in")
-            clauses.append(ast.FromClause(var, self.parse_expr()))
+            clause = ast.FromClause(var, self.parse_expr())
+            clause.span = (token.line, token.column)
+            clauses.append(clause)
             if not self.lexer.accept_op(","):
                 break
         return clauses

@@ -54,7 +54,8 @@ class Session:
     """
 
     def __init__(self, database, optimizer: Optimizer = None,
-                 typecheck: bool = False, engine: str = "interpreted"):
+                 typecheck: bool = False, engine: str = "interpreted",
+                 verify: bool = False):
         if engine not in ("interpreted", "compiled"):
             raise ValueError("engine must be 'interpreted' or 'compiled'")
         self.db = database
@@ -64,6 +65,11 @@ class Session:
         self.optimizer = optimizer
         self.typecheck = typecheck
         self.engine = engine
+        #: With ``verify`` on, every retrieve runs through the analysis
+        #: layer's inheritance-aware inference before execution (both
+        #: engines), and the compiled engine receives duplicate-freedom
+        #: facts it may use as optimization licenses.
+        self.verify = verify
         # One evaluation context for the whole session: the deref cache
         # and stats live here, reset per statement via begin_query().
         self.context = database.context()
@@ -283,6 +289,16 @@ class Session:
         self.db.create(collection, MultiSet(counts=out))
         return Result(statement, None, changed, collection)
 
+    def _verify_plan(self, expr: Expr):
+        """Run the analysis layer's inference over *expr* (raising on
+        sort errors) and return the plan facts the compiled engine may
+        consume as optimization licenses."""
+        from ..core.analysis import facts_for_database, inference_for_database
+        inference_for_database(self.db).check(expr)
+        if self.engine == "compiled":
+            return facts_for_database(self.db)
+        return None
+
     def _run_retrieve(self, statement: ast.Retrieve,
                       optimize: bool) -> Result:
         expr, result_type = self.translator().translate_retrieve(statement)
@@ -291,8 +307,9 @@ class Session:
             checker_for_database(self.db).check(expr)
         if optimize and self.optimizer is not None:
             expr = self.optimizer.optimize(expr).best
+        facts = self._verify_plan(expr) if self.verify else None
         self.context.begin_query()
-        value = evaluate(expr, self.context, mode=self.engine)
+        value = evaluate(expr, self.context, mode=self.engine, facts=facts)
         if statement.into:
             self.db.create(statement.into, value)
             if result_type is not None:

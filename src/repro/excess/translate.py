@@ -95,6 +95,7 @@ class VarSpec:
         self.collection_name = collection_name  # range/named-object domains
         self.elem_type = elem_type
         self.deref = deref
+        self.span = None  # parser (line, column), when known
 
 
 class Scope:
@@ -144,6 +145,20 @@ class Translator:
         if not hasattr(database, "method_signatures"):
             database.method_signatures = {}
         self._counter = 0
+        # expr → source position, fed by the parser's (line, column)
+        # annotations; the plan linter uses it to point findings back
+        # at the query text.
+        from ..core.analysis.diagnostics import SourceMap
+        self.source_map = SourceMap()
+
+    def record_span(self, expr: Optional[Expr],
+                    span: Optional[Tuple[int, int]]) -> None:
+        """Attach a parser span to a translated expression (and its
+        span-less sub-expressions)."""
+        if expr is None or span is None:
+            return
+        from ..core.analysis.diagnostics import Span
+        self.source_map.record(expr, Span(span[0], span[1]))
 
     # ------------------------------------------------------------------
     # Collection typing helpers
@@ -263,8 +278,10 @@ class _QueryState:
             _, domain_type = self._compile(clause.domain, scope,
                                            discover=True)
             elem, deref = _element_of(domain_type)
-            return VarSpec(clause.var, ("from", clause.var), clause.domain,
+            spec = VarSpec(clause.var, ("from", clause.var), clause.domain,
                            None, elem, deref)
+            spec.span = clause.span
+            return spec
         return self._register(("from", clause.var), make)
 
     def _register_range_var(self, var: str, collection: str) -> VarSpec:
@@ -307,6 +324,7 @@ class _QueryState:
         if stmt.where is not None and plan is not None:
             pred = self._compile_pred(stmt.where, scope, discover=False)
             plan = SetApply(Comp(pred, Input()), plan)
+            self.t.record_span(plan, stmt.where.span)
 
         group_key: Optional[Expr] = None
         if stmt.by:
@@ -438,6 +456,7 @@ class _QueryState:
                 domain = Func("bagof", [domain])
         if spec.deref:
             domain = SetApply(Deref(Input()), domain)
+        self.t.record_span(domain, getattr(spec, "span", None))
         return domain
 
     # -- targets / by ------------------------------------------------------
@@ -450,6 +469,7 @@ class _QueryState:
                     "'retrieve value' takes exactly one target expression")
             expr, expr_type = self._compile(stmt.targets[0].expr, scope,
                                             discover=False)
+            self.t.record_span(expr, stmt.targets[0].span)
             return expr, expr_type
         used: Dict[str, int] = {}
         fields: List[Tuple[str, Expr, Optional[TypeExpr]]] = []
@@ -461,6 +481,7 @@ class _QueryState:
             else:
                 used[alias] = 0
             expr, expr_type = self._compile(target.expr, scope, discover=False)
+            self.t.record_span(expr, target.span)
             fields.append((alias, expr, expr_type))
         body: Optional[Expr] = None
         for alias, expr, _ in fields:

@@ -191,6 +191,10 @@ class Database:
         self.store = store or ObjectStore()
         self._named: Dict[str, Any] = {}
         self.functions: Dict[str, Any] = {}
+        #: Declared type signatures for registered functions, consumed by
+        #: the static analysis layer: name → SchemaNode | callable
+        #: (arg_schemas → SchemaNode) | None (opaque).
+        self.function_signatures: Dict[str, Any] = {}
         from ..core.methods import MethodRegistry
         self.methods = MethodRegistry(self.store.hierarchy)
         from .indexes import IndexCatalog
@@ -222,9 +226,18 @@ class Database:
     def __contains__(self, name: str) -> bool:
         return name in self._named
 
-    def register_function(self, name: str, fn) -> None:
-        """Register a scalar function (the E-language ADT stand-in)."""
+    def register_function(self, name: str, fn, signature: Any = None) -> None:
+        """Register a scalar function (the E-language ADT stand-in).
+
+        *signature*, when given, declares the result schema for the
+        static analysis layer: either a fixed
+        :class:`~repro.core.schema.SchemaNode` or a callable taking the
+        list of argument schemas.  Functions registered without one are
+        opaque to inference (the linter reports them as L106).
+        """
         self.functions[name] = fn
+        if signature is not None:
+            self.function_signatures[name] = signature
 
     def context(self) -> EvalContext:
         """An evaluation context bound to this database."""

@@ -1,0 +1,172 @@
+"""The plan linter: at least one test per lint code L100-L106."""
+
+import pytest
+
+from repro.core.analysis import Linter, lint
+from repro.core.analysis.diagnostics import (LINT_CODES, Severity, Span,
+                                             SourceMap)
+from repro.core.expr import Const, Func, Input, Named
+from repro.core.methods import MethodCall
+from repro.core.operators import (DE, Comp, Deref, Pi, SetApply, TupExtract)
+from repro.core.predicates import Atom
+from repro.core.values import MultiSet, Tup
+from repro.storage import Database
+
+from tests.engine.test_engine_equivalence import build_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_db()
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestL100Typecheck:
+    def test_ill_typed_plan_is_an_error(self, db):
+        out = lint(TupExtract("name", Named("People")), db)
+        assert "L100" in codes(out)
+        finding = next(d for d in out if d.code == "L100")
+        assert finding.severity == Severity.ERROR
+        assert "TUP_EXTRACT" in finding.message
+
+    def test_well_typed_plan_has_no_l100(self, db):
+        out = lint(SetApply(TupExtract("name", Input()),
+                            Named("People")), db)
+        assert "L100" not in codes(out)
+
+
+class TestL101DeadProjection:
+    def test_pi_keeping_unused_fields_is_flagged(self, db):
+        inner = SetApply(Pi(["name", "age"], Input()), Named("People"))
+        plan = SetApply(TupExtract("name", Input()), inner)
+        out = lint(plan, db)
+        finding = next(d for d in out if d.code == "L101")
+        assert "age" in finding.hint and "name" in finding.hint
+
+    def test_extract_over_wide_pi_is_flagged(self, db):
+        plan = SetApply(TupExtract("name",
+                                   Pi(["name", "age"], Input())),
+                        Named("People"))
+        assert "L101" in codes(lint(plan, db))
+
+    def test_fully_used_projection_is_clean(self, db):
+        inner = SetApply(Pi(["name"], Input()), Named("People"))
+        plan = SetApply(TupExtract("name", Input()), inner)
+        assert "L101" not in codes(lint(plan, db))
+
+
+class TestL102RedundantDE:
+    def test_de_over_de_is_redundant(self, db):
+        out = lint(DE(DE(Named("People"))), db)
+        finding = next(d for d in out if d.code == "L102")
+        assert "duplicate-free" in finding.message
+
+    def test_de_over_stored_duplicate_free_set(self):
+        db = Database()
+        db.create("Unique", MultiSet([1, 2, 3]))
+        assert "L102" in codes(lint(DE(Named("Unique")), db))
+
+    def test_de_over_duplicates_is_justified(self, db):
+        # People holds duplicate occurrences, so the DE does real work.
+        assert "L102" not in codes(lint(DE(Named("People")), db))
+
+
+class TestL103DanglingDeref:
+    def test_deref_over_collection_with_dangling_ref(self, db):
+        plan = SetApply(TupExtract("name", Deref(Input())), Named("Refs"))
+        finding = next(d for d in lint(plan, db) if d.code == "L103")
+        assert "Refs" in finding.message
+        assert finding.severity == Severity.WARNING
+
+    def test_deref_over_sound_store_is_clean(self):
+        db = Database()
+        person = Tup({"name": "a"}, type_name="Person")
+        db.hierarchy.add_type("Person")
+        db.create("Refs", MultiSet([db.store.insert(person, "Person")]))
+        plan = SetApply(TupExtract("name", Deref(Input())), Named("Refs"))
+        assert "L103" not in codes(lint(plan, db))
+
+
+class TestL104DneDiscard:
+    def test_predicate_over_maybe_dne_field(self, db):
+        # Some People rows have age = dne: the comparison silently
+        # discards those occurrences (§3), worth a heads-up.
+        pred = Atom(TupExtract("age", Input()), "<", Const(30))
+        plan = SetApply(Comp(pred, Input()), Named("People"))
+        finding = next(d for d in lint(plan, db) if d.code == "L104")
+        assert "dne" in finding.message
+
+    def test_predicate_over_clean_field_is_quiet(self, db):
+        pred = Atom(TupExtract("name", Input()), "=", Const("p1"))
+        plan = SetApply(Comp(pred, Input()), Named("People"))
+        assert "L104" not in codes(lint(plan, db))
+
+
+class TestL105IncompleteDispatch:
+    def _subtype_only_db(self):
+        db = Database()
+        db.hierarchy.add_type("Person")
+        db.hierarchy.add_type("Student", ["Person"])
+        db.methods.define("Student", "grade", [], Const(4.0))
+        db.create("People", MultiSet([
+            Tup({"name": "a"}, type_name="Person"),
+            Tup({"name": "b"}, type_name="Person")]))
+        return db
+
+    def test_method_missing_on_supertype(self):
+        db = self._subtype_only_db()
+        plan = SetApply(MethodCall("grade", [], Input()), Named("People"))
+        finding = next(d for d in lint(plan, db) if d.code == "L105")
+        assert "'grade'" in finding.message and "Person" in finding.message
+        assert finding.severity == Severity.ERROR
+
+    def test_type_filter_restores_completeness(self):
+        db = self._subtype_only_db()
+        plan = SetApply(MethodCall("grade", [], Input()), Named("People"),
+                        type_filter=frozenset(["Student"]))
+        assert "L105" not in codes(lint(plan, db))
+
+
+class TestL106OpaqueFunction:
+    def test_unregistered_function_is_reported_once(self, db):
+        plan = SetApply(Func("mystery", [Func("mystery", [Input()])]),
+                        Named("Nums"))
+        out = [d for d in lint(plan, db) if d.code == "L106"]
+        assert len(out) == 1
+        assert "register_function" in out[0].hint
+
+    def test_registered_signature_silences_it(self):
+        from repro.core.schema import SchemaNode
+        db = Database()
+        db.create("Nums", MultiSet([1]))
+        db.register_function("twice", lambda v: v * 2,
+                             signature=lambda args: SchemaNode.val(int))
+        plan = SetApply(Func("twice", [Input()]), Named("Nums"))
+        assert "L106" not in codes(lint(plan, db))
+
+
+class TestOrderingAndSpans:
+    def test_errors_sort_before_warnings_and_infos(self, db):
+        # One plan with an L100 error plus an L106 info.
+        plan = TupExtract("name", Func("mystery", [Named("People")]))
+        out = lint(plan, db)
+        ranks = [Severity.rank(d.severity) for d in out]
+        assert ranks == sorted(ranks)
+
+    def test_source_map_spans_flow_into_findings(self, db):
+        source_map = SourceMap()
+        func = Func("mystery", [Named("Nums")])
+        source_map.record(func, Span(3, 14))
+        out = Linter(db, source_map=source_map).lint(func)
+        finding = next(d for d in out if d.code == "L106")
+        assert finding.span == Span(3, 14)
+        assert "at 3:14" in finding.describe()
+
+    def test_every_documented_code_has_a_severity(self):
+        for code, (severity, summary) in LINT_CODES.items():
+            assert severity in (Severity.ERROR, Severity.WARNING,
+                                Severity.INFO)
+            assert summary

@@ -1,0 +1,92 @@
+"""Null-flow analysis: unk propagation, dne discard, hazard observer."""
+
+from repro.core.analysis import NullFlow, NullInfo, info_of_value, \
+    nullflow_for_database
+from repro.core.analysis.nullflow import DNE_FLAG, UNK_FLAG
+from repro.core.expr import Const, Func, Input, Named
+from repro.core.operators import Comp, Deref, SetApply, TupExtract
+from repro.core.predicates import Atom
+from repro.core.values import DNE, UNK, MultiSet, Tup
+from repro.storage import Database
+
+
+def test_info_of_value_tracks_nulls_per_field():
+    info = info_of_value(MultiSet([Tup({"age": UNK, "name": "a"}),
+                                   Tup({"age": 3, "name": "b"})]))
+    assert info.element.field("age").may_unk()
+    assert not info.element.field("name").may_unk()
+
+
+def test_info_of_value_dne_field():
+    info = info_of_value(Tup({"age": DNE}))
+    assert info.field("age").may_dne()
+    assert not info.field("age").may_unk()
+
+
+def test_missing_field_reads_as_dne():
+    info = info_of_value(Tup({"name": "a"}))
+    assert info.field("other").may_dne()
+
+
+def test_set_apply_discards_dne_results():
+    flow = NullFlow({"People": NullInfo(
+        element=NullInfo(fields={"age": NullInfo(frozenset([DNE_FLAG]))}))})
+    out = flow.check(SetApply(TupExtract("age", Input()), Named("People")))
+    # dne results never enter the result multiset (§3).
+    assert not out.element.may_dne()
+
+
+def test_comp_adds_dne_and_propagates_unk():
+    flow = NullFlow({"Nums": NullInfo(
+        element=NullInfo(frozenset([UNK_FLAG])))})
+    comp = Comp(Atom(Input(), "<", Const(5)), Input())
+    out = flow.check(SetApply(comp, Named("Nums")))
+    # The surviving occurrences still may be unk; dne was discarded by
+    # the surrounding SET_APPLY.
+    assert out.element.may_unk()
+    assert not out.element.may_dne()
+
+
+def test_deref_may_yield_dne():
+    flow = NullFlow()
+    assert flow.check(Deref(Input())).may_dne()
+
+
+def test_observer_sees_hazardous_operands():
+    hazards = []
+    flow = NullFlow(
+        {"People": NullInfo(element=NullInfo(
+            fields={"age": NullInfo(frozenset([DNE_FLAG]))}))},
+        observer=lambda comp, operand, info: hazards.append(
+            (operand.describe(), sorted(info.value))))
+    pred = Atom(TupExtract("age", Input()), "<", Const(30))
+    flow.check(SetApply(Comp(pred, Input()), Named("People")))
+    assert any("age" in desc and flags == ["dne"]
+               for desc, flags in hazards)
+
+
+def test_dne_returning_builtins_flagged():
+    flow = NullFlow(dne_functions=frozenset(["min"]))
+    assert flow.check(Func("min", [Const(MultiSet())])).may_dne()
+    assert not flow.check(Func("count", [Const(MultiSet())])).may_dne()
+
+
+def test_nullflow_for_database_seeds_named_and_builtins():
+    db = Database()
+    db.create("Ages", MultiSet([1, UNK]))
+    flow = nullflow_for_database(db)
+    assert flow.check(Named("Ages")).element.may_unk()
+    # min/max/avg return dne on empty input (excess builtins contract).
+    assert "min" in flow.dne_functions and "avg" in flow.dne_functions
+
+
+def test_optimistic_default_no_false_hazards():
+    db = Database()
+    db.create("Clean", MultiSet([Tup({"age": 1}), Tup({"age": 2})]))
+    hazards = []
+    flow = nullflow_for_database(
+        db, observer=lambda comp, operand, info: hazards.append(info)
+        if info.may_dne() or info.may_unk() else None)
+    pred = Atom(TupExtract("age", Input()), "<", Const(30))
+    flow.check(SetApply(Comp(pred, Input()), Named("Clean")))
+    assert hazards == []

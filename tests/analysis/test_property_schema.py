@@ -1,0 +1,53 @@
+"""Property test: rewriting never changes a plan's inferred schema.
+
+Seeded random walks: start from each corpus tree, repeatedly pick a
+random applicable single-step rewrite, and check after every step that
+the inferred schema stays compatible with the original. This goes
+beyond the one-shot sweep in rulecheck.py, which only checks depth-1
+rewrites from the corpus roots.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analysis import schemas_compatible
+from repro.core.analysis.rulecheck import (rule_corpus, standard_environment,
+                                           standard_facts)
+from repro.core.transform import ALL_RULES
+from repro.core.transform.engine import single_step_rewrites
+
+MAX_STEPS = 6
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_rewrite_chains_preserve_schema(seed):
+    rng = random.Random(seed)
+    env = standard_environment()
+    facts = standard_facts()
+    for root in rule_corpus():
+        want = env.check(root)
+        current = root
+        for _step in range(MAX_STEPS):
+            options = single_step_rewrites(current, ALL_RULES, facts)
+            if not options:
+                break
+            rule, current = rng.choice(options)
+            got = env.check(current)  # every intermediate stays typed
+            assert schemas_compatible(want, got), (
+                "rule %s changed the schema of %s" %
+                (rule, root.describe()))
+
+
+def test_rewrites_are_closed_under_typing():
+    # Depth-2 closure: everything one step away from a one-step rewrite
+    # still typechecks (no rule produces an ill-typed tree from a
+    # well-typed one anywhere in the corpus neighbourhood).
+    env = standard_environment()
+    facts = standard_facts()
+    for root in rule_corpus():
+        for _rule, mid in single_step_rewrites(root, ALL_RULES, facts):
+            env.check(mid)
+            for _rule2, leaf in single_step_rewrites(mid, ALL_RULES,
+                                                     facts)[:5]:
+                env.check(leaf)

@@ -13,6 +13,8 @@ EXPECTED_MARKERS = {
     "quickstart.py": ["Children of employees", "same reference? True"],
     "university_queries.py": ["all three plans agree", "figure 8"],
     "method_overriding.py": ["plans agree", "switch-table"],
+    "lint_walkthrough.py": ["all 28 appendix rules fired and passed",
+                            "L100", "L106", "pass-through"],
     "optimizer_walkthrough.py": ["Optimizer chose", "same answer: True"],
     "registrar_app.py": ["Enrollment", "departments with students"],
 }

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke bench-engine
+.PHONY: test lint verify-plans bench-smoke bench-engine crashtest bench-txn
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +29,13 @@ bench-smoke:
 # Full interpreted-vs-compiled comparison; writes BENCH_engine.json.
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_compare.py -q
+
+# Durability gate: deterministic fault injection over the WAL —
+# crash-at-every-record-boundary, torn tails, partial fsyncs — with
+# recovery required to restore exactly the committed prefix.
+crashtest:
+	$(PYTHON) -m repro.storage.faults
+
+# Commit throughput + recovery-vs-log-length; writes BENCH_txn.json.
+bench-txn:
+	$(PYTHON) benchmarks/bench_txn.py

@@ -1,0 +1,123 @@
+"""Transaction subsystem benchmarks: commit throughput and recovery
+time as a function of log length.
+
+Three measurements, all against the WAL + transaction manager of
+:mod:`repro.storage.txn` (``sync=False`` throughout — the point is the
+bookkeeping and framing cost, not the disk's fsync latency, which
+varies by orders of magnitude across CI machines):
+
+* **autocommit throughput** — one insert per transaction, so every
+  operation pays the full begin/journal/group-write cycle;
+* **batched-commit throughput** — the same inserts grouped N per
+  explicit transaction, showing what group commit buys;
+* **recovery time vs. log length** — replay of logs holding growing
+  numbers of committed transactions, checking recovery stays linear.
+
+Writes ``BENCH_txn.json`` at the repository root.  Run via
+``make bench-txn`` or ``PYTHONPATH=src python benchmarks/bench_txn.py``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.values import Tup
+from repro.storage import Database, TransactionManager, replay_log
+from repro.storage.wal import WriteAheadLog, read_records
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_txn.json")
+
+
+def _fresh(workdir, name):
+    db = Database()
+    wal = WriteAheadLog(os.path.join(workdir, name), sync=False)
+    manager = TransactionManager(db, wal=wal)
+    return db, wal, manager
+
+
+def bench_autocommit(workdir, n=2000):
+    db, wal, _ = _fresh(workdir, "auto.log")
+    start = time.perf_counter()
+    for i in range(n):
+        db.store.insert(Tup(serial=i), "Part")
+    elapsed = time.perf_counter() - start
+    wal.close()
+    return {"txns": n, "seconds": elapsed,
+            "txns_per_second": n / elapsed,
+            "log_bytes": os.path.getsize(wal.path)}
+
+
+def bench_batched(workdir, n=2000, batch=50):
+    db, wal, manager = _fresh(workdir, "batched.log")
+    start = time.perf_counter()
+    for base in range(0, n, batch):
+        manager.begin()
+        for i in range(base, base + batch):
+            db.store.insert(Tup(serial=i), "Part")
+        manager.commit()
+    elapsed = time.perf_counter() - start
+    wal.close()
+    return {"inserts": n, "batch": batch, "seconds": elapsed,
+            "inserts_per_second": n / elapsed,
+            "log_bytes": os.path.getsize(wal.path)}
+
+
+def bench_recovery(workdir, lengths=(100, 500, 1000, 2000)):
+    series = []
+    for n in lengths:
+        db, wal, _ = _fresh(workdir, "recov-%d.log" % n)
+        for i in range(n):
+            db.store.insert(Tup(serial=i), "Part")
+        wal.close()
+        records = read_records(wal.path)
+        start = time.perf_counter()
+        twin = Database()
+        applied = replay_log(twin, records)
+        elapsed = time.perf_counter() - start
+        assert applied == n
+        assert len(twin.store._objects) == len(db.store._objects)
+        series.append({"committed_txns": n, "records": len(records),
+                       "log_bytes": os.path.getsize(wal.path),
+                       "replay_seconds": elapsed,
+                       "txns_per_second": n / elapsed})
+    return series
+
+
+def main(argv=None):
+    with tempfile.TemporaryDirectory(prefix="repro-bench-txn-") as workdir:
+        results = {
+            "benchmark": "txn",
+            "sync": False,
+            "autocommit": bench_autocommit(workdir),
+            "batched_commit": bench_batched(workdir),
+            "recovery": bench_recovery(workdir),
+        }
+    speedup = (results["batched_commit"]["inserts_per_second"]
+               / results["autocommit"]["txns_per_second"])
+    results["batched_over_autocommit_speedup"] = speedup
+    with open(OUT_PATH, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print("autocommit:      %8.0f txns/s" %
+          results["autocommit"]["txns_per_second"])
+    print("batched (x%d):   %8.0f inserts/s  (%.1fx)" %
+          (results["batched_commit"]["batch"],
+           results["batched_commit"]["inserts_per_second"], speedup))
+    for row in results["recovery"]:
+        print("recovery %5d txns: %7.3f s  (%8.0f txns/s)" %
+              (row["committed_txns"], row["replay_seconds"],
+               row["txns_per_second"]))
+    print("wrote %s" % os.path.abspath(OUT_PATH))
+    # Sanity: recovery must scale roughly linearly — the per-txn rate
+    # of the longest log should be within 5x of the shortest (loose on
+    # purpose; CI machines are noisy).
+    rates = [row["txns_per_second"] for row in results["recovery"]]
+    if min(rates) * 5 < max(rates) and rates.index(min(rates)) != 0:
+        print("warning: recovery rate fell superlinearly", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

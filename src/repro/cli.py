@@ -13,6 +13,9 @@ commands (lines starting with a dot):
     .optimize on|off     toggle rule-based optimization of queries
     .engine [name]       show or set the execution engine
                          (interpreted | compiled)
+    .begin               begin an explicit transaction
+    .commit              commit the active transaction
+    .abort               abort (roll back) the active transaction
     .stats               work counters of the last executed query
     .demo                load the populated Figure-1 university
     .save <path>         persist the database to a JSON snapshot
@@ -163,6 +166,27 @@ class Shell:
                 return "usage: .engine interpreted|compiled"
             self.session.engine = choice
             return "engine set to %s" % choice
+        if command == ".begin":
+            from .storage import TxnError
+            try:
+                txid = self.session.begin()
+            except TxnError as error:
+                return "error: %s" % error
+            return "transaction %d begun" % txid
+        if command == ".commit":
+            from .storage import TxnError
+            try:
+                self.session.commit()
+            except TxnError as error:
+                return "error: %s" % error
+            return "committed"
+        if command == ".abort":
+            from .storage import TxnError
+            try:
+                self.session.abort()
+            except TxnError as error:
+                return "error: %s" % error
+            return "aborted (rolled back)"
         if command == ".stats":
             if not self.last_stats:
                 return "(no query executed yet)"

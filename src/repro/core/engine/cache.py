@@ -39,7 +39,7 @@ class DerefCache:
     so the hot path pays one integer add instead of dict updates.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "version", "_entries")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
@@ -47,6 +47,11 @@ class DerefCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: The store ``version`` the cached entries were read under.
+        #: :meth:`validate` drops everything when the store has moved
+        #: on, so an update/delete between pipeline runs (with no
+        #: ``begin_query`` in between) can never serve a stale object.
+        self.version: Any = None
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
 
     def get(self, oid: Any, default: Any = None) -> Any:
@@ -70,6 +75,14 @@ class DerefCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+
+    def validate(self, store_version: Any) -> None:
+        """Key the cache by the store's mutation counter: entries read
+        under a different store version are unusable, so drop them (the
+        hit/miss counters survive — they are lifetime totals)."""
+        if self.version != store_version:
+            self._entries.clear()
+            self.version = store_version
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -74,6 +74,15 @@ def _input_fn(v, ctx):
     return v
 
 
+def _fresh_cache(ctx: EvalContext) -> DerefCache:
+    """A new deref cache bound to *ctx*, stamped with the store's
+    current mutation version so later runs can detect staleness."""
+    cache = ctx.deref_cache = DerefCache()
+    if ctx.store is not None:
+        cache.version = getattr(ctx.store, "version", None)
+    return cache
+
+
 def cached_deref(ctx: EvalContext, oid: Any) -> Any:
     """Fetch *oid* through the context's per-query LRU deref cache.
 
@@ -83,7 +92,7 @@ def cached_deref(ctx: EvalContext, oid: Any) -> Any:
     """
     cache = ctx.deref_cache
     if cache is None:
-        cache = ctx.deref_cache = DerefCache()
+        cache = _fresh_cache(ctx)
     found = cache.get(oid, _MISSING)
     if found is not _MISSING:
         cache.hits += 1
@@ -241,7 +250,7 @@ class _FusedCodegen:
             "DNE": DNE, "UNK": UNK, "F": F, "U": U,
             "exact_type_of": exact_type_of, "AlgebraError": AlgebraError,
             "Tup": Tup, "Ref": Ref, "DerefCache": DerefCache,
-            "_MISSING": _MISSING,
+            "_fresh_cache": _fresh_cache, "_MISSING": _MISSING,
         }
         self.uses_deref = False
         self.inlined = 0
@@ -423,7 +432,7 @@ class _FusedCodegen:
                 "    store = ctx.store",
                 "    cache = ctx.deref_cache",
                 "    if cache is None:",
-                "        cache = ctx.deref_cache = DerefCache()",
+                "        cache = _fresh_cache(ctx)",
                 "    entries = cache._entries",
                 "    capacity = cache.capacity",
             ]
@@ -635,7 +644,7 @@ class PlanCompiler:
             # per element is the hot path of every functional join.
             cache = ctx.deref_cache
             if cache is None:
-                cache = ctx.deref_cache = DerefCache()
+                cache = _fresh_cache(ctx)
             entries = cache._entries
             oid = value.oid
             found = entries.get(oid, _MISSING)
@@ -1301,6 +1310,11 @@ class Pipeline:
 
     def execute(self, ctx: EvalContext, input_value: Any = _UNBOUND) -> Any:
         cache = ctx.deref_cache
+        if cache is not None and ctx.store is not None:
+            # The cache is keyed by the store's mutation version: if an
+            # update/delete landed since the entries were read (and no
+            # begin_query() intervened), they are stale — drop them.
+            cache.validate(getattr(ctx.store, "version", None))
         hits0, misses0 = (cache.hits, cache.misses) if cache is not None \
             else (0, 0)
         try:

@@ -85,6 +85,9 @@ class EvalContext:
         self.stats = {}
         if self.deref_cache is not None:
             self.deref_cache.clear()
+            if self.store is not None:
+                self.deref_cache.version = getattr(self.store, "version",
+                                                   None)
 
     def lookup(self, name: str) -> Any:
         try:

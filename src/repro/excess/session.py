@@ -126,16 +126,58 @@ class Session:
                 results.append(Result(statement, None))
                 continue
             if isinstance(statement, ast.Append):
-                results.append(self._run_append(statement))
+                results.append(self._run_update(self._run_append, statement))
                 continue
             if isinstance(statement, ast.Delete):
-                results.append(self._run_delete(statement))
+                results.append(self._run_update(self._run_delete, statement))
                 continue
             if isinstance(statement, ast.Replace):
-                results.append(self._run_replace(statement))
+                results.append(self._run_update(self._run_replace, statement))
                 continue
             results.append(self._run_retrieve(statement, optimize))
         return results
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> int:
+        """Begin an explicit transaction (statements batch until commit
+        or abort; a manager is attached to the database on first use)."""
+        return self.db.begin()
+
+    def commit(self) -> None:
+        self.db.commit()
+
+    def abort(self) -> None:
+        self.db.abort()
+
+    def savepoint(self, name: Optional[str] = None) -> str:
+        return self.db.transactions().savepoint(name)
+
+    def rollback_to(self, name: str) -> None:
+        self.db.transactions().rollback_to(name)
+
+    def snapshot(self):
+        """A stable read view of the committed database (see
+        :meth:`repro.storage.txn.TransactionManager.snapshot`)."""
+        return self.db.transactions().snapshot()
+
+    def _run_update(self, runner, statement) -> Result:
+        """Run one update statement, wrapped in an implicit transaction
+        when a manager is attached and no explicit one is open — so a
+        multi-object statement (replace over a whole extent, say)
+        commits as one WAL group instead of per-element autocommits,
+        and a mid-statement error rolls the statement back whole."""
+        manager = self.db.txn
+        if manager is None or manager.active is not None:
+            return runner(statement)
+        manager.begin()
+        try:
+            result = runner(statement)
+        except BaseException:
+            manager.abort()
+            raise
+        manager.commit()
+        return result
 
     # -- update statements -------------------------------------------------
 

@@ -197,6 +197,12 @@ class DDLInterpreter:
         lexer.expect_op(":")
         type_expr = parse_type_expr(lexer, self.types)
         self.created[name] = type_expr
+        journal = getattr(self.database, "journal", None)
+        if journal is not None:
+            # The created *value* is journaled by database.create below;
+            # the declared type only lives in this side table.
+            journal.log_ddl({"kind": "created_type", "name": name,
+                             "type": type_expr.describe()})
         self.database.create(name, default_instance(type_expr, self.types))
         return (name, type_expr)
 

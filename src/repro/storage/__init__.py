@@ -1,11 +1,16 @@
-"""Object store, named database objects, and access methods."""
+"""Object store, named database objects, access methods, durability."""
 
 from .indexes import IndexCatalog, KeyIndex, TypedPartitionIndex
 from .persist import (PersistError, database_from_json, database_to_json,
                       load_database, save_database)
 from .store import DEFAULT_TYPE, Database, ObjectStore, StoreError
+from .txn import (SnapshotView, TransactionManager, TxnError, open_database,
+                  replay_log)
+from .wal import WalError, WriteAheadLog, read_records
 
 __all__ = ["ObjectStore", "Database", "StoreError", "DEFAULT_TYPE",
            "IndexCatalog", "KeyIndex", "TypedPartitionIndex",
            "save_database", "load_database", "database_to_json",
-           "database_from_json", "PersistError"]
+           "database_from_json", "PersistError",
+           "TransactionManager", "TxnError", "SnapshotView", "open_database",
+           "replay_log", "WriteAheadLog", "WalError", "read_records"]

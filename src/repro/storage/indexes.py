@@ -132,3 +132,28 @@ class IndexCatalog:
     def invalidate(self, name: str) -> None:
         self._typed.pop(name, None)
         self._keyed.pop(name, None)
+
+    def definitions(self) -> List[dict]:
+        """Serializable definitions of every *live* index (stale
+        snapshots are pruned as a side effect).  The persistence layer
+        stores these and rebuilds the indexes on load — index contents
+        are derived data, so only the definitions need to survive."""
+        from ..core.serialize import expr_to_json
+        defs: List[dict] = []
+        for name in sorted(self._typed):
+            try:
+                live = self.typed(name)
+            except KeyError:  # named object dropped: index is dead
+                live = None
+            if live is not None:
+                defs.append({"name": name, "kind": "typed"})
+        for name in sorted(self._keyed):
+            for key in list(self._keyed[name]):
+                try:
+                    live = self.keyed(name, key)
+                except KeyError:
+                    live = None
+                if live is not None:
+                    defs.append({"name": name, "kind": "keyed",
+                                 "key": expr_to_json(key)})
+        return defs

@@ -22,6 +22,7 @@ single JSON document containing:
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Callable, Dict, Optional
 
 from ..core.serialize import (expr_to_json, expr_from_json, value_from_json,
@@ -61,6 +62,7 @@ def database_to_json(db: Database) -> Dict[str, Any]:
         "types": [],
         "methods": [],
         "functions": sorted(db.functions),
+        "indexes": db.indexes.definitions(),
     }
     if types is not None:
         # Topological order so parents are re-defined before children.
@@ -140,13 +142,39 @@ def database_from_json(snapshot: Dict[str, Any],
                if name not in db.functions]
     if missing:
         db.missing_functions = missing  # surfaced, not fatal
+
+    # Rebuild access methods last: keyed indexes evaluate their key
+    # expressions, which may call the functions registered just above.
+    for entry in snapshot.get("indexes", []):
+        if entry["kind"] == "typed":
+            db.indexes.build_typed(entry["name"])
+        else:
+            db.indexes.build_keyed(entry["name"],
+                                   expr_from_json(entry["key"]))
     return db
 
 
 def save_database(db: Database, path: str) -> None:
-    """Write *db* to *path* as JSON."""
-    with open(path, "w") as handle:
-        json.dump(database_to_json(db), handle)
+    """Write *db* to *path* as JSON — crash-safely.
+
+    The document goes to a temporary sibling file which is fsynced and
+    then atomically renamed over *path*, so a failure at any point
+    (serialization error, full disk, crash mid-write) leaves the
+    previous snapshot untouched.
+    """
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w") as handle:
+            json.dump(database_to_json(db), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_database(path: str,

@@ -53,6 +53,14 @@ class ObjectStore:
         self._objects: Dict[Any, Any] = {}
         self._exact_types: Dict[Any, str] = {}
         self._by_value: Dict[Any, Any] = {}  # value -> one representative oid
+        #: Invalidation counter for deref caches: bumped whenever an
+        #: *existing* object changes (update/delete/migrate, and the
+        #: raw replay/undo mutations).  Fresh inserts don't bump it —
+        #: a new OID cannot collide with anything a cache has seen.
+        self.version = 0
+        #: Transaction journal (see :mod:`repro.storage.txn`); when set,
+        #: every mutation is reported with enough old state to undo it.
+        self.journal = None
 
     # -- basic object lifecycle ----------------------------------------
 
@@ -70,6 +78,8 @@ class ObjectStore:
         self._objects[ref.oid] = value
         self._exact_types[ref.oid] = type_name
         self._by_value.setdefault(value, ref.oid)
+        if self.journal is not None:
+            self.journal.on_store_insert(ref.oid, type_name, value)
         return ref
 
     def get(self, oid: Any, default: Any = _MISSING) -> Any:
@@ -96,6 +106,9 @@ class ObjectStore:
             del self._by_value[old]
         self._objects[oid] = value
         self._by_value.setdefault(value, oid)
+        self.version += 1
+        if self.journal is not None:
+            self.journal.on_store_update(oid, old, value)
 
     def delete(self, oid: Any) -> None:
         """Remove an object.  References to it become dangling (DEREF
@@ -103,9 +116,46 @@ class ObjectStore:
         if oid not in self._objects:
             raise StoreError("no object with OID %r" % (oid,))
         old = self._objects.pop(oid)
-        self._exact_types.pop(oid, None)
+        old_type = self._exact_types.pop(oid, None)
         if self._by_value.get(old) == oid:
             del self._by_value[old]
+        self.version += 1
+        if self.journal is not None:
+            self.journal.on_store_delete(oid, old, old_type)
+
+    # -- raw mutations (replay / rollback) -------------------------------
+    #
+    # These mirror insert/update/delete/migrate but take the OID as
+    # given, never consult the journal, and tolerate re-application —
+    # exactly what WAL redo (which may overlap a checkpoint snapshot)
+    # and transaction undo need.  All of them bump ``version`` because
+    # they can resurrect or rewrite OIDs a deref cache may have seen.
+
+    def _apply_insert(self, oid: Any, type_name: str, value: Any) -> None:
+        type_name = self._ensure_type(type_name)
+        old = self._objects.get(oid, _MISSING)
+        if old is not _MISSING and self._by_value.get(old) == oid:
+            del self._by_value[old]
+        self._objects[oid] = value
+        self._exact_types[oid] = type_name
+        self._by_value.setdefault(value, oid)
+        self.version += 1
+
+    def _apply_update(self, oid: Any, value: Any) -> None:
+        self._apply_insert(oid, self._exact_types.get(oid, DEFAULT_TYPE),
+                           value)
+
+    def _apply_delete(self, oid: Any) -> None:
+        old = self._objects.pop(oid, _MISSING)
+        self._exact_types.pop(oid, None)
+        if old is not _MISSING and self._by_value.get(old) == oid:
+            del self._by_value[old]
+        self.version += 1
+
+    def _apply_migrate(self, oid: Any, type_name: str) -> None:
+        if oid in self._objects:
+            self._exact_types[oid] = self._ensure_type(type_name)
+        self.version += 1
 
     # -- identity & typing ----------------------------------------------
 
@@ -139,7 +189,11 @@ class ObjectStore:
             raise OIDError(
                 "OID %r is not in Odom(%s); migration would forge identity"
                 % (oid, new_type))
+        old_type = self._exact_types.get(oid)
         self._exact_types[oid] = new_type
+        self.version += 1
+        if self.journal is not None:
+            self.journal.on_store_migrate(oid, old_type, new_type)
 
     # -- extents -----------------------------------------------------------
 
@@ -190,6 +244,11 @@ class Database:
     def __init__(self, store: ObjectStore = None):
         self.store = store or ObjectStore()
         self._named: Dict[str, Any] = {}
+        #: Transaction journal shared with ``store.journal``; set by
+        #: :class:`repro.storage.txn.TransactionManager` on attach.
+        self.journal = None
+        #: The attached transaction manager, if any (see :meth:`begin`).
+        self.txn = None
         self.functions: Dict[str, Any] = {}
         #: Declared type signatures for registered functions, consumed by
         #: the static analysis layer: name → SchemaNode | callable
@@ -206,13 +265,43 @@ class Database:
 
     def create(self, name: str, value: Any) -> None:
         """Create (or replace) a named top-level object."""
+        old = self._named.get(name, _MISSING)
         self._named[name] = value
         self.indexes.invalidate(name)
+        if self.journal is not None:
+            self.journal.on_name_create(name, old is not _MISSING,
+                                        None if old is _MISSING else old,
+                                        value)
 
     def drop(self, name: str) -> None:
         if name not in self._named:
             raise StoreError("no top-level object named %r" % name)
-        del self._named[name]
+        old = self._named.pop(name)
+        self.indexes.invalidate(name)
+        if self.journal is not None:
+            self.journal.on_name_drop(name, old)
+
+    # -- transactions ------------------------------------------------------
+
+    def transactions(self, wal=None):
+        """The attached transaction manager, creating an in-memory one
+        (no WAL) on first use.  Pass *wal* to make the first attach
+        durable; see :func:`repro.storage.txn.open_database` for the
+        snapshot + log + recovery packaging."""
+        if self.txn is None:
+            from .txn import TransactionManager
+            TransactionManager(self, wal=wal)  # attaches itself as self.txn
+        return self.txn
+
+    def begin(self):
+        """Begin an explicit transaction (attaching a manager if needed)."""
+        return self.transactions().begin()
+
+    def commit(self) -> None:
+        self.transactions().commit()
+
+    def abort(self) -> None:
+        self.transactions().abort()
 
     def get(self, name: str) -> Any:
         try:

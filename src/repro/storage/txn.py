@@ -1,0 +1,695 @@
+"""Transactions, snapshot reads, and crash recovery over the store.
+
+The paper's EXCESS/EXTRA system sat on the EXODUS storage manager,
+which supplied transactions and recovery "for free"; the algebra takes
+them for granted.  This module reproduces that missing layer for the
+dictionary-backed :class:`~repro.storage.store.ObjectStore`:
+
+* **Write-ahead logging** — every mutation of the store (insert,
+  update, delete, migrate), of the named top-level objects (create,
+  drop), and of the schema (type/method definitions) is captured as a
+  redo record.  A transaction's records are buffered in memory and
+  written to the :class:`~repro.storage.wal.WriteAheadLog` as one
+  contiguous ``begin … ops … commit`` group whose final fsync is the
+  commit point, so the log never interleaves transactions and a torn
+  tail can only ever clip *whole* uncommitted transactions.
+
+* **Redo-on-open recovery** — :func:`replay_log` applies exactly the
+  committed transactions found in a log, in order, restoring objects,
+  exact types, named objects, schema, *and the OID generator counters*
+  (each commit record carries the generator snapshot, so identity
+  allocation never collides after a crash).  Replay is idempotent, so
+  a crash between checkpoint's snapshot write and its log truncation
+  is harmless.
+
+* **Snapshot-isolated reads** — the manager versions every OID-table
+  and name-table entry it touches: when a committed value is about to
+  be superseded, the old state is appended to a per-key version chain
+  tagged with the version at which it became visible.
+  :meth:`TransactionManager.snapshot` captures the current committed
+  version; the resulting :class:`SnapshotView` resolves every read
+  against that version, so a running query (interpreted or compiled)
+  sees a stable store while writers keep committing — and never sees
+  an uncommitted value, because uncommitted entries are marked
+  ``PENDING`` and resolve through the chain.
+
+* **Explicit transactions with savepoints** — ``begin into
+  commit/abort``, with an undo log per transaction so abort restores
+  the exact pre-transaction state (identity included).  Callers that
+  never call ``begin`` get autocommit: each mutation is its own
+  durable transaction.  Schema (DDL) changes are logged for durability
+  but are not undone by abort — the paper's DDL has no transactional
+  semantics either.
+
+* **Checkpointing** — :meth:`TransactionManager.checkpoint` folds the
+  log into the existing JSON snapshot format (atomically, via
+  ``os.replace``) and truncates the log.
+
+:func:`open_database` packages all of it: a directory holding
+``snapshot.json`` + ``wal.log`` opens into a recovered database with a
+durable manager attached.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.expr import EvalContext
+from ..core.serialize import (expr_from_json, expr_to_json, value_from_json,
+                              value_to_json)
+from .store import DEFAULT_TYPE, Database, StoreError
+from .wal import WriteAheadLog, read_records
+
+#: Version tag of an entry whose transaction has not committed yet.
+PENDING = object()
+
+#: Chain state for "this key did not exist at that version".
+GONE = object()
+
+_MISSING = object()
+
+
+class TxnError(RuntimeError):
+    """Illegal transaction operation (begin inside begin, commit with
+    no transaction, checkpoint mid-transaction, …)."""
+
+
+class _Txn:
+    """One open transaction: its redo buffer and undo log."""
+
+    __slots__ = ("txid", "implicit", "records", "undo", "touched",
+                 "savepoints")
+
+    def __init__(self, txid: int, implicit: bool = False):
+        self.txid = txid
+        self.implicit = implicit
+        #: Buffered WAL payloads, written as one group at commit.
+        self.records: List[Dict[str, Any]] = []
+        #: Undo entries, applied in reverse on abort:
+        #: (key, undo_op, chain_appended, prior_from).
+        self.undo: List[Tuple[Any, Tuple, bool, Any]] = []
+        self.touched: Set[Tuple[str, Any]] = set()
+        self.savepoints: Dict[str, Tuple[int, int]] = {}
+
+
+class TransactionManager:
+    """Transactions + MVCC bookkeeping for one database.
+
+    Attaching a manager sets ``db.txn``, ``db.journal``, and
+    ``db.store.journal``; from then on every mutation flows through the
+    journal callbacks below.  A database without a manager pays zero
+    overhead (the journal hooks are ``None`` checks).
+    """
+
+    def __init__(self, db: Database, wal: Optional[WriteAheadLog] = None,
+                 snapshot_path: Optional[str] = None):
+        self.db = db
+        self.wal = wal
+        self.snapshot_path = snapshot_path
+        #: The committed-transaction version; snapshots capture it.
+        self.version = 0
+        self.active: Optional[_Txn] = None
+        self._next_tx = 1
+        self._next_sp = 1
+        self._replaying = False
+        self._undoing = False
+        # MVCC: key -> version the current value became visible at
+        # (PENDING while its transaction is open; absent = unchanged
+        # since attach, i.e. visible in every snapshot), and key ->
+        # ascending chain of (from_version, superseded state).
+        self._from: Dict[Tuple[str, Any], Any] = {}
+        self._chain: Dict[Tuple[str, Any], List[Tuple[int, Any]]] = {}
+        db.txn = self
+        db.journal = self
+        db.store.journal = self
+        self._wrap_ddl()
+
+    # -- transaction control ----------------------------------------------
+
+    def begin(self) -> int:
+        """Open an explicit transaction; returns its id."""
+        if self.active is not None:
+            raise TxnError("a transaction is already active "
+                           "(use savepoints for nesting)")
+        return self._begin(implicit=False)
+
+    def _begin(self, implicit: bool) -> int:
+        txid = self._next_tx
+        self._next_tx += 1
+        self.active = _Txn(txid, implicit=implicit)
+        return txid
+
+    def commit(self) -> None:
+        """Make the active transaction durable and visible to future
+        snapshots.  The WAL group write + fsync happens first; if it
+        fails, the transaction is rolled back and the error re-raised,
+        so in-memory state never runs ahead of the log."""
+        txn = self.active
+        if txn is None:
+            raise TxnError("no active transaction to commit")
+        if self.wal is not None and txn.records:
+            group = [{"op": "begin", "tx": txn.txid}]
+            group.extend(txn.records)
+            group.append({"op": "commit", "tx": txn.txid,
+                          "oids": self.db.store.oids.snapshot()})
+            try:
+                self.wal.append_batch(group)
+            except Exception:
+                self.abort()
+                raise
+        self.version += 1
+        version = self.version
+        for key in txn.touched:
+            if self._from.get(key) is PENDING:
+                self._from[key] = version
+        self.active = None
+
+    def abort(self) -> None:
+        """Roll the active transaction back: every mutation is undone
+        (in reverse), version chains are unwound, nothing reaches the
+        log.  OIDs allocated by the transaction stay burned, as in any
+        real allocator."""
+        txn = self.active
+        if txn is None:
+            raise TxnError("no active transaction to abort")
+        self._undo_to(txn, 0)
+        self.active = None
+
+    def savepoint(self, name: Optional[str] = None) -> str:
+        """Mark a rollback point inside the active transaction."""
+        txn = self.active
+        if txn is None:
+            raise TxnError("savepoints need an active transaction")
+        if name is None:
+            name = "sp%d" % self._next_sp
+            self._next_sp += 1
+        txn.savepoints[name] = (len(txn.undo), len(txn.records))
+        return name
+
+    def rollback_to(self, name: str) -> None:
+        """Undo everything after savepoint *name*, which stays valid."""
+        txn = self.active
+        if txn is None:
+            raise TxnError("no active transaction")
+        if name not in txn.savepoints:
+            raise TxnError("no savepoint named %r" % name)
+        undo_len, rec_len = txn.savepoints[name]
+        self._undo_to(txn, undo_len)
+        del txn.records[rec_len:]
+        for later in [n for n, (u, _) in txn.savepoints.items()
+                      if u > undo_len]:
+            del txn.savepoints[later]
+
+    def _undo_to(self, txn: _Txn, undo_len: int) -> None:
+        self._undoing = True
+        try:
+            while len(txn.undo) > undo_len:
+                key, undo_op, appended, prior_from = txn.undo.pop()
+                self._apply_undo(key, undo_op)
+                if appended and key is not None:
+                    chain = self._chain.get(key)
+                    if chain:
+                        chain.pop()
+                        if not chain:
+                            del self._chain[key]
+                    if prior_from == 0:
+                        self._from.pop(key, None)
+                    else:
+                        self._from[key] = prior_from
+                    txn.touched.discard(key)
+        finally:
+            self._undoing = False
+
+    def _apply_undo(self, key, undo_op: Tuple) -> None:
+        store = self.db.store
+        kind = undo_op[0]
+        if kind == "del":
+            store._apply_delete(key[1])
+        elif kind == "set":
+            store._apply_update(key[1], undo_op[1])
+        elif kind == "ins":
+            store._apply_insert(key[1], undo_op[1], undo_op[2])
+        elif kind == "type":
+            store._apply_migrate(key[1], undo_op[1])
+        elif kind == "nset":
+            self.db._named[key[1]] = undo_op[1]
+            self.db.indexes.invalidate(key[1])
+        elif kind == "ndel":
+            self.db._named.pop(key[1], None)
+            self.db.indexes.invalidate(key[1])
+        elif kind == "none":
+            pass
+        else:  # pragma: no cover - defensive
+            raise TxnError("unknown undo op %r" % (kind,))
+
+    # -- the journal (called by ObjectStore / Database after applying) ----
+
+    def _mutation(self, key, old_state, wal_payload, undo_op) -> None:
+        if self._replaying or self._undoing:
+            return
+        implicit = self.active is None
+        if implicit:
+            self._begin(implicit=True)
+        txn = self.active
+        appended = False
+        prior_from = 0
+        if key is not None:
+            prior_from = self._from.get(key, 0)
+            if prior_from is not PENDING:
+                self._chain.setdefault(key, []).append(
+                    (prior_from, old_state))
+                self._from[key] = PENDING
+                appended = True
+            txn.touched.add(key)
+        txn.undo.append((key, undo_op, appended, prior_from))
+        if wal_payload is not None:
+            wal_payload["tx"] = txn.txid
+            txn.records.append(wal_payload)
+        if implicit:
+            self.commit()
+
+    def on_store_insert(self, oid, type_name, value) -> None:
+        self._mutation(("obj", oid), GONE,
+                       {"op": "insert", "oid": oid, "type": type_name,
+                        "value": value_to_json(value)},
+                       ("del",))
+
+    def on_store_update(self, oid, old_value, value) -> None:
+        old_type = self.db.store.exact_type(oid)
+        self._mutation(("obj", oid), (old_value, old_type),
+                       {"op": "update", "oid": oid,
+                        "value": value_to_json(value)},
+                       ("set", old_value))
+
+    def on_store_delete(self, oid, old_value, old_type) -> None:
+        self._mutation(("obj", oid), (old_value, old_type),
+                       {"op": "delete", "oid": oid},
+                       ("ins", old_type or DEFAULT_TYPE, old_value))
+
+    def on_store_migrate(self, oid, old_type, new_type) -> None:
+        value = self.db.store.get(oid)
+        self._mutation(("obj", oid), (value, old_type),
+                       {"op": "migrate", "oid": oid, "type": new_type},
+                       ("type", old_type or DEFAULT_TYPE))
+
+    def on_name_create(self, name, existed, old_value, value) -> None:
+        self._mutation(("name", name),
+                       old_value if existed else GONE,
+                       {"op": "name", "name": name,
+                        "value": value_to_json(value)},
+                       ("nset", old_value) if existed else ("ndel",))
+
+    def on_name_drop(self, name, old_value) -> None:
+        self._mutation(("name", name), old_value,
+                       {"op": "drop", "name": name},
+                       ("nset", old_value))
+
+    def log_ddl(self, payload: Dict[str, Any]) -> None:
+        """Journal a schema change (type/method/created-type) for
+        redo.  DDL is durable but not undoable — abort leaves it."""
+        self._mutation(None, None, {"op": "ddl", "ddl": payload}, ("none",))
+
+    # -- DDL capture -------------------------------------------------------
+
+    def _wrap_ddl(self) -> None:
+        """Instrument ``types.define`` and ``methods.define`` so schema
+        changes reach the journal no matter which layer issues them.
+        The wrappers consult ``db.journal`` at call time, so re-attaching
+        a manager (or detaching one) needs no re-wrapping."""
+        db = self.db
+        from ..extra.ddl import ensure_type_system
+        types = ensure_type_system(db)
+        if not getattr(types, "_journal_wrapped", False):
+            original_define = types.define
+
+            def define(name, fields, parents=()):
+                tuple_type = original_define(name, fields, parents)
+                journal = getattr(db, "journal", None)
+                if journal is not None:
+                    journal.log_ddl({
+                        "kind": "type", "name": name,
+                        "parents": list(tuple_type.parents),
+                        "fields": [[fname, ftype.describe()]
+                                   for fname, ftype in tuple_type.own_fields],
+                    })
+                return tuple_type
+
+            types.define = define
+            types._journal_wrapped = True
+        methods = db.methods
+        if not getattr(methods, "_journal_wrapped", False):
+            original_method = methods.define
+
+            def define_method(type_name, name, params, body):
+                method = original_method(type_name, name, params, body)
+                journal = getattr(db, "journal", None)
+                if journal is not None:
+                    journal.log_ddl({
+                        "kind": "method", "type": type_name, "name": name,
+                        "params": list(params), "body": expr_to_json(body),
+                    })
+                return method
+
+            methods.define = define_method
+            methods._journal_wrapped = True
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "SnapshotView":
+        """A stable read view of everything committed so far.  Open
+        transactions (this manager's or later ones) are invisible."""
+        return SnapshotView(self, self.version)
+
+    def _resolve(self, key, snap_version: int, current) -> Any:
+        """The state of *key* as of *snap_version*: ``current`` (a
+        thunk's value) when the live entry is committed and old enough,
+        else the newest chain state visible at the snapshot, else
+        :data:`GONE`."""
+        cur_from = self._from.get(key, 0)
+        if cur_from is not PENDING and cur_from <= snap_version:
+            return current
+        best = GONE
+        for from_version, state in self._chain.get(key, ()):
+            if from_version <= snap_version:
+                best = state
+            else:
+                break
+        return best
+
+    def prune(self, version: Optional[int] = None) -> None:
+        """Drop chain history no snapshot at or after *version*
+        (default: the current committed version) can reach.  Snapshot
+        views older than *version* must not be used afterwards."""
+        if version is None:
+            version = self.version
+        for key in list(self._chain):
+            chain = self._chain[key]
+            keep = 0
+            for i, (from_version, _) in enumerate(chain):
+                if from_version <= version:
+                    keep = i
+                else:
+                    break
+            if keep:
+                del chain[:keep]
+
+    # -- checkpoint & recovery --------------------------------------------
+
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Fold the log into a JSON snapshot: atomically write the
+        snapshot (temp file + ``os.replace``), then truncate the log.
+        A crash between the two steps merely replays transactions the
+        snapshot already contains — replay is idempotent."""
+        if self.active is not None:
+            raise TxnError("cannot checkpoint with an active transaction")
+        path = path or self.snapshot_path
+        if path is None:
+            raise TxnError("checkpoint needs a snapshot path")
+        from .persist import save_database
+        save_database(self.db, path)
+        if self.wal is not None:
+            self.wal.truncate()
+        return path
+
+    def recover(self, records: List[Dict[str, Any]]) -> int:
+        """Redo committed transactions from *records* against this
+        manager's database (journal suppressed).  Returns the number of
+        transactions applied."""
+        self._replaying = True
+        try:
+            return replay_log(self.db, records)
+        finally:
+            self._replaying = False
+
+
+# ---------------------------------------------------------------------------
+# Snapshot views
+# ---------------------------------------------------------------------------
+
+class SnapshotStore:
+    """A read view of the object store frozen at a commit version.
+
+    Reads resolve through the manager's version chains; the interface
+    mirrors the parts of :class:`ObjectStore` the evaluators touch
+    (``get``/``exact_type``/extents/``find_ref``).  ``insert`` (REF
+    minting a *new* object mid-query) passes through to the live store:
+    fresh OIDs cannot collide with anything the snapshot can see.
+    """
+
+    def __init__(self, manager: TransactionManager, version: int):
+        self._manager = manager
+        self._store = manager.db.store
+        self.snapshot_version = version
+        #: Constant cache key: a snapshot never changes, so a deref
+        #: cache bound to this view stays valid across queries.
+        self.version = ("snapshot", version)
+
+    @property
+    def hierarchy(self):
+        return self._store.hierarchy
+
+    @property
+    def oids(self):
+        return self._store.oids
+
+    def _state(self, oid) -> Any:
+        """(value, exact_type) at the snapshot, or GONE."""
+        store = self._store
+        key = ("obj", oid)
+        if oid in store._objects:
+            current = (store._objects[oid], store._exact_types.get(oid))
+        else:
+            current = GONE
+        return self._manager._resolve(key, self.snapshot_version, current)
+
+    def get(self, oid: Any, default: Any = _MISSING) -> Any:
+        state = self._state(oid)
+        if state is not GONE:
+            return state[0]
+        if default is not _MISSING:
+            return default
+        raise StoreError("no object with OID %r" % (oid,))
+
+    def __contains__(self, oid: Any) -> bool:
+        return self._state(oid) is not GONE
+
+    def exact_type(self, oid: Any) -> Optional[str]:
+        state = self._state(oid)
+        return None if state is GONE else state[1]
+
+    def _members(self) -> Dict[Any, str]:
+        store = self._store
+        touched = {key[1] for key in self._manager._from
+                   if key[0] == "obj"}
+        members: Dict[Any, str] = {
+            oid: t for oid, t in store._exact_types.items()
+            if oid not in touched}
+        for oid in touched:
+            state = self._state(oid)
+            if state is not GONE:
+                members[oid] = state[1]
+        return members
+
+    def extent(self, type_name: str):
+        from ..core.values import Ref
+        return [Ref(oid, type_name)
+                for oid, t in self._members().items() if t == type_name]
+
+    def extent_closure(self, type_name: str):
+        from ..core.values import Ref
+        wanted = self.hierarchy.descendants_or_self(type_name)
+        return [Ref(oid, t)
+                for oid, t in self._members().items() if t in wanted]
+
+    def find_ref(self, value: Any):
+        found = self._store.find_ref(value)
+        if found is None:
+            return None
+        state = self._state(found.oid)
+        if state is not GONE and state[0] == value:
+            return found
+        return None
+
+    def insert(self, value: Any, type_name: str = None):
+        return self._store.insert(value, type_name)
+
+    def __len__(self) -> int:
+        return len(self._members())
+
+
+class _SnapshotNamed:
+    """Mapping view of the named top-level objects at a version."""
+
+    def __init__(self, manager: TransactionManager, version: int):
+        self._manager = manager
+        self._version = version
+
+    def _state(self, name: str) -> Any:
+        current = self._manager.db._named.get(name, GONE)
+        return self._manager._resolve(("name", name), self._version, current)
+
+    def __getitem__(self, name: str) -> Any:
+        state = self._state(name)
+        if state is GONE:
+            raise KeyError(name)
+        return state
+
+    def get(self, name: str, default: Any = None) -> Any:
+        state = self._state(name)
+        return default if state is GONE else state
+
+    def __contains__(self, name: str) -> bool:
+        return self._state(name) is not GONE
+
+    def keys(self) -> List[str]:
+        candidates = set(self._manager.db._named)
+        candidates.update(key[1] for key in self._manager._chain
+                          if key[0] == "name")
+        return sorted(n for n in candidates if n in self)
+
+    def __iter__(self):
+        return iter(self.keys())
+
+
+class SnapshotView:
+    """A consistent read view: store + named objects at one version.
+
+    ``context()`` builds an :class:`EvalContext` over the view, so any
+    algebra tree — interpreted or compiled — evaluates against the
+    frozen state while the live database keeps moving.
+    """
+
+    def __init__(self, manager: TransactionManager, version: int):
+        self.manager = manager
+        self.version = version
+        self.store = SnapshotStore(manager, version)
+        self.named = _SnapshotNamed(manager, version)
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.named[name]
+        except KeyError:
+            raise StoreError("no top-level object named %r" % name)
+
+    def names(self) -> List[str]:
+        return self.named.keys()
+
+    def context(self) -> EvalContext:
+        db = self.manager.db
+        return EvalContext(database=self.named, store=self.store,
+                           functions=db.functions, methods=db.methods,
+                           indexes=None)
+
+    def __repr__(self) -> str:
+        return "<SnapshotView @v%d>" % self.version
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+def _redo(db: Database, record: Dict[str, Any]) -> None:
+    op = record.get("op")
+    store = db.store
+    if op == "insert":
+        store._apply_insert(record["oid"], record.get("type") or DEFAULT_TYPE,
+                            value_from_json(record["value"]))
+    elif op == "update":
+        store._apply_update(record["oid"], value_from_json(record["value"]))
+    elif op == "delete":
+        store._apply_delete(record["oid"])
+    elif op == "migrate":
+        store._apply_migrate(record["oid"], record["type"])
+    elif op == "name":
+        db._named[record["name"]] = value_from_json(record["value"])
+        db.indexes.invalidate(record["name"])
+    elif op == "drop":
+        db._named.pop(record["name"], None)
+        db.indexes.invalidate(record["name"])
+    elif op == "ddl":
+        _redo_ddl(db, record["ddl"])
+    # Unknown ops are skipped: logs written by a newer build replay
+    # what this build understands.
+
+
+def _redo_ddl(db: Database, payload: Dict[str, Any]) -> None:
+    from ..extra.ddl import ensure_type_system, parse_type_expr
+    from ..lang import Lexer
+    kind = payload.get("kind")
+    types = ensure_type_system(db)
+    if kind == "type":
+        if payload["name"] in types:
+            return  # already present (checkpoint overlap)
+        types.define(payload["name"],
+                     [(fname, parse_type_expr(Lexer(ftext), types))
+                      for fname, ftext in payload["fields"]],
+                     payload["parents"])
+    elif kind == "method":
+        db.methods.define(payload["type"], payload["name"],
+                          payload["params"], expr_from_json(payload["body"]))
+    elif kind == "created_type":
+        created = getattr(db, "created_types", None)
+        if created is None:
+            created = db.created_types = {}
+        created[payload["name"]] = parse_type_expr(Lexer(payload["type"]),
+                                                   types)
+
+
+def replay_log(db: Database, records: List[Dict[str, Any]]) -> int:
+    """Apply the committed transactions in *records* to *db*.
+
+    Records of a transaction whose commit record never made it to disk
+    are discarded — recovery restores exactly the committed prefix.
+    Returns the number of transactions applied.
+    """
+    applied = 0
+    pending: Optional[List[Dict[str, Any]]] = None
+    for record in records:
+        op = record.get("op")
+        if op == "begin":
+            pending = []
+        elif op == "commit":
+            if pending is None:
+                continue  # stray commit without begin: ignore
+            for buffered in pending:
+                _redo(db, buffered)
+            oids = record.get("oids")
+            if oids:
+                db.store.oids.restore(oids)
+            pending = None
+            applied += 1
+        elif op == "checkpoint":
+            continue
+        elif pending is not None:
+            pending.append(record)
+    return applied
+
+
+def open_database(directory: str,
+                  functions: Optional[Dict[str, Any]] = None,
+                  sync: bool = True) -> Database:
+    """Open (or create) a durable database rooted at *directory*.
+
+    Layout: ``directory/snapshot.json`` (the checkpointed world, when
+    one exists) and ``directory/wal.log``.  The snapshot is loaded,
+    the log's committed transactions are replayed on top, any torn log
+    tail is truncated, and a :class:`TransactionManager` with the open
+    WAL is attached (reachable as ``db.txn``).
+    """
+    os.makedirs(directory, exist_ok=True)
+    snapshot_path = os.path.join(directory, "snapshot.json")
+    wal_path = os.path.join(directory, "wal.log")
+    if os.path.exists(snapshot_path):
+        from .persist import load_database
+        db = load_database(snapshot_path, functions)
+    else:
+        db = Database()
+        from ..excess.builtins import register_builtins
+        register_builtins(db)
+        for name, fn in (functions or {}).items():
+            db.register_function(name, fn)
+    replay_log(db, read_records(wal_path))
+    wal = WriteAheadLog(wal_path, sync=sync)
+    TransactionManager(db, wal=wal, snapshot_path=snapshot_path)
+    return db

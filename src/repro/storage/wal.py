@@ -1,0 +1,203 @@
+"""The write-ahead log: binary-framed, checksummed redo records.
+
+The paper's system inherited durability from the EXODUS storage
+manager; this module reproduces the shape of that contract for our
+dictionary-backed store.  A log file is a fixed 8-byte header followed
+by a sequence of framed records::
+
+    +----------+----------+------------------+
+    | len: u32 | crc: u32 | payload (len B)  |
+    +----------+----------+------------------+
+
+both integers little-endian; the CRC is ``zlib.crc32`` of the payload
+bytes.  Payloads are compact JSON documents (the same tagged value
+encoding :mod:`repro.core.serialize` uses for snapshots), so a log is
+self-describing while the *framing* stays binary and torn tails are
+detectable without trusting the payload syntax.
+
+Torn-tail discipline: a reader accepts the longest prefix of records
+whose frames are complete and whose checksums match, and ignores
+everything after the first damaged frame.  Opening a log for append
+truncates that damage away first, so a crashed writer can never leave
+garbage in the middle of a live log.
+
+Record *content* (operation kinds, transaction framing) is defined by
+:mod:`repro.storage.txn`; this module only knows about frames.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+MAGIC = b"XWAL"
+FORMAT_VERSION = 1
+HEADER = MAGIC + struct.pack("<I", FORMAT_VERSION)
+HEADER_SIZE = len(HEADER)
+FRAME = struct.Struct("<II")
+
+#: Upper bound on a single record's payload; a frame whose declared
+#: length exceeds this is treated as tail damage, not honored.
+MAX_RECORD_SIZE = 64 * 1024 * 1024
+
+
+class WalError(ValueError):
+    """Raised for unusable log files (bad header) or oversized records."""
+
+
+def encode_record(payload: Dict[str, Any]) -> bytes:
+    """One framed record: length, checksum, canonical-JSON payload."""
+    data = json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if len(data) > MAX_RECORD_SIZE:
+        raise WalError("record of %d bytes exceeds the frame limit"
+                       % len(data))
+    return FRAME.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
+
+
+def scan_bytes(blob: bytes) -> Tuple[List[Tuple[int, Dict[str, Any]]], int]:
+    """Parse *blob* as a log image.
+
+    Returns ``(records, valid_end)`` where *records* is a list of
+    ``(end_offset, payload)`` pairs for every intact record, in order,
+    and *valid_end* is the offset just past the last intact record —
+    the truncation point an appender must restore before writing.  A
+    missing or damaged header yields ``([], 0)``.
+    """
+    if len(blob) < HEADER_SIZE or blob[:HEADER_SIZE] != HEADER:
+        return [], 0
+    records: List[Tuple[int, Dict[str, Any]]] = []
+    offset = HEADER_SIZE
+    while True:
+        if offset + FRAME.size > len(blob):
+            break
+        length, crc = FRAME.unpack_from(blob, offset)
+        start = offset + FRAME.size
+        end = start + length
+        if length > MAX_RECORD_SIZE or end > len(blob):
+            break  # torn frame
+        data = blob[start:end]
+        if zlib.crc32(data) & 0xFFFFFFFF != crc:
+            break  # corrupt payload: stop at the damage
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except ValueError:
+            break
+        records.append((end, payload))
+        offset = end
+    return records, offset
+
+
+def scan(path: str) -> Tuple[List[Tuple[int, Dict[str, Any]]], int]:
+    """:func:`scan_bytes` over a file; a missing file is an empty log."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return [], 0
+    return scan_bytes(blob)
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Every intact record payload in the log at *path*, in order."""
+    return [payload for _, payload in scan(path)[0]]
+
+
+def record_boundaries(path: str) -> List[int]:
+    """Offsets of every record boundary: the header end plus the end of
+    each intact record.  Crash-sweep harnesses truncate to each of
+    these in turn."""
+    records, _ = scan(path)
+    return [HEADER_SIZE] + [end for end, _ in records]
+
+
+class WriteAheadLog:
+    """An append-only log open for writing.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (with a fresh header) when absent.
+        An existing file is scanned and any torn tail truncated away
+        before the first append.
+    sync:
+        When true (the default), every :meth:`append_batch` ends with
+        an ``fsync`` — the durability point of a commit.  Benchmarks
+        and bulk tests may turn it off.
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = path
+        self.sync = sync
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            blob = b""
+        _, valid_end = scan_bytes(blob)
+        if valid_end == 0:
+            if blob and blob[:HEADER_SIZE] == HEADER[:len(blob)]:
+                pass  # a short header fragment: rewrite below
+            elif blob and not blob.startswith(MAGIC[:1]):
+                raise WalError("%s exists but is not a WAL file" % path)
+            with open(path, "wb") as handle:
+                handle.write(HEADER)
+                handle.flush()
+                os.fsync(handle.fileno())
+            valid_end = HEADER_SIZE
+        self._fh = open(path, "r+b")
+        self._fh.truncate(valid_end)
+        self._fh.seek(valid_end)
+        self._end = valid_end
+
+    def tell(self) -> int:
+        """The current end offset (next record lands here)."""
+        return self._end
+
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Append one record; returns its end offset."""
+        return self.append_batch([payload])
+
+    def append_batch(self, payloads: List[Dict[str, Any]]) -> int:
+        """Append records as one contiguous write, then sync once.
+
+        A commit writes its whole ``begin … ops … commit`` group this
+        way, so the single fsync at the end is the commit point.
+        """
+        blob = b"".join(encode_record(p) for p in payloads)
+        self._fh.write(blob)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self._end += len(blob)
+        return self._end
+
+    def truncate(self) -> None:
+        """Reset the log to just its header (checkpoint's final step)."""
+        self._fh.truncate(HEADER_SIZE)
+        self._fh.seek(HEADER_SIZE)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self._end = HEADER_SIZE
+
+    def records(self) -> List[Dict[str, Any]]:
+        return read_records(self.path)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __repr__(self) -> str:
+        return "WriteAheadLog(%r, %d bytes)" % (self.path, self._end)

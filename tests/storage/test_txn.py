@@ -1,0 +1,313 @@
+"""Transactions: begin/commit/abort, savepoints, autocommit, snapshot
+isolation, and the deref-cache staleness fix."""
+
+import pytest
+
+from repro.core.engine import compile_plan
+from repro.core.expr import Input, Named, evaluate
+from repro.core.operators import Deref, SetApply
+from repro.core.values import MultiSet, Ref, Tup
+from repro.storage import Database, StoreError, TransactionManager, TxnError
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def db():
+    handle = Database()
+    handle.transactions()
+    return handle
+
+
+def manager(db):
+    return db.txn
+
+
+# ---------------------------------------------------------------------------
+# Explicit transactions
+# ---------------------------------------------------------------------------
+
+
+def test_commit_makes_changes_stick(db):
+    db.begin()
+    ref = db.store.insert(Tup(n=1), "Thing")
+    db.create("Box", MultiSet([ref]))
+    db.commit()
+    assert db.store.get(ref.oid) == Tup(n=1)
+    assert "Box" in db
+
+
+def test_abort_restores_everything(db):
+    ref = db.store.insert(Tup(n=1), "Thing")
+    db.create("Box", MultiSet([ref]))
+    db.begin()
+    db.store.update(ref.oid, Tup(n=2))
+    other = db.store.insert(Tup(n=3), "Thing")
+    db.create("Box", MultiSet([ref, other]))
+    db.drop("Box")
+    db.abort()
+    assert db.store.get(ref.oid) == Tup(n=1)
+    assert other.oid not in db.store
+    assert db.get("Box") == MultiSet([ref])
+
+
+def test_abort_undoes_delete_with_exact_type(db):
+    ref = db.store.insert(Tup(n=1), "Widget")
+    db.begin()
+    db.store.delete(ref.oid)
+    assert ref.oid not in db.store
+    db.abort()
+    assert db.store.get(ref.oid) == Tup(n=1)
+    assert db.store.exact_type(ref.oid) == "Widget"
+
+
+def test_abort_undoes_migrate(db):
+    db.hierarchy.add_type("Person")
+    db.hierarchy.add_type("Student", ["Person"])
+    ref = db.store.insert(Tup(n=1), "Student")
+    db.begin()
+    db.store.migrate(ref.oid, "Person")  # upward: legal
+    db.abort()
+    assert db.store.exact_type(ref.oid) == "Student"
+
+
+def test_double_begin_and_stray_commit_rejected(db):
+    db.begin()
+    with pytest.raises(TxnError):
+        db.begin()
+    db.abort()
+    with pytest.raises(TxnError):
+        db.commit()
+    with pytest.raises(TxnError):
+        db.abort()
+
+
+def test_ddl_survives_abort(db):
+    """Schema changes are durable-at-execution, never rolled back."""
+    from repro.extra.ddl import ensure_type_system
+    types = ensure_type_system(db)
+    db.begin()
+    types.define("Ephemeral", [], ())
+    db.abort()
+    assert "Ephemeral" in types
+
+
+# ---------------------------------------------------------------------------
+# Savepoints
+# ---------------------------------------------------------------------------
+
+
+def test_savepoint_rollback_partial(db):
+    ref = db.store.insert(Tup(n=0), "Thing")
+    db.begin()
+    db.store.update(ref.oid, Tup(n=1))
+    sp = manager(db).savepoint()
+    db.store.update(ref.oid, Tup(n=2))
+    manager(db).rollback_to(sp)
+    assert db.store.get(ref.oid) == Tup(n=1)
+    db.commit()
+    assert db.store.get(ref.oid) == Tup(n=1)
+
+
+def test_rollback_discards_later_savepoints(db):
+    db.begin()
+    a = manager(db).savepoint("a")
+    db.store.insert(Tup(n=1), "Thing")
+    manager(db).savepoint("b")
+    manager(db).rollback_to(a)
+    with pytest.raises(TxnError):
+        manager(db).rollback_to("b")
+    db.commit()
+
+
+def test_savepoint_needs_transaction(db):
+    with pytest.raises(TxnError):
+        manager(db).savepoint()
+
+
+# ---------------------------------------------------------------------------
+# Autocommit and the WAL
+# ---------------------------------------------------------------------------
+
+
+def test_autocommit_writes_one_group_per_mutation(tmp_path):
+    db = Database()
+    wal = WriteAheadLog(str(tmp_path / "wal.log"), sync=False)
+    TransactionManager(db, wal=wal)
+    db.store.insert(Tup(n=1), "Thing")
+    records = wal.records()
+    assert [r["op"] for r in records] == ["begin", "insert", "commit"]
+    assert "oids" in records[-1]
+
+
+def test_explicit_txn_is_one_contiguous_group(tmp_path):
+    db = Database()
+    wal = WriteAheadLog(str(tmp_path / "wal.log"), sync=False)
+    TransactionManager(db, wal=wal)
+    db.begin()
+    db.store.insert(Tup(n=1), "Thing")
+    db.store.insert(Tup(n=2), "Thing")
+    assert wal.records() == []  # nothing on disk before commit
+    db.commit()
+    ops = [r["op"] for r in wal.records()]
+    assert ops == ["begin", "insert", "insert", "commit"]
+
+
+def test_aborted_txn_leaves_no_log_records(tmp_path):
+    db = Database()
+    wal = WriteAheadLog(str(tmp_path / "wal.log"), sync=False)
+    TransactionManager(db, wal=wal)
+    db.begin()
+    db.store.insert(Tup(n=1), "Thing")
+    db.abort()
+    assert wal.records() == []
+
+
+def test_empty_commit_writes_nothing(tmp_path):
+    db = Database()
+    wal = WriteAheadLog(str(tmp_path / "wal.log"), sync=False)
+    TransactionManager(db, wal=wal)
+    db.begin()
+    db.commit()
+    assert wal.records() == []
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_never_sees_uncommitted_writes(db):
+    ref = db.store.insert(Tup(n=1), "Thing")
+    db.create("Box", MultiSet([ref]))
+    snap = manager(db).snapshot()
+    db.begin()
+    db.store.update(ref.oid, Tup(n=99))
+    db.create("Box", MultiSet())
+    # The writer is still open: the snapshot must show the old world.
+    assert snap.store.get(ref.oid) == Tup(n=1)
+    assert snap.get("Box") == MultiSet([ref])
+    db.commit()
+    # Even after commit, a pre-existing snapshot stays frozen…
+    assert snap.store.get(ref.oid) == Tup(n=1)
+    assert snap.get("Box") == MultiSet([ref])
+    # …while a fresh snapshot sees the committed state.
+    fresh = manager(db).snapshot()
+    assert fresh.store.get(ref.oid) == Tup(n=99)
+    assert fresh.get("Box") == MultiSet()
+
+
+def test_snapshot_hides_post_snapshot_inserts_and_deletes(db):
+    keep = db.store.insert(Tup(n=1), "Thing")
+    doomed = db.store.insert(Tup(n=2), "Thing")
+    snap = manager(db).snapshot()
+    late = db.store.insert(Tup(n=3), "Thing")
+    db.store.delete(doomed.oid)
+    assert keep.oid in snap.store
+    assert doomed.oid in snap.store  # deleted after the snapshot
+    assert late.oid not in snap.store  # born after the snapshot
+    assert snap.store.get(doomed.oid) == Tup(n=2)
+    with pytest.raises(StoreError):
+        snap.store.get(late.oid)
+
+
+def test_snapshot_extents_are_frozen(db):
+    a = db.store.insert(Tup(n=1), "Widget")
+    snap = manager(db).snapshot()
+    db.store.insert(Tup(n=2), "Widget")
+    db.store.delete(a.oid)
+    assert snap.store.extent("Widget") == [Ref(a.oid, "Widget")]
+    assert len(db.store.extent("Widget")) == 1
+    assert db.store.extent("Widget")[0].oid != a.oid
+
+
+def test_snapshot_query_during_concurrent_writer(db):
+    """A full algebra query over a snapshot context never observes the
+    concurrent writer — interpreted and compiled engines alike."""
+    refs = [db.store.insert(Tup(n=i), "Thing") for i in range(4)]
+    db.create("Box", MultiSet(refs))
+    snap = manager(db).snapshot()
+    expr = SetApply(Deref(Input()), Named("Box"))
+    before = evaluate(expr, db.context())
+    db.begin()  # concurrent writer: rewrite every object
+    for i, ref in enumerate(refs):
+        db.store.update(ref.oid, Tup(n=100 + i))
+    ctx = snap.context()
+    ctx.begin_query()
+    mid_interp = evaluate(expr, ctx)
+    ctx.begin_query()
+    mid_compiled = evaluate(expr, ctx, mode="compiled")
+    assert mid_interp == before
+    assert mid_compiled == before
+    db.commit()
+    ctx.begin_query()
+    assert evaluate(expr, ctx) == before  # still frozen post-commit
+    live = evaluate(expr, db.context())
+    assert live != before
+
+
+def test_snapshot_named_mapping(db):
+    db.create("A", 1)
+    snap = manager(db).snapshot()
+    db.create("B", 2)
+    db.drop("A")
+    assert "A" in snap.named and "B" not in snap.named
+    assert snap.names() == ["A"]
+    assert snap.named.get("B", "absent") == "absent"
+
+
+def test_prune_drops_unreachable_history(db):
+    ref = db.store.insert(Tup(n=0), "Thing")
+    for i in range(1, 5):
+        db.store.update(ref.oid, Tup(n=i))
+    mgr = manager(db)
+    assert len(mgr._chain[("obj", ref.oid)]) == 5
+    mgr.prune()
+    assert len(mgr._chain[("obj", ref.oid)]) == 1
+    assert mgr.snapshot().store.get(ref.oid) == Tup(n=4)
+
+
+# ---------------------------------------------------------------------------
+# Deref-cache staleness (the regression the version counter fixes)
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_pipeline_never_serves_stale_derefs():
+    """Re-executing a compiled pipeline after an update — without an
+    intervening begin_query() — must see the new object state."""
+    db = Database()
+    ref = db.store.insert(Tup(name="old"), "Thing")
+    db.create("Box", MultiSet([ref]))
+    pipeline = compile_plan(SetApply(Deref(Input()), Named("Box")))
+    ctx = db.context()
+    ctx.begin_query()
+    assert pipeline.execute(ctx) == MultiSet([Tup(name="old")])
+    db.store.update(ref.oid, Tup(name="new"))
+    assert pipeline.execute(ctx) == MultiSet([Tup(name="new")])
+
+
+def test_store_version_counter_semantics():
+    db = Database()
+    v0 = db.store.version
+    ref = db.store.insert(Tup(n=1), "Thing")
+    # Fresh inserts don't invalidate caches: no OID they mint can
+    # already be cached.
+    assert db.store.version == v0
+    db.store.update(ref.oid, Tup(n=2))
+    v1 = db.store.version
+    assert v1 > v0
+    db.store.delete(ref.oid)
+    assert db.store.version > v1
+
+
+def test_deref_cache_survives_pure_reads():
+    """No mutation between runs → the cache keeps its entries."""
+    db = Database()
+    ref = db.store.insert(Tup(name="same"), "Thing")
+    db.create("Box", MultiSet([ref]))
+    pipeline = compile_plan(SetApply(Deref(Input()), Named("Box")))
+    ctx = db.context()
+    ctx.begin_query()
+    pipeline.execute(ctx)
+    hits_before = ctx.deref_cache.hits
+    pipeline.execute(ctx)
+    assert ctx.deref_cache.hits > hits_before

@@ -1,0 +1,138 @@
+"""Write-ahead log framing: round-trips, checksums, torn tails."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.storage.wal import (FRAME, HEADER, HEADER_SIZE, MAX_RECORD_SIZE,
+                               WalError, WriteAheadLog, encode_record,
+                               read_records, record_boundaries, scan,
+                               scan_bytes)
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def test_record_round_trip(log_path):
+    payloads = [{"op": "insert", "oid": 7, "value": {"t": "int", "v": 1}},
+                {"op": "commit", "tx": 1},
+                {"op": "name", "name": "X", "value": None}]
+    with WriteAheadLog(log_path) as wal:
+        for payload in payloads:
+            wal.append(payload)
+    assert read_records(log_path) == payloads
+
+
+def test_batch_append_is_contiguous(log_path):
+    group = [{"op": "begin", "tx": 1}, {"op": "insert", "oid": 1},
+             {"op": "commit", "tx": 1}]
+    with WriteAheadLog(log_path) as wal:
+        end = wal.append_batch(group)
+        assert wal.tell() == end
+    assert read_records(log_path) == group
+
+
+def test_encode_record_is_canonical():
+    a = encode_record({"b": 1, "a": 2})
+    b = encode_record({"a": 2, "b": 1})
+    assert a == b  # sorted keys: byte-identical frames
+
+
+def test_oversized_record_rejected():
+    with pytest.raises(WalError):
+        encode_record({"blob": "x" * (MAX_RECORD_SIZE + 1)})
+
+
+def test_empty_log_has_header_only(log_path):
+    WriteAheadLog(log_path).close()
+    with open(log_path, "rb") as handle:
+        assert handle.read() == HEADER
+    assert read_records(log_path) == []
+    assert record_boundaries(log_path) == [HEADER_SIZE]
+
+
+def test_missing_file_scans_empty(tmp_path):
+    assert scan(str(tmp_path / "absent.log")) == ([], 0)
+
+
+def test_non_wal_file_rejected(log_path):
+    with open(log_path, "wb") as handle:
+        handle.write(b"definitely not a log")
+    with pytest.raises(WalError):
+        WriteAheadLog(log_path)
+
+
+# ---------------------------------------------------------------------------
+# Checksum and torn-tail discipline
+# ---------------------------------------------------------------------------
+
+
+def _image(*payloads):
+    return HEADER + b"".join(encode_record(p) for p in payloads)
+
+
+def test_corrupt_crc_stops_the_scan():
+    blob = bytearray(_image({"op": "a"}, {"op": "b"}))
+    blob[-1] ^= 0xFF  # flip a byte inside the second payload
+    records, valid_end = scan_bytes(bytes(blob))
+    assert [p for _, p in records] == [{"op": "a"}]
+    assert valid_end == HEADER_SIZE + len(encode_record({"op": "a"}))
+
+
+def test_torn_frame_stops_the_scan():
+    whole = _image({"op": "a"})
+    torn = whole + FRAME.pack(100, 0) + b"short"
+    records, valid_end = scan_bytes(torn)
+    assert [p for _, p in records] == [{"op": "a"}]
+    assert valid_end == len(whole)
+
+
+def test_insane_length_is_tail_damage():
+    whole = _image({"op": "a"})
+    crazy = whole + struct.pack("<II", MAX_RECORD_SIZE + 1, 0) + b"x" * 64
+    _, valid_end = scan_bytes(crazy)
+    assert valid_end == len(whole)
+
+
+def test_bad_json_payload_is_tail_damage():
+    data = b"{not json"
+    frame = FRAME.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
+    _, valid_end = scan_bytes(_image({"op": "a"}) + frame)
+    assert valid_end == HEADER_SIZE + len(encode_record({"op": "a"}))
+
+
+def test_open_for_append_truncates_torn_tail(log_path):
+    with WriteAheadLog(log_path) as wal:
+        wal.append({"op": "keep"})
+    with open(log_path, "ab") as handle:
+        handle.write(b"\xde\xad\xbe\xef")  # simulated torn write
+    with WriteAheadLog(log_path) as wal:
+        wal.append({"op": "after"})
+    assert read_records(log_path) == [{"op": "keep"}, {"op": "after"}]
+
+
+def test_truncate_resets_to_header(log_path):
+    with WriteAheadLog(log_path) as wal:
+        wal.append({"op": "gone"})
+        wal.truncate()
+        assert wal.tell() == HEADER_SIZE
+        wal.append({"op": "kept"})
+    assert read_records(log_path) == [{"op": "kept"}]
+
+
+def test_record_boundaries_enumerate_every_prefix(log_path):
+    with WriteAheadLog(log_path) as wal:
+        wal.append({"op": "a"})
+        wal.append({"op": "bb"})
+    bounds = record_boundaries(log_path)
+    assert bounds[0] == HEADER_SIZE
+    assert len(bounds) == 3
+    assert bounds == sorted(bounds)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke bench-engine crashtest bench-txn
+.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,10 +10,11 @@ test:
 # a notice when they aren't installed (the repo has no runtime deps).
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
-		$(PYTHON) -m ruff check src/repro/core/analysis tests/analysis; \
+		$(PYTHON) -m ruff check src/repro/core/analysis src/repro/obs \
+			tests/analysis tests/obs; \
 	else echo "ruff not installed; skipping style check"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/core/analysis; \
+		$(PYTHON) -m mypy src/repro/core/analysis src/repro/obs; \
 	else echo "mypy not installed; skipping type check"; fi
 
 # Offline rewrite-soundness sweep: fire all 28 appendix rules on the
@@ -25,6 +26,13 @@ verify-plans:
 # the paper-claimed winner directions and engine agreement.
 bench-smoke:
 	$(PYTHON) -m repro.cli bench --smoke
+
+# Observability gate: the example queries with tracing on must yield
+# non-empty span trees and EXPLAIN ANALYZE output, the metrics
+# registry must round-trip through the Prometheus parser, and a
+# disabled tracer must stay within 5% of an untraced run.
+trace-smoke:
+	$(PYTHON) -m repro.workloads.trace_smoke
 
 # Full interpreted-vs-compiled comparison; writes BENCH_engine.json.
 bench-engine:

@@ -6,8 +6,9 @@ claim attaches to these numbers; they document the reproduction's
 substrate costs so the figure benchmarks can be read in context.
 """
 
+from repro import connect
 from repro.core import evaluate
-from repro.excess import Session, parse
+from repro.excess import parse
 from repro.workloads import build_university
 
 Q1 = """
@@ -29,7 +30,7 @@ def test_parse_query1(benchmark):
 
 
 def test_translate_query1(benchmark, uni):
-    session = Session(uni.db)
+    session = connect(uni.db).session
 
     def compile_q1():
         session.ranges.clear()
@@ -40,14 +41,14 @@ def test_translate_query1(benchmark, uni):
 
 
 def test_execute_query1(benchmark, uni):
-    session = Session(uni.db)
+    session = connect(uni.db).session
     plan = session.compile(Q1)
     value = benchmark(lambda: evaluate(plan, uni.db.context()))
     assert len(value) > 0
 
 
 def test_execute_query2_correlated(benchmark, small_uni):
-    session = Session(small_uni.db)
+    session = connect(small_uni.db).session
     plan = session.compile(Q2)
     value = benchmark(lambda: evaluate(plan, small_uni.db.context()))
     assert len(value) == len(small_uni.db.get("Employees"))
@@ -55,8 +56,8 @@ def test_execute_query2_correlated(benchmark, small_uni):
 
 def test_full_pipeline_query1(benchmark, uni):
     def pipeline():
-        session = Session(uni.db)
-        return session.query(Q1)
+        conn = connect(uni.db, engine="interpreted")
+        return conn.execute(Q1, optimize=False).value
 
     value = benchmark(pipeline)
     assert len(value) > 0

@@ -21,7 +21,7 @@ from repro.core.analysis.rulecheck import verify_all_rules
 from repro.core.engine.compiler import compile_plan
 from repro.core.optimizer import CostModel, Optimizer, Statistics
 from repro.core.values import MultiSet
-from repro.excess import Session
+from repro import connect
 from repro.workloads.university import build_university
 
 
@@ -31,10 +31,11 @@ def main():
 
     # -- 1. verified execution -----------------------------------------
     print("== Verified execution ==")
-    session = Session(db, engine="compiled", verify=True)
-    result = session.run(
+    conn = connect(db, engine="compiled", verify=True)
+    session = conn.session
+    result = conn.execute(
         "retrieve (E.name, E.salary) from E in Employees "
-        "where E.salary > 60000")[-1]
+        "where E.salary > 60000", optimize=False)
     print("query typechecked and returned %d rows" % len(result.value))
 
     env = inference_for_database(db)

@@ -18,7 +18,7 @@ from repro.core.optimizer import (CostModel, ObjectStats, Optimizer,
                                   Statistics)
 from repro.core.predicates import Atom
 from repro.core.transform import ALL_RULES, RewriteEngine
-from repro.excess import Session
+from repro import connect
 from repro.excess.printer import to_excess
 
 
@@ -72,7 +72,7 @@ def main():
     program, result_name = to_excess(fragment)
     for line in program.splitlines():
         print("    " + line)
-    Session(db).run(program)
+    connect(db).execute(program, optimize=False)
     print("    …which executes to the same value:",
           db.get(result_name) == evaluate(fragment, db.context()))
 

@@ -7,8 +7,7 @@ showing both the answers and the algebra trees they compile to.
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, MultiSet, Ref
-from repro.excess import Session
+from repro import MultiSet, Ref, connect
 
 DDL = """
 define type Person:
@@ -51,9 +50,9 @@ def person(types, i, name, city):
 
 
 def main():
-    db = Database()
-    session = Session(db)
-    session.run(DDL)
+    conn = connect()
+    db = conn.db
+    conn.execute(DDL)
     types, store = db.types, db.store
 
     # -- load a tiny instance through the typed API --------------------
@@ -90,14 +89,16 @@ def main():
         retrieve (C.name) from C in E.kids where E.dept.floor = 2
     """
     print("  EXCESS:", " ".join(query.split()))
-    print("  algebra:", session.compile(query).describe()[:100], "…")
-    for row in session.query(query):
+    print("  algebra:", conn.session.compile(query).describe()[:100], "…")
+    result = conn.execute(query)
+    for row in result.rows():
         print("   ", row)
 
     # -- the functional join of Figure 4 ---------------------------------
     print("\nDepartments of Madison employees (Figure 4):")
-    for row in session.query('retrieve (Employees.dept.name) '
-                             'where Employees.city = "Madison"'):
+    fig4 = conn.execute('retrieve (Employees.dept.name) '
+                        'where Employees.city = "Madison"')
+    for row in fig4.rows():
         print("   ", row)
 
     # -- identity: two employees may share a department object ------------
@@ -107,10 +108,14 @@ def main():
     print("    same reference?", ada_dept == gil_dept)
 
     # -- work counters -----------------------------------------------------
-    ctx = db.context()
-    from repro.core import evaluate
-    evaluate(session.compile(query), ctx)
-    print("\nWork counters for the first query:", dict(sorted(ctx.stats.items())))
+    print("\nWork counters for the first query:",
+          dict(sorted(result.stats.items())))
+
+    # -- EXPLAIN ANALYZE ---------------------------------------------------
+    conn.tracing = True
+    traced = conn.execute(query)
+    print("\nEXPLAIN ANALYZE of the first query:")
+    print(traced.explain(cost_model=conn.session.optimizer.cost_model))
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ A realistic end-to-end scenario on the university database:
 Run:  python examples/registrar_app.py
 """
 
+from repro import connect
 from repro.core import Input, Named, evaluate
 from repro.core.operators import (TupExtract, aggregate_per_group,
                                   join_field, nest, semijoin,
@@ -25,7 +26,8 @@ from repro.workloads import build_university
 def main():
     uni = build_university(n_departments=4, n_employees=12, n_students=20,
                            seed=8)
-    db, session = uni.db, uni.session
+    db = uni.db
+    conn = connect(db, engine="interpreted")
     register_library_functions(db)
 
     print("== 1. Enrollment: appending new students ==")
@@ -38,7 +40,8 @@ def main():
         for i in range(3)])
     db.create("Admitted", admitted)
     before = len(db.get("Students"))
-    session.run("append to Students value (x) from x in Admitted")
+    conn.execute("append to Students value (x) from x in Admitted",
+                 optimize=False)
     print("   Students: %d -> %d (objects created with fresh OIDs)"
           % (before, len(db.get("Students"))))
 
@@ -46,22 +49,23 @@ def main():
     closing = uni.department_refs[0]
     closing_name = db.store.get(closing.oid)["name"]
     new_home = uni.department_refs[1]
-    moved = session.run(
+    moved = conn.execute(
         "range of E is Employees "
         'replace E (jobtitle = "transferred") '
-        "where E.dept.name = \"%s\"" % closing_name)[-1].value
+        "where E.dept.name = \"%s\"" % closing_name, optimize=False).value
     print("   %d employees of %s marked transferred (in place — their"
           % (moved, closing_name))
     print("   identity is unchanged, so manager references still work)")
-    dropped = session.run(
+    dropped = conn.execute(
         "range of S is Students delete S "
-        'where S.dept.name = "%s"' % closing_name)[-1].value
+        'where S.dept.name = "%s"' % closing_name, optimize=False).value
     print("   %d students of the closing department dropped" % dropped)
 
     print("\n== 3. Reports (derived-operator library) ==")
     # 3a. Students nested per department name.
-    student_rows = session.query(
-        "range of S is Students retrieve (S.name, dept = S.dept.name)")
+    student_rows = conn.execute(
+        "range of S is Students retrieve (S.name, dept = S.dept.name)",
+        optimize=False).value
     db.create("StudentRows", student_rows)
     nested = evaluate(nest(["dept"], "students", Named("StudentRows")),
                       db.context())
@@ -69,8 +73,9 @@ def main():
         print("   %-8s %d student(s)" % (row["dept"], len(row["students"])))
 
     # 3b. Average salary per job title.
-    emp_rows = session.query(
-        "range of E is Employees retrieve (job = E.jobtitle, sal = E.salary)")
+    emp_rows = conn.execute(
+        "range of E is Employees retrieve (job = E.jobtitle, sal = E.salary)",
+        optimize=False).value
     db.create("EmpRows", emp_rows)
     report = evaluate(
         aggregate_per_group(TupExtract("job", Input()), "avg",
@@ -81,8 +86,9 @@ def main():
         print("   %-12s avg salary %.0f" % (row["job"], row["avg_salary"]))
 
     # 3c. Semijoin: departments that still have students.
-    dept_rows = session.query(
-        "range of D is Departments retrieve (dname = D.name)")
+    dept_rows = conn.execute(
+        "range of D is Departments retrieve (dname = D.name)",
+        optimize=False).value
     db.create("DeptRows", dept_rows)
     active = evaluate(
         semijoin(Atom(join_field(1, "dname"), "=", join_field(2, "dept")),

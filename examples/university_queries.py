@@ -8,6 +8,7 @@ each rewrite earning its keep.
 Run:  python examples/university_queries.py
 """
 
+from repro import connect
 from repro.core import evaluate
 from repro.workloads import build_university, figures
 
@@ -30,7 +31,7 @@ def main():
                            advisor_pool=5, employee_name_pool=5,
                            kids_per_employee=2, seed=3)
     figures.value_views(uni)
-    session = uni.session
+    conn = connect(uni.db, engine="interpreted")
 
     print("== The paper's Section 2.2 example queries ==\n")
     q1 = """
@@ -38,7 +39,7 @@ def main():
         retrieve (C.name) from C in E.kids where E.dept.floor = 2
     """
     print("Q1 (children of floor-2 employees): %d rows"
-          % len(session.query(q1)))
+          % len(conn.execute(q1, optimize=False).value))
 
     q2 = """
         range of EMP is Employees
@@ -46,7 +47,7 @@ def main():
             from E in Employees
             where E.dept.floor = EMP.dept.floor))
     """
-    rows = session.query(q2)
+    rows = conn.execute(q2, optimize=False).value
     sample = next(rows.elements())
     print("Q2 (correlated aggregate): %d rows, e.g. %s" % (len(rows), sample))
 
@@ -84,10 +85,10 @@ def main():
     print("    all three plans agree ✓")
 
     print("\n== The same queries straight from EXCESS text ==")
-    excess_groups = session.query("""
+    excess_groups = conn.execute("""
         range of S is Students
         retrieve (S.name) by S.dept.division where S.dept.floor = %d
-    """ % floor)
+    """ % floor, optimize=False).value
     names = {t["name"] for g in excess_groups.elements() for t in g}
     fig_names = {t["name"] for g in results["figure 9"].elements() for t in g}
     print("   EXCESS result matches the figure trees:", names == fig_names)

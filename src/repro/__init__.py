@@ -11,13 +11,16 @@ See ``examples/quickstart.py`` for the full university database of the
 paper's Figure 1.
 """
 
+from .api import Connection, connect
 from .core import (DNE, UNK, AlgebraError, Arr, Const, EvalContext, Expr,
                    Func, Input, MultiSet, Named, Ref, Tup, evaluate)
+from .excess.session import Result
 from .storage import Database, ObjectStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Connection", "Result", "connect",
     "Database", "ObjectStore",
     "AlgebraError", "Arr", "Const", "EvalContext", "Expr", "Func",
     "Input", "MultiSet", "Named", "Ref", "Tup", "evaluate",

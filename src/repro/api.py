@@ -1,0 +1,200 @@
+"""The public entry point: ``repro.connect(...) -> Connection``.
+
+One constructor that covers every way a database can exist — in
+memory, as a crash-safe JSON image, or as a durable directory with a
+write-ahead log — and one ``execute()`` that covers every statement
+kind on either engine, returning a uniform self-describing
+:class:`~repro.excess.session.Result`.
+
+Observability is wired here: each Connection owns a
+:class:`~repro.obs.Tracer` (spans flow to ``Result.trace`` and
+``Result.explain()``) and a :class:`~repro.obs.SlowQueryLog`, and every
+``execute()`` feeds the process-wide metrics registry.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Any, List, Optional, Union
+
+from .core.optimizer import CostModel, Optimizer, Statistics
+from .excess.session import Result, Session
+from .obs import SlowQueryLog, Tracer
+from .obs.metrics import (
+    DEREF_CACHE_HITS_TOTAL,
+    DEREF_CACHE_MISSES_TOTAL,
+    QUERIES_TOTAL,
+    QUERY_ERRORS_TOTAL,
+    QUERY_SECONDS,
+    SLOW_QUERIES_TOTAL,
+)
+from .storage import Database, load_database, open_database
+
+__all__ = ["Connection", "connect"]
+
+
+class Connection:
+    """A live handle on a database: session, tracer, slow-query log.
+
+    Use :func:`connect` to obtain one.  The underlying
+    :class:`~repro.excess.session.Session` stays reachable as
+    ``connection.session`` for range declarations, explicit
+    transactions, and other session-level state.
+    """
+
+    def __init__(self, database: Database, *, engine: str = "compiled",
+                 verify: bool = False, trace: bool = False,
+                 optimizer: Optional[Optimizer] = None,
+                 typecheck: bool = False,
+                 slow_query_threshold: Optional[float] = 0.1,
+                 _source: Optional[str] = None):
+        if optimizer is None:
+            optimizer = Optimizer(
+                cost_model=CostModel(Statistics.from_database(database),
+                                     engine=engine))
+        self.db = database
+        self.session = Session(database, optimizer=optimizer,
+                               typecheck=typecheck, engine=engine,
+                               verify=verify, _api_internal=True)
+        self.tracer = Tracer(enabled=trace)
+        # Every layer reads the tracer from its evaluation context; the
+        # database carries it too so storage-side spans (WAL commits)
+        # land in the same tree.
+        self.session.context.tracer = self.tracer
+        database.tracer = self.tracer
+        self.slow_log = SlowQueryLog(threshold=slow_query_threshold)
+        self._source = _source
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        return self.session.engine
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    @tracing.setter
+    def tracing(self, on: bool) -> None:
+        self.tracer.enabled = bool(on)
+
+    def close(self) -> None:
+        """Release the WAL handle of a durable database (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        wal = getattr(getattr(self.db, "journal", None), "wal", None)
+        if wal is not None:
+            wal.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = self._source or "in-memory"
+        return "<Connection %s engine=%s%s>" % (
+            where, self.engine, " tracing" if self.tracer.enabled else "")
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, source: str, *, optimize: bool = True) -> Result:
+        """Run a mixed DDL/DML script; returns the last statement's
+        :class:`Result` (all of them on ``result.all``).
+
+        Each statement is timed into the process-wide latency histogram
+        and, when over the connection's threshold, the slow-query log.
+        """
+        if self._closed:
+            raise RuntimeError("connection is closed")
+        started = perf_counter()
+        try:
+            results = self.session.run(source, optimize=optimize)
+        except Exception:
+            QUERY_ERRORS_TOTAL.inc()
+            QUERY_SECONDS.observe(perf_counter() - started)
+            raise
+        QUERIES_TOTAL.inc(max(len(results), 1))
+        QUERY_SECONDS.observe(perf_counter() - started)
+        for result in results:
+            if result.stats.deref_cache_hit:
+                DEREF_CACHE_HITS_TOTAL.inc(result.stats.deref_cache_hit)
+            if result.stats.deref_cache_miss:
+                DEREF_CACHE_MISSES_TOTAL.inc(result.stats.deref_cache_miss)
+            if result.seconds and self.slow_log.observe(
+                    _statement_source(result), result.seconds,
+                    stats=result.stats.as_dict(), engine=result.engine):
+                SLOW_QUERIES_TOTAL.inc()
+        if not results:
+            empty = Result("empty", None, engine=self.engine)
+            empty.all = []
+            return empty
+        last = results[-1]
+        last.all = results
+        return last
+
+    def query(self, source: str, *, optimize: bool = True) -> Any:
+        """``execute(...).value`` — the last statement's raw value."""
+        return self.execute(source, optimize=optimize).value
+
+    # -- transactions (delegated) ------------------------------------------
+
+    def begin(self) -> int:
+        return self.session.begin()
+
+    def commit(self) -> None:
+        self.session.commit()
+
+    def abort(self) -> None:
+        self.session.abort()
+
+
+def _statement_source(result: Result) -> str:
+    statement = result.statement
+    if isinstance(statement, str):
+        return "(%s)" % statement
+    return getattr(statement, "source", None) or repr(statement)
+
+
+def connect(database: Union[Database, str, os.PathLike, None] = None, *,
+            engine: str = "compiled", verify: bool = False,
+            trace: bool = False, optimizer: Optional[Optimizer] = None,
+            typecheck: bool = False,
+            slow_query_threshold: Optional[float] = 0.1) -> Connection:
+    """Open a :class:`Connection`.
+
+    *database* selects the storage flavor:
+
+    * ``None`` — a fresh in-memory :class:`~repro.storage.Database`;
+    * a :class:`~repro.storage.Database` — wrapped as-is;
+    * a path ending in ``.json`` — a crash-safe image via
+      :func:`~repro.storage.load_database`;
+    * any other path — a durable directory (created on first use) with
+      a write-ahead log via :func:`~repro.storage.open_database`.
+
+    ``engine`` picks ``"compiled"`` (streaming pipelines, default) or
+    ``"interpreted"``; ``trace=True`` records per-operator spans on
+    every statement (see ``Result.trace`` / ``Result.explain()``);
+    ``verify`` runs the inference gate before execution.
+    """
+    source: Optional[str] = None
+    if database is None:
+        db = Database()
+    elif isinstance(database, Database):
+        db = database
+    else:
+        path = os.fspath(database)
+        source = path
+        if path.endswith(".json"):
+            db = load_database(path)
+        else:
+            db = open_database(path)
+    return Connection(db, engine=engine, verify=verify, trace=trace,
+                      optimizer=optimizer, typecheck=typecheck,
+                      slow_query_threshold=slow_query_threshold,
+                      _source=source)

@@ -17,6 +17,13 @@ commands (lines starting with a dot):
     .commit              commit the active transaction
     .abort               abort (roll back) the active transaction
     .stats               work counters of the last executed query
+    .trace on|off        toggle per-operator trace spans on statements
+    .analyze <stmt …>    EXPLAIN ANALYZE: execute under tracing and
+                         show the plan with actual vs estimated
+                         cardinalities and per-operator wall time
+    .metrics [json]      the process-wide metrics registry (Prometheus
+                         text format, or JSON)
+    .slowlog [clear]     the slow-query log (or clear it)
     .demo                load the populated Figure-1 university
     .save <path>         persist the database to a JSON snapshot
     .load <path>         replace the database with a saved snapshot
@@ -33,6 +40,9 @@ interpreted/compiled engine agreement) without entering the shell.
 statements in *path* (stdin when omitted) without executing them,
 printing coded diagnostics with source positions; the exit status is 1
 when any error-severity finding is reported.
+
+``python -m repro.cli metrics [--json]`` prints the process metrics
+registry and exits.
 """
 
 from __future__ import annotations
@@ -40,10 +50,9 @@ from __future__ import annotations
 import sys
 from typing import List, Optional
 
-from .core.expr import evaluate
+from .api import connect
 from .core.optimizer import CostModel, Optimizer, Statistics
 from .core.values import Arr, MultiSet
-from .excess import Session
 from .lang import ParseError
 from .storage import Database
 
@@ -70,7 +79,7 @@ def format_value(value, indent: str = "  ", limit: int = 20) -> str:
     return repr(value)
 
 
-def lint_source(session: Session, source: str):
+def lint_source(session, source: str):
     """Lint every retrieve statement in *source* without executing.
 
     Range declarations update the session's bindings so later
@@ -107,9 +116,18 @@ class Shell:
 
     def __init__(self, database: Optional[Database] = None):
         self.db = database or Database()
-        self.session = Session(self.db)
+        self.conn = connect(self.db, engine="interpreted")
+        self.session = self.conn.session
         self.optimize = False
         self.last_stats = {}
+
+    def _reconnect(self) -> None:
+        """Rebind the connection after the database was swapped out
+        (``.load``) or repopulated (``.demo``), preserving the chosen
+        engine and tracing state."""
+        self.conn = connect(self.db, engine=self.session.engine,
+                            trace=self.conn.tracing)
+        self.session = self.conn.session
 
     # -- meta commands -------------------------------------------------
 
@@ -137,7 +155,6 @@ class Shell:
             except (ParseError, Exception) as error:
                 return "error: %s" % error
             from .core.explain import explain
-            from .core.optimizer import CostModel
             model = CostModel(Statistics.from_database(self.db))
             text = explain(expr, model)
             if self.optimize:
@@ -192,10 +209,46 @@ class Shell:
                 return "(no query executed yet)"
             return "\n".join("%-22s %d" % (k, v)
                              for k, v in sorted(self.last_stats.items()))
+        if command == ".trace":
+            choice = argument.strip().lower()
+            if choice in ("on", "off"):
+                self.conn.tracing = choice == "on"
+            return "tracing %s" % ("on" if self.conn.tracing else "off")
+        if command == ".analyze":
+            if not argument.strip():
+                return "usage: .analyze <statement …>"
+            was_tracing = self.conn.tracing
+            self.conn.tracing = True
+            try:
+                if self.optimize:
+                    self.conn.session.optimizer = self._optimizer()
+                result = self.conn.execute(argument, optimize=self.optimize)
+            except (ParseError, Exception) as error:
+                return "error: %s" % error
+            finally:
+                self.conn.tracing = was_tracing
+            if result.trace is None:
+                return "(nothing to analyze: %s statement)" % result.kind
+            self.last_stats = dict(result.stats)
+            model = CostModel(Statistics.from_database(self.db),
+                              engine=self.session.engine)
+            return result.explain(cost_model=model)
+        if command == ".metrics":
+            from .obs import REGISTRY
+            if argument.strip().lower() == "json":
+                import json
+                return json.dumps(REGISTRY.to_json(), indent=2,
+                                  sort_keys=True)
+            return REGISTRY.to_prometheus().rstrip("\n")
+        if command == ".slowlog":
+            if argument.strip().lower() == "clear":
+                self.conn.slow_log.clear()
+                return "slow-query log cleared"
+            return self.conn.slow_log.render()
         if command == ".demo":
             from .workloads import build_university
             build_university(database=self.db)
-            self.session = Session(self.db, engine=self.session.engine)
+            self._reconnect()
             return ("loaded the Figure-1 university "
                     "(Employees, Students, Departments, TopTen)")
         if command == ".save":
@@ -212,7 +265,7 @@ class Shell:
                 self.db = load_database(argument.strip())
             except (OSError, ValueError) as error:
                 return "error: %s" % error
-            self.session = Session(self.db, engine=self.session.engine)
+            self._reconnect()
             missing = getattr(self.db, "missing_functions", [])
             note = (" (re-register functions: %s)" % ", ".join(missing)
                     if missing else "")
@@ -232,31 +285,25 @@ class Shell:
         """Execute statements; returns printable result blocks."""
         out: List[str] = []
         try:
-            results = self.session.run(source, optimize=False)
+            if self.optimize:
+                # Fresh statistics per execute: the shell mutates the
+                # database between statements.
+                self.conn.session.optimizer = self._optimizer()
+            last = self.conn.execute(source, optimize=self.optimize)
         except (ParseError, Exception) as error:
             return ["error: %s" % error]
-        for result in results:
+        for result in last.all:
             if result.expression is None and result.value is None:
                 out.append("ok")
             elif result.expression is None:
                 out.append("ok (%r affected %s)"
                            % (result.value, result.into or ""))
             else:
-                if self.optimize:
-                    # Re-run only when optimization rewrites the plan;
-                    # the session already executed the original tree.
-                    expr = self._optimizer().optimize(result.expression).best
-                    ctx = self.session.context
-                    ctx.begin_query()
-                    value = evaluate(expr, ctx, mode=self.session.engine)
-                    self.last_stats = dict(ctx.stats)
-                else:
-                    value = result.value
-                    self.last_stats = dict(result.stats)
+                self.last_stats = dict(result.stats)
                 if result.into:
                     out.append("stored %s" % result.into)
                 else:
-                    out.append(format_value(value))
+                    out.append(format_value(result.value))
         return out
 
     def feed(self, line: str) -> List[str]:
@@ -281,7 +328,7 @@ def run_lint(argv: List[str]) -> int:
             source = handle.read()
     else:
         source = sys.stdin.read()
-    session = Session(database)
+    session = connect(database).session
     try:
         blocks, errors = lint_source(session, source.replace(";", "\n"))
     except (ParseError, Exception) as error:
@@ -299,6 +346,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_smoke(smoke="--smoke" in argv[1:] or len(argv) == 1)
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
+    if argv and argv[0] == "metrics":
+        from .obs import REGISTRY
+        if "--json" in argv[1:]:
+            import json
+            print(json.dumps(REGISTRY.to_json(), indent=2, sort_keys=True))
+        else:
+            print(REGISTRY.to_prometheus(), end="")
+        return 0
     shell = Shell()
     banner = ("repro — the EXCESS algebra (Vandenberg & DeWitt, "
               "SIGMOD 1991)\nType .help for commands, .demo for sample "

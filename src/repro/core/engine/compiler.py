@@ -41,8 +41,12 @@ type, so redefining methods between executions requires recompiling.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from itertools import chain
-from typing import Any, Callable, Dict, List, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ...obs import Span
 
 from ..expr import (AlgebraError, Const, EvalContext, Expr, Func, Input,
                     Named, _UNBOUND)
@@ -374,14 +378,17 @@ class _FusedCodegen:
         accs: List[str] = []
         flush: List[str] = []
         ind = "            "
+        def bump(counter: str, acc: str) -> str:
+            return ("stats[%r] = sget(%r, 0) + %s"
+                    % (counter, counter, acc))
         for i, node in enumerate(nodes):
             if node.type_filter is not None:
                 namespace["tf%d" % i] = node.type_filter
                 accs += ["sc%d" % i, "ap%d" % i]
-                flush.append("if sc%d: tick('elements_scanned', sc%d)"
-                             % (i, i))
-                flush.append("if ap%d: tick('set_apply_elements', ap%d)"
-                             % (i, i))
+                flush.append("if sc%d: %s"
+                             % (i, bump("elements_scanned", "sc%d" % i)))
+                flush.append("if ap%d: %s"
+                             % (i, bump("set_apply_elements", "ap%d" % i)))
                 body.append(ind + "sc%d += count" % i)
                 body.append(ind + "if exact_type_of(value, ctx) "
                                   "not in tf%d: continue" % i)
@@ -391,20 +398,22 @@ class _FusedCodegen:
                 # so one counter feeds both totals.
                 accs.append("sc%d" % i)
                 flush.append("if sc%d:" % i)
-                flush.append("    tick('elements_scanned', sc%d)" % i)
-                flush.append("    tick('set_apply_elements', sc%d)" % i)
+                flush.append("    " + bump("elements_scanned", "sc%d" % i))
+                flush.append("    " + bump("set_apply_elements", "sc%d" % i))
                 body.append(ind + "sc%d += count" % i)
             expr = node.body
             if isinstance(expr, Comp) and isinstance(expr.source, Input):
                 # The derived σ; unk passes through untested (COMP
                 # propagates nulls), dne cannot occur mid-stream.
                 accs.append("ce%d" % i)
-                flush.append("if ce%d: tick('comp_evals', ce%d)" % (i, i))
+                flush.append("if ce%d: %s"
+                             % (i, bump("comp_evals", "ce%d" % i)))
                 inline = self.filter_lines(expr.pred, i)
                 if inline is not None:
                     self.inlined += 1
                     accs.append("ae%d" % i)
-                    flush.append("if ae%d: tick('atom_evals', ae%d)" % (i, i))
+                    flush.append("if ae%d: %s"
+                                 % (i, bump("atom_evals", "ae%d" % i)))
                     body += [ind + line for line in inline]
                 else:
                     namespace["f%d" % i] = compiler.pred(expr.pred)
@@ -426,7 +435,16 @@ class _FusedCodegen:
                     body.append(ind + "value = f%d(value, ctx)" % i)
                     body.append(ind + "if value is DNE: continue")
         body.append(ind + "yield value, count")
-        prologue = ["    %s = 0" % " = ".join(accs)]
+        # The stats dict is captured when the generator STARTS, and the
+        # finally-flush writes into that capture — never into whatever
+        # ctx.stats points at by flush time.  A generator left suspended
+        # by a downstream exception is only closed when the traceback is
+        # released (possibly after the next statement's begin_query()
+        # swapped the dict), and its counters belong to the statement
+        # that ran it.
+        prologue = ["    %s = 0" % " = ".join(accs),
+                    "    stats = ctx.stats",
+                    "    sget = stats.get"]
         if self.uses_deref:
             prologue += [
                 "    store = ctx.store",
@@ -438,7 +456,7 @@ class _FusedCodegen:
             ]
         source = "\n".join(
             head + prologue + ["    try:", "        for value, count in chunks:"]
-            + body + ["    finally:", "        tick = ctx.tick"]
+            + body + ["    finally:"]
             + ["        " + line for line in flush])
         exec(source, namespace)
         return namespace["_fused"]
@@ -457,19 +475,61 @@ class PlanCompiler:
     extension operators).
     """
 
-    def __init__(self, facts=None):
+    def __init__(self, facts=None, trace: bool = False):
         self.notes: List[str] = []
         #: Verified plan facts (``PlanFacts`` from the analysis layer, or
         #: any object with ``is_duplicate_free(expr)``) used as
         #: optimization licenses; None disables fact-based lowering.
         self.facts = facts
+        #: With *trace* on, dispatch builds a span tree mirroring the
+        #: physical plan (one span per physical operator; fused chains
+        #: are one operator) and wraps compiled closures so runs record
+        #: wall time and (element, count) output cardinalities.  Off —
+        #: the default — dispatch takes the un-instrumented path and
+        #: compiled code is byte-identical to the untraced build.
+        self.trace = trace
+        self.trace_root: Optional[Span] = None
+        self._span_stack: List[Span] = []
+        #: Depth of subscript-body compilation: bodies, predicates, and
+        #: keys run per element and are part of their operator's span,
+        #: so dispatch below a body never opens spans of its own.
+        self._suppress = 0
+        if trace:
+            self.trace_root = Span("compiled-plan", kind="plan")
+            self._span_stack = [self.trace_root]
 
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    @contextmanager
+    def _no_trace(self) -> Iterator[None]:
+        self._suppress += 1
+        try:
+            yield
+        finally:
+            self._suppress -= 1
+
+    def _open_span(self, expr: Expr) -> Span:
+        from ..explain import _label
+        span = Span(_label(expr), kind="operator", expr=expr)
+        self._span_stack[-1].add(span)
+        self._span_stack.append(span)
+        return span
+
     # -- dispatch ------------------------------------------------------
 
     def value(self, expr: Expr) -> ValueFn:
+        if (self.trace and not self._suppress
+                and not isinstance(expr, (Input, Const, Param))):
+            span = self._open_span(expr)
+            try:
+                fn = self._value_fn(expr)
+            finally:
+                self._span_stack.pop()
+            return _traced_value(fn, span)
+        return self._value_fn(expr)
+
+    def _value_fn(self, expr: Expr) -> ValueFn:
         method = getattr(self, "_v_%s" % type(expr).__name__, None)
         if method is not None:
             return method(expr)
@@ -480,9 +540,18 @@ class PlanCompiler:
     def stream(self, expr: Expr, message: str,
                with_value: bool = False) -> StreamFn:
         method = getattr(self, "_s_%s" % type(expr).__name__, None)
-        if method is not None:
-            return method(expr)
-        return self._adapt(self.value(expr), message, with_value)
+        if method is None:
+            # The fallback adapts the value form, which opens the span
+            # itself — no second span here.
+            return self._adapt(self.value(expr), message, with_value)
+        if self.trace and not self._suppress:
+            span = self._open_span(expr)
+            try:
+                fn = method(expr)
+            finally:
+                self._span_stack.pop()
+            return _traced_stream(fn, span)
+        return method(expr)
 
     def _adapt(self, value_fn: ValueFn, message: str,
                with_value: bool) -> StreamFn:
@@ -701,8 +770,11 @@ class PlanCompiler:
             if body_fn is None:
                 # bind_params + compile once per exact type; the
                 # interpreter re-instantiates the body per receiver.
+                # Bodies compile at dispatch time (possibly after the
+                # plan's span tree is closed), so never under tracing.
                 method = ctx.methods.resolve(exact, name)
-                body_fn = compiler.value(method.instantiate(args))
+                with compiler._no_trace():
+                    body_fn = compiler.value(method.instantiate(args))
                 compiled_bodies[exact] = body_fn
             if isinstance(receiver, Ref):
                 # deref_count is accounted by the Pipeline's cache-stat
@@ -716,6 +788,10 @@ class PlanCompiler:
     # -- predicates ----------------------------------------------------
 
     def pred(self, p: Predicate) -> Callable[[Any, EvalContext], str]:
+        with self._no_trace():
+            return self._pred_fn(p)
+
+    def _pred_fn(self, p: Predicate) -> Callable[[Any, EvalContext], str]:
         if isinstance(p, Atom):
             return self._pred_atom(p)
         if isinstance(p, And):
@@ -809,7 +885,10 @@ class PlanCompiler:
         src = self.stream(node, "SET_APPLY needs a multiset input, got %r",
                           with_value=True)
         codegen = _FusedCodegen(self)
-        gen = codegen.build(nodes)
+        with self._no_trace():
+            # Stage bodies run per occurrence inside this operator's
+            # span; they never open spans of their own.
+            gen = codegen.build(nodes)
         self.note("FUSED_APPLY[%d stage(s), %d inlined] over %s"
                   % (len(nodes), codegen.inlined, type(node).__name__))
         def fn(v, ctx):
@@ -822,8 +901,9 @@ class PlanCompiler:
     def _hash_join(self, match: HashJoinMatch) -> StreamFn:
         lsrc = self.stream(match.left, "× needs two multisets")
         rsrc = self.stream(match.right, "× needs two multisets")
-        lkey = self.value(match.left_key)
-        rkey = self.value(match.right_key)
+        with self._no_trace():
+            lkey = self.value(match.left_key)
+            rkey = self.value(match.right_key)
         self.note("HASH_JOIN[%s = %s]" % (match.pred.left.describe(),
                                           match.pred.right.describe()))
 
@@ -886,7 +966,8 @@ class PlanCompiler:
         return fn
 
     def _s_Grp(self, expr: Grp) -> StreamFn:
-        key_fn = self.value(expr.by)
+        with self._no_trace():
+            key_fn = self.value(expr.by)
         src = self.stream(expr.source, "GRP needs a multiset input")
 
         def gen(chunks, ctx):
@@ -924,14 +1005,19 @@ class PlanCompiler:
             self.note("DE[pass-through: input proven duplicate-free]")
 
             def gen_passthrough(chunks, ctx):
+                # Captured at start: a late close (see _FusedCodegen)
+                # must flush into THIS statement's stats.
+                stats = ctx.stats
                 total = 0
                 try:
                     for element, count in chunks:
                         total += count
                         yield element, 1
                 finally:
-                    ctx.tick("elements_scanned", total)
-                    ctx.tick("de_elements", total)
+                    stats["elements_scanned"] = (
+                        stats.get("elements_scanned", 0) + total)
+                    stats["de_elements"] = (
+                        stats.get("de_elements", 0) + total)
 
             def fn_passthrough(v, ctx):
                 chunks = src(v, ctx)
@@ -941,6 +1027,7 @@ class PlanCompiler:
             return fn_passthrough
 
         def gen(chunks, ctx):
+            stats = ctx.stats
             seen = set()
             add = seen.add
             total = 0
@@ -953,8 +1040,12 @@ class PlanCompiler:
             finally:
                 # The interpreter's DE ticks before looping, so it always
                 # creates the counters; mirror that even for empty inputs.
-                ctx.tick("elements_scanned", total)
-                ctx.tick("de_elements", total)
+                # Flush into the stats dict captured at generator start
+                # (never a later statement's dict — see _FusedCodegen).
+                stats["elements_scanned"] = (
+                    stats.get("elements_scanned", 0) + total)
+                stats["de_elements"] = (
+                    stats.get("de_elements", 0) + total)
 
         def fn(v, ctx):
             chunks = src(v, ctx)
@@ -1156,7 +1247,8 @@ class PlanCompiler:
         return fn
 
     def _v_ArrApply(self, expr: ArrApply) -> ValueFn:
-        body_fn = self.value(expr.body)
+        with self._no_trace():
+            body_fn = self.value(expr.body)
         src = self.value(expr.source)
         type_filter = expr.type_filter
         def fn(v, ctx):
@@ -1291,6 +1383,71 @@ class PlanCompiler:
 
 
 # ---------------------------------------------------------------------------
+# Runtime span instrumentation (traced builds only)
+# ---------------------------------------------------------------------------
+
+def _traced_value(fn: ValueFn, span: Span) -> ValueFn:
+    """Wrap a compiled value form: time each call, count results.
+
+    A multiset result contributes its full cardinality to ``card_out``;
+    a ``dne`` result counts as a discard (``dne_out``), matching the
+    null-discipline bookkeeping the issue calls null-discard counts.
+    """
+    def traced(v: Any, ctx: EvalContext) -> Any:
+        started = perf_counter()
+        try:
+            out = fn(v, ctx)
+        finally:
+            span.calls += 1
+            span.wall += perf_counter() - started
+        if out is DNE:
+            span.dne_out += 1
+        else:
+            span.rows_out += 1
+            span.card_out += len(out) if isinstance(out, MultiSet) else 1
+        return out
+    return traced
+
+
+def _traced_chunks(chunks: Any, span: Span):
+    """Count and time a chunk stream as it is pulled.
+
+    Only the producer's own ``next()`` time lands on the span (pulls
+    nest, so a parent's wall is naturally inclusive of its children),
+    and abandonment mid-stream simply stops counting — no ``finally``,
+    so nothing fires at late garbage collection.
+    """
+    chunks = iter(chunks)
+    while True:
+        started = perf_counter()
+        try:
+            item = next(chunks)
+        except StopIteration:
+            span.wall += perf_counter() - started
+            return
+        span.wall += perf_counter() - started
+        span.rows_out += 1
+        span.card_out += item[1]
+        yield item
+
+
+def _traced_stream(fn: StreamFn, span: Span) -> StreamFn:
+    def traced(v: Any, ctx: EvalContext) -> Any:
+        started = perf_counter()
+        try:
+            chunks = fn(v, ctx)
+        finally:
+            span.calls += 1
+            span.wall += perf_counter() - started
+        if isinstance(chunks, Null):
+            if chunks is DNE:
+                span.dne_out += 1
+            return chunks
+        return _traced_chunks(chunks, span)
+    return traced
+
+
+# ---------------------------------------------------------------------------
 # Pipelines
 # ---------------------------------------------------------------------------
 
@@ -1303,12 +1460,21 @@ class Pipeline:
     compile once and execute per iteration, like a prepared statement).
     """
 
-    def __init__(self, expr: Expr, run: ValueFn, notes: List[str]):
+    def __init__(self, expr: Expr, run: ValueFn, notes: List[str],
+                 trace_root: Optional[Span] = None):
         self.expr = expr
         self._run = run
         self.notes = tuple(notes)
+        #: Root of the compile-time span tree (kind ``plan``) for traced
+        #: builds, None otherwise.  Spans are bumped in place by runs,
+        #: so a traced pipeline is per-statement, not a reusable
+        #: prepared plan.
+        self.trace_root = trace_root
 
     def execute(self, ctx: EvalContext, input_value: Any = _UNBOUND) -> Any:
+        # Captured up front so the flush in ``finally`` reports into the
+        # stats dict this run started under.
+        stats = ctx.stats
         cache = ctx.deref_cache
         if cache is not None and ctx.store is not None:
             # The cache is keyed by the store's mutation version: if an
@@ -1328,11 +1494,14 @@ class Pipeline:
                 hits = cache.hits - hits0
                 misses = cache.misses - misses0
                 if hits or misses:
-                    ctx.tick("deref_count", hits + misses)
+                    stats["deref_count"] = (
+                        stats.get("deref_count", 0) + hits + misses)
                 if hits:
-                    ctx.tick("deref_cache_hit", hits)
+                    stats["deref_cache_hit"] = (
+                        stats.get("deref_cache_hit", 0) + hits)
                 if misses:
-                    ctx.tick("deref_cache_miss", misses)
+                    stats["deref_cache_miss"] = (
+                        stats.get("deref_cache_miss", 0) + misses)
 
     def explain(self) -> str:
         """The physical choices the compiler made (fusion, hash joins)."""
@@ -1345,14 +1514,19 @@ class Pipeline:
 
 
 def compile_plan(expr: Expr, ctx: EvalContext = None,
-                 facts=None) -> Pipeline:
+                 facts=None, trace: bool = False) -> Pipeline:
     """Lower *expr* into a streaming :class:`Pipeline`.
 
     *ctx* is accepted for signature symmetry with ``evaluate`` (a future
     compiler may consult catalog statistics); compilation itself is
     structural plus whatever *facts* license — e.g. verified
     duplicate-freedom turns DE into a pass-through.
+
+    With *trace* on, the pipeline carries a span tree mirroring the
+    physical plan in ``trace_root`` and every run records per-operator
+    wall time and output cardinalities into it.
     """
-    compiler = PlanCompiler(facts=facts)
+    compiler = PlanCompiler(facts=facts, trace=trace)
     run = compiler.value(expr)
-    return Pipeline(expr, run, compiler.notes)
+    return Pipeline(expr, run, compiler.notes,
+                    trace_root=compiler.trace_root)

@@ -106,3 +106,97 @@ def explain(expr: Expr, cost_model=None, named_schemas=None) -> str:
 
     walk(expr, "", True, True)
     return "\n".join(lines)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.3fs" % seconds
+    if seconds >= 0.001:
+        return "%.3fms" % (seconds * 1e3)
+    return "%.1fµs" % (seconds * 1e6)
+
+
+def _deviation(actual: float, estimated: float) -> str:
+    """Estimated-vs-actual cardinality drift, PostgreSQL-style."""
+    if estimated <= 0:
+        return "deviation n/a" if actual else "exact"
+    ratio = actual / estimated
+    if 0.999 <= ratio <= 1.001:
+        return "exact"
+    if ratio >= 1:
+        return "×%.1f under-estimated" % ratio
+    return "×%.1f over-estimated" % (1.0 / ratio)
+
+
+def _analyze_annotation(span, cost_model) -> str:
+    """The parenthesised actuals for one span line."""
+    bits: List[str] = []
+    if span.kind == "operator":
+        actual = span.card_out / span.calls if span.calls else 0.0
+        bits.append("actual card=%.0f" % actual)
+        if span.calls > 1:
+            bits.append("calls=%d" % span.calls)
+        if span.dne_out:
+            bits.append("dne=%d" % span.dne_out)
+        bits.append(_fmt_seconds(span.wall))
+        if cost_model is not None and span.expr is not None:
+            estimate = cost_model.estimate(span.expr)
+            bits.append("est card≈%.0f" % estimate.card)
+            bits.append(_deviation(actual, estimate.card))
+    elif span.kind in ("statement", "plan"):
+        bits.append(_fmt_seconds(span.wall))
+        if span.card_out:
+            bits.append("card=%d" % span.card_out)
+        ratio = span.meta.get("deref_cache_hit_ratio")
+        if ratio is not None:
+            bits.append("deref-cache hit %.0f%%" % (100.0 * ratio))
+    elif span.kind == "wal":
+        bits.append(_fmt_seconds(span.wall))
+        if "records" in span.meta:
+            bits.append("%d records" % span.meta["records"])
+    elif span.name == "optimize":
+        bits.append(_fmt_seconds(span.wall))
+        if "explored" in span.meta:
+            bits.append("%d trees" % span.meta["explored"])
+        fired = sum(1 for c in span.children if c.meta.get("fires"))
+        bits.append("%d/%d rules fired" % (fired, len(span.children)))
+    elif span.kind == "rule":
+        bits.append("fires=%d" % span.meta.get("fires", 0))
+        bits.append("calls=%d" % span.calls)
+        bits.append(_fmt_seconds(span.wall))
+    else:
+        bits.append(_fmt_seconds(span.wall))
+    return "  (%s)" % ", ".join(bits) if bits else ""
+
+
+def explain_analyze(root, cost_model=None) -> str:
+    """Render an executed statement's trace (a :class:`repro.obs.Span`
+    tree) as an indented plan carrying per-operator *actuals* — output
+    cardinality, calls, discarded ``dne`` results, wall time — and,
+    when a :class:`~repro.core.optimizer.CostModel` is given, each
+    operator's estimated cardinality with the deviation between the
+    two.  Rule spans that never fired are folded into a summary count
+    on their ``optimize`` parent.
+    """
+    lines: List[str] = []
+
+    def shown_children(span):
+        if span.name == "optimize":
+            return [c for c in span.children if c.meta.get("fires")]
+        return span.children
+
+    def walk(span, prefix: str, is_last: bool, is_root: bool) -> None:
+        note = _analyze_annotation(span, cost_model)
+        if is_root:
+            lines.append(span.name + note)
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + span.name + note)
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = shown_children(span)
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)

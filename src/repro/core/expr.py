@@ -66,6 +66,12 @@ class EvalContext:
         #: Per-query OID → value cache used by the compiled engine's
         #: DEREF operator; created lazily, cleared by begin_query().
         self.deref_cache = None
+        #: Optional :class:`repro.obs.Tracer`.  When set and enabled,
+        #: ``evaluate`` records a span tree for the statement (one span
+        #: per physical operator in the compiled engine).  None or a
+        #: disabled tracer costs nothing — the check happens once per
+        #: statement, never per element.
+        self.tracer = None
 
     def tick(self, counter: str, amount: int = 1) -> None:
         """Bump a work counter (elements scanned, derefs, …)."""
@@ -304,14 +310,56 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     ``facts`` (compiled engine only) carries verified plan facts —
     e.g. duplicate-freedom from the static analysis layer — that the
     compiler may use as optimization licenses.
+
+    When ``ctx.tracer`` is set and enabled, a span tree for the run is
+    attached under the tracer's cursor: per physical operator for the
+    compiled engine, one root span for the interpreter.
     """
+    tracer = getattr(ctx, "tracer", None)
+    tracing = tracer is not None and tracer.enabled
     if mode == "compiled":
         from .engine import compile_plan
-        return compile_plan(expr, facts=facts).execute(ctx, input_value)
+        plan = compile_plan(expr, facts=facts, trace=tracing)
+        if not tracing:
+            return plan.execute(ctx, input_value)
+        root = plan.trace_root
+        tracer.attach(root)
+        import time as _time
+        cache = ctx.deref_cache
+        hits0, misses0 = (cache.hits, cache.misses) if cache is not None \
+            else (0, 0)
+        started = _time.perf_counter()
+        try:
+            return plan.execute(ctx, input_value)
+        finally:
+            root.calls += 1
+            root.wall += _time.perf_counter() - started
+            cache = ctx.deref_cache
+            if cache is not None:
+                hits = cache.hits - hits0
+                misses = cache.misses - misses0
+                if hits or misses:
+                    root.meta["deref_cache_hit_ratio"] = (
+                        hits / (hits + misses))
     if mode != "interpreted":
         raise ValueError("unknown engine mode %r "
                          "(use 'interpreted' or 'compiled')" % (mode,))
-    return expr.evaluate(input_value, ctx)
+    if not tracing:
+        return expr.evaluate(input_value, ctx)
+    from repro.obs import Span
+    import time as _time
+    root = Span("interpreted-plan", kind="plan", expr=expr)
+    tracer.attach(root)
+    started = _time.perf_counter()
+    try:
+        value = expr.evaluate(input_value, ctx)
+    finally:
+        root.calls += 1
+        root.wall += _time.perf_counter() - started
+    root.rows_out += 1
+    from .values import MultiSet
+    root.card_out += len(value) if isinstance(value, MultiSet) else 1
+    return value
 
 
 def substitute_input(expr: Expr, replacement: Expr) -> Expr:

@@ -7,8 +7,8 @@ paper's worked examples rely on but its non-exhaustive listing omits.
 """
 
 from .array_rules import ARRAY_RULES
-from .engine import (Derivation, RewriteEngine, rewrites_at_root,
-                     single_step_rewrites)
+from .engine import (Derivation, RewriteEngine, RuleStatsCollector,
+                     rewrites_at_root, single_step_rewrites)
 from .multiset_rules import MULTISET_RULES
 from .object_rules import OBJECT_RULES
 from .rule import NO_FACTS, RewriteFacts, Rule
@@ -27,6 +27,6 @@ def rule_by_number(number) -> Rule:
 __all__ = [
     "ALL_RULES", "MULTISET_RULES", "ARRAY_RULES", "OBJECT_RULES",
     "Rule", "RewriteFacts", "NO_FACTS",
-    "RewriteEngine", "Derivation", "rewrites_at_root",
-    "single_step_rewrites", "rule_by_number",
+    "RewriteEngine", "Derivation", "RuleStatsCollector",
+    "rewrites_at_root", "single_step_rewrites", "rule_by_number",
 ]

@@ -19,20 +19,53 @@ node, so the large rule count does not blow up the search.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..expr import Expr
 from ..predicates import Predicate
 from .rule import NO_FACTS, RewriteFacts, Rule
 
 
+class RuleStatsCollector:
+    """Per-rule matcher accounting for one optimization run.
+
+    ``calls`` counts matcher invocations (every position the search
+    tried the rule at), ``fires`` the applications that produced a
+    replacement, ``seconds`` the wall time spent inside ``apply``.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self):
+        self.rows: Dict[str, Dict[str, Any]] = {}
+
+    def observe(self, rule: Rule, fires: int, seconds: float) -> None:
+        row = self.rows.get(rule.name)
+        if row is None:
+            row = self.rows[rule.name] = {
+                "calls": 0, "fires": 0, "seconds": 0.0}
+        row["calls"] += 1
+        row["fires"] += fires
+        row["seconds"] += seconds
+
+
 def rewrites_at_root(expr: Expr, rules: Sequence[Rule],
-                     facts: RewriteFacts = NO_FACTS
+                     facts: RewriteFacts = NO_FACTS,
+                     collector: Optional[RuleStatsCollector] = None
                      ) -> List[Tuple[Rule, Expr]]:
     """All (rule, replacement) pairs produced at this node."""
     out: List[Tuple[Rule, Expr]] = []
+    if collector is None:
+        for rule in rules:
+            for replacement in rule.apply(expr, facts):
+                out.append((rule, replacement))
+        return out
     for rule in rules:
-        for replacement in rule.apply(expr, facts):
+        started = perf_counter()
+        replacements = list(rule.apply(expr, facts))
+        collector.observe(rule, len(replacements), perf_counter() - started)
+        for replacement in replacements:
             out.append((rule, replacement))
     return out
 
@@ -128,13 +161,15 @@ def _nested_pred_positions(pred: Predicate, assemble):
 
 
 def single_step_rewrites(expr: Expr, rules: Sequence[Rule],
-                         facts: RewriteFacts = NO_FACTS
+                         facts: RewriteFacts = NO_FACTS,
+                         collector: Optional[RuleStatsCollector] = None
                          ) -> List[Tuple[Rule, Expr]]:
     """Every tree reachable by one rule application at any position."""
     out: List[Tuple[Rule, Expr]] = []
     seen = {expr}
     for node, rebuild in _positions(expr):
-        for rule, replacement in rewrites_at_root(node, rules, facts):
+        for rule, replacement in rewrites_at_root(node, rules, facts,
+                                                  collector):
             candidate = rebuild(replacement)
             if candidate not in seen:
                 seen.add(candidate)
@@ -169,7 +204,9 @@ class RewriteEngine:
         #: changed the inferred schema.
         self.verifier = verifier
 
-    def explore(self, expr: Expr) -> List[Derivation]:
+    def explore(self, expr: Expr,
+                collector: Optional[RuleStatsCollector] = None
+                ) -> List[Derivation]:
         """All distinct trees reachable within the bounds, including the
         input itself (first)."""
         seen: Dict[Expr, Derivation] = {expr: Derivation(expr)}
@@ -179,7 +216,7 @@ class RewriteEngine:
             next_frontier: List[Derivation] = []
             for derivation in frontier:
                 for rule, candidate in single_step_rewrites(
-                        derivation.expr, self.rules, self.facts):
+                        derivation.expr, self.rules, self.facts, collector):
                     if candidate in seen:
                         continue
                     if self.verifier is not None:

@@ -9,6 +9,8 @@ evaluates; ``retrieve … into X`` creates named results.
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 from ..core.expr import Expr, evaluate
@@ -16,6 +18,7 @@ from ..core.optimizer import Optimizer
 from ..extra.ddl import DDLInterpreter, ensure_type_system
 from ..extra.types import SetType
 from ..lang import Lexer
+from ..obs import QueryStats, Span
 from . import ast
 from .builtins import register_builtins
 from .parser import Parser
@@ -23,21 +26,78 @@ from .translate import TranslationError, Translator
 
 
 class Result:
-    """The outcome of one executed statement.
+    """The outcome of one executed statement — the same self-describing
+    shape for retrieve, append, delete, and replace, on either engine.
 
-    ``stats`` is a snapshot of the evaluation context's work counters
-    for this statement alone (the session calls ``begin_query()`` per
-    statement, so counters never leak across statements).
+    * ``value`` — the raw algebra value (a MultiSet for retrieves, the
+      appended multiset / changed count for updates, None for DDL);
+    * ``rows()`` — the value flattened to a plain list, occurrence
+      counts expanded;
+    * ``stats`` — a typed :class:`~repro.obs.QueryStats` snapshot of
+      this statement's work counters alone (the session calls
+      ``begin_query()`` per statement, so counters never leak across
+      statements); it compares equal to the raw counter dict;
+    * ``trace`` — the statement's root :class:`~repro.obs.Span` when it
+      ran under an enabled tracer, else None;
+    * ``explain()`` — the plan (annotated with actuals when a trace was
+      recorded).
     """
 
     def __init__(self, statement: Any, expression: Optional[Expr],
                  value: Any = None, into: Optional[str] = None,
-                 stats: Optional[Dict[str, int]] = None):
+                 stats: Optional[Dict[str, int]] = None,
+                 trace: Optional[Span] = None, engine: str = "",
+                 seconds: float = 0.0):
         self.statement = statement
         self.expression = expression
         self.value = value
         self.into = into
-        self.stats = dict(stats) if stats else {}
+        self.stats = (stats if isinstance(stats, QueryStats)
+                      else QueryStats.from_counters(stats or {}))
+        self.trace = trace
+        self.engine = engine
+        self.seconds = seconds
+
+    @property
+    def kind(self) -> str:
+        """``retrieve`` / ``append`` / ``delete`` / ``replace`` /
+        ``ddl`` / ``range``."""
+        if isinstance(self.statement, str):
+            return self.statement
+        if isinstance(self.statement, ast.RangeDecl):
+            return "range"
+        return type(self.statement).__name__.lower()
+
+    def rows(self) -> List[Any]:
+        """The value as a flat list (multiset counts expanded)."""
+        from ..core.values import Arr, MultiSet
+        value = self.value
+        if value is None:
+            return []
+        if isinstance(value, MultiSet):
+            out: List[Any] = []
+            for element, count in value.items():
+                out.extend([element] * count)
+            return out
+        if isinstance(value, Arr):
+            return list(value)
+        return [value]
+
+    def explain(self, cost_model=None) -> str:
+        """The statement's plan, one operator per line.
+
+        With a recorded trace, this is EXPLAIN ANALYZE: actual per-
+        operator cardinalities and wall time, plus estimated-vs-actual
+        deviation when *cost_model* is given.  Without one it falls
+        back to the static plan rendering.
+        """
+        if self.trace is not None:
+            from ..core.explain import explain_analyze
+            return explain_analyze(self.trace, cost_model=cost_model)
+        if self.expression is not None:
+            from ..core.explain import explain
+            return explain(self.expression, cost_model)
+        return "(no plan: %s statement)" % self.kind
 
     def __repr__(self) -> str:
         if self.into:
@@ -55,7 +115,13 @@ class Session:
 
     def __init__(self, database, optimizer: Optimizer = None,
                  typecheck: bool = False, engine: str = "interpreted",
-                 verify: bool = False):
+                 verify: bool = False, _api_internal: bool = False):
+        if not _api_internal:
+            warnings.warn(
+                "constructing Session(...) directly is deprecated; use "
+                "repro.connect(database, engine=...) and the returned "
+                "Connection (its .session exposes this object)",
+                DeprecationWarning, stacklevel=2)
         if engine not in ("interpreted", "compiled"):
             raise ValueError("engine must be 'interpreted' or 'compiled'")
         self.db = database
@@ -104,6 +170,42 @@ class Session:
 
     # -- execution --------------------------------------------------------
 
+    def _tracer(self):
+        """The context's tracer when tracing is on, else None (so every
+        hook below is one attribute check per statement)."""
+        tracer = getattr(self.context, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            return None
+        return tracer
+
+    def _run_traced(self, kind: str, runner, statement) -> Result:
+        """Run one DML statement under a statement span + wall clock.
+
+        The tracer's root span is opened before the runner so the
+        engines' plan/operator spans nest under it; the finished tree
+        lands on ``Result.trace``.
+        """
+        tracer = self._tracer()
+        if tracer is not None:
+            tracer.begin(kind, kind="statement")
+        started = perf_counter()
+        try:
+            result = runner(statement)
+        finally:
+            elapsed = perf_counter() - started
+            root = tracer.end() if tracer is not None else None
+        result.seconds = elapsed
+        result.engine = self.engine
+        if root is not None:
+            from ..core.values import MultiSet
+            root.calls = 1
+            root.wall = elapsed
+            root.rows_out = 1 if result.value is not None else 0
+            if isinstance(result.value, MultiSet):
+                root.card_out = len(result.value)
+            result.trace = root
+        return result
+
     def run(self, source: str, optimize: bool = False) -> List[Result]:
         """Execute a mixed DDL/DML script; returns one Result per statement."""
         results: List[Result] = []
@@ -112,7 +214,7 @@ class Session:
             token = lexer.peek()
             if token.is_word("define", "create"):
                 self.ddl.run_statement(lexer)
-                results.append(Result("ddl", None))
+                results.append(Result("ddl", None, engine=self.engine))
                 continue
             parser = Parser.__new__(Parser)
             parser.lexer = lexer
@@ -123,18 +225,30 @@ class Session:
                         raise TranslationError(
                             "range over unknown object %r" % collection)
                     self.ranges[var] = collection
-                results.append(Result(statement, None))
+                results.append(Result(statement, None, engine=self.engine))
                 continue
             if isinstance(statement, ast.Append):
-                results.append(self._run_update(self._run_append, statement))
+                results.append(self._run_traced(
+                    "append",
+                    lambda s: self._run_update(self._run_append, s),
+                    statement))
                 continue
             if isinstance(statement, ast.Delete):
-                results.append(self._run_update(self._run_delete, statement))
+                results.append(self._run_traced(
+                    "delete",
+                    lambda s: self._run_update(self._run_delete, s),
+                    statement))
                 continue
             if isinstance(statement, ast.Replace):
-                results.append(self._run_update(self._run_replace, statement))
+                results.append(self._run_traced(
+                    "replace",
+                    lambda s: self._run_update(self._run_replace, s),
+                    statement))
                 continue
-            results.append(self._run_retrieve(statement, optimize))
+            results.append(self._run_traced(
+                "retrieve",
+                lambda s: self._run_retrieve(s, optimize),
+                statement))
         return results
 
     # -- transactions -------------------------------------------------------
@@ -218,7 +332,8 @@ class Session:
                     converted.append(self.db.store.insert(element, exact))
             addition = MultiSet(converted)
         self.db.create(collection, existing.add_union(addition))
-        return Result(statement, expr, addition, collection)
+        return Result(statement, expr, addition, collection,
+                      stats=self.context.stats)
 
     def _element_filter(self, var: str, collection: str,
                         where: Optional[ast.Pred]):
@@ -237,7 +352,10 @@ class Session:
         stmt = ast.Retrieve([ast.Target(ast.Name(var))], (), where,
                             value_mode=True)
         expr, _ = _QueryState(translator, stmt, scope).build()
-        ctx = self.db.context()
+        # Evaluate predicates in the session context so their work
+        # lands in this statement's counters (begin_query() has reset
+        # them by the time the closures run).
+        ctx = self.context
 
         def view(element):
             if isinstance(element, Ref):
@@ -273,12 +391,14 @@ class Session:
                 "delete target %r is not a multiset" % collection)
         _, qualifies = self._element_filter(statement.var, collection,
                                             statement.where)
+        self.context.begin_query()
         kept = {element: count
                 for element, count in existing.items()
                 if not qualifies(element)}
         removed = len(existing) - sum(kept.values())
         self.db.create(collection, MultiSet(counts=kept))
-        return Result(statement, None, removed, collection)
+        return Result(statement, None, removed, collection,
+                      stats=self.context.stats)
 
     def _run_replace(self, statement: ast.Replace) -> Result:
         """replace V (f = e, …) [where P].
@@ -308,7 +428,8 @@ class Session:
                                 value_mode=True)
             expr, _ = _QueryState(translator, stmt, scope).build()
             compiled.append((field, expr))
-        ctx = self.db.context()
+        ctx = self.context
+        self.context.begin_query()
         changed = 0
         out = {}
         for element, count in existing.items():
@@ -329,7 +450,8 @@ class Session:
             else:
                 out[new_value] = out.get(new_value, 0) + count
         self.db.create(collection, MultiSet(counts=out))
-        return Result(statement, None, changed, collection)
+        return Result(statement, None, changed, collection,
+                      stats=self.context.stats)
 
     def _verify_plan(self, expr: Expr):
         """Run the analysis layer's inference over *expr* (raising on
@@ -341,6 +463,37 @@ class Session:
             return facts_for_database(self.db)
         return None
 
+    def _optimize(self, expr: Expr) -> Expr:
+        """Run the optimizer, recording an ``optimize`` span with one
+        child span per transformation rule (matcher calls, fires, and
+        time) when tracing is on."""
+        tracer = self._tracer()
+        if tracer is None:
+            return self.optimizer.optimize(expr).best
+        span = tracer.start_span("optimize", kind="rule")
+        previous = getattr(self.optimizer, "collect_rule_stats", False)
+        self.optimizer.collect_rule_stats = True
+        started = perf_counter()
+        try:
+            outcome = self.optimizer.optimize(expr)
+        finally:
+            self.optimizer.collect_rule_stats = previous
+            span.calls = 1
+            span.wall = perf_counter() - started
+            tracer.finish(span)
+        span.meta["explored"] = outcome.explored
+        span.meta["steps"] = list(outcome.steps)
+        from ..obs.metrics import REWRITE_FIRES_TOTAL, REWRITE_SECONDS_TOTAL
+        for name, row in sorted((outcome.rule_stats or {}).items()):
+            child = span.child(name, kind="rule")
+            child.calls = row["calls"]
+            child.wall = row["seconds"]
+            child.meta["fires"] = row["fires"]
+            if row["fires"]:
+                REWRITE_FIRES_TOTAL.inc(row["fires"], rule=name)
+            REWRITE_SECONDS_TOTAL.inc(row["seconds"], rule=name)
+        return outcome.best
+
     def _run_retrieve(self, statement: ast.Retrieve,
                       optimize: bool) -> Result:
         expr, result_type = self.translator().translate_retrieve(statement)
@@ -348,7 +501,7 @@ class Session:
             from ..core.typecheck import checker_for_database
             checker_for_database(self.db).check(expr)
         if optimize and self.optimizer is not None:
-            expr = self.optimizer.optimize(expr).best
+            expr = self._optimize(expr)
         facts = self._verify_plan(expr) if self.verify else None
         self.context.begin_query()
         value = evaluate(expr, self.context, mode=self.engine, facts=facts)
@@ -360,7 +513,17 @@ class Session:
                       stats=self.context.stats)
 
     def query(self, source: str, optimize: bool = False) -> Any:
-        """Run a script and return the last statement's value."""
+        """Deprecated: run a script and return the last statement's value.
+
+        Use :meth:`repro.Connection.execute` (whose Result carries the
+        value plus rows/stats/trace) instead."""
+        warnings.warn(
+            "Session.query(...) is deprecated; use "
+            "repro.connect(...).execute(source).value",
+            DeprecationWarning, stacklevel=2)
+        return self._last_value(source, optimize=optimize)
+
+    def _last_value(self, source: str, optimize: bool = False) -> Any:
         results = self.run(source, optimize=optimize)
         for result in reversed(results):
             if result.expression is not None:
@@ -370,5 +533,11 @@ class Session:
 
 def run(database, source: str, optimize: bool = False,
         engine: str = "interpreted") -> Any:
-    """One-shot convenience: execute *source*, return the last value."""
-    return Session(database, engine=engine).query(source, optimize=optimize)
+    """Deprecated one-shot convenience: execute *source*, return the
+    last value.  Use ``repro.connect(database).execute(source)``."""
+    warnings.warn(
+        "repro.excess.run(database, source) is deprecated; use "
+        "repro.connect(database, engine=...).execute(source)",
+        DeprecationWarning, stacklevel=2)
+    session = Session(database, engine=engine, _api_internal=True)
+    return session._last_value(source, optimize=optimize)

@@ -1,0 +1,33 @@
+"""repro.obs — observability: trace spans, metrics, slow-query log.
+
+Leaf package: imports nothing from the rest of ``repro`` so every
+layer (storage, engines, session, CLI) can depend on it without
+cycles.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    parse_prometheus,
+)
+from .slowlog import SlowQuery, SlowQueryLog
+from .stats import COUNTER_FIELDS, QueryStats
+from .trace import Span, Tracer
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryStats",
+    "REGISTRY",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "parse_prometheus",
+]

@@ -1,0 +1,77 @@
+"""Slow-query log: a bounded ring of statements over a latency threshold."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["SlowQuery", "SlowQueryLog"]
+
+
+@dataclass
+class SlowQuery:
+    """One slow statement: what ran, how long, and its counters."""
+
+    source: str
+    seconds: float
+    stats: Dict[str, int] = field(default_factory=dict)
+    engine: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"source": self.source, "seconds": self.seconds,
+                "engine": self.engine, "stats": dict(self.stats)}
+
+
+class SlowQueryLog:
+    """Keeps the most recent statements slower than ``threshold``
+    seconds, newest last, bounded by ``capacity``.
+
+    ``threshold=None`` disables recording entirely; ``threshold=0.0``
+    records everything (useful in tests)."""
+
+    def __init__(self, threshold: Optional[float] = 0.1,
+                 capacity: int = 128):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+
+    def observe(self, source: str, seconds: float,
+                stats: Optional[Dict[str, int]] = None,
+                engine: str = "") -> Optional[SlowQuery]:
+        """Record *source* if it crossed the threshold; returns the
+        entry when recorded, else None."""
+        if self.threshold is None or seconds < self.threshold:
+            return None
+        entry = SlowQuery(source=source, seconds=seconds,
+                          stats=dict(stats or {}), engine=engine)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> List[SlowQuery]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        """Human-readable table, slowest first."""
+        if not self._entries:
+            return "slow-query log is empty"
+        rows = sorted(self._entries, key=lambda e: -e.seconds)
+        lines = ["%8s  %-9s  %s" % ("seconds", "engine", "statement")]
+        for entry in rows:
+            src = " ".join(entry.source.split())
+            if len(src) > 60:
+                src = src[:57] + "..."
+            lines.append("%8.4f  %-9s  %s"
+                         % (entry.seconds, entry.engine or "-", src))
+        return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Typed per-statement statistics.
+
+:class:`QueryStats` replaces the raw ``ctx.stats`` dict in the public
+API while staying drop-in compatible with it: it implements the
+read-only mapping protocol (``stats["deref_cache_hit"]``, ``.get``,
+``in``, iteration) and compares equal to a plain dict with the same
+non-zero counters, so existing tests and call sites that treat stats
+as a dict keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = ["QueryStats", "COUNTER_FIELDS"]
+
+#: Counter names ticked by the engines (see ``EvalContext.tick`` call
+#: sites) — each is a first-class field below.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "elements_scanned",
+    "set_apply_elements",
+    "arr_apply_elements",
+    "comp_evals",
+    "atom_evals",
+    "func_calls",
+    "method_dispatches",
+    "deref_count",
+    "deref_cache_hit",
+    "deref_cache_miss",
+    "cross_pairs",
+    "de_elements",
+    "grp_elements",
+    "index_lookups",
+    "hash_join_build",
+    "hash_join_probes",
+)
+
+
+@dataclass
+class QueryStats:
+    """Per-statement counters, dict-compatible.
+
+    Semantics match PR 1's ``ctx.stats``: only counters the statement
+    actually ticked are "present" (zero-valued fields are hidden from
+    the mapping view), which is what makes dict equality line up with
+    the historical sparse dicts.
+    """
+
+    elements_scanned: int = 0
+    set_apply_elements: int = 0
+    arr_apply_elements: int = 0
+    comp_evals: int = 0
+    atom_evals: int = 0
+    func_calls: int = 0
+    method_dispatches: int = 0
+    deref_count: int = 0
+    deref_cache_hit: int = 0
+    deref_cache_miss: int = 0
+    cross_pairs: int = 0
+    de_elements: int = 0
+    grp_elements: int = 0
+    index_lookups: int = 0
+    hash_join_build: int = 0
+    hash_join_probes: int = 0
+    #: Counters ticked under names this dataclass doesn't know about
+    #: (future engines keep working without schema churn here).
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_counters(cls, counters: Mapping[str, int]) -> "QueryStats":
+        known = {f.name for f in fields(cls)} - {"extra"}
+        kwargs: Dict[str, Any] = {}
+        extra: Dict[str, int] = {}
+        for key, value in counters.items():
+            if key in known:
+                kwargs[key] = int(value)
+            else:
+                extra[key] = int(value)
+        return cls(extra=extra, **kwargs)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Sparse dict of the non-zero counters (the historical shape)."""
+        out: Dict[str, int] = {}
+        for name in COUNTER_FIELDS:
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        for key, value in self.extra.items():
+            if value:
+                out[key] = value
+        return out
+
+    # -- derived -------------------------------------------------------
+
+    @property
+    def deref_cache_hit_ratio(self) -> Optional[float]:
+        """Hit ratio of the per-query deref cache, or None when the
+        statement never dereferenced anything."""
+        total = self.deref_cache_hit + self.deref_cache_miss
+        if not total:
+            return None
+        return self.deref_cache_hit / total
+
+    # -- mapping protocol ----------------------------------------------
+
+    def __getitem__(self, key: str) -> int:
+        try:
+            return self.as_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.as_dict().get(key, default)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.as_dict().items())
+
+    def values(self) -> Iterator[int]:
+        return iter(self.as_dict().values())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def __len__(self) -> int:
+        return len(self.as_dict())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.as_dict()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryStats):
+            return self.as_dict() == other.as_dict()
+        if isinstance(other, Mapping):
+            return self.as_dict() == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        body = ", ".join("%s=%d" % kv for kv in self.as_dict().items())
+        return "QueryStats(%s)" % body

@@ -1,0 +1,220 @@
+"""Hierarchical trace spans: the execution X-ray of one statement.
+
+A :class:`Span` is one node of a statement's trace tree — a physical
+operator of the compiled engine, a rewrite rule firing, a WAL commit,
+or the statement itself.  Spans carry wall time, how often they were
+entered (``calls``), the chunk/occurrence flow they produced
+(``rows_out`` distinct chunks, ``card_out`` summed occurrence counts),
+and the ``dne`` results they discarded, plus a free-form ``meta`` dict
+for operator-specific detail (deref-cache hit ratios, rule fire
+counts, WAL batch sizes).
+
+The :class:`Tracer` is the recorder: it owns the current statement's
+root span and a cursor for nesting.  A disabled tracer never allocates
+a span, and every hook in the engines is guarded by ``tracer is None
+or not tracer.enabled`` at *compile* (not per-element) time, so the
+tracing layer costs nothing when off — the property the trace-smoke
+gate (``make trace-smoke``) asserts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One node of a trace tree.
+
+    Attributes are plain integers/floats bumped by the instrumented
+    code; nothing here is thread-safe (a tracer belongs to one
+    connection, like the evaluation context it rides on).
+    """
+
+    __slots__ = ("name", "kind", "meta", "children", "wall", "calls",
+                 "rows_out", "card_out", "dne_out", "expr")
+
+    def __init__(self, name: str, kind: str = "span",
+                 expr: Optional[Any] = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.name = name
+        #: One of ``statement``, ``plan``, ``operator``, ``rule``,
+        #: ``wal``, or ``span`` (generic timed block).
+        self.kind = kind
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.children: List["Span"] = []
+        #: Inclusive wall-clock seconds (children included).
+        self.wall = 0.0
+        #: Times this span's code was entered.
+        self.calls = 0
+        #: Chunks yielded (stream operators) or non-null results
+        #: produced (value operators).
+        self.rows_out = 0
+        #: Total occurrence count across yielded chunks — the actual
+        #: output *cardinality* in the multiset sense.
+        self.card_out = 0
+        #: ``dne`` results produced (discarded by any enclosing
+        #: collection operator — the null-discard count).
+        self.dne_out = 0
+        #: The algebra node this span measures, when it measures one.
+        self.expr = expr
+
+    def add(self, child: "Span") -> "Span":
+        self.children.append(child)
+        return child
+
+    def child(self, name: str, kind: str = "span",
+              expr: Optional[Any] = None,
+              meta: Optional[Dict[str, Any]] = None) -> "Span":
+        return self.add(Span(name, kind=kind, expr=expr, meta=meta))
+
+    # -- tree access ---------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order walk of this span and its descendants."""
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def find(self, kind: Optional[str] = None,
+             name: Optional[str] = None) -> Optional["Span"]:
+        """First descendant (or self) matching *kind* and/or *name*."""
+        for span in self.walk():
+            if kind is not None and span.kind != kind:
+                continue
+            if name is not None and span.name != name:
+                continue
+            return span
+        return None
+
+    def find_all(self, kind: Optional[str] = None,
+                 name: Optional[str] = None) -> List["Span"]:
+        """Every descendant (or self) matching *kind* and/or *name*."""
+        out = []
+        for span in self.walk():
+            if kind is not None and span.kind != kind:
+                continue
+            if name is not None and span.name != name:
+                continue
+            out.append(span)
+        return out
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly rendering of the whole subtree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_s": self.wall,
+            "calls": self.calls,
+            "rows_out": self.rows_out,
+            "card_out": self.card_out,
+            "dne_out": self.dne_out,
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return ("<Span %s %r wall=%.6fs rows=%d card=%d (%d child(ren))>"
+                % (self.kind, self.name, self.wall, self.rows_out,
+                   self.card_out, len(self.children)))
+
+
+class Tracer:
+    """Span recorder for one connection/session.
+
+    ``begin(name)`` opens a statement root; ``start_span``/``finish``
+    (or the :meth:`record` context manager) nest timed spans under the
+    cursor; ``end()`` closes the statement and returns the root.
+    A tracer constructed with ``enabled=False`` ignores every call and
+    allocates nothing.
+    """
+
+    __slots__ = ("enabled", "root", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.root: Optional[Span] = None
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The span new children attach to (None when idle/disabled)."""
+        return self._stack[-1] if self._stack else None
+
+    def begin(self, name: str, kind: str = "statement",
+              meta: Optional[Dict[str, Any]] = None) -> Optional[Span]:
+        """Open a fresh root span (discarding any previous tree)."""
+        if not self.enabled:
+            return None
+        self.root = Span(name, kind=kind, meta=meta)
+        self._stack = [self.root]
+        return self.root
+
+    def end(self) -> Optional[Span]:
+        """Close the statement; returns the finished root span."""
+        root, self.root = self.root, None
+        self._stack = []
+        return root
+
+    def start_span(self, name: str, kind: str = "span",
+                   expr: Optional[Any] = None,
+                   meta: Optional[Dict[str, Any]] = None) -> Optional[Span]:
+        """Open a nested span and make it the cursor."""
+        if not self.enabled:
+            return None
+        parent = self.current
+        span = Span(name, kind=kind, expr=expr, meta=meta)
+        if parent is not None:
+            parent.add(span)
+        else:
+            # No statement root: the span becomes its own tree (useful
+            # for ad-hoc tracing of a bare evaluate()).
+            self.root = span
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Optional[Span]) -> None:
+        """Pop *span* (and anything left open below it) off the cursor."""
+        if span is None or not self._stack:
+            return
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+
+    def attach(self, span: Span) -> Span:
+        """Hang a pre-built span tree under the cursor (the compiled
+        engine builds its operator tree at plan-compile time)."""
+        parent = self.current
+        if parent is not None:
+            parent.add(span)
+        elif self.root is None:
+            self.root = span
+        return span
+
+    @contextmanager
+    def record(self, name: str, kind: str = "span",
+               **meta: Any) -> Iterator[Optional[Span]]:
+        """Timed block span: ``with tracer.record("wal.commit"): …``."""
+        if not self.enabled:
+            yield None
+            return
+        span = self.start_span(name, kind=kind, meta=meta or None)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            if span is not None:
+                span.calls += 1
+                span.wall += time.perf_counter() - started
+            self.finish(span)

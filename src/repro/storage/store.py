@@ -258,6 +258,10 @@ class Database:
         self.methods = MethodRegistry(self.store.hierarchy)
         from .indexes import IndexCatalog
         self.indexes = IndexCatalog(self)
+        #: Optional :class:`repro.obs.Tracer` set by the connection
+        #: layer; storage-side spans (WAL commits) and every context
+        #: built via :meth:`context` pick it up from here.
+        self.tracer = None
 
     @property
     def hierarchy(self) -> TypeHierarchy:
@@ -330,6 +334,8 @@ class Database:
 
     def context(self) -> EvalContext:
         """An evaluation context bound to this database."""
-        return EvalContext(database=self._named, store=self.store,
-                           functions=self.functions, methods=self.methods,
-                           indexes=self.indexes)
+        ctx = EvalContext(database=self._named, store=self.store,
+                          functions=self.functions, methods=self.methods,
+                          indexes=self.indexes)
+        ctx.tracer = self.tracer
+        return ctx

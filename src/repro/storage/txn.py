@@ -53,9 +53,14 @@ durable manager attached.
 from __future__ import annotations
 
 import os
+import time
+import weakref
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.expr import EvalContext
+from ..obs.metrics import (SNAPSHOT_OLDEST_AGE_SECONDS, SNAPSHOT_VIEWS_LIVE,
+                           SNAPSHOTS_TOTAL, TXN_ABORTS_TOTAL,
+                           TXN_COMMITS_TOTAL, WAL_BATCH_RECORDS)
 from ..core.serialize import (expr_from_json, expr_to_json, value_from_json,
                               value_to_json)
 from .store import DEFAULT_TYPE, Database, StoreError
@@ -153,11 +158,28 @@ class TransactionManager:
             group.extend(txn.records)
             group.append({"op": "commit", "tx": txn.txid,
                           "oids": self.db.store.oids.snapshot()})
+            tracer = getattr(self.db, "tracer", None)
+            span = None
+            if tracer is not None and tracer.enabled:
+                span = tracer.start_span("wal.commit", kind="wal",
+                                         meta={"records": len(group)})
+            started = time.perf_counter()
             try:
                 self.wal.append_batch(group)
             except Exception:
+                if span is not None:
+                    span.calls += 1
+                    span.wall += time.perf_counter() - started
+                    tracer.finish(span)
                 self.abort()
                 raise
+            if span is not None:
+                span.calls += 1
+                span.wall += time.perf_counter() - started
+                span.rows_out = len(group)
+                tracer.finish(span)
+            WAL_BATCH_RECORDS.observe(len(group))
+        TXN_COMMITS_TOTAL.inc()
         self.version += 1
         version = self.version
         for key in txn.touched:
@@ -175,6 +197,7 @@ class TransactionManager:
             raise TxnError("no active transaction to abort")
         self._undo_to(txn, 0)
         self.active = None
+        TXN_ABORTS_TOTAL.inc()
 
     def savepoint(self, name: Optional[str] = None) -> str:
         """Mark a rollback point inside the active transaction."""
@@ -359,6 +382,7 @@ class TransactionManager:
     def snapshot(self) -> "SnapshotView":
         """A stable read view of everything committed so far.  Open
         transactions (this manager's or later ones) are invisible."""
+        SNAPSHOTS_TOTAL.inc()
         return SnapshotView(self, self.version)
 
     def _resolve(self, key, snap_version: int, current) -> Any:
@@ -552,6 +576,17 @@ class _SnapshotNamed:
         return iter(self.keys())
 
 
+#: Live snapshot views, process-wide and weakly held — drops views as
+#: they are garbage collected, so the gauges below track reality
+#: without any explicit close() discipline on readers.
+_LIVE_VIEWS: "weakref.WeakSet[SnapshotView]" = weakref.WeakSet()
+
+SNAPSHOT_VIEWS_LIVE.set_provider(lambda: float(len(_LIVE_VIEWS)))
+SNAPSHOT_OLDEST_AGE_SECONDS.set_provider(
+    lambda: max((time.time() - view.created_at for view in _LIVE_VIEWS),
+                default=0.0))
+
+
 class SnapshotView:
     """A consistent read view: store + named objects at one version.
 
@@ -565,6 +600,8 @@ class SnapshotView:
         self.version = version
         self.store = SnapshotStore(manager, version)
         self.named = _SnapshotNamed(manager, version)
+        self.created_at = time.time()
+        _LIVE_VIEWS.add(self)
 
     def get(self, name: str) -> Any:
         try:

@@ -33,6 +33,8 @@ import struct
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.metrics import WAL_APPENDED_BYTES_TOTAL, WAL_FSYNCS_TOTAL
+
 MAGIC = b"XWAL"
 FORMAT_VERSION = 1
 HEADER = MAGIC + struct.pack("<I", FORMAT_VERSION)
@@ -172,6 +174,8 @@ class WriteAheadLog:
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+            WAL_FSYNCS_TOTAL.inc()
+        WAL_APPENDED_BYTES_TOTAL.inc(len(blob))
         self._end += len(blob)
         return self._end
 

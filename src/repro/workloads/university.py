@@ -109,7 +109,7 @@ def build_university(n_departments: int = 4, n_employees: int = 30,
     """
     rng = random.Random(seed)
     db = database or Database()
-    session = Session(db)
+    session = Session(db, _api_internal=True)
     session.run(FIGURE_1_DDL)
     types = db.types
     store = db.store

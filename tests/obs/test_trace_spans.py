@@ -1,0 +1,154 @@
+"""Span-tree shape and zero-interference guarantees for the tracer.
+
+Reuses the differential suite's seeded plan generator: for a sample of
+its plans we run the compiled engine three ways — untraced, with a
+disabled tracer, and with tracing on — and require (a) bit-identical
+values (occurrence counts included) in all three, and (b) a span tree
+whose operator cardinalities agree with the differential row counts.
+"""
+
+import random
+
+import pytest
+
+from repro.core.expr import Const, Input, Named, evaluate
+from repro.core.operators import Comp, Deref, SetApply
+from repro.core.predicates import Atom, TruePred
+from repro.core.values import MultiSet
+from repro.obs import Span, Tracer
+
+from tests.engine.test_engine_equivalence import PlanGen, build_db
+
+#: A sample of the differential suite's 240 seeds; every plan kind in
+#: the generator's grammar appears within the first twenty.
+TRACED_SEEDS = range(20)
+
+
+def run_traced(expr, enabled=True):
+    """(outcome, payload, root): compiled run under a tracer."""
+    ctx = build_db().context()
+    tracer = Tracer(enabled=enabled)
+    ctx.tracer = tracer
+    root = tracer.begin("stmt", kind="statement")
+    try:
+        value = evaluate(expr, ctx, mode="compiled")
+        return "ok", value, root
+    except Exception as error:  # noqa: BLE001 — failure identity matters
+        return "error", (type(error).__name__, str(error)), root
+    finally:
+        tracer.end()
+
+
+def run_plain(expr, mode="compiled"):
+    ctx = build_db().context()
+    try:
+        return "ok", evaluate(expr, ctx, mode=mode)
+    except Exception as error:  # noqa: BLE001
+        return "error", (type(error).__name__, str(error))
+
+
+@pytest.mark.parametrize("seed", TRACED_SEEDS)
+def test_traced_run_is_bit_identical(seed):
+    expr = PlanGen(random.Random(seed)).plan()
+    baseline = run_plain(expr)
+    outcome, payload, _root = run_traced(expr, enabled=True)
+    assert (outcome, payload) == baseline
+    if baseline[0] == "ok" and isinstance(baseline[1], MultiSet):
+        assert len(payload) == len(baseline[1])
+        assert payload.distinct_count() == baseline[1].distinct_count()
+
+
+@pytest.mark.parametrize("seed", TRACED_SEEDS)
+def test_disabled_tracer_is_bit_identical_and_silent(seed):
+    expr = PlanGen(random.Random(seed)).plan()
+    baseline = run_plain(expr)
+    outcome, payload, root = run_traced(expr, enabled=False)
+    assert (outcome, payload) == baseline
+    # A disabled tracer records nothing at all.
+    assert root is None
+
+
+@pytest.mark.parametrize("seed", TRACED_SEEDS)
+def test_span_tree_shape(seed):
+    expr = PlanGen(random.Random(seed)).plan()
+    outcome, payload, root = run_traced(expr, enabled=True)
+    assert isinstance(root, Span)
+    assert root.name == "stmt" and root.kind == "statement"
+
+    plans = root.find_all(kind="plan")
+    assert len(plans) == 1, "exactly one plan span per compiled run"
+    plan = plans[0]
+    assert plan.name == "compiled-plan"
+    assert plan.calls == 1
+
+    operators = root.find_all(kind="operator")
+    for span in operators:
+        assert span.expr is not None, span.name
+        assert span.name  # the describe()d operator label
+        assert span.calls >= 0 and span.card_out >= 0
+        assert span.wall >= 0.0
+    if outcome == "ok":
+        # Every successful compiled run pulls through at least one
+        # physical operator (the generator never emits bare constants).
+        assert operators, expr.describe()
+        if isinstance(payload, MultiSet):
+            # The topmost operator feeds the plan output: its emitted
+            # cardinality is the differential suite's row count.
+            top = plan.children[0]
+            assert top.kind == "operator"
+            assert top.card_out == len(payload)
+
+    # walk() visits every node exactly once and agrees with span_count.
+    seen = list(root.walk())
+    assert len(seen) == root.span_count()
+    assert len(set(map(id, seen))) == len(seen)
+
+    # to_dict round-trips the shape (names and child arity).
+    as_dict = root.to_dict()
+    assert as_dict["name"] == "stmt"
+    assert len(as_dict["children"]) == len(root.children)
+
+
+def test_operator_cardinalities_match_data():
+    """Pinned-shape check: scan → deref chain over the fixture DB.
+
+    ``Refs`` holds 14 live references plus one dangling one; the deref
+    drops the dangler, so the fused SET_APPLY must report 14 out of a
+    15-row scan.
+    """
+    expr = SetApply(Deref(Input()), Named("Refs"))
+    outcome, value, root = run_traced(expr)
+    assert outcome == "ok" and len(value) == 14
+    operators = {span.name: span for span in root.find_all(kind="operator")}
+    assert operators["Refs"].card_out == 15
+    (apply_span,) = [s for s in operators.values()
+                     if s.name.startswith("SET_APPLY")]
+    assert apply_span.card_out == 14
+
+
+def test_fused_chain_is_one_span():
+    """σ∘scan fuses: one SET_APPLY span, not one per subscript site."""
+    pred = Atom(Input(), "<", Const(3))
+    expr = SetApply(Comp(pred, Input()),
+                    SetApply(Comp(TruePred(), Input()), Named("Nums")))
+    outcome, value, root = run_traced(expr)
+    assert outcome == "ok"
+    operators = root.find_all(kind="operator")
+    # Fusion collapses the two SET_APPLY levels over the scan into a
+    # single traced pipeline stage.
+    apply_spans = [s for s in operators if s.name.startswith("SET_APPLY")]
+    assert len(apply_spans) == 1
+    assert apply_spans[0].card_out == len(value)
+
+
+def test_interpreted_engine_gets_a_root_span():
+    ctx = build_db().context()
+    tracer = Tracer(enabled=True)
+    ctx.tracer = tracer
+    root = tracer.begin("stmt", kind="statement")
+    value = evaluate(Named("Nums"), ctx, mode="interpreted")
+    tracer.end()
+    plans = root.find_all(kind="plan")
+    assert len(plans) == 1
+    assert plans[0].name == "interpreted-plan"
+    assert plans[0].card_out == len(value)

@@ -21,6 +21,7 @@ Run via ``make bench-engine`` or
 
 import json
 import os
+from time import perf_counter
 
 import pytest
 
@@ -135,3 +136,97 @@ def test_engines_agree_and_report(big_uni):
         assert speedup is not None, "no timing for %s" % workload
         assert speedup >= SPEEDUP_FLOOR, (
             "%s: compiled only %.2fx faster" % (workload, speedup))
+
+
+# -- index-backed access paths: selectivity-swept lookups ----------------
+
+LOOKUP_N = 40000
+SELECTIVITIES = (0.001, 0.01, 0.1, 1.0)
+POINT_FLOOR = 10.0   # probe ≥10× faster than scan at ≤1% selectivity
+RANGE_FLOOR = 5.0    # probe ≥5× faster than scan at ≤1% selectivity
+
+
+def _lookup_db(selectivity):
+    """N rows whose ``band`` field makes point-probe selectivity exact
+    (band 0 holds int(N·s) rows) and whose uniform ``uid`` controls
+    range selectivity directly by the bound."""
+    from repro.core.expr import Input
+    from repro.core.operators import TupExtract
+    from repro.core.values import MultiSet, Tup
+    from repro.storage import Database
+    db = Database()
+    stride = max(1, int(LOOKUP_N * selectivity))
+    db.create("T", MultiSet([Tup({"band": i // stride, "uid": i})
+                             for i in range(LOOKUP_N)]))
+    db.indexes.create_index("keyed", "T", TupExtract("band", Input()))
+    db.indexes.create_index("ordered", "T", TupExtract("uid", Input()))
+    return db
+
+
+def _lookup_plans(selectivity):
+    from repro.core.expr import Const, Input, Named
+    from repro.core.operators import SetApply, TupExtract
+    from repro.core.predicates import Atom, Comp
+    matched = max(1, int(LOOKUP_N * selectivity))
+    point = SetApply(Comp(Atom(TupExtract("band", Input()), "=",
+                               Const(0)), Input()), Named("T"))
+    rng = SetApply(Comp(Atom(TupExtract("uid", Input()), "<",
+                             Const(matched)), Input()), Named("T"))
+    return {"point": point, "range": rng}
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def test_lookup_sweep_report():
+    """Time point and range lookups, probe vs scan, across
+    selectivities; merge the series into BENCH_engine.json and assert
+    the access-path floors at ≤1% selectivity."""
+    sweep = {}
+    for selectivity in SELECTIVITIES:
+        db = _lookup_db(selectivity)
+        ctx = db.context()
+        row = {}
+        for shape, plan in _lookup_plans(selectivity).items():
+            probe = compile_plan(plan, access_paths="force")
+            scan = compile_plan(plan, access_paths="off")
+
+            def run(pipeline):
+                ctx.begin_query()
+                return pipeline.execute(ctx)
+
+            assert run(probe) == run(scan), (shape, selectivity)
+            # Warm the index build outside the timed region.
+            run(probe)
+            probe_s = _best_of(lambda: run(probe))
+            scan_s = _best_of(lambda: run(scan))
+            row[shape] = {"probe_s": probe_s, "scan_s": scan_s,
+                          "speedup": scan_s / probe_s}
+        sweep["%g" % selectivity] = row
+
+    report = {}
+    if os.path.exists(OUT_PATH):
+        with open(OUT_PATH) as fh:
+            report = json.load(fh)
+    report["lookup_sweep"] = {
+        "population": LOOKUP_N,
+        "point_floor": POINT_FLOOR, "range_floor": RANGE_FLOOR,
+        "selectivities": sweep,
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+
+    for selectivity in (s for s in SELECTIVITIES if s <= 0.01):
+        row = sweep["%g" % selectivity]
+        assert row["point"]["speedup"] >= POINT_FLOOR, (
+            "point probe only %.1fx at %g" % (row["point"]["speedup"],
+                                              selectivity))
+        assert row["range"]["speedup"] >= RANGE_FLOOR, (
+            "range probe only %.1fx at %g" % (row["range"]["speedup"],
+                                              selectivity))

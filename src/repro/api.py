@@ -52,7 +52,8 @@ class Connection:
         if optimizer is None:
             optimizer = Optimizer(
                 cost_model=CostModel(Statistics.from_database(database),
-                                     engine=engine))
+                                     engine=engine,
+                                     indexes=database.indexes))
         self.db = database
         self.session = Session(database, optimizer=optimizer,
                                typecheck=typecheck, engine=engine,

@@ -23,6 +23,10 @@ commands (lines starting with a dot):
                          cardinalities and per-operator wall time
     .metrics [json]      the process-wide metrics registry (Prometheus
                          text format, or JSON)
+    .indexes             access methods: one row per index definition
+                         with kind, key, size, probe hits, liveness
+    .indexes create typed|keyed|ordered <name> [field]
+    .indexes drop   typed|keyed|ordered <name> [field]
     .slowlog [clear]     the slow-query log (or clear it)
     .demo                load the populated Figure-1 university
     .save <path>         persist the database to a JSON snapshot
@@ -43,6 +47,11 @@ when any error-severity finding is reported.
 
 ``python -m repro.cli metrics [--json]`` prints the process metrics
 registry and exits.
+
+``python -m repro.cli index list|create|drop <dir> …`` manages index
+definitions of a durable database directory: creates and drops are
+journaled DDL (they survive restarts and replay from the WAL), and
+``list`` shows the same table as the shell's ``.indexes``.
 """
 
 from __future__ import annotations
@@ -77,6 +86,42 @@ def format_value(value, indent: str = "  ", limit: int = 20) -> str:
     if isinstance(value, Arr):
         return "[array, %d element(s)] %r" % (len(value), value)
     return repr(value)
+
+
+def render_indexes(catalog) -> str:
+    """The ``.indexes`` table: one row per index definition."""
+    rows = catalog.describe_rows()
+    if not rows:
+        return "(no indexes defined)"
+    lines = ["%-8s %-16s %-20s %8s %6s %s"
+             % ("kind", "name", "key", "size", "hits", "state")]
+    for row in rows:
+        lines.append("%-8s %-16s %-20s %8s %6d %s" % (
+            row["kind"], row["name"], row["key"] or "-",
+            "-" if row["size"] is None else row["size"],
+            row["hits"], "live" if row["live"] else "stale"))
+    return "\n".join(lines)
+
+
+def _index_key(kind: str, field: str, value=None):
+    """The key expression for a keyed/ordered index CLI argument:
+    ``field`` names a tuple field (TUP_EXTRACT over INPUT — behind a
+    DEREF when the stored collection holds references, mirroring what
+    the translator emits for ``var.field``); an empty field indexes the
+    element itself."""
+    if kind == "typed":
+        return None
+    from .core.expr import Input
+    from .core.operators.tuples import TupExtract
+    if not field:
+        return Input()
+    base = Input()
+    from .core.values import MultiSet, Ref
+    if isinstance(value, MultiSet) and any(
+            isinstance(element, Ref) for element, _ in value.items()):
+        from .core.operators.refs import Deref
+        base = Deref(base)
+    return TupExtract(field, base)
 
 
 def lint_source(session, source: str):
@@ -231,7 +276,8 @@ class Shell:
                 return "(nothing to analyze: %s statement)" % result.kind
             self.last_stats = dict(result.stats)
             model = CostModel(Statistics.from_database(self.db),
-                              engine=self.session.engine)
+                              engine=self.session.engine,
+                              indexes=self.db.indexes)
             return result.explain(cost_model=model)
         if command == ".metrics":
             from .obs import REGISTRY
@@ -240,6 +286,31 @@ class Shell:
                 return json.dumps(REGISTRY.to_json(), indent=2,
                                   sort_keys=True)
             return REGISTRY.to_prometheus().rstrip("\n")
+        if command == ".indexes":
+            words = argument.split()
+            if not words:
+                return render_indexes(self.db.indexes)
+            action = words[0].lower()
+            if action not in ("create", "drop") or len(words) < 3:
+                return ("usage: .indexes [create|drop "
+                        "typed|keyed|ordered <name> [field]]")
+            kind, name = words[1].lower(), words[2]
+            try:
+                stored = self.db.get(name)
+            except KeyError:
+                stored = None
+            field = words[3] if len(words) > 3 else ""
+            key = (None if action == "drop" and not field
+                   else _index_key(kind, field, stored))
+            try:
+                if action == "create":
+                    self.db.indexes.create_index(kind, name, key)
+                    return "created %s index on %s" % (kind, name)
+                dropped = self.db.indexes.drop_index(kind, name, key)
+                return ("dropped %s index on %s" % (kind, name)
+                        if dropped else "no such index")
+            except (KeyError, ValueError, TypeError) as error:
+                return "error: %s" % error
         if command == ".slowlog":
             if argument.strip().lower() == "clear":
                 self.conn.slow_log.clear()
@@ -276,7 +347,8 @@ class Shell:
 
     def _optimizer(self) -> Optimizer:
         stats = Statistics.from_database(self.db)
-        model = CostModel(stats, engine=self.session.engine)
+        model = CostModel(stats, engine=self.session.engine,
+                          indexes=self.db.indexes)
         return Optimizer(cost_model=model, max_depth=3, max_trees=500)
 
     # -- statements -------------------------------------------------------
@@ -339,8 +411,59 @@ def run_lint(argv: List[str]) -> int:
     return 1 if errors else 0
 
 
+def run_index(argv: List[str]) -> int:
+    """The ``index`` subcommand: journaled index DDL on a durable
+    database directory, without entering the shell."""
+    usage = ("usage: python -m repro.cli index list <dir>\n"
+             "       python -m repro.cli index create <dir> "
+             "typed|keyed|ordered <name> [field]\n"
+             "       python -m repro.cli index drop <dir> "
+             "typed|keyed|ordered <name> [field]")
+    if len(argv) < 2 or argv[0] not in ("list", "create", "drop"):
+        print(usage)
+        return 2
+    action, directory = argv[0], argv[1]
+    from .storage import open_database
+    db = open_database(directory)
+    try:
+        if action == "list":
+            print(render_indexes(db.indexes))
+            return 0
+        if len(argv) < 4:
+            print(usage)
+            return 2
+        kind, name = argv[2].lower(), argv[3]
+        try:
+            stored = db.get(name)
+        except KeyError:
+            stored = None
+        field = argv[4] if len(argv) > 4 else ""
+        key = (None if action == "drop" and not field
+               else _index_key(kind, field, stored))
+        try:
+            if action == "create":
+                db.indexes.create_index(kind, name, key)
+                print("created %s index on %s" % (kind, name))
+            else:
+                dropped = db.indexes.drop_index(kind, name, key)
+                if not dropped:
+                    print("no such index")
+                    return 1
+                print("dropped %s index on %s" % (kind, name))
+        except (KeyError, ValueError, TypeError) as error:
+            print("error: %s" % error)
+            return 1
+        return 0
+    finally:
+        wal = getattr(getattr(db, "journal", None), "wal", None)
+        if wal is not None:
+            wal.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "index":
+        return run_index(argv[1:])
     if argv and argv[0] == "bench":
         from .workloads.smoke import run_smoke
         return run_smoke(smoke="--smoke" in argv[1:] or len(argv) == 1)

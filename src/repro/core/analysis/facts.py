@@ -53,6 +53,7 @@ class PlanFacts:
 
     def __init__(self):
         self._duplicate_free: List[Expr] = []
+        self._probe_complete: set = set()
 
     def declare_duplicate_free(self, expr: Expr) -> "PlanFacts":
         self._duplicate_free.append(expr)
@@ -62,6 +63,17 @@ class PlanFacts:
         if duplicate_free(expr):
             return True
         return any(expr == declared for declared in self._duplicate_free)
+
+    def declare_probe_complete(self, name: str) -> "PlanFacts":
+        """License: the index catalog's probe streams over named extent
+        *name* are duplicate-complete — every occurrence of the stored
+        multiset lands in exactly one bucket/partition (plus the UNK
+        tally), so an index probe may substitute for a full scan."""
+        self._probe_complete.add(name)
+        return self
+
+    def is_probe_complete(self, name: str) -> bool:
+        return name in self._probe_complete
 
 
 def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
@@ -85,6 +97,11 @@ def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
         if (isinstance(value, MultiSet)
                 and value.distinct_count() == len(value)):
             facts.declare_duplicate_free(Named(name))
+    indexes = getattr(db, "indexes", None)
+    if indexes is not None:
+        for entry in indexes.definitions():
+            if mentioned is None or entry["name"] in mentioned:
+                facts.declare_probe_complete(entry["name"])
     return facts
 
 

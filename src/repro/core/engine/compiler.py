@@ -49,7 +49,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from ...obs import Span
 
 from ..expr import (AlgebraError, Const, EvalContext, Expr, Func, Input,
-                    Named, _UNBOUND)
+                    Named, _UNBOUND, substitute_input)
 from ..methods import (IndexedTypeScan, MethodCall, MethodError, Param,
                        bind_params)
 from ..operators.arrays import (ArrApply, ArrCat, ArrCollapse, ArrCreate,
@@ -214,6 +214,125 @@ def _flatten_pair(a: Any, b: Any) -> Any:
     if not isinstance(a, Tup) or not isinstance(b, Tup):
         raise AlgebraError("TUP_CAT needs two tuples")
     return a.concat(b)
+
+
+# ---------------------------------------------------------------------------
+# Index-probe pattern detection
+# ---------------------------------------------------------------------------
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _atom_probe(pred: Predicate) -> Optional[tuple]:
+    """An atom in ``key <op> literal`` form: ``(key_expr, op, const)``
+    normalized with the constant on the right (the comparator flipped
+    when the literal was on the left), or None when the shape doesn't
+    admit an index probe.  Null literals are excluded — their verdicts
+    (F for dne, U for unk) never consult a comparator, so the generic
+    filter keeps them."""
+    if not isinstance(pred, Atom):
+        return None
+    op = pred.op
+    if op != "=" and op not in _RANGE_OPS:
+        return None
+    left, right = pred.left, pred.right
+    if isinstance(right, Const) and not isinstance(left, Const):
+        key, const = left, right.value
+    elif isinstance(left, Const) and not isinstance(right, Const):
+        key, const = right, left.value
+        op = _FLIP_OP.get(op, op)
+    else:
+        return None
+    if isinstance(const, Null):
+        return None
+    if not key.uses_input():
+        return None
+    return key, op, const
+
+
+class _ProbePlan:
+    """A recognized index-probe shape for the innermost fused stage.
+
+    ``kind`` is ``"eq"`` (KeyIndex), ``"range"`` (OrderedIndex — one
+    bound or a between), or ``"typed"`` (TypedPartitionIndex).  For a
+    typed probe only the filter is absorbed, so ``residual`` carries the
+    stage's body as a filterless SET_APPLY for the rest of the chain.
+    """
+
+    __slots__ = ("kind", "key", "eq_const", "bounds", "types", "residual",
+                 "pred")
+
+    def __init__(self, kind: str, key: Optional[Expr] = None,
+                 eq_const: Any = None, bounds: Optional[dict] = None,
+                 types: Optional[frozenset] = None,
+                 residual: Optional[Expr] = None,
+                 pred: Optional[Predicate] = None):
+        self.kind = kind
+        self.key = key
+        self.eq_const = eq_const
+        self.bounds = bounds
+        self.types = types
+        self.residual = residual
+        self.pred = pred
+
+    def describe(self, name: str) -> str:
+        if self.kind == "eq":
+            return "index probe[%s: key %s = %r]" % (
+                name, self.key.describe(), self.eq_const)
+        if self.kind == "range":
+            b = self.bounds
+            low = ("%r %s " % (b["low"], "<=" if b["incl_low"] else "<")
+                   if "low" in b else "")
+            high = (" %s %r" % ("<=" if b["incl_high"] else "<", b["high"])
+                    if "high" in b else "")
+            return "index range probe[%s: %s%s%s]" % (
+                name, low, self.key.describe(), high)
+        return "index partition probe[%s: %s]" % (
+            name, "|".join(sorted(self.types)))
+
+
+def _match_probe(stage: SetApply) -> Optional[_ProbePlan]:
+    """The innermost fused stage as an index probe, if recognized:
+    a typed filter → partition probe; a σ with a single equality atom
+    against a literal → key probe; a σ with a single range atom (or an
+    AND of a lower and an upper bound on the same key whose literals
+    are mutually comparable) → ordered probe."""
+    if stage.type_filter is not None:
+        return _ProbePlan("typed", types=frozenset(stage.type_filter),
+                          residual=SetApply(stage.body, stage.source))
+    body = stage.body
+    if not isinstance(body, Comp) or not isinstance(body.source, Input):
+        return None
+    pred = body.pred
+    one = _atom_probe(pred)
+    if one is not None:
+        key, op, const = one
+        if op == "=":
+            return _ProbePlan("eq", key=key, eq_const=const, pred=pred)
+        if op in ("<", "<="):
+            bounds = {"high": const, "incl_high": op == "<="}
+        else:
+            bounds = {"low": const, "incl_low": op == ">="}
+        return _ProbePlan("range", key=key, bounds=bounds, pred=pred)
+    if isinstance(pred, And):
+        a = _atom_probe(pred.left)
+        b = _atom_probe(pred.right)
+        if a is None or b is None or a[0] != b[0]:
+            return None
+        lower = a if a[1] in (">", ">=") else b if b[1] in (">", ">=") else None
+        upper = a if a[1] in ("<", "<=") else b if b[1] in ("<", "<=") else None
+        if lower is None or upper is None or lower is upper:
+            return None
+        # The two literals must order against each other — otherwise an
+        # in-class key gets one definite and one U verdict, which a
+        # single aggregated probe cannot reproduce.
+        if _compare_scalars("<", lower[2], upper[2]) == U:
+            return None
+        bounds = {"low": lower[2], "incl_low": lower[1] == ">=",
+                  "high": upper[2], "incl_high": upper[1] == "<="}
+        return _ProbePlan("range", key=a[0], bounds=bounds, pred=pred)
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -475,8 +594,21 @@ class PlanCompiler:
     extension operators).
     """
 
-    def __init__(self, facts=None, trace: bool = False):
+    def __init__(self, facts=None, trace: bool = False,
+                 cost_model=None, access_paths: str = "auto"):
         self.notes: List[str] = []
+        #: Optional ``CostModel`` consulted when ``access_paths`` is
+        #: ``"auto"``: a recognized probe shape is only lowered when the
+        #: model prices the probe below the scan (calibrated
+        #: selectivities can veto an index on an unselective predicate).
+        self.cost_model = cost_model
+        #: ``"auto"`` (probe when an index is available, cost model may
+        #: veto), ``"force"`` (probe whenever the shape matches), or
+        #: ``"off"`` (never lower probes — pure scans, the pre-index
+        #: engine).  Every probe keeps a scan fallback: the catalog is
+        #: consulted per execution, so a pipeline stays correct when
+        #: indexes appear, disappear, or go stale between runs.
+        self.access_paths = access_paths or "auto"
         #: Verified plan facts (``PlanFacts`` from the analysis layer, or
         #: any object with ``is_duplicate_free(expr)``) used as
         #: optimization licenses; None disables fact-based lowering.
@@ -882,6 +1014,27 @@ class PlanCompiler:
             nodes.append(node)
             node = node.source
         nodes.reverse()
+        if self.access_paths != "off" and isinstance(node, Named) and nodes:
+            probe = _match_probe(nodes[0])
+            absorbed = 0
+            if (probe is None and len(nodes) >= 2
+                    and nodes[0].type_filter is None
+                    and not isinstance(nodes[0].body, Comp)):
+                # Map absorption: the translator lowers ``s.f = c`` over
+                # a ref range as map(DEREF) then σ; the probe key is the
+                # σ key composed with the map body (paper rule 15), so a
+                # key index on ``DEREF(INPUT).f`` serves the lookup.
+                # The map stage itself still runs over the probe output.
+                inner = _match_probe(nodes[1])
+                if inner is not None and inner.kind != "typed":
+                    probe = _ProbePlan(
+                        inner.kind,
+                        key=substitute_input(inner.key, nodes[0].body),
+                        eq_const=inner.eq_const, bounds=inner.bounds,
+                        pred=inner.pred)
+                    absorbed = 1
+            if probe is not None and self._approve_probe(node.name, probe):
+                return self._indexed_apply(node, probe, nodes, absorbed)
         src = self.stream(node, "SET_APPLY needs a multiset input, got %r",
                           with_value=True)
         codegen = _FusedCodegen(self)
@@ -898,6 +1051,104 @@ class PlanCompiler:
             return gen(chunks, ctx)
         return fn
 
+    def _approve_probe(self, name: str, probe: _ProbePlan) -> bool:
+        """Should a recognized probe shape actually be lowered?  Forced
+        modes decide outright; in ``auto`` the cost model (when one is
+        attached) prices probe vs. scan from catalog statistics and
+        calibrated selectivities."""
+        if self.access_paths == "force":
+            return True
+        model = self.cost_model
+        if model is None or not hasattr(model, "choose_access_path"):
+            return True
+        choice = model.choose_access_path(name, kind=probe.kind,
+                                          pred=probe.pred,
+                                          types=probe.types)
+        if choice == "scan":
+            self.note("ACCESS_PATH[%s: cost model keeps the scan]" % name)
+            return False
+        return True
+
+    def _indexed_apply(self, node: Named, probe: _ProbePlan,
+                       nodes: List[SetApply],
+                       absorbed: int = 0) -> StreamFn:
+        """Lower a fused chain whose innermost stage is a recognized
+        probe shape.  Compiles BOTH forms — the index probe feeding the
+        rest of the chain, and the full fused scan — and picks per
+        execution: the probe runs iff the context's catalog serves a
+        live (or lazily rebuilt) index, so correctness never depends on
+        catalog state at compile time."""
+        name = node.name
+        src = self.stream(node, "SET_APPLY needs a multiset input, got %r",
+                          with_value=True)
+        codegen = _FusedCodegen(self)
+        with self._no_trace():
+            scan_gen = codegen.build(nodes)
+        if absorbed:
+            # Keep the absorbed-through map stage; the σ above it (fully
+            # answered by the probe) is dropped from the rest chain.
+            rest = [nodes[0]] + list(nodes[2:])
+        else:
+            rest = list(nodes[1:])
+            if probe.residual is not None:
+                rest.insert(0, probe.residual)
+        rest_gen = None
+        if rest:
+            rest_codegen = _FusedCodegen(self)
+            with self._no_trace():
+                rest_gen = rest_codegen.build(rest)
+        self.note("FUSED_APPLY[%d stage(s), %d inlined] over %s"
+                  % (len(nodes), codegen.inlined, type(node).__name__))
+        path_desc = probe.describe(name)
+        self.note("INDEX_PROBE candidate[%s] with scan fallback"
+                  % path_desc)
+        span = (self._span_stack[-1]
+                if self.trace and not self._suppress else None)
+        key = probe.key
+        if probe.kind == "eq":
+            const = probe.eq_const
+
+            def open_probe(catalog, ctx):
+                index = catalog.probe_keyed(name, key)
+                if index is None:
+                    return None
+                return index.probe(const)
+        elif probe.kind == "range":
+            bounds = probe.bounds
+
+            def open_probe(catalog, ctx):
+                index = catalog.probe_ordered(name, key)
+                if index is None:
+                    return None
+                return index.probe_range(**bounds)
+        else:
+            types = probe.types
+
+            def open_probe(catalog, ctx):
+                index = catalog.probe_typed(name)
+                if index is None:
+                    return None
+                return iter(index.lookup(types).items())
+
+        def fn(v, ctx):
+            catalog = getattr(ctx, "indexes", None)
+            if catalog is not None:
+                chunks = open_probe(catalog, ctx)
+                if chunks is not None:
+                    ctx.tick("index_lookups")
+                    if span is not None:
+                        span.meta["access_path"] = path_desc
+                    if rest_gen is not None:
+                        return rest_gen(chunks, ctx)
+                    return chunks
+            if span is not None:
+                span.meta["access_path"] = "scan[%s]" % name
+            chunks = src(v, ctx)
+            if isinstance(chunks, Null):
+                return chunks
+            return scan_gen(chunks, ctx)
+        return fn
+
     def _hash_join(self, match: HashJoinMatch) -> StreamFn:
         lsrc = self.stream(match.left, "× needs two multisets")
         rsrc = self.stream(match.right, "× needs two multisets")
@@ -906,6 +1157,18 @@ class PlanCompiler:
             rkey = self.value(match.right_key)
         self.note("HASH_JOIN[%s = %s]" % (match.pred.left.describe(),
                                           match.pred.right.describe()))
+        left_name = (match.left.name
+                     if isinstance(match.left, Named) else None)
+        right_name = (match.right.name
+                      if isinstance(match.right, Named) else None)
+        inl_ok = (self.access_paths != "off"
+                  and (left_name is not None or right_name is not None))
+        if inl_ok:
+            self.note("INL_JOIN candidate[%s] when a key index is live"
+                      % " / ".join(n for n in (left_name, right_name)
+                                   if n is not None))
+        span = (self._span_stack[-1]
+                if self.trace and not self._suppress else None)
 
         def gen(ls, rs, ctx):
             # Build on the right: key → [(element, count)].  dne keys
@@ -955,13 +1218,81 @@ class PlanCompiler:
             ctx.tick("hash_join_build", built)
             ctx.tick("hash_join_probes", probed)
 
+        def inl_gen(chunks, index, probe_key, indexed_right, ctx):
+            # Index-nested-loop: the key index over one side replaces
+            # the hash build; stream the other side and probe.  The unk
+            # accounting reproduces the hash join's exactly — a pair is
+            # U iff both keys are non-dne and at least one is unk — via
+            # the index's live/unk occurrence totals.
+            build_live = index.occurrences
+            build_unk = index.unk_count
+            unk_total = 0
+            probed = 0
+            for a, na in chunks:
+                probed += na
+                k = probe_key(a, ctx)
+                if k is DNE:
+                    continue
+                if k is UNK:
+                    unk_total += na * build_live
+                    continue
+                if build_unk:
+                    unk_total += na * build_unk
+                bucket = index.bucket(k)
+                if not bucket:
+                    continue
+                for b, nb in bucket.items():
+                    out = (_flatten_pair(a, b) if indexed_right
+                           else _flatten_pair(b, a))
+                    if out is DNE:
+                        continue
+                    yield out, na * nb
+            if unk_total:
+                yield UNK, unk_total
+            ctx.tick("index_join_probes", probed)
+
         def fn(v, ctx):
+            catalog = getattr(ctx, "indexes", None) if inl_ok else None
+            if catalog is not None:
+                left_idx = (catalog.probe_keyed(left_name, match.left_key,
+                                                count=False)
+                            if left_name is not None else None)
+                right_idx = (catalog.probe_keyed(right_name, match.right_key,
+                                                 count=False)
+                             if right_name is not None else None)
+                index = None
+                if right_idx is not None and (
+                        left_idx is None
+                        or right_idx.occurrences >= left_idx.occurrences):
+                    # Index the bigger side; stream (probe with) the
+                    # other, like the hash join builds on the right.
+                    index, probe_src, probe_key = right_idx, lsrc, lkey
+                    indexed_right, indexed_name = True, right_name
+                    catalog.record_probe("keyed", right_name,
+                                         match.right_key)
+                elif left_idx is not None:
+                    index, probe_src, probe_key = left_idx, rsrc, rkey
+                    indexed_right, indexed_name = False, left_name
+                    catalog.record_probe("keyed", left_name, match.left_key)
+                if index is not None:
+                    chunks = probe_src(v, ctx)
+                    if isinstance(chunks, Null):
+                        return chunks
+                    ctx.tick("index_lookups")
+                    if span is not None:
+                        span.meta["access_path"] = (
+                            "index-nested-loop join[probe %s key index]"
+                            % indexed_name)
+                    return inl_gen(chunks, index, probe_key,
+                                   indexed_right, ctx)
             ls = lsrc(v, ctx)
             rs = rsrc(v, ctx)
             if isinstance(ls, Null):
                 return ls
             if isinstance(rs, Null):
                 return rs
+            if span is not None:
+                span.meta["access_path"] = "hash join[build right]"
             return gen(ls, rs, ctx)
         return fn
 
@@ -1161,6 +1492,9 @@ class PlanCompiler:
     def _s_IndexedTypeScan(self, expr: IndexedTypeScan) -> StreamFn:
         name = expr.object_name
         types = expr.types
+        use_index = self.access_paths != "off"
+        span = (self._span_stack[-1]
+                if self.trace and not self._suppress else None)
 
         def gen(collection, ctx):
             scanned = 0
@@ -1172,12 +1506,21 @@ class PlanCompiler:
                 ctx.tick("elements_scanned", scanned)
 
         def fn(v, ctx):
-            catalog = getattr(ctx, "indexes", None)
+            catalog = getattr(ctx, "indexes", None) if use_index else None
             if catalog is not None:
-                index = catalog.typed(name)
+                # probe_typed lazily rebuilds a stale partition snapshot
+                # from its definition; falls through to the scan when no
+                # typed index is defined for the name.
+                index = catalog.probe_typed(name)
                 if index is not None:
                     ctx.tick("index_lookups")
+                    if span is not None:
+                        span.meta["access_path"] = (
+                            "index partition probe[%s: %s]"
+                            % (name, "|".join(sorted(types))))
                     return iter(index.lookup(types).items())
+            if span is not None:
+                span.meta["access_path"] = "scan[%s]" % name
             collection = ctx.lookup(name)
             if not isinstance(collection, MultiSet):
                 raise MethodError("IndexedTypeScan needs a multiset object")
@@ -1514,19 +1857,29 @@ class Pipeline:
 
 
 def compile_plan(expr: Expr, ctx: EvalContext = None,
-                 facts=None, trace: bool = False) -> Pipeline:
+                 facts=None, trace: bool = False, cost_model=None,
+                 access_paths: str = "auto") -> Pipeline:
     """Lower *expr* into a streaming :class:`Pipeline`.
 
-    *ctx* is accepted for signature symmetry with ``evaluate`` (a future
-    compiler may consult catalog statistics); compilation itself is
-    structural plus whatever *facts* license — e.g. verified
-    duplicate-freedom turns DE into a pass-through.
+    *ctx* is accepted for signature symmetry with ``evaluate``;
+    compilation itself is structural plus whatever *facts* license —
+    e.g. verified duplicate-freedom turns DE into a pass-through.
+
+    ``access_paths`` controls index-probe lowering: ``"auto"`` lowers
+    recognized σ/typed/join shapes over named extents to catalog probes
+    (with a per-execution scan fallback), letting *cost_model* veto
+    unselective probes when one is attached; ``"force"`` always lowers;
+    ``"off"`` compiles pure scans — the differential suites run force
+    vs. off and demand bit-identical results.
 
     With *trace* on, the pipeline carries a span tree mirroring the
-    physical plan in ``trace_root`` and every run records per-operator
-    wall time and output cardinalities into it.
+    physical plan in ``trace_root``, every run records per-operator
+    wall time and output cardinalities into it, and each probe-capable
+    operator stamps the access path it actually took into its span's
+    ``meta`` (rendered by EXPLAIN ANALYZE).
     """
-    compiler = PlanCompiler(facts=facts, trace=trace)
+    compiler = PlanCompiler(facts=facts, trace=trace, cost_model=cost_model,
+                            access_paths=access_paths)
     run = compiler.value(expr)
     return Pipeline(expr, run, compiler.notes,
                     trace_root=compiler.trace_root)

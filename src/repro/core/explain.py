@@ -120,6 +120,8 @@ def _deviation(actual: float, estimated: float) -> str:
     """Estimated-vs-actual cardinality drift, PostgreSQL-style."""
     if estimated <= 0:
         return "deviation n/a" if actual else "exact"
+    if actual <= 0:
+        return "×%.1f over-estimated" % estimated
     ratio = actual / estimated
     if 0.999 <= ratio <= 1.001:
         return "exact"
@@ -131,6 +133,9 @@ def _deviation(actual: float, estimated: float) -> str:
 def _analyze_annotation(span, cost_model) -> str:
     """The parenthesised actuals for one span line."""
     bits: List[str] = []
+    access_path = span.meta.get("access_path")
+    if access_path is not None:
+        bits.append("via %s" % access_path)
     if span.kind == "operator":
         actual = span.card_out / span.calls if span.calls else 0.0
         bits.append("actual card=%.0f" % actual)

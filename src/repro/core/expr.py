@@ -295,7 +295,8 @@ class Func(Expr):
 
 
 def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
-             mode: str = "interpreted", facts: Any = None) -> Any:
+             mode: str = "interpreted", facts: Any = None,
+             cost_model: Any = None, access_paths: str = "auto") -> Any:
     """Evaluate a top-level expression.
 
     A bare INPUT at top level is an error unless *input_value* is given
@@ -311,6 +312,9 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     e.g. duplicate-freedom from the static analysis layer — that the
     compiler may use as optimization licenses.
 
+    ``cost_model`` and ``access_paths`` (compiled engine only) steer
+    index-probe lowering — see :func:`repro.core.engine.compile_plan`.
+
     When ``ctx.tracer`` is set and enabled, a span tree for the run is
     attached under the tracer's cursor: per physical operator for the
     compiled engine, one root span for the interpreter.
@@ -319,7 +323,9 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     tracing = tracer is not None and tracer.enabled
     if mode == "compiled":
         from .engine import compile_plan
-        plan = compile_plan(expr, facts=facts, trace=tracing)
+        plan = compile_plan(expr, facts=facts, trace=tracing,
+                            cost_model=cost_model,
+                            access_paths=access_paths)
         if not tracing:
             return plan.execute(ctx, input_value)
         root = plan.trace_root

@@ -315,7 +315,9 @@ class Session:
                                 value_mode=statement.value_mode)
         expr, _ = self.translator().translate_retrieve(retrieve)
         self.context.begin_query()
-        value = evaluate(expr, self.context, mode=self.engine)
+        value = evaluate(expr, self.context, mode=self.engine,
+                         cost_model=(self.optimizer.cost_model
+                                     if self.optimizer is not None else None))
         addition = value if isinstance(value, MultiSet) else MultiSet([value])
 
         declared = getattr(self.db, "created_types", {}).get(collection)
@@ -504,7 +506,10 @@ class Session:
             expr = self._optimize(expr)
         facts = self._verify_plan(expr) if self.verify else None
         self.context.begin_query()
-        value = evaluate(expr, self.context, mode=self.engine, facts=facts)
+        cost_model = (self.optimizer.cost_model
+                      if self.optimizer is not None else None)
+        value = evaluate(expr, self.context, mode=self.engine, facts=facts,
+                         cost_model=cost_model)
         if statement.into:
             self.db.create(statement.into, value)
             if result_type is not None:

@@ -402,6 +402,14 @@ REWRITE_FIRES_TOTAL = REGISTRY.counter(
 REWRITE_SECONDS_TOTAL = REGISTRY.counter(
     "repro_rewrite_seconds_total",
     "Time spent inside rule matchers during optimization, by rule.")
+INDEX_BUILDS_TOTAL = REGISTRY.counter(
+    "repro_index_builds_total",
+    "Index (re)builds by the catalog, by kind.")
+INDEX_PROBES_TOTAL = REGISTRY.counter(
+    "repro_index_probes_total",
+    "Index probes served to the execution engines, by kind.")
+INDEX_DROPS_TOTAL = REGISTRY.counter(
+    "repro_index_drops_total", "Index definitions dropped, by kind.")
 
 
 def now() -> float:

@@ -32,6 +32,7 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "de_elements",
     "grp_elements",
     "index_lookups",
+    "index_join_probes",
     "hash_join_build",
     "hash_join_probes",
 )
@@ -61,6 +62,7 @@ class QueryStats:
     de_elements: int = 0
     grp_elements: int = 0
     index_lookups: int = 0
+    index_join_probes: int = 0
     hash_join_build: int = 0
     hash_join_probes: int = 0
     #: Counters ticked under names this dataclass doesn't know about

@@ -1,6 +1,7 @@
 """Object store, named database objects, access methods, durability."""
 
-from .indexes import IndexCatalog, KeyIndex, TypedPartitionIndex
+from .indexes import (IndexCatalog, KeyIndex, OrderedIndex,
+                      TypedPartitionIndex)
 from .persist import (PersistError, database_from_json, database_to_json,
                       load_database, save_database)
 from .store import DEFAULT_TYPE, Database, ObjectStore, StoreError
@@ -9,7 +10,8 @@ from .txn import (SnapshotView, TransactionManager, TxnError, open_database,
 from .wal import WalError, WriteAheadLog, read_records
 
 __all__ = ["ObjectStore", "Database", "StoreError", "DEFAULT_TYPE",
-           "IndexCatalog", "KeyIndex", "TypedPartitionIndex",
+           "IndexCatalog", "KeyIndex", "OrderedIndex",
+           "TypedPartitionIndex",
            "save_database", "load_database", "database_to_json",
            "database_from_json", "PersistError",
            "TransactionManager", "TxnError", "SnapshotView", "open_database",

@@ -7,26 +7,81 @@ index on the Persons of P, the need to scan P three times … disappears."
 Section 1 likewise motivates indices and cached attributes
 [Maie86b, Shek89] for optimized method bodies.
 
-Two access methods are provided:
+Three access methods are provided:
 
 * :class:`TypedPartitionIndex` — partitions a multiset's occurrences by
   exact type, so a typed SET_APPLY can read its matching occurrences
   directly instead of scanning and filtering;
 * :class:`KeyIndex` — a hash index from the value of a key expression to
-  the occurrences producing it (equality lookups for selections/joins).
+  the occurrences producing it (equality lookups for selections/joins);
+* :class:`OrderedIndex` — a sorted-array index over the key expression,
+  serving range predicates (``<``, ``≤``, between) by binary search.
 
-Indexes are built eagerly over an immutable multiset snapshot; since all
-algebra values are immutable, staleness only arises when a *named*
-object is re-created, which invalidates through :class:`IndexCatalog`.
+Indexes are built eagerly over an immutable multiset snapshot.  The
+catalog keeps two layers of state:
+
+* *definitions* — durable DDL ("there is a keyed index on P by age").
+  Definitions survive re-creates of the named object, transaction
+  aborts, and — via the WAL (``kind: index_create`` / ``index_drop``
+  DDL records) and the snapshot — restarts.
+* *built snapshots* — derived data.  A snapshot goes stale when the
+  named object is re-created (identity check against the stored value)
+  or, for indexes whose contents depend on the object store (a typed
+  index over refs, a key expression that dereferences), when the store
+  version moves.  ``probe_*`` lazily rebuilds a stale snapshot from its
+  definition; the legacy ``typed()``/``keyed()`` accessors only report.
+
+Null discipline mirrors the predicates the engines evaluate: a ``dne``
+key unindexes its occurrence (the atom would be F), while ``unk`` keys
+are tallied separately — an equality or range probe reports them as the
+``unk`` occurrences a σ's U verdict would produce.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from ..core.expr import EvalContext, Expr
+from ..core.expr import Const, EvalContext, Expr, Input
 from ..core.operators.multiset import exact_type_of
-from ..core.values import DNE, MultiSet
+from ..core.operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..core.values import DNE, UNK, MultiSet, Ref
+from ..obs.metrics import (INDEX_BUILDS_TOTAL, INDEX_DROPS_TOTAL,
+                           INDEX_PROBES_TOTAL)
+
+#: Unbounded end of a range probe.
+UNBOUNDED = object()
+
+#: Expression nodes whose value is a pure function of the element —
+#: keys built from these never consult the object store, so the index
+#: only goes stale when the named object itself is re-created.
+_PURE_KEY_NODES = (Input, Const, TupExtract, Pi, TupCat, TupCreate)
+
+
+def _key_reads_store(key: Expr) -> bool:
+    """Conservative: anything beyond pure tuple navigation (a deref, a
+    method call, a registered function) may read mutable store state."""
+    return any(not isinstance(node, _PURE_KEY_NODES) for node in key.walk())
+
+
+def comparability_class(value: Any) -> Any:
+    """The group of values *value* orders against without a TypeError.
+
+    Numbers (bools included) form one class, strings another, and
+    everything else groups by its exact Python type — mirroring
+    ``_compare_scalars``, whose TypeError is the U verdict a range
+    probe must reproduce for cross-class comparisons.
+    """
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    return type(value)
+
+
+def _stamp(index: Any, ctx: EvalContext) -> None:
+    store = getattr(ctx, "store", None)
+    index.store_version = getattr(store, "version", None)
 
 
 class TypedPartitionIndex:
@@ -37,15 +92,25 @@ class TypedPartitionIndex:
     in O(distinct elements of the answer) instead of a full scan.
     """
 
+    kind = "typed"
+
     def __init__(self, collection: MultiSet, ctx: EvalContext):
         if not isinstance(collection, MultiSet):
             raise TypeError("TypedPartitionIndex needs a MultiSet")
         self._partitions: Dict[Optional[str], Dict[Any, int]] = {}
+        self.occurrences = 0
+        # A ref's exact type lives in the store; migrating the object
+        # repartitions it, so the snapshot must track store versions.
+        self.reads_store = False
         for element, count in collection.items():
             exact = exact_type_of(element, ctx)
             bucket = self._partitions.setdefault(exact, {})
             bucket[element] = count
+            self.occurrences += count
+            if isinstance(element, Ref):
+                self.reads_store = True
         self.source = collection
+        _stamp(self, ctx)
 
     def types(self) -> List[Optional[str]]:
         return list(self._partitions)
@@ -65,48 +130,338 @@ class KeyIndex:
 
     The key expression is evaluated with each occurrence bound to INPUT
     (exactly a SET_APPLY subscript); occurrences whose key is ``dne`` are
-    unindexed, mirroring GRP's treatment.
+    unindexed, mirroring GRP's treatment, and ``unk``-keyed occurrences
+    are tallied aside so equality probes can emit the U-verdict ``unk``
+    occurrences a scanning σ would produce.
     """
+
+    kind = "keyed"
 
     def __init__(self, key: Expr, collection: MultiSet, ctx: EvalContext):
         if not isinstance(collection, MultiSet):
             raise TypeError("KeyIndex needs a MultiSet")
         self.key = key
         self._buckets: Dict[Any, Dict[Any, int]] = {}
+        self.unk_count = 0      # occurrences whose key is unk (or that
+        self.indexed_count = 0  # ARE unk) vs. occurrences bucketed
         for element, count in collection.items():
             k = key.evaluate(element, ctx)
             if k is DNE:
                 continue
+            if k is UNK:
+                self.unk_count += count
+                continue
             bucket = self._buckets.setdefault(k, {})
             bucket[element] = bucket.get(element, 0) + count
+            self.indexed_count += count
+        self.occurrences = self.indexed_count + self.unk_count
+        self.reads_store = _key_reads_store(key)
         self.source = collection
+        _stamp(self, ctx)
 
     def lookup(self, key_value: Any) -> MultiSet:
         return MultiSet(counts=self._buckets.get(key_value, {}))
+
+    def bucket(self, key_value: Any) -> Optional[Dict[Any, int]]:
+        """The raw (element → count) tally for *key_value*, or None —
+        zero-copy, for join probes."""
+        return self._buckets.get(key_value)
+
+    def probe(self, key_value: Any) -> Iterator[Tuple[Any, int]]:
+        """Occurrence chunks a σ ``key = key_value`` would keep: the
+        matching bucket plus one aggregated ``unk`` occurrence for every
+        U verdict (unk keys and unk elements alike)."""
+        bucket = self._buckets.get(key_value)
+        if bucket:
+            for item in bucket.items():
+                yield item
+        if self.unk_count:
+            yield UNK, self.unk_count
 
     def keys(self) -> List[Any]:
         return list(self._buckets)
 
 
+class OrderedIndex:
+    """Sorted-array index (the B-tree of this storage layer's scale).
+
+    Keys bucket exactly as :class:`KeyIndex`; buckets are then grouped
+    by :func:`comparability_class` and each class's keys kept sorted, so
+    a range probe bisects the bound's class in O(log n + answer).
+    Occurrences in *other* classes are precisely those whose comparison
+    with the bound raises TypeError — ``_compare_scalars``'s U verdict —
+    so the probe reports them (plus unk-keyed occurrences) as one
+    aggregated ``unk`` occurrence count, bit-identical to the scan.
+    """
+
+    kind = "ordered"
+
+    def __init__(self, key: Expr, collection: MultiSet, ctx: EvalContext):
+        if not isinstance(collection, MultiSet):
+            raise TypeError("OrderedIndex needs a MultiSet")
+        self.key = key
+        self.unk_count = 0
+        self.indexed_count = 0
+        buckets: Dict[Any, Dict[Any, int]] = {}
+        for element, count in collection.items():
+            k = key.evaluate(element, ctx)
+            if k is DNE:
+                continue
+            if k is UNK:
+                self.unk_count += count
+                continue
+            bucket = buckets.setdefault(k, {})
+            bucket[element] = bucket.get(element, 0) + count
+            self.indexed_count += count
+        self._groups: Dict[Any, dict] = {}
+        for k, bucket in buckets.items():
+            cls = comparability_class(k)
+            group = self._groups.setdefault(
+                cls, {"pairs": [], "count": 0, "sortable": True})
+            group["pairs"].append((k, bucket))
+            group["count"] += sum(bucket.values())
+        for group in self._groups.values():
+            try:
+                group["pairs"].sort(key=lambda pair: pair[0])
+            except TypeError:
+                # Members of this class don't order even among
+                # themselves; every comparison is a U verdict.
+                group["sortable"] = False
+            else:
+                group["keys"] = [k for k, _ in group["pairs"]]
+        self.occurrences = self.indexed_count + self.unk_count
+        self.reads_store = _key_reads_store(key)
+        self.source = collection
+        _stamp(self, ctx)
+
+    def keys(self) -> List[Any]:
+        return [k for group in self._groups.values()
+                for k, _ in group["pairs"]]
+
+    def probe_range(self, low: Any = UNBOUNDED, high: Any = UNBOUNDED,
+                    incl_low: bool = True,
+                    incl_high: bool = True) -> Iterator[Tuple[Any, int]]:
+        """Occurrence chunks a σ over ``low ⋖ key ⋖ high`` would keep.
+
+        Matches come from the bound's comparability class via bisect;
+        every occurrence in another class — where the scan's comparison
+        would raise TypeError → U — and every unk-keyed occurrence is
+        folded into one trailing ``unk`` chunk.
+        """
+        bound = low if low is not UNBOUNDED else high
+        cls = comparability_class(bound)
+        unk = self.unk_count
+        for group_cls, group in self._groups.items():
+            if group_cls != cls or not group["sortable"]:
+                unk += group["count"]
+                continue
+            keys = group["keys"]
+            if low is UNBOUNDED:
+                lo = 0
+            elif incl_low:
+                lo = bisect_left(keys, low)
+            else:
+                lo = bisect_right(keys, low)
+            if high is UNBOUNDED:
+                hi = len(keys)
+            elif incl_high:
+                hi = bisect_right(keys, high)
+            else:
+                hi = bisect_left(keys, high)
+            for _, bucket in group["pairs"][lo:hi]:
+                for item in bucket.items():
+                    yield item
+        if unk:
+            yield UNK, unk
+
+
+#: Index classes by definition kind.
+_INDEX_KINDS = {"typed": TypedPartitionIndex, "keyed": KeyIndex,
+                "ordered": OrderedIndex}
+
+
 class IndexCatalog:
     """Registry of indexes over named top-level objects.
 
-    The optimizer consults this to decide whether a typed SET_APPLY over
-    a named object can be served by partition lookup, and benchmarks use
-    it to reproduce the indexed series of the Section 4 trade-off.
+    The compiled engine's probe lowering consults this at run time
+    (``probe_typed``/``probe_keyed``/``probe_ordered`` — live snapshot
+    or lazy rebuild from the definition), the optimizer to rank access
+    paths, the persistence layer to round-trip definitions, and the
+    shell's ``.indexes`` to report sizes and hit counters.
     """
 
     def __init__(self, database):
         self._database = database
         self._typed: Dict[str, TypedPartitionIndex] = {}
         self._keyed: Dict[str, Dict[Expr, KeyIndex]] = {}
+        self._ordered: Dict[str, Dict[Expr, OrderedIndex]] = {}
+        #: Durable definitions: (kind, name, key-expr-or-None) → True.
+        self._defs: Dict[Tuple[str, str, Optional[Expr]], bool] = {}
+        #: Probe counters per definition (survive rebuilds).
+        self.hits: Dict[Tuple[str, str, Optional[Expr]], int] = {}
+
+    # -- definitions (durable DDL) ------------------------------------
+
+    def _register(self, kind: str, name: str, key: Optional[Expr]) -> None:
+        def_key = (kind, name, key)
+        if def_key in self._defs:
+            return
+        self._defs[def_key] = True
+        self.hits.setdefault(def_key, 0)
+        journal = getattr(self._database, "journal", None)
+        if journal is not None:
+            journal.log_ddl({"kind": "index_create",
+                             "index": self._def_json(def_key)})
+
+    @staticmethod
+    def _def_json(def_key: Tuple[str, str, Optional[Expr]]) -> dict:
+        from ..core.serialize import expr_to_json
+        kind, name, key = def_key
+        entry = {"name": name, "kind": kind}
+        if key is not None:
+            entry["key"] = expr_to_json(key)
+        return entry
+
+    def create_index(self, kind: str, name: str,
+                     key: Optional[Expr] = None):
+        """Define (journaled DDL) and build an index; returns it."""
+        if kind == "typed":
+            return self.build_typed(name)
+        if key is None:
+            raise ValueError("%s index needs a key expression" % kind)
+        if kind == "keyed":
+            return self.build_keyed(name, key)
+        if kind == "ordered":
+            return self.build_ordered(name, key)
+        raise ValueError("unknown index kind %r "
+                         "(typed, keyed, ordered)" % (kind,))
+
+    def drop_index(self, kind: str, name: str,
+                   key: Optional[Expr] = None) -> bool:
+        """Remove a definition (journaled DDL) and its built snapshot.
+
+        Keyed/ordered definitions always carry a key expression, so
+        ``key=None`` there means "whichever index of this kind is on
+        this name" — the CLI drops by (kind, name) without asking the
+        user to respell the key."""
+        if key is None and kind != "typed":
+            matches = [dk for dk in self._defs
+                       if dk[0] == kind and dk[1] == name]
+            if not matches:
+                return False
+            return all(self.drop_index(*dk) for dk in matches)
+        def_key = (kind, name, key)
+        if def_key not in self._defs:
+            return False
+        payload = self._def_json(def_key)
+        del self._defs[def_key]
+        self.hits.pop(def_key, None)
+        if kind == "typed":
+            self._typed.pop(name, None)
+        elif kind == "keyed":
+            self._keyed.get(name, {}).pop(key, None)
+        else:
+            self._ordered.get(name, {}).pop(key, None)
+        journal = getattr(self._database, "journal", None)
+        if journal is not None:
+            journal.log_ddl({"kind": "index_drop", "index": payload})
+        INDEX_DROPS_TOTAL.inc(kind=kind)
+        return True
+
+    def restore(self, entries: List[dict]) -> None:
+        """Re-register definitions from a snapshot or a replayed WAL
+        record — no journaling (the caller IS the journal).  Builds
+        eagerly when the named object exists; otherwise the definition
+        waits for ``probe_*`` to rebuild on demand."""
+        from ..core.serialize import expr_from_json
+        for entry in entries:
+            kind = entry["kind"]
+            key = expr_from_json(entry["key"]) if "key" in entry else None
+            def_key = (kind, entry["name"], key)
+            self._defs[def_key] = True
+            self.hits.setdefault(def_key, 0)
+            try:
+                self._build(def_key)
+            except KeyError:
+                pass  # named object absent; definition stays pending
+
+    def remove_definition(self, entry: dict) -> None:
+        """Apply a replayed ``index_drop`` — no journaling."""
+        from ..core.serialize import expr_from_json
+        kind = entry["kind"]
+        key = expr_from_json(entry["key"]) if "key" in entry else None
+        def_key = (kind, entry["name"], key)
+        self._defs.pop(def_key, None)
+        self.hits.pop(def_key, None)
+        if kind == "typed":
+            self._typed.pop(entry["name"], None)
+        elif kind == "keyed":
+            self._keyed.get(entry["name"], {}).pop(key, None)
+        else:
+            self._ordered.get(entry["name"], {}).pop(key, None)
+
+    def has_definition(self, name: str,
+                       kind: Optional[str] = None) -> bool:
+        """Whether a definition exists for *name* (optionally of *kind*).
+        The cost model consults this before pricing a probe path."""
+        return any(dk[1] == name and (kind is None or dk[0] == kind)
+                   for dk in self._defs)
+
+    @staticmethod
+    def _def_sort(def_key: Tuple[str, str, Optional[Expr]]):
+        kind, name, key = def_key
+        return (0 if kind == "typed" else 1, name, kind,
+                key.describe() if key is not None else "")
+
+    def definitions(self) -> List[dict]:
+        """Serializable definitions of every index whose named object
+        still exists (a dropped name kills its definitions).  The
+        persistence layer stores these and rebuilds on load — index
+        contents are derived data, only definitions need to survive."""
+        defs: List[dict] = []
+        for def_key in sorted(self._defs, key=self._def_sort):
+            try:
+                self._database.get(def_key[1])
+            except KeyError:
+                continue
+            defs.append(self._def_json(def_key))
+        return defs
+
+    # -- builds -------------------------------------------------------
+
+    def _build(self, def_key: Tuple[str, str, Optional[Expr]]):
+        kind, name, key = def_key
+        ctx = self._database.context()
+        collection = self._database.get(name)
+        if kind == "typed":
+            index = TypedPartitionIndex(collection, ctx)
+            self._typed[name] = index
+        elif kind == "keyed":
+            index = KeyIndex(key, collection, ctx)
+            self._keyed.setdefault(name, {})[key] = index
+        else:
+            index = OrderedIndex(key, collection, ctx)
+            self._ordered.setdefault(name, {})[key] = index
+        INDEX_BUILDS_TOTAL.inc(kind=kind)
+        return index
 
     def build_typed(self, name: str) -> TypedPartitionIndex:
         """(Re)build the typed-partition index over named object *name*."""
-        ctx = self._database.context()
-        index = TypedPartitionIndex(self._database.get(name), ctx)
-        self._typed[name] = index
+        index = self._build(("typed", name, None))
+        self._register("typed", name, None)
         return index
+
+    def build_keyed(self, name: str, key: Expr) -> KeyIndex:
+        index = self._build(("keyed", name, key))
+        self._register("keyed", name, key)
+        return index
+
+    def build_ordered(self, name: str, key: Expr) -> OrderedIndex:
+        index = self._build(("ordered", name, key))
+        self._register("ordered", name, key)
+        return index
+
+    # -- legacy accessors: report the built snapshot, never rebuild ----
 
     def typed(self, name: str) -> Optional[TypedPartitionIndex]:
         index = self._typed.get(name)
@@ -116,12 +471,6 @@ class IndexCatalog:
             return None
         return index
 
-    def build_keyed(self, name: str, key: Expr) -> KeyIndex:
-        ctx = self._database.context()
-        index = KeyIndex(key, self._database.get(name), ctx)
-        self._keyed.setdefault(name, {})[key] = index
-        return index
-
     def keyed(self, name: str, key: Expr) -> Optional[KeyIndex]:
         index = self._keyed.get(name, {}).get(key)
         if index is not None and index.source is not self._database.get(name):
@@ -129,31 +478,113 @@ class IndexCatalog:
             return None
         return index
 
+    def ordered(self, name: str, key: Expr) -> Optional[OrderedIndex]:
+        index = self._ordered.get(name, {}).get(key)
+        if index is not None and index.source is not self._database.get(name):
+            del self._ordered[name][key]
+            return None
+        return index
+
+    # -- probes: live snapshot or lazy rebuild from the definition ----
+
+    def _is_live(self, index) -> bool:
+        if index.reads_store:
+            store = getattr(self._database, "store", None)
+            if getattr(store, "version", None) != index.store_version:
+                return False
+        return True
+
+    def _probe(self, def_key: Tuple[str, str, Optional[Expr]], built,
+               count: bool):
+        if def_key not in self._defs:
+            return None
+        if built is not None:
+            try:
+                current = self._database.get(def_key[1])
+            except KeyError:
+                return None
+            if built.source is not current or not self._is_live(built):
+                built = None
+        if built is None:
+            try:
+                built = self._build(def_key)
+            except (KeyError, TypeError):
+                # Named object gone, or re-created as a non-multiset:
+                # the definition stays pending and callers fall back to
+                # their scan path (which reports the real error).
+                return None
+        if count:
+            self.record_probe(*def_key)
+        return built
+
+    def probe_typed(self, name: str,
+                    count: bool = True) -> Optional[TypedPartitionIndex]:
+        return self._probe(("typed", name, None),
+                           self._typed.get(name), count)
+
+    def probe_keyed(self, name: str, key: Expr,
+                    count: bool = True) -> Optional[KeyIndex]:
+        return self._probe(("keyed", name, key),
+                           self._keyed.get(name, {}).get(key), count)
+
+    def probe_ordered(self, name: str, key: Expr,
+                      count: bool = True) -> Optional[OrderedIndex]:
+        return self._probe(("ordered", name, key),
+                           self._ordered.get(name, {}).get(key), count)
+
+    def record_probe(self, kind: str, name: str,
+                     key: Optional[Expr] = None, n: int = 1) -> None:
+        """Bump the per-definition hit counter and the registry metric
+        (callers that peeked with ``count=False`` settle up here)."""
+        def_key = (kind, name, key)
+        if def_key in self._defs:
+            self.hits[def_key] = self.hits.get(def_key, 0) + n
+            INDEX_PROBES_TOTAL.inc(n, kind=kind)
+
+    # -- invalidation and inheritance ---------------------------------
+
     def invalidate(self, name: str) -> None:
+        """Drop built snapshots over *name* (definitions survive — they
+        are DDL; the next probe rebuilds over the current value)."""
         self._typed.pop(name, None)
         self._keyed.pop(name, None)
+        self._ordered.pop(name, None)
 
-    def definitions(self) -> List[dict]:
-        """Serializable definitions of every *live* index (stale
-        snapshots are pruned as a side effect).  The persistence layer
-        stores these and rebuilds the indexes on load — index contents
-        are derived data, so only the definitions need to survive."""
-        from ..core.serialize import expr_to_json
-        defs: List[dict] = []
-        for name in sorted(self._typed):
-            try:
-                live = self.typed(name)
-            except KeyError:  # named object dropped: index is dead
-                live = None
-            if live is not None:
-                defs.append({"name": name, "kind": "typed"})
-        for name in sorted(self._keyed):
-            for key in list(self._keyed[name]):
+    def closed_types(self, type_name: str) -> frozenset:
+        """The exact types a typed probe for *type_name* must union:
+        C3 descendants-or-self, so a probe for Person reads the Person,
+        Student, and Employee partitions."""
+        hierarchy = self._database.hierarchy
+        if type_name in hierarchy:
+            return frozenset(hierarchy.descendants_or_self(type_name))
+        return frozenset([type_name])
+
+    # -- reporting ----------------------------------------------------
+
+    def describe_rows(self) -> List[dict]:
+        """One row per definition for ``.indexes``: kind, name, key,
+        size (occurrences; None while stale/unbuilt), probe hits."""
+        rows: List[dict] = []
+        for def_key in sorted(self._defs, key=self._def_sort):
+            kind, name, key = def_key
+            if kind == "typed":
+                built = self._typed.get(name)
+            elif kind == "keyed":
+                built = self._keyed.get(name, {}).get(key)
+            else:
+                built = self._ordered.get(name, {}).get(key)
+            live = False
+            if built is not None:
                 try:
-                    live = self.keyed(name, key)
+                    live = (built.source is self._database.get(name)
+                            and self._is_live(built))
                 except KeyError:
-                    live = None
-                if live is not None:
-                    defs.append({"name": name, "kind": "keyed",
-                                 "key": expr_to_json(key)})
-        return defs
+                    live = False
+            rows.append({
+                "kind": kind, "name": name,
+                "key": key.describe() if key is not None else "",
+                "size": built.occurrences if live else None,
+                "hits": self.hits.get(def_key, 0),
+                "live": live,
+            })
+        return rows

@@ -143,14 +143,11 @@ def database_from_json(snapshot: Dict[str, Any],
     if missing:
         db.missing_functions = missing  # surfaced, not fatal
 
-    # Rebuild access methods last: keyed indexes evaluate their key
-    # expressions, which may call the functions registered just above.
-    for entry in snapshot.get("indexes", []):
-        if entry["kind"] == "typed":
-            db.indexes.build_typed(entry["name"])
-        else:
-            db.indexes.build_keyed(entry["name"],
-                                   expr_from_json(entry["key"]))
+    # Rebuild access methods last: keyed/ordered indexes evaluate their
+    # key expressions, which may call the functions registered just
+    # above.  ``restore`` re-registers definitions without journaling
+    # and handles every kind (typed, keyed, ordered).
+    db.indexes.restore(snapshot.get("indexes", []))
     return db
 
 

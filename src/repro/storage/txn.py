@@ -671,6 +671,10 @@ def _redo_ddl(db: Database, payload: Dict[str, Any]) -> None:
             created = db.created_types = {}
         created[payload["name"]] = parse_type_expr(Lexer(payload["type"]),
                                                    types)
+    elif kind == "index_create":
+        db.indexes.restore([payload["index"]])
+    elif kind == "index_drop":
+        db.indexes.remove_definition(payload["index"])
 
 
 def replay_log(db: Database, records: List[Dict[str, Any]]) -> int:

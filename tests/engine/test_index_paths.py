@@ -1,0 +1,135 @@
+"""Differential testing of index-backed access paths.
+
+The compiled engine may answer a recognized σ / typed-SET_APPLY /
+rel_join shape from a :mod:`repro.storage.indexes` access method
+instead of scanning the named extent.  That substitution must be
+invisible: with every plausible index force-enabled, each of the 240
+generated plans (the same generator as ``test_engine_equivalence``)
+must produce the bit-identical multiset — occurrence counts, ``unk``
+tallies and all — that the index-disabled compiled engine produces.
+
+A coverage pin asserts the probes actually fire over the suite, so the
+equivalence can't silently become vacuous if the matcher regresses.
+"""
+
+import random
+
+import pytest
+
+from repro.core.expr import Const, Input, Named, evaluate
+from repro.core.operators import SetApply, TupExtract, rel_join
+from repro.core.predicates import Atom, Comp
+from repro.core.values import MultiSet, Tup
+from repro.storage import Database
+
+from .test_engine_equivalence import N_PLANS, PlanGen, build_db
+
+
+def build_indexed_db() -> Database:
+    """The equivalence fixture plus every index the generator's
+    predicates could plausibly use."""
+    db = build_db()
+    for field in ("name", "age", "city"):
+        db.indexes.create_index("keyed", "People",
+                                TupExtract(field, Input()))
+        db.indexes.create_index("ordered", "People",
+                                TupExtract(field, Input()))
+    db.indexes.create_index("typed", "People")
+    db.indexes.create_index("keyed", "Nums", Input())
+    db.indexes.create_index("ordered", "Nums", Input())
+    db.indexes.create_index("keyed", "Cities",
+                            TupExtract("cname", Input()))
+    return db
+
+
+def run_compiled(expr, access_paths: str, ctx_out=None):
+    ctx = build_indexed_db().context()
+    if ctx_out is not None:
+        ctx_out.append(ctx)
+    try:
+        return "ok", evaluate(expr, ctx, mode="compiled",
+                              access_paths=access_paths)
+    except Exception as error:  # noqa: BLE001 — comparing failure identity
+        return "error", (type(error).__name__, str(error))
+
+
+@pytest.mark.parametrize("seed", range(N_PLANS))
+def test_forced_probes_match_disabled(seed):
+    expr = PlanGen(random.Random(seed)).plan()
+    disabled = run_compiled(expr, "off")
+    forced = run_compiled(expr, "force")
+    if disabled[0] == "error":
+        # Failures must stay failures of the same type; the message may
+        # cite a different element — multisets are unordered, and a
+        # partition probe visits elements in partition order.
+        assert forced[0] == "error", expr.describe()
+        assert forced[1][0] == disabled[1][0], expr.describe()
+        return
+    assert forced == disabled, expr.describe()
+    if isinstance(disabled[1], MultiSet):
+        assert len(forced[1]) == len(disabled[1])
+        assert forced[1].distinct_count() == disabled[1].distinct_count()
+
+
+def test_probes_fire_across_the_suite():
+    """≥10% of the generated plans must actually take an index path
+    under force — otherwise the differential above proves nothing."""
+    fired = 0
+    for seed in range(N_PLANS):
+        expr = PlanGen(random.Random(seed)).plan()
+        ctxs = []
+        outcome, _ = run_compiled(expr, "force", ctx_out=ctxs)
+        if outcome == "ok" and ctxs[0].stats.get("index_lookups", 0):
+            fired += 1
+    assert fired >= N_PLANS // 10, "only %d/%d plans probed" % (
+        fired, N_PLANS)
+
+
+def test_index_nested_loop_join_matches_hash_join():
+    """The rel_join shape with a live key index on one side must stream
+    the same pair multiset the hash join builds."""
+    join = rel_join(
+        Atom(TupExtract("city", TupExtract("field1", Input())), "=",
+             TupExtract("cname", TupExtract("field2", Input()))),
+        SetApply(Input(), Named("People")),
+        Named("Cities"))
+    disabled = run_compiled(join, "off")
+    ctxs = []
+    forced = run_compiled(join, "force", ctx_out=ctxs)
+    assert forced == disabled
+    assert disabled[0] == "ok" and len(disabled[1]) > 0
+    assert ctxs[0].stats.get("index_join_probes", 0) > 0
+
+
+def test_probe_handles_unk_and_duplicates_exactly():
+    """Hand-built corner: duplicate occurrences and unk keys must
+    survive a forced point probe with exact counts."""
+    db = Database()
+    from repro.core.values import UNK
+    rows = [Tup({"k": 1, "v": "a"}), Tup({"k": 1, "v": "a"}),
+            Tup({"k": 2, "v": "b"}), Tup({"k": UNK, "v": "c"})]
+    db.create("T", MultiSet(rows + [rows[2]]))
+    db.indexes.create_index("keyed", "T", TupExtract("k", Input()))
+    expr = SetApply(Comp(Atom(TupExtract("k", Input()), "=", Const(1)),
+                         Input()), Named("T"))
+    off = evaluate(expr, db.context(), mode="compiled", access_paths="off")
+    on = evaluate(expr, db.context(), mode="compiled", access_paths="force")
+    assert on == off
+    assert len(on) == 3  # two k=1 occurrences + one unk verdict
+    assert dict(on.items()).get(UNK) == 1
+
+
+def test_explain_analyze_shows_access_path():
+    """EXPLAIN ANALYZE must name the chosen access path per operator,
+    with actual cardinalities."""
+    import repro
+
+    conn = repro.connect(engine="compiled", trace=True)
+    conn.execute('create Nums : { int }')
+    conn.db.create("Nums", MultiSet(range(50)))
+    conn.db.indexes.create_index("keyed", "Nums", Input())
+    conn.session.optimizer = None  # keep the plan shape literal
+    result = conn.execute("retrieve value (N) from N in Nums where N = 7")
+    text = result.explain()
+    assert "index probe[Nums" in text
+    assert "actual card=1" in text

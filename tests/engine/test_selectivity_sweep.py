@@ -1,0 +1,104 @@
+"""Selectivity-swept equivalence of index probes.
+
+For point and range predicates across selectivities from 0.1% to 100%,
+the interpreter, the index-disabled compiled engine, and the
+force-indexed compiled engine must all return the identical multiset —
+including the ``unk`` occurrences contributed by null keys, whose
+count is independent of the predicate's selectivity.
+
+The population is built so selectivity is exact by construction: with
+``band = i // max(1, int(N * s))`` a point probe for band 0 matches
+``int(N * s)`` of the N live rows, and a range probe on the uniform
+``uid`` field is controlled directly by its bounds.
+"""
+
+import pytest
+
+from repro.core.expr import Const, Input, Named, evaluate
+from repro.core.operators import SetApply, TupExtract
+from repro.core.predicates import And, Atom, Comp
+from repro.core.values import MultiSet, Tup, UNK
+from repro.storage import Database
+
+N = 400
+N_UNK = 7
+SELECTIVITIES = (0.001, 0.0025, 0.01, 0.05, 0.25, 1.0)
+
+
+def build_db(selectivity: float) -> Database:
+    db = Database()
+    stride = max(1, int(N * selectivity))
+    rows = [Tup({"band": i // stride, "uid": i}) for i in range(N)]
+    rows += [Tup({"band": UNK, "uid": UNK}) for _ in range(N_UNK)]
+    db.create("T", MultiSet(rows))
+    db.indexes.create_index("keyed", "T", TupExtract("band", Input()))
+    db.indexes.create_index("ordered", "T", TupExtract("uid", Input()))
+    return db
+
+
+def run_all(db_builder, expr):
+    out = {}
+    for label, kwargs in (
+            ("interpreted", {"mode": "interpreted"}),
+            ("compiled-off", {"mode": "compiled", "access_paths": "off"}),
+            ("compiled-force", {"mode": "compiled",
+                                "access_paths": "force"})):
+        out[label] = evaluate(expr, db_builder().context(), **kwargs)
+    return out
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_point_probe_sweep(selectivity):
+    expr = SetApply(
+        Comp(Atom(TupExtract("band", Input()), "=", Const(0)), Input()),
+        Named("T"))
+    results = run_all(lambda: build_db(selectivity), expr)
+    baseline = results["interpreted"]
+    assert results["compiled-off"] == baseline
+    assert results["compiled-force"] == baseline
+    stride = max(1, int(N * selectivity))
+    assert len(baseline) == stride + N_UNK
+    assert dict(baseline.items()).get(UNK) == N_UNK
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("op", ("<", "<=", ">", ">="))
+def test_range_probe_sweep(selectivity, op):
+    cut = int(N * selectivity)
+    expr = SetApply(
+        Comp(Atom(TupExtract("uid", Input()), op, Const(cut)), Input()),
+        Named("T"))
+    results = run_all(lambda: build_db(0.01), expr)
+    baseline = results["interpreted"]
+    assert results["compiled-off"] == baseline
+    assert results["compiled-force"] == baseline
+    expected = {"<": cut, "<=": min(N, cut + 1),
+                ">": N - min(N, cut + 1), ">=": N - cut}[op]
+    assert len(baseline) == expected + N_UNK
+
+
+@pytest.mark.parametrize("selectivity", (0.0025, 0.05, 0.5))
+def test_between_probe_sweep(selectivity):
+    width = max(1, int(N * selectivity))
+    lo, hi = N // 4, N // 4 + width - 1
+    expr = SetApply(
+        Comp(And(Atom(TupExtract("uid", Input()), ">=", Const(lo)),
+                 Atom(TupExtract("uid", Input()), "<=", Const(hi))),
+             Input()),
+        Named("T"))
+    results = run_all(lambda: build_db(0.01), expr)
+    baseline = results["interpreted"]
+    assert results["compiled-off"] == baseline
+    assert results["compiled-force"] == baseline
+    assert len(baseline) == width + N_UNK
+
+
+def test_flipped_literal_probe():
+    """A constant-on-the-left atom must reach the same probe result."""
+    expr = SetApply(
+        Comp(Atom(Const(100), ">", TupExtract("uid", Input())), Input()),
+        Named("T"))
+    results = run_all(lambda: build_db(0.01), expr)
+    assert results["compiled-force"] == results["interpreted"]
+    assert results["compiled-off"] == results["interpreted"]
+    assert len(results["interpreted"]) == 100 + N_UNK

@@ -1,0 +1,107 @@
+"""Index definitions vs transactions, WAL replay, and snapshots.
+
+The catalog keeps two layers: durable *definitions* (journaled DDL)
+and derived *built* snapshots.  Aborting a transaction rolls back the
+data but must leave definitions intact — and, crucially, must not
+leave a stale built index serving the pre-abort value (the regression:
+begin → drop/recreate a named object → abort used to strand the old
+built snapshot in the catalog).
+"""
+
+import pytest
+
+from repro.core.expr import Input
+from repro.core.operators.tuples import TupExtract
+from repro.core.values import MultiSet, Tup
+from repro.storage import (database_from_json, database_to_json,
+                           open_database)
+
+
+def nums(*values):
+    return MultiSet([Tup({"v": v}) for v in values])
+
+
+KEY = TupExtract("v", Input())
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = open_database(str(tmp_path / "d"))
+    yield database
+    database.journal.wal.close()
+
+
+def test_abort_after_recreate_leaves_no_stale_index(db):
+    db.create("Nums", nums(1, 2, 3))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    db.journal.begin()
+    db.drop("Nums")
+    db.create("Nums", nums(9))
+    # The in-txn probe sees the new value…
+    assert sorted(db.indexes.probe_keyed("Nums", KEY).keys()) == [9]
+    db.journal.abort()
+    # …and the post-abort probe must see the rolled-back value, not a
+    # stale snapshot of either world.
+    index = db.indexes.probe_keyed("Nums", KEY)
+    assert index is not None
+    assert sorted(index.keys()) == [1, 2, 3]
+    assert index.lookup(2) == MultiSet([Tup({"v": 2})])
+
+
+def test_abort_preserves_definitions(db):
+    db.create("Nums", nums(1))
+    db.indexes.create_index("ordered", "Nums", KEY)
+    db.journal.begin()
+    db.create("Nums2", nums(5))
+    db.journal.abort()
+    defs = db.indexes.definitions()
+    assert [(d["kind"], d["name"]) for d in defs] == [("ordered", "Nums")]
+
+
+def test_wal_replay_restores_index_definitions(tmp_path):
+    path = str(tmp_path / "d")
+    db = open_database(path)
+    db.create("Nums", nums(4, 8, 15, 16, 23, 42))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    db.indexes.create_index("ordered", "Nums", KEY)
+    db.indexes.create_index("typed", "Nums")
+    db.indexes.drop_index("typed", "Nums")
+    db.journal.wal.close()
+
+    db2 = open_database(path)
+    try:
+        kinds = sorted((d["kind"], d["name"])
+                       for d in db2.indexes.definitions())
+        assert kinds == [("keyed", "Nums"), ("ordered", "Nums")]
+        # Rebuilt-on-demand contents serve probes after replay.
+        assert list(db2.indexes.probe_ordered("Nums", KEY)
+                    .probe_range(low=16, high=42)) == [
+            (Tup({"v": 16}), 1), (Tup({"v": 23}), 1), (Tup({"v": 42}), 1)]
+    finally:
+        db2.journal.wal.close()
+
+
+def test_snapshot_round_trips_ordered_defs():
+    from repro.storage import Database
+    db = Database()
+    db.create("Nums", nums(3, 1, 2))
+    db.indexes.create_index("ordered", "Nums", KEY)
+    db.indexes.create_index("keyed", "Nums", KEY)
+    clone = database_from_json(database_to_json(db))
+    kinds = sorted((d["kind"], d["name"])
+                   for d in clone.indexes.definitions())
+    assert kinds == [("keyed", "Nums"), ("ordered", "Nums")]
+    index = clone.indexes.probe_ordered("Nums", KEY)
+    assert [pair for pair, _ in index.probe_range(high=2, incl_high=False)
+            ] == [Tup({"v": 1})]
+
+
+def test_dropping_name_in_txn_then_commit_retires_index(db):
+    db.create("Nums", nums(1, 2))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    db.journal.begin()
+    db.drop("Nums")
+    db.journal.commit()
+    # Name gone: definition no longer listed, probe declines.
+    assert db.indexes.definitions() == []
+    assert db.indexes.probe_keyed("Nums", KEY) is None

@@ -6,7 +6,7 @@ from repro.core.expr import EvalContext, Input
 from repro.core.operators import TupExtract
 from repro.core.values import MultiSet, Tup
 from repro.storage import (Database, IndexCatalog, KeyIndex,
-                           TypedPartitionIndex)
+                           OrderedIndex, TypedPartitionIndex)
 
 
 def population():
@@ -83,3 +83,132 @@ def test_catalog_explicit_invalidate():
     db.indexes.build_typed("P")
     db.indexes.invalidate("P")
     assert db.indexes.typed("P") is None
+
+
+# -- ordered (sorted-array) indexes -----------------------------------
+
+
+def mixed_population():
+    from repro.core.values import UNK
+    return MultiSet([
+        Tup({"v": 1}), Tup({"v": 2}), Tup({"v": 2}), Tup({"v": 5}),
+        Tup({"v": "apple"}), Tup({"v": "pear"}), Tup({"v": UNK}),
+    ])
+
+
+def _range(index, **bounds):
+    return sorted(
+        (repr(element), count)
+        for element, count in index.probe_range(**bounds))
+
+
+def test_ordered_index_range_bounds_and_inclusivity():
+    index = OrderedIndex(TupExtract("v", Input()), population(),
+                         EvalContext())
+    assert list(index.probe_range(low=2, high=3, incl_high=False)) == [
+        (Tup({"v": 2}, type_name="A"), 1), (Tup({"v": 2}, type_name="B"), 1)]
+    assert list(index.probe_range(low=3)) == [
+        (Tup({"v": 3}, type_name="B"), 2)]
+    assert list(index.probe_range(low=3, incl_low=False)) == []
+
+
+def test_ordered_index_unbounded_sides():
+    index = OrderedIndex(TupExtract("v", Input()), population(),
+                         EvalContext())
+    everything = list(index.probe_range())
+    assert sum(count for _, count in everything) == len(population())
+
+
+def test_ordered_index_unk_and_incomparable_classes():
+    """A numeric bound leaves strings and unk as U verdicts: the probe
+    must emit them as one aggregated unk tail, exactly as many
+    occurrences as the scan would turn into unk."""
+    from repro.core.values import UNK
+    index = OrderedIndex(TupExtract("v", Input()), mixed_population(),
+                         EvalContext())
+    out = list(index.probe_range(low=2))
+    tail = [pair for pair in out if pair[0] is UNK]
+    assert tail == [(UNK, 3)]  # 'apple', 'pear', unk
+    matched = [pair for pair in out if pair[0] is not UNK]
+    assert sum(count for _, count in matched) == 3  # v in {2, 2, 5}
+
+
+def test_ordered_index_string_bounds():
+    index = OrderedIndex(TupExtract("v", Input()), mixed_population(),
+                         EvalContext())
+    out = list(index.probe_range(low="b", high="z"))
+    assert (Tup({"v": "pear"}), 1) in out
+    assert not any(isinstance(element, Tup) and element["v"] == "apple"
+                   for element, _ in out if element is not None)
+
+
+def test_ordered_index_requires_multiset():
+    with pytest.raises(TypeError):
+        OrderedIndex(Input(), [1, 2], EvalContext())
+
+
+def test_catalog_ordered_index_lifecycle():
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    index = db.indexes.build_ordered("P", key)
+    assert db.indexes.ordered("P", key) is index
+    db.create("P", MultiSet())
+    assert db.indexes.ordered("P", key) is None
+    # The definition survives the re-create; a probe rebuilds lazily.
+    assert db.indexes.probe_ordered("P", key) is not None
+
+
+def test_catalog_probe_rebuilds_after_invalidate():
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    db.indexes.build_keyed("P", key)
+    db.indexes.invalidate("P")
+    assert db.indexes.keyed("P", key) is None
+    index = db.indexes.probe_keyed("P", key)
+    assert index is not None
+    assert len(index.lookup(2)) == 2
+
+
+def test_catalog_hit_counters_and_describe_rows():
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    db.indexes.build_keyed("P", key)
+    db.indexes.build_typed("P")
+    db.indexes.probe_keyed("P", key)
+    db.indexes.probe_keyed("P", key)
+    db.indexes.probe_typed("P")
+    rows = {(row["kind"], row["name"]): row
+            for row in db.indexes.describe_rows()}
+    assert rows[("keyed", "P")]["hits"] == 2
+    assert rows[("typed", "P")]["hits"] == 1
+    assert rows[("keyed", "P")]["size"] == len(population())
+    assert rows[("keyed", "P")]["live"] is True
+
+
+def test_catalog_drop_index_removes_definition():
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    db.indexes.build_ordered("P", key)
+    assert db.indexes.drop_index("ordered", "P", key) is True
+    assert db.indexes.drop_index("ordered", "P", key) is False
+    assert db.indexes.probe_ordered("P", key) is None
+    assert db.indexes.definitions() == []
+
+
+def test_catalog_drop_index_without_key_matches_by_kind_and_name():
+    # The CLI drops by (kind, name) alone; for keyed/ordered a None
+    # key can never name a real definition, so it means "any".
+    db = Database()
+    db.create("P", population())
+    key = TupExtract("v", Input())
+    db.indexes.build_keyed("P", key)
+    db.indexes.build_ordered("P", key)
+    assert db.indexes.drop_index("keyed", "P") is True
+    assert [d["kind"] for d in db.indexes.definitions()] == ["ordered"]
+    assert db.indexes.drop_index("keyed", "P") is False
+    assert db.indexes.drop_index("ordered", "P") is True
+    assert db.indexes.definitions() == []

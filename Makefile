@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn
+.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn sanitize
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,13 +14,21 @@ lint:
 			tests/analysis tests/obs; \
 	else echo "ruff not installed; skipping style check"; fi
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/core/analysis src/repro/obs; \
+		$(PYTHON) -m mypy src/repro/core/analysis src/repro/core/engine \
+			src/repro/obs; \
 	else echo "mypy not installed; skipping type check"; fi
 
 # Offline rewrite-soundness sweep: fire all 28 appendix rules on the
 # generated corpus and require every firing to preserve schemas.
 verify-plans:
 	$(PYTHON) -m repro.core.analysis.rulecheck
+
+# Abstract-interpretation sanitizer gate: the paper figures plus 240
+# seeded random plans, each run interpreted / compiled / licensed /
+# sanitized; any value mismatch or runtime-violated proof fails.
+sanitize:
+	$(PYTHON) -m repro.cli sanitize
+	$(PYTHON) -m pytest tests/analysis/test_sanitizer.py tests/analysis/test_absint.py -q
 
 # Tier-2 sanity gate: one tiny run per paper figure (<30 s), asserting
 # the paper-claimed winner directions and engine agreement.

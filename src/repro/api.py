@@ -47,6 +47,7 @@ class Connection:
                  verify: bool = False, trace: bool = False,
                  optimizer: Optional[Optimizer] = None,
                  typecheck: bool = False,
+                 analyze: bool = False, sanitize: bool = False,
                  slow_query_threshold: Optional[float] = 0.1,
                  _source: Optional[str] = None):
         if optimizer is None:
@@ -57,7 +58,8 @@ class Connection:
         self.db = database
         self.session = Session(database, optimizer=optimizer,
                                typecheck=typecheck, engine=engine,
-                               verify=verify, _api_internal=True)
+                               verify=verify, analyze=analyze,
+                               sanitize=sanitize, _api_internal=True)
         self.tracer = Tracer(enabled=trace)
         # Every layer reads the tracer from its evaluation context; the
         # database carries it too so storage-side spans (WAL commits)
@@ -81,6 +83,16 @@ class Connection:
     @tracing.setter
     def tracing(self, on: bool) -> None:
         self.tracer.enabled = bool(on)
+
+    @property
+    def sanitizing(self) -> bool:
+        return self.session.sanitize
+
+    @sanitizing.setter
+    def sanitizing(self, on: bool) -> None:
+        self.session.sanitize = bool(on)
+        if on:
+            self.session.analyze = True
 
     def close(self) -> None:
         """Release the WAL handle of a durable database (idempotent)."""
@@ -166,6 +178,7 @@ def connect(database: Union[Database, str, os.PathLike, None] = None, *,
             engine: str = "compiled", verify: bool = False,
             trace: bool = False, optimizer: Optional[Optimizer] = None,
             typecheck: bool = False,
+            analyze: bool = False, sanitize: bool = False,
             slow_query_threshold: Optional[float] = 0.1) -> Connection:
     """Open a :class:`Connection`.
 
@@ -182,6 +195,17 @@ def connect(database: Union[Database, str, os.PathLike, None] = None, *,
     ``"interpreted"``; ``trace=True`` records per-operator spans on
     every statement (see ``Result.trace`` / ``Result.explain()``);
     ``verify`` runs the inference gate before execution.
+
+    ``analyze=True`` runs the abstract interpreter
+    (:mod:`repro.core.analysis.absint`) over every optimized plan:
+    statically-empty subtrees are pruned, proven cardinality bounds
+    clamp the cost model, the compiled engine elides proven-safe array
+    bounds checks, and ``Result.explain()`` shows ``static [lo..hi]``
+    intervals.  ``sanitize=True`` (implies ``analyze``) instead turns
+    every proven fact into a runtime assertion on the compiled engine —
+    a violation raises
+    :class:`~repro.core.analysis.absint.SanitizerError`, pointing at an
+    analyzer or engine bug.
     """
     source: Optional[str] = None
     if database is None:
@@ -197,5 +221,6 @@ def connect(database: Union[Database, str, os.PathLike, None] = None, *,
             db = open_database(path)
     return Connection(db, engine=engine, verify=verify, trace=trace,
                       optimizer=optimizer, typecheck=typecheck,
+                      analyze=analyze, sanitize=sanitize,
                       slow_query_threshold=slow_query_threshold,
                       _source=source)

@@ -18,6 +18,11 @@ commands (lines starting with a dot):
     .abort               abort (roll back) the active transaction
     .stats               work counters of the last executed query
     .trace on|off        toggle per-operator trace spans on statements
+    .sanitize on|off     toggle the abstract-interpretation sanitizer:
+                         every statically proven fact (cardinality
+                         bounds, emptiness, array bounds, duplicate
+                         freedom) is asserted against the values the
+                         compiled engine actually produces
     .analyze <stmt …>    EXPLAIN ANALYZE: execute under tracing and
                          show the plan with actual vs estimated
                          cardinalities and per-operator wall time
@@ -47,6 +52,12 @@ when any error-severity finding is reported.
 
 ``python -m repro.cli metrics [--json]`` prints the process metrics
 registry and exits.
+
+``python -m repro.cli sanitize [--plans N] [--seed N]`` runs the
+abstract-interpretation sanitizer sweep — the paper-figure queries plus
+seeded random plans, each executed interpreted, compiled, compiled with
+analysis licenses, and compiled with every proven fact asserted at
+runtime — and exits nonzero on any disagreement or violation.
 
 ``python -m repro.cli index list|create|drop <dir> …`` manages index
 definitions of a durable database directory: creates and drops are
@@ -171,7 +182,9 @@ class Shell:
         (``.load``) or repopulated (``.demo``), preserving the chosen
         engine and tracing state."""
         self.conn = connect(self.db, engine=self.session.engine,
-                            trace=self.conn.tracing)
+                            trace=self.conn.tracing,
+                            analyze=self.session.analyze,
+                            sanitize=self.session.sanitize)
         self.session = self.conn.session
 
     # -- meta commands -------------------------------------------------
@@ -259,6 +272,16 @@ class Shell:
             if choice in ("on", "off"):
                 self.conn.tracing = choice == "on"
             return "tracing %s" % ("on" if self.conn.tracing else "off")
+        if command == ".sanitize":
+            choice = argument.strip().lower()
+            if choice in ("on", "off"):
+                self.conn.sanitizing = choice == "on"
+            state = "on" if self.conn.sanitizing else "off"
+            if self.conn.sanitizing and self.session.engine != "compiled":
+                return ("sanitizer %s (note: a no-op on the %s engine — "
+                        "switch with .engine compiled)"
+                        % (state, self.session.engine))
+            return "sanitizer %s" % state
         if command == ".analyze":
             if not argument.strip():
                 return "usage: .analyze <statement …>"
@@ -411,6 +434,32 @@ def run_lint(argv: List[str]) -> int:
     return 1 if errors else 0
 
 
+def run_sanitize(argv: List[str]) -> int:
+    """The ``sanitize`` subcommand: the differential sanitizer sweep.
+
+    Runs the paper-figure queries over the university database plus a
+    seeded batch of random plans through four modes — interpreted,
+    compiled, compiled-with-licenses, compiled-with-sanitizer — and
+    exits nonzero if any mode disagrees with the interpreter or any
+    statically proven fact is violated at runtime.
+    """
+    from .workloads.plangen import N_PLANS, run_sanitize_sweep
+    n_plans, seed = N_PLANS, 0
+    it = iter(argv)
+    for word in it:
+        if word == "--plans":
+            n_plans = int(next(it, "0"))
+        elif word == "--seed":
+            seed = int(next(it, "0"))
+        else:
+            print("usage: python -m repro.cli sanitize "
+                  "[--plans N] [--seed N]")
+            return 2
+    report = run_sanitize_sweep(n_plans=n_plans, seed=seed)
+    print(report.render())
+    return 1 if report.failed else 0
+
+
 def run_index(argv: List[str]) -> int:
     """The ``index`` subcommand: journaled index DDL on a durable
     database directory, without entering the shell."""
@@ -469,6 +518,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_smoke(smoke="--smoke" in argv[1:] or len(argv) == 1)
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
+    if argv and argv[0] == "sanitize":
+        return run_sanitize(argv[1:])
     if argv and argv[0] == "metrics":
         from .obs import REGISTRY
         if "--json" in argv[1:]:

@@ -12,13 +12,20 @@ Three passes, layered on the base sort checker of
 * :mod:`~repro.core.analysis.lint` — coded plan diagnostics (dead
   projections, redundant DE, dangling DEREF, dne-discard hazards,
   incomplete dispatch), fed by :mod:`~repro.core.analysis.nullflow`
-  and :mod:`~repro.core.analysis.facts`.
+  and :mod:`~repro.core.analysis.facts`;
+* :mod:`~repro.core.analysis.absint` — a whole-plan abstract
+  interpreter over cardinality, array-length, and value-range
+  intervals; proves the L200-series diagnostics, extends
+  :class:`PlanFacts` with engine/optimizer licenses, and powers the
+  runtime sanitizer mode.
 
 This package must stay importable without :mod:`repro.excess` —
 the excess layer imports it, so anything excess-side is imported
 lazily inside functions.
 """
 
+from .absint import (AbsValue, Interval, PlanAnalysis, SanitizerError,
+                     analyze)
 from .diagnostics import (LINT_CODES, Diagnostic, Severity, SourceMap,
                           Span, sort_diagnostics)
 from .facts import PlanFacts, duplicate_free, facts_for_database
@@ -31,6 +38,7 @@ from .soundness import (RewriteSoundnessError, SoundnessChecker,
                         schemas_compatible)
 
 __all__ = [
+    "AbsValue", "Interval", "PlanAnalysis", "SanitizerError", "analyze",
     "Diagnostic", "Severity", "Span", "SourceMap", "LINT_CODES",
     "sort_diagnostics",
     "PlanFacts", "duplicate_free", "facts_for_database",

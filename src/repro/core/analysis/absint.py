@@ -1,0 +1,1193 @@
+"""Abstract interpretation over whole algebra plans (bottom-up).
+
+The interpreter walks a plan once and computes, per sub-expression, a
+sound over-approximation of every value it can produce at run time,
+over three coupled domains:
+
+* **cardinality intervals** ``[lo..hi]`` for multiset producers, seeded
+  exactly from the stored extents behind ``Named`` leaves and propagated
+  through every operator (SET_APPLY, GRP, DE, ⊎, −, ×, SET_COLLAPSE, …);
+* **array-length intervals** for the ARR_* operators, strong enough to
+  prove a subscript in-bounds (the compiled engine may then elide its
+  bounds check) or statically out-of-bounds (the result is always
+  ``dne`` — a linter error);
+* **value-range / constantness intervals** for numeric and string tuple
+  fields, strong enough to prove a σ predicate unsatisfiable (the
+  subplan is statically empty) or tautological (the filter is the
+  identity).
+
+Every fact is *conservative*: ``unk``/``dne`` possibilities, unknown
+sorts, opaque functions, and method calls all widen to ⊤.  Facts that
+license the engine to *skip work* (short-circuit a statically-empty
+subplan, elide a bounds check) additionally require the proven subtree
+to be **total** — incapable of raising — so an analysis-on run keeps
+failure behaviour bit-identical to analysis-off.
+
+The derived facts flow three ways: :meth:`PlanAnalysis.extend_facts`
+turns them into :class:`~repro.core.analysis.facts.PlanFacts` licenses
+for the compiled engine and the optimizer, :attr:`PlanAnalysis.findings`
+feeds the linter's L200-series codes, and
+:meth:`PlanAnalysis.describe_bounds` renders static ``[lo..hi]`` bounds
+inside EXPLAIN / EXPLAIN ANALYZE.
+
+A *sanitizer* mode (see :class:`NodeChecks` and
+``compile_plan(..., sanitize=analysis)``) turns every emitted fact into
+a runtime assertion instead of a license, so the analyzer is itself
+adversarially tested by the differential suites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from ..expr import Const, Expr, Input, Named
+from ..methods import IndexedTypeScan
+from ..operators.arrays import (ArrApply, ArrCat, ArrCollapse, ArrCreate,
+                                ArrCross, ArrDE, ArrDiff, ArrExtract, SubArr)
+from ..operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
+                                  SetCollapse, SetCreate)
+from ..operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..predicates import (And, Atom, Comp, F, Not, Predicate, T, TruePred, U,
+                          kleene_not)
+from ..values import DNE, UNK, Arr, MultiSet, Ref, Tup
+
+INF = float("inf")
+
+#: Elements scanned per stored collection before the element abstraction
+#: widens to ⊤ (cardinalities stay exact — ``len`` is O(1)).
+SCAN_CAP = 4096
+#: Nesting depth scanned when abstracting stored values.
+SCAN_DEPTH = 3
+
+_NO_CONST = object()
+
+
+class SanitizerError(AssertionError):
+    """A proven static fact was violated at run time.
+
+    Deliberately *not* an :class:`~repro.core.expr.AlgebraError`: a
+    sanitizer failure is a bug in the analyzer (or a stale fact), never
+    a property of the query, and must not be confused with a plan
+    error by the differential suites.
+    """
+
+
+class Interval:
+    """A closed interval ``[lo, hi]`` over non-negative counts (hi may
+    be ``inf``)."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float):
+        self.lo = max(0.0, float(lo))
+        self.hi = float(hi)
+
+    @classmethod
+    def exact(cls, n: float) -> "Interval":
+        return cls(n, n)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(0.0, INF)
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def mul(self, other: "Interval") -> "Interval":
+        # 0 · ∞ = 0: an empty side makes the product empty regardless.
+        def m(a: float, b: float) -> float:
+            if a == 0.0 or b == 0.0:
+                return 0.0
+            return a * b
+        return Interval(m(self.lo, other.lo), m(self.hi, other.hi))
+
+    def minus_floor(self, other: "Interval") -> "Interval":
+        """``[max(0, lo−other.hi), hi]`` — multiset/array difference."""
+        lo = 0.0 if other.hi == INF else max(0.0, self.lo - other.hi)
+        return Interval(lo, self.hi)
+
+    def contains(self, n: float) -> bool:
+        return self.lo <= n <= self.hi
+
+    def is_trivial(self) -> bool:
+        return self.lo == 0.0 and self.hi == INF
+
+    def describe(self) -> str:
+        def fmt(v: float) -> str:
+            return "∞" if v == INF else "%d" % v
+        return "[%s..%s]" % (fmt(self.lo), fmt(self.hi))
+
+    def __repr__(self) -> str:
+        return "Interval%s" % self.describe()
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Interval)
+                and self.lo == other.lo and self.hi == other.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+
+class AbsValue:
+    """Abstract description of one runtime value (or of the element
+    population of a collection).
+
+    ``maybe_value`` / ``may_unk`` / ``may_dne`` partition the
+    possibilities: a proper (non-null) value, the ``unk`` null, the
+    ``dne`` null.  When a proper value is possible, ``sorts`` names its
+    possible shapes (``None`` = unknown): ``set``, ``arr``, ``tup``,
+    ``ref``, ``num``, ``str``, ``other``.  Shape-specific refinements
+    (``card``, ``length``, ``element``, ``fields``, ``num``) each
+    describe only the matching branch.
+
+    ``total`` is a property of the *expression evaluation* that
+    produced this abstraction: True means it provably cannot raise.
+    """
+
+    __slots__ = ("maybe_value", "may_unk", "may_dne", "sorts", "card",
+                 "length", "element", "fields", "always", "closed",
+                 "num", "const", "total")
+
+    def __init__(self, maybe_value: bool = True, may_unk: bool = True,
+                 may_dne: bool = True,
+                 sorts: Optional[FrozenSet[str]] = None,
+                 card: Optional[Interval] = None,
+                 length: Optional[Interval] = None,
+                 element: Optional["AbsValue"] = None,
+                 fields: Optional[Dict[str, "AbsValue"]] = None,
+                 always: FrozenSet[str] = frozenset(),
+                 closed: bool = False,
+                 num: Optional[Tuple[float, float]] = None,
+                 const: Any = _NO_CONST,
+                 total: bool = False):
+        self.maybe_value = maybe_value
+        self.may_unk = may_unk
+        self.may_dne = may_dne
+        self.sorts = sorts
+        self.card = card if card is not None else Interval.top()
+        self.length = length if length is not None else Interval.top()
+        self.element = element
+        self.fields = fields
+        self.always = always
+        self.closed = closed
+        self.num = num
+        self.const = const
+        self.total = total
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def top(cls, total: bool = False) -> "AbsValue":
+        return cls(total=total)
+
+    @classmethod
+    def null(cls, which: Any, total: bool = True) -> "AbsValue":
+        return cls(maybe_value=False, may_unk=which is UNK,
+                   may_dne=which is DNE, sorts=frozenset(), total=total)
+
+    # -- predicates ----------------------------------------------------
+
+    def definitely(self, sort: str) -> bool:
+        """When non-null, the value is certainly of *sort*."""
+        return self.sorts is not None and self.sorts <= {sort}
+
+    def never_null(self) -> bool:
+        return not self.may_unk and not self.may_dne
+
+    def is_statically_empty(self, sort: str) -> bool:
+        """Provably the empty multiset / array (never null, never any
+        other shape)."""
+        if not (self.maybe_value and self.never_null()
+                and self.definitely(sort)):
+            return False
+        bound = self.card if sort == "set" else self.length
+        return bound.hi == 0.0
+
+    # -- derivation helpers --------------------------------------------
+
+    def but(self, **changes: Any) -> "AbsValue":
+        out = AbsValue.__new__(AbsValue)
+        for slot in AbsValue.__slots__:
+            setattr(out, slot, changes.get(slot, getattr(self, slot)))
+        return out
+
+    def with_nulls_of(self, src: "AbsValue") -> "AbsValue":
+        """Null passthrough: most operators forward a null input."""
+        return self.but(may_unk=self.may_unk or src.may_unk,
+                        may_dne=self.may_dne or src.may_dne,
+                        total=self.total and src.total)
+
+    def strip_nulls(self) -> "AbsValue":
+        return self.but(may_unk=False, may_dne=False)
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        sorts = (None if self.sorts is None or other.sorts is None
+                 else self.sorts | other.sorts)
+        if self.num is not None and other.num is not None:
+            num: Optional[Tuple[float, float]] = (
+                min(self.num[0], other.num[0]),
+                max(self.num[1], other.num[1]))
+        elif not self.maybe_value:
+            num = other.num
+        elif not other.maybe_value:
+            num = self.num
+        else:
+            num = None
+        if self.fields is not None and other.fields is not None:
+            fields: Optional[Dict[str, AbsValue]] = {}
+            for name in set(self.fields) | set(other.fields):
+                a, b = self.fields.get(name), other.fields.get(name)
+                if a is not None and b is not None:
+                    fields[name] = a.join(b)
+                else:
+                    # Present on one side only: extraction may raise or
+                    # see anything — keep no refinement for it.
+                    fields[name] = AbsValue.top(total=True)
+        elif not self.maybe_value:
+            fields = other.fields
+        elif not other.maybe_value:
+            fields = self.fields
+        else:
+            fields = None
+        if not self.maybe_value:
+            always, closed = other.always, other.closed
+            element = other.element
+            card, length = other.card, other.length
+        elif not other.maybe_value:
+            always, closed = self.always, self.closed
+            element = self.element
+            card, length = self.card, self.length
+        else:
+            always = self.always & other.always
+            closed = self.closed and other.closed
+            element = (self.element.join(other.element)
+                       if self.element is not None
+                       and other.element is not None else None)
+            card = self.card.join(other.card)
+            length = self.length.join(other.length)
+        if (self.const is not _NO_CONST and other.const is not _NO_CONST
+                and self.const == other.const):
+            const = self.const
+        elif not self.maybe_value:
+            const = other.const
+        elif not other.maybe_value:
+            const = self.const
+        else:
+            const = _NO_CONST
+        return AbsValue(
+            maybe_value=self.maybe_value or other.maybe_value,
+            may_unk=self.may_unk or other.may_unk,
+            may_dne=self.may_dne or other.may_dne,
+            sorts=sorts, card=card, length=length, element=element,
+            fields=fields, always=always, closed=closed, num=num,
+            const=const, total=self.total and other.total)
+
+
+def abs_of_value(value: Any, depth: int = SCAN_DEPTH) -> AbsValue:
+    """Exact abstraction of a concrete stored value."""
+    if value is UNK or value is DNE:
+        return AbsValue.null(value)
+    if isinstance(value, MultiSet):
+        return AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["set"]),
+                        card=Interval.exact(len(value)),
+                        element=_abs_of_elements(value.elements(), depth),
+                        total=True)
+    if isinstance(value, Arr):
+        return AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["arr"]),
+                        length=Interval.exact(len(value)),
+                        element=_abs_of_elements(list(value), depth),
+                        total=True)
+    if isinstance(value, Tup):
+        if depth <= 0:
+            return AbsValue(may_unk=False, may_dne=False,
+                            sorts=frozenset(["tup"]), total=True)
+        fields = {name: abs_of_value(value[name], depth - 1)
+                  for name in value.field_names}
+        return AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["tup"]), fields=fields,
+                        always=frozenset(fields), closed=True, total=True)
+    if isinstance(value, Ref):
+        return AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["ref"]), const=value, total=True)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        sort = "str" if isinstance(value, str) else "other"
+        if isinstance(value, bool):
+            sort = "other"
+        return AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset([sort]), const=value, total=True)
+    return AbsValue(may_unk=False, may_dne=False, sorts=frozenset(["num"]),
+                    num=(float(value), float(value)), const=value,
+                    total=True)
+
+
+def _abs_of_elements(elements: Any, depth: int) -> AbsValue:
+    elements = list(elements)
+    if depth <= 0 or len(elements) > SCAN_CAP:
+        return AbsValue.top(total=True)
+    out: Optional[AbsValue] = None
+    for element in elements:
+        one = abs_of_value(element, depth - 1)
+        out = one if out is None else out.join(one)
+    if out is None:
+        # Empty collection: the element population is vacuous — model it
+        # as "no proper value possible" so joins degrade gracefully.
+        return AbsValue(maybe_value=False, may_unk=False, may_dne=False,
+                        sorts=frozenset(), total=True)
+    return out
+
+
+class Finding:
+    """One analyzer observation, mapped to an L200-series lint code by
+    the linter."""
+
+    __slots__ = ("kind", "expr", "message")
+
+    def __init__(self, kind: str, expr: Expr, message: str):
+        self.kind = kind
+        self.expr = expr
+        self.message = message
+
+    def __repr__(self) -> str:
+        return "<Finding %s: %s>" % (self.kind, self.message)
+
+
+class NodeChecks:
+    """Runtime assertions for one compiled node under sanitizer mode.
+
+    Built from the node's abstract value; the compiled engine wraps the
+    node's closure so every execution checks the emitted facts (and the
+    metrics registry counts checks / violations).
+    """
+
+    __slots__ = ("label", "card", "length", "may_unk", "may_dne",
+                 "maybe_value", "set_only", "arr_only", "dup_free")
+
+    def __init__(self, label: str, abs_value: AbsValue,
+                 dup_free: bool = False):
+        self.label = label
+        self.card = abs_value.card if "set" in (abs_value.sorts or
+                                                frozenset(["set"])) else None
+        self.length = abs_value.length if "arr" in (abs_value.sorts or
+                                                    frozenset(["arr"])) \
+            else None
+        self.may_unk = abs_value.may_unk
+        self.may_dne = abs_value.may_dne
+        self.maybe_value = abs_value.maybe_value
+        self.set_only = abs_value.definitely("set")
+        self.arr_only = abs_value.definitely("arr")
+        self.dup_free = dup_free
+
+    def _fail(self, message: str) -> None:
+        from ...obs import metrics
+        metrics.SANITIZER_VIOLATIONS_TOTAL.inc()
+        raise SanitizerError("sanitizer: %s at %s" % (message, self.label))
+
+    def check_value(self, value: Any) -> None:
+        from ...obs import metrics
+        metrics.SANITIZER_CHECKS_TOTAL.inc()
+        if value is UNK:
+            if not self.may_unk:
+                self._fail("unk emitted but proven impossible")
+            return
+        if value is DNE:
+            if not self.may_dne:
+                self._fail("dne emitted but proven impossible")
+            return
+        if not self.maybe_value:
+            self._fail("proper value emitted but proven always-null")
+        if isinstance(value, MultiSet):
+            if self.card is not None and not self.card.contains(len(value)):
+                self._fail("cardinality %d outside proven %s"
+                           % (len(value), self.card.describe()))
+            if self.dup_free and value.distinct_count() != len(value):
+                self._fail("duplicates emitted but proven duplicate-free")
+        elif self.set_only:
+            self._fail("non-multiset %r but proven multiset" % (value,))
+        if isinstance(value, Arr):
+            if self.length is not None \
+                    and not self.length.contains(len(value)):
+                self._fail("length %d outside proven %s"
+                           % (len(value), self.length.describe()))
+        elif self.arr_only and not isinstance(value, MultiSet):
+            self._fail("non-array %r but proven array" % (value,))
+
+    def check_null_stream(self, value: Any) -> None:
+        from ...obs import metrics
+        metrics.SANITIZER_CHECKS_TOTAL.inc()
+        if value is UNK and not self.may_unk:
+            self._fail("unk emitted but proven impossible")
+        if value is DNE and not self.may_dne:
+            self._fail("dne emitted but proven impossible")
+
+    def watch_chunks(self, chunks: Any) -> Any:
+        """Count a chunk stream; assert the total on exhaustion."""
+        from ...obs import metrics
+        total = 0
+        seen = set() if self.dup_free else None
+        for element, count in chunks:
+            total += count
+            if seen is not None:
+                if element in seen or count != 1:
+                    metrics.SANITIZER_CHECKS_TOTAL.inc()
+                    self._fail("duplicates emitted but proven "
+                               "duplicate-free")
+                seen.add(element)
+            yield element, count
+        metrics.SANITIZER_CHECKS_TOTAL.inc()
+        if self.card is not None and not self.card.contains(total):
+            self._fail("cardinality %d outside proven %s"
+                       % (total, self.card.describe()))
+
+    def check_subscript(self, position: int, length: int) -> None:
+        from ...obs import metrics
+        metrics.SANITIZER_CHECKS_TOTAL.inc()
+        if not 1 <= position <= length:
+            self._fail("subscript %d out of bounds for length %d but "
+                       "proven safe" % (position, length))
+
+
+class PlanAnalysis:
+    """The result of abstractly interpreting one plan.
+
+    Facts are keyed by node *identity* (the analyzed tree is the tree
+    the engine compiles); closed sub-expressions (no free INPUT) are
+    additionally available by structural equality for the cost model.
+    """
+
+    def __init__(self, root: Expr):
+        self.root = root
+        self.findings: List[Finding] = []
+        self._abs: Dict[int, AbsValue] = {}
+        self._keep: List[Expr] = []
+        self._bounds_safe: Dict[int, bool] = {}
+
+    # -- recording (analyzer-side) -------------------------------------
+
+    def _record(self, expr: Expr, value: AbsValue) -> AbsValue:
+        prior = self._abs.get(id(expr))
+        if prior is not None:
+            value = prior.join(value)
+        else:
+            self._keep.append(expr)
+        self._abs[id(expr)] = value
+        return value
+
+    def _mark_bounds_safe(self, expr: Expr, safe: bool) -> None:
+        # A node reached under several bindings must be safe under all.
+        self._bounds_safe[id(expr)] = (
+            self._bounds_safe.get(id(expr), True) and safe)
+
+    # -- queries (consumer-side) ---------------------------------------
+
+    def abs_of(self, expr: Expr) -> Optional[AbsValue]:
+        return self._abs.get(id(expr))
+
+    def card_bounds(self, expr: Expr) -> Optional[Tuple[float, float]]:
+        value = self.abs_of(expr)
+        if value is None or not value.definitely("set"):
+            return None
+        if value.card.is_trivial():
+            return None
+        return (value.card.lo, value.card.hi)
+
+    def length_bounds(self, expr: Expr) -> Optional[Tuple[float, float]]:
+        value = self.abs_of(expr)
+        if value is None or not value.definitely("arr"):
+            return None
+        if value.length.is_trivial():
+            return None
+        return (value.length.lo, value.length.hi)
+
+    def describe_bounds(self, expr: Any) -> Optional[str]:
+        """Proven bounds rendered for EXPLAIN: a set's cardinality as
+        ``[lo..hi]`` (comparable to the line's actual/estimated card),
+        an array's length as ``len [lo..hi]`` (an array *operator*
+        produces one value per call, so its length interval must not
+        read as a cardinality)."""
+        if not isinstance(expr, Expr):
+            return None
+        bounds = self.card_bounds(expr)
+        if bounds is not None:
+            return Interval(bounds[0], bounds[1]).describe()
+        bounds = self.length_bounds(expr)
+        if bounds is not None:
+            return "len " + Interval(bounds[0], bounds[1]).describe()
+        return None
+
+    def is_statically_empty(self, expr: Expr) -> bool:
+        value = self.abs_of(expr)
+        return value is not None and (value.is_statically_empty("set")
+                                      or value.is_statically_empty("arr"))
+
+    def is_bounds_safe(self, expr: Expr) -> bool:
+        return self._bounds_safe.get(id(expr), False)
+
+    def runtime_checks(self, expr: Expr,
+                       dup_free: bool = False) -> Optional["NodeChecks"]:
+        value = self.abs_of(expr)
+        if value is None:
+            return None
+        return NodeChecks(expr.describe(), value, dup_free=dup_free)
+
+    def extend_facts(self, facts: Any = None) -> Any:
+        """Fold the proven facts into a :class:`PlanFacts` as engine /
+        optimizer licenses.  Work-skipping licenses (static emptiness,
+        bounds-safe subscripts) additionally require totality."""
+        from .facts import PlanFacts
+        if facts is None:
+            facts = PlanFacts()
+        for expr in self._keep:
+            value = self._abs[id(expr)]
+            if value.total:
+                for sort in ("set", "arr"):
+                    if value.is_statically_empty(sort):
+                        facts.declare_statically_empty(expr, sort)
+            if (self._bounds_safe.get(id(expr), False) and value.total
+                    and isinstance(expr, ArrExtract)):
+                facts.declare_bounds_safe(expr)
+            if value.definitely("set") and not value.card.is_trivial():
+                facts.declare_cardinality_bounds(
+                    expr, value.card.lo, value.card.hi)
+        return facts
+
+    def bounds_map(self) -> Dict[Expr, Tuple[float, float]]:
+        """Structural expr → proven cardinality bounds, for the cost
+        model (closed sub-expressions only: a node mentioning INPUT
+        means different things under different bindings)."""
+        out: Dict[Expr, Tuple[float, float]] = {}
+        for expr in self._keep:
+            if expr.uses_input():
+                continue
+            bounds = self.card_bounds(expr)
+            if bounds is not None:
+                prior = out.get(expr)
+                if prior is not None:
+                    bounds = (min(prior[0], bounds[0]),
+                              max(prior[1], bounds[1]))
+                out[expr] = bounds
+        return out
+
+
+_VERDICT_TOP = frozenset((T, F, U))
+
+
+class _Analyzer:
+    """One bottom-up walk; all state lives on the PlanAnalysis."""
+
+    def __init__(self, analysis: PlanAnalysis, database: Any,
+                 statistics: Any = None):
+        self.analysis = analysis
+        self._names: Dict[str, Any] = {}
+        self._seeded: Dict[str, AbsValue] = {}
+        if database is not None:
+            if hasattr(database, "names") and hasattr(database, "get"):
+                for name in database.names():
+                    self._names[name] = database.get(name)
+            else:  # a plain name → value mapping (EvalContext.database)
+                self._names.update(database)
+        self.statistics = statistics
+
+    # -- dispatch ------------------------------------------------------
+
+    def eval(self, expr: Expr, env: Optional[AbsValue]) -> AbsValue:
+        method = getattr(self, "_t_%s" % type(expr).__name__, None)
+        if method is None:
+            out = self._t_unknown(expr, env)
+        else:
+            out = method(expr, env)
+        return self.analysis._record(expr, out)
+
+    def _t_unknown(self, expr: Expr, env: Optional[AbsValue]) -> AbsValue:
+        """An operator with no transfer function: its result is TOP, but
+        its sub-expressions are still analyzed so proofs (and findings —
+        an out-of-bounds subscript below a DEREF, say) don't stop at the
+        first unmodeled node.  Binding bodies see an unknown element."""
+        for field in expr._fields:
+            value = getattr(expr, field)
+            child_env = (AbsValue.top(total=True)
+                         if field in expr._binding_fields else env)
+            if isinstance(value, Expr):
+                self.eval(value, child_env)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Expr):
+                        self.eval(item, child_env)
+        return AbsValue.top(total=False)
+
+    # -- leaves --------------------------------------------------------
+
+    def _t_Input(self, expr: Input, env: Optional[AbsValue]) -> AbsValue:
+        if env is None:
+            return AbsValue.top(total=False)
+        return env.but(total=True)
+
+    def _t_Const(self, expr: Const, env: Optional[AbsValue]) -> AbsValue:
+        return abs_of_value(expr.value)
+
+    def _t_Named(self, expr: Named, env: Optional[AbsValue]) -> AbsValue:
+        if expr.name not in self._names:
+            return AbsValue.top(total=False)
+        seeded = self._seeded.get(expr.name)
+        if seeded is None:
+            seeded = abs_of_value(self._names[expr.name])
+            self._seeded[expr.name] = seeded
+            self._check_statistics(expr, seeded)
+        return seeded
+
+    def _check_statistics(self, expr: Named, seeded: AbsValue) -> None:
+        """Cross-check catalog statistics against the proven exact
+        cardinality of a stored extent (finding kind
+        ``stats_contradiction``, linted as L206)."""
+        if self.statistics is None or not seeded.definitely("set"):
+            return
+        stats = self.statistics.object(expr.name)
+        est = stats.cardinality
+        card = seeded.card
+        # from_database floors cardinality at 1; tolerate that on empty
+        # extents, and flag anything off by more than 2× otherwise.
+        actual = max(card.hi, 1.0)
+        if est > 2.0 * actual or est < actual / 2.0:
+            self.analysis.findings.append(Finding(
+                "stats_contradiction", expr,
+                "catalog statistics estimate %.0f for %r contradicts the "
+                "proven cardinality %s (stale stats?)"
+                % (est, expr.name, card.describe())))
+
+    def _t_IndexedTypeScan(self, expr: IndexedTypeScan,
+                           env: Optional[AbsValue]) -> AbsValue:
+        base = self._names.get(expr.object_name)
+        if isinstance(base, MultiSet):
+            seeded = abs_of_value(base)
+            return AbsValue(may_unk=False, may_dne=False,
+                            sorts=frozenset(["set"]),
+                            card=Interval(0, seeded.card.hi),
+                            element=seeded.element, total=False)
+        return AbsValue.top(total=False)
+
+    # -- multiset operators --------------------------------------------
+
+    def _source_set(self, expr: Expr, field: str,
+                    env: Optional[AbsValue]) -> Tuple[AbsValue, AbsValue,
+                                                      bool]:
+        """Evaluate a set-typed operand; return (abs, element, ok)."""
+        src = self.eval(getattr(expr, field), env)
+        element = src.element if src.element is not None \
+            else AbsValue.top(total=True)
+        # Multiset construction drops dne elements.
+        element = element.but(may_dne=False)
+        return src, element, src.definitely("set")
+
+    def _t_SetApply(self, expr: SetApply,
+                    env: Optional[AbsValue]) -> AbsValue:
+        return self._apply(expr, env, is_arr=False)
+
+    def _t_ArrApply(self, expr: ArrApply,
+                    env: Optional[AbsValue]) -> AbsValue:
+        return self._apply(expr, env, is_arr=True)
+
+    def _apply(self, expr: Any, env: Optional[AbsValue],
+               is_arr: bool) -> AbsValue:
+        sort = "arr" if is_arr else "set"
+        src = self.eval(expr.source, env)
+        element = src.element if src.element is not None \
+            else AbsValue.top(total=True)
+        if not is_arr:
+            element = element.but(may_dne=False)
+        ok = src.definitely(sort)
+        size = src.length if is_arr else src.card
+        sigma = (isinstance(expr.body, Comp)
+                 and isinstance(expr.body.source, Input))
+        if sigma:
+            verdicts, pred_total = self._verdicts(expr.body.pred, element)
+            body_out = element.but(
+                maybe_value=element.maybe_value and T in verdicts,
+                may_unk=element.may_unk or U in verdicts,
+                may_dne=element.may_dne or F in verdicts,
+                total=pred_total)
+            self.analysis._record(expr.body, body_out)
+            if expr.type_filter is None and element.maybe_value:
+                if verdicts == frozenset((F,)) and not element.may_unk:
+                    self.analysis.findings.append(Finding(
+                        "unsat_sigma", expr,
+                        "σ predicate %s is statically unsatisfiable — "
+                        "the subplan is provably empty"
+                        % expr.body.pred.describe()))
+                elif verdicts == frozenset((T,)):
+                    self.analysis.findings.append(Finding(
+                        "taut_sigma", expr,
+                        "σ predicate %s is statically tautological — "
+                        "the filter is the identity"
+                        % expr.body.pred.describe()))
+        else:
+            body_out = self.eval(expr.body, element)
+        dropped_all = (not body_out.maybe_value and not body_out.may_unk)
+        if dropped_all or not element.maybe_value and not element.may_unk:
+            out_size = Interval.exact(0)
+        elif (sigma and expr.type_filter is None
+                and not body_out.may_dne):
+            out_size = size  # tautological σ keeps every occurrence
+        elif expr.type_filter is None and not body_out.may_dne:
+            out_size = size if not is_arr else Interval(size.lo, size.hi)
+        else:
+            out_size = Interval(0, size.hi)
+        out_elem = body_out.strip_nulls().but(
+            may_unk=body_out.may_unk) if not is_arr else body_out.but(
+            may_dne=False)
+        total = src.total and ok and body_out.total
+        return AbsValue(
+            may_unk=src.may_unk, may_dne=src.may_dne,
+            maybe_value=src.maybe_value,
+            sorts=frozenset([sort]) if ok else None,
+            card=out_size if not is_arr else Interval.top(),
+            length=out_size if is_arr else Interval.top(),
+            element=out_elem, total=total)
+
+    def _t_Grp(self, expr: Grp, env: Optional[AbsValue]) -> AbsValue:
+        src, element, ok = self._source_set(expr, "source", env)
+        key = self.eval(expr.by, element)
+        if src.is_statically_empty("set"):
+            self.analysis.findings.append(Finding(
+                "empty_grp_input", expr,
+                "GRP input is statically empty — no groups can form"))
+        if not key.maybe_value and not key.may_unk:
+            out_card = Interval.exact(0)  # every key dne → all dropped
+        elif src.card.lo >= 1 and not key.may_dne and element.maybe_value:
+            out_card = Interval(1, src.card.hi)
+        else:
+            out_card = Interval(0, src.card.hi)
+        group = AbsValue(may_unk=False, may_dne=False,
+                         sorts=frozenset(["set"]),
+                         card=Interval(1, src.card.hi), element=element,
+                         total=True)
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["set"]) if ok else None,
+                        card=out_card, element=group,
+                        total=src.total and ok and key.total)
+
+    def _t_DE(self, expr: DE, env: Optional[AbsValue]) -> AbsValue:
+        src, element, ok = self._source_set(expr, "source", env)
+        out_card = Interval(1 if src.card.lo >= 1 else 0, src.card.hi)
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["set"]) if ok else None,
+                        card=out_card, element=element,
+                        total=src.total and ok)
+
+    def _t_SetCreate(self, expr: SetCreate,
+                     env: Optional[AbsValue]) -> AbsValue:
+        body = self.eval(expr.source, env)
+        return AbsValue(may_unk=body.may_unk, may_dne=body.may_dne,
+                        maybe_value=body.maybe_value,
+                        sorts=frozenset(["set"]),
+                        card=Interval.exact(1),
+                        element=body.strip_nulls().but(
+                            may_unk=body.may_unk, total=True),
+                        total=body.total)
+
+    def _t_AddUnion(self, expr: AddUnion,
+                    env: Optional[AbsValue]) -> AbsValue:
+        l, le, lok = self._source_set(expr, "left", env)
+        r, re_, rok = self._source_set(expr, "right", env)
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["set"]) if lok and rok else None,
+                        card=l.card.add(r.card), element=le.join(re_),
+                        total=l.total and r.total and lok and rok)
+
+    def _t_Diff(self, expr: Diff, env: Optional[AbsValue]) -> AbsValue:
+        l, le, lok = self._source_set(expr, "left", env)
+        r, _, rok = self._source_set(expr, "right", env)
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["set"]) if lok and rok else None,
+                        card=l.card.minus_floor(r.card), element=le,
+                        total=l.total and r.total and lok and rok)
+
+    def _t_Cross(self, expr: Cross, env: Optional[AbsValue]) -> AbsValue:
+        l, le, lok = self._source_set(expr, "left", env)
+        r, re_, rok = self._source_set(expr, "right", env)
+        for side, name in ((l, "left"), (r, "right")):
+            if side.is_statically_empty("set"):
+                self.analysis.findings.append(Finding(
+                    "empty_join_input", expr,
+                    "× (join) %s input is statically empty — the join "
+                    "produces nothing" % name))
+        pair = AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["tup"]),
+                        fields={"field1": le, "field2": re_},
+                        always=frozenset(("field1", "field2")),
+                        closed=True, total=True)
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["set"]) if lok and rok else None,
+                        card=l.card.mul(r.card), element=pair,
+                        total=l.total and r.total and lok and rok)
+
+    def _t_SetCollapse(self, expr: SetCollapse,
+                       env: Optional[AbsValue]) -> AbsValue:
+        src, element, ok = self._source_set(expr, "source", env)
+        inner_ok = element.definitely("set") or not element.maybe_value
+        if inner_ok:
+            card = src.card.mul(element.card)
+            inner = element.element
+        else:
+            card = Interval.top()
+            inner = None
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["set"]) if ok else None,
+                        card=card, element=inner,
+                        total=src.total and ok and inner_ok
+                        and not element.may_unk)
+
+    # -- selection -----------------------------------------------------
+
+    def _t_Comp(self, expr: Comp, env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        verdicts, pred_total = self._verdicts(expr.pred, src)
+        return src.but(
+            maybe_value=src.maybe_value and T in verdicts,
+            may_unk=src.may_unk or (src.maybe_value and U in verdicts),
+            may_dne=src.may_dne or (src.maybe_value and F in verdicts),
+            total=src.total and pred_total)
+
+    def _verdicts(self, pred: Predicate,
+                  elem: AbsValue) -> Tuple[FrozenSet[str], bool]:
+        """Possible Kleene verdicts of *pred* over elements described by
+        *elem*, plus whether testing it can provably never raise."""
+        if isinstance(pred, TruePred):
+            return frozenset((T,)), True
+        if isinstance(pred, And):
+            lv, lt = self._verdicts(pred.left, elem)
+            rv, rt = self._verdicts(pred.right, elem)
+            out = set()
+            if F in lv or F in rv:
+                out.add(F)
+            if U in lv or U in rv:
+                out.add(U)
+            if T in lv and T in rv:
+                out.add(T)
+            # F short-circuits U/T in kleene_and; keep the closure tight.
+            return frozenset(out) or frozenset((F,)), lt and rt
+        if isinstance(pred, Not):
+            iv, it = self._verdicts(pred.inner, elem)
+            return frozenset(kleene_not(v) for v in iv), it
+        if isinstance(pred, Atom):
+            return self._atom_verdicts(pred, elem)
+        return _VERDICT_TOP, False
+
+    def _atom_verdicts(self, atom: Atom,
+                       elem: AbsValue) -> Tuple[FrozenSet[str], bool]:
+        l = self.eval(atom.left, elem)
+        r = self.eval(atom.right, elem)
+        verdicts = set()
+        if l.may_dne or r.may_dne:
+            verdicts.add(F)
+        both_values = l.maybe_value and r.maybe_value
+        if (l.may_unk and (r.maybe_value or r.may_unk)) \
+                or (r.may_unk and (l.maybe_value or l.may_unk)):
+            verdicts.add(U)
+        total = l.total and r.total
+        if not both_values:
+            if not verdicts:
+                verdicts.add(F)  # unreachable guard: no outcome possible
+            return frozenset(verdicts), total
+        op = atom.op
+        if op in ("<", "<=", ">", ">="):
+            verdicts |= self._order_verdicts(op, l, r)
+        elif op in ("=", "!="):
+            eq = self._eq_verdicts(l, r)
+            verdicts |= eq if op == "=" else {kleene_not(v) for v in eq}
+        else:  # "in"
+            verdicts |= {T, F}
+            total = total and (r.definitely("set") or r.definitely("arr"))
+        return frozenset(verdicts), total
+
+    def _order_verdicts(self, op: str, l: AbsValue,
+                        r: AbsValue) -> FrozenSet[str]:
+        if l.num is not None and r.num is not None:
+            (llo, lhi), (rlo, rhi) = l.num, r.num
+            if op in (">", ">="):
+                (llo, lhi), (rlo, rhi) = (rlo, rhi), (llo, lhi)
+                op = "<" if op == ">" else "<="
+            out = set()
+            if op == "<":
+                if llo < rhi:
+                    out.add(T)
+                if lhi >= rlo:
+                    out.add(F)
+            else:
+                if llo <= rhi:
+                    out.add(T)
+                if lhi > rlo:
+                    out.add(F)
+            return frozenset(out)
+        if l.definitely("str") and r.definitely("str"):
+            if l.const is not _NO_CONST and r.const is not _NO_CONST:
+                return frozenset((_order_const(op, l.const, r.const),))
+            return frozenset((T, F))
+        return _VERDICT_TOP  # mixed types can raise TypeError → U
+
+    def _eq_verdicts(self, l: AbsValue, r: AbsValue) -> FrozenSet[str]:
+        if l.const is not _NO_CONST and r.const is not _NO_CONST:
+            return frozenset((T,)) if l.const == r.const \
+                else frozenset((F,))
+        if l.num is not None and r.num is not None:
+            (llo, lhi), (rlo, rhi) = l.num, r.num
+            if lhi < rlo or rhi < llo:
+                return frozenset((F,))
+            if llo == lhi == rlo == rhi:
+                return frozenset((T,))
+            return frozenset((T, F))
+        if l.sorts is not None and r.sorts is not None \
+                and not (l.sorts & r.sorts):
+            return frozenset((F,))  # disjoint shapes never compare equal
+        return frozenset((T, F))
+
+    # -- tuple operators -----------------------------------------------
+
+    def _t_Pi(self, expr: Pi, env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("tup")
+        known = src.fields or {}
+        fields = {name: known.get(name, AbsValue.top(total=True))
+                  for name in expr.names}
+        total = (src.total and ok
+                 and all(name in src.always for name in expr.names))
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["tup"]) if ok else None,
+                        fields=fields, always=frozenset(expr.names)
+                        & src.always, closed=True, total=total)
+
+    def _t_TupExtract(self, expr: TupExtract,
+                      env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("tup")
+        out = (src.fields or {}).get(expr.field)
+        if out is None:
+            out = AbsValue.top(total=True)
+        total = src.total and ok and expr.field in src.always
+        if not src.maybe_value:
+            out = out.but(maybe_value=False)
+        return out.but(may_unk=out.may_unk or src.may_unk,
+                       may_dne=out.may_dne or src.may_dne, total=total)
+
+    def _t_TupCreate(self, expr: TupCreate,
+                     env: Optional[AbsValue]) -> AbsValue:
+        body = self.eval(expr.source, env)
+        return AbsValue(may_unk=body.may_unk, may_dne=body.may_dne,
+                        maybe_value=body.maybe_value,
+                        sorts=frozenset(["tup"]),
+                        fields={expr.field: body.strip_nulls()},
+                        always=frozenset((expr.field,)), closed=True,
+                        total=body.total)
+
+    def _t_TupCat(self, expr: TupCat,
+                  env: Optional[AbsValue]) -> AbsValue:
+        l = self.eval(expr.left, env)
+        r = self.eval(expr.right, env)
+        ok = l.definitely("tup") and r.definitely("tup")
+        fields = dict(l.fields or {})
+        fields.update(r.fields or {})
+        disjoint = (l.closed and r.closed and l.fields is not None
+                    and r.fields is not None
+                    and not (set(l.fields) & set(r.fields)))
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["tup"]) if ok else None,
+                        fields=fields or None, always=l.always | r.always,
+                        closed=l.closed and r.closed,
+                        total=l.total and r.total and ok and disjoint)
+
+    # -- array operators -----------------------------------------------
+
+    def _t_ArrCreate(self, expr: ArrCreate,
+                     env: Optional[AbsValue]) -> AbsValue:
+        body = self.eval(expr.source, env)
+        return AbsValue(may_unk=body.may_unk, may_dne=body.may_dne,
+                        maybe_value=body.maybe_value,
+                        sorts=frozenset(["arr"]),
+                        length=Interval.exact(1),
+                        element=body.strip_nulls().but(
+                            may_unk=body.may_unk, total=True),
+                        total=body.total)
+
+    def _t_ArrExtract(self, expr: ArrExtract,
+                      env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("arr")
+        length = src.length
+        element = src.element if src.element is not None \
+            else AbsValue.top(total=True)
+        if ok and src.maybe_value:
+            if expr.position == "last":
+                in_bounds = length.lo >= 1
+                oob = length.hi < 1
+            else:
+                in_bounds = expr.position <= length.lo
+                oob = expr.position > length.hi
+        else:
+            in_bounds = oob = False
+        self.analysis._mark_bounds_safe(expr, in_bounds and ok)
+        if oob:
+            self.analysis.findings.append(Finding(
+                "oob_subscript", expr,
+                "ARR_EXTRACT[%s] is statically out of bounds for an "
+                "array of proven length %s — the result is always dne"
+                % (expr.position, length.describe())))
+            out = AbsValue.null(DNE)
+        elif in_bounds:
+            out = element
+        else:
+            out = element.but(may_dne=True)
+        if not src.maybe_value:
+            out = out.but(maybe_value=False)
+        return out.but(may_unk=out.may_unk or src.may_unk,
+                       may_dne=out.may_dne or src.may_dne,
+                       total=src.total and ok)
+
+    def _t_SubArr(self, expr: SubArr,
+                  env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("arr")
+
+        def out_len(n: float) -> float:
+            lo = n if expr.lower == "last" else float(expr.lower)
+            hi = n if expr.upper == "last" else float(expr.upper)
+            return max(0.0, min(hi, n) - lo + 1.0)
+
+        # out_len is monotone in n for every lower/upper combination
+        # (piecewise linear, slopes all ≥0 or all ≤0), so evaluating at
+        # the endpoints bounds it.
+        a, b = out_len(src.length.lo), out_len(src.length.hi)
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=Interval(min(a, b), max(a, b)),
+                        element=src.element, total=src.total and ok)
+
+    def _t_ArrCat(self, expr: ArrCat,
+                  env: Optional[AbsValue]) -> AbsValue:
+        l = self.eval(expr.left, env)
+        r = self.eval(expr.right, env)
+        ok = l.definitely("arr") and r.definitely("arr")
+        le = l.element if l.element is not None else AbsValue.top(total=True)
+        re_ = r.element if r.element is not None \
+            else AbsValue.top(total=True)
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=l.length.add(r.length),
+                        element=le.join(re_),
+                        total=l.total and r.total and ok)
+
+    def _t_ArrCollapse(self, expr: ArrCollapse,
+                       env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("arr")
+        element = src.element if src.element is not None \
+            else AbsValue.top(total=True)
+        inner_ok = element.definitely("arr") or not element.maybe_value
+        if inner_ok:
+            length = src.length.mul(element.length)
+            inner = element.element
+        else:
+            length = Interval.top()
+            inner = None
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=length, element=inner,
+                        total=src.total and ok and inner_ok
+                        and element.never_null())
+
+    def _t_ArrDiff(self, expr: ArrDiff,
+                   env: Optional[AbsValue]) -> AbsValue:
+        l = self.eval(expr.left, env)
+        r = self.eval(expr.right, env)
+        ok = l.definitely("arr") and r.definitely("arr")
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=l.length.minus_floor(r.length),
+                        element=l.element,
+                        total=l.total and r.total and ok)
+
+    def _t_ArrDE(self, expr: ArrDE,
+                 env: Optional[AbsValue]) -> AbsValue:
+        src = self.eval(expr.source, env)
+        ok = src.definitely("arr")
+        return AbsValue(may_unk=src.may_unk, may_dne=src.may_dne,
+                        maybe_value=src.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=Interval(1 if src.length.lo >= 1 else 0,
+                                        src.length.hi),
+                        element=src.element, total=src.total and ok)
+
+    def _t_ArrCross(self, expr: ArrCross,
+                    env: Optional[AbsValue]) -> AbsValue:
+        l = self.eval(expr.left, env)
+        r = self.eval(expr.right, env)
+        ok = l.definitely("arr") and r.definitely("arr")
+        for side, name in ((l, "left"), (r, "right")):
+            if side.is_statically_empty("arr"):
+                self.analysis.findings.append(Finding(
+                    "empty_join_input", expr,
+                    "ARR_CROSS %s input is statically empty — the "
+                    "product is empty" % name))
+        le = l.element if l.element is not None else AbsValue.top(total=True)
+        re_ = r.element if r.element is not None \
+            else AbsValue.top(total=True)
+        pair = AbsValue(may_unk=False, may_dne=False,
+                        sorts=frozenset(["tup"]),
+                        fields={"field1": le, "field2": re_},
+                        always=frozenset(("field1", "field2")),
+                        closed=True, total=True)
+        return AbsValue(may_unk=l.may_unk or r.may_unk,
+                        may_dne=l.may_dne or r.may_dne,
+                        maybe_value=l.maybe_value and r.maybe_value,
+                        sorts=frozenset(["arr"]) if ok else None,
+                        length=l.length.mul(r.length), element=pair,
+                        total=l.total and r.total and ok)
+
+
+def _order_const(op: str, left: Any, right: Any) -> str:
+    try:
+        if op == "<":
+            return T if left < right else F
+        if op == "<=":
+            return T if left <= right else F
+        if op == ">":
+            return T if left > right else F
+        return T if left >= right else F
+    except TypeError:
+        return U
+
+
+def analyze(expr: Expr, database: Any = None,
+            statistics: Any = None) -> PlanAnalysis:
+    """Abstractly interpret *expr* bottom-up.
+
+    *database* may be a :class:`repro.storage.Database`, any object with
+    ``names()``/``get()``, or a plain name → value mapping (an
+    ``EvalContext``'s ``database`` attribute); ``Named`` leaves are
+    seeded exactly from it.  *statistics* (a
+    :class:`~repro.core.optimizer.Statistics`), when given, is
+    cross-checked against proven extent cardinalities (L206).
+    """
+    analysis = PlanAnalysis(expr)
+    _Analyzer(analysis, database, statistics=statistics).eval(expr, None)
+    return analysis

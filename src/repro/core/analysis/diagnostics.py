@@ -131,6 +131,30 @@ LINT_CODES: Dict[str, Any] = {
     "L106": (Severity.INFO,
              "opaque function: no declared signature, result schema "
              "unknown to inference"),
+    # L2xx — facts proven by the abstract interpreter (absint).
+    "L200": (Severity.ERROR,
+             "statically out-of-bounds subscript: ARR_EXTRACT position "
+             "exceeds the proven array-length interval, the result is "
+             "always dne"),
+    "L201": (Severity.WARNING,
+             "unsatisfiable σ: the predicate is provably false over "
+             "every element the source can produce (subplan is empty)"),
+    "L202": (Severity.INFO,
+             "tautological σ: the predicate is provably true over every "
+             "element the source can produce (filter is the identity)"),
+    "L203": (Severity.WARNING,
+             "statically-empty join input: one side of a × is provably "
+             "empty, so the join produces nothing"),
+    "L204": (Severity.WARNING,
+             "statically-empty GRP input: the grouping source is "
+             "provably empty, no groups can form"),
+    "L205": (Severity.WARNING,
+             "non-exhaustive type dispatch: the union of type filters "
+             "over a shared source misses types in its C3 closure, so "
+             "those occurrences are silently dropped"),
+    "L206": (Severity.INFO,
+             "catalog statistics contradict a proven cardinality "
+             "interval (stale stats; re-run Statistics.from_database)"),
 }
 
 

@@ -16,20 +16,29 @@ The derivation is deliberately conservative — only constructs whose
 * ``A − B`` when A is duplicate-free (− removes occurrences);
 * a ``Const`` multiset literal that happens to contain no duplicates.
 
-Note σ (COMP inside SET_APPLY) does **not** preserve the property:
-distinct inputs can map to equal outputs under the identity body only,
-and a filtering SET_APPLY keeps the *source* occurrences — but a
-non-identity body can merge distinct elements into duplicates.
+Note σ (COMP inside SET_APPLY) does **not** preserve the property in
+general: a filtering SET_APPLY keeps the *source* occurrences, but any
+element the predicate judges *unknown* is replaced by ``unk`` — two
+distinct survivors with U verdicts collapse into ``unk`` duplicates.
+σ therefore preserves duplicate-freedom only when the predicate
+provably never returns U over the source population; that proof is
+done per-extent by :func:`facts_for_database` (scanning the stored
+values behind a ``Named`` source) or per-plan by the abstract
+interpreter (:mod:`repro.core.analysis.absint`), and declared via
+:meth:`PlanFacts.declare_sigma_dupfree`.  This is what lets ``DE``
+above a unique-key index probe become a pass-through: the compiled
+probe emits exactly the occurrences the σ would keep.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..expr import Const, Expr
+from ..expr import Const, Expr, Input
 from ..operators.arrays import ArrDE
-from ..operators.multiset import DE, Diff, Grp, SetCreate
-from ..values import MultiSet
+from ..operators.multiset import DE, Diff, Grp, SetApply, SetCreate
+from ..predicates import And, Atom, Comp, Not, Predicate, TruePred
+from ..values import DNE, UNK, Arr, MultiSet, Tup
 
 
 def duplicate_free(expr: Expr) -> bool:
@@ -38,6 +47,10 @@ def duplicate_free(expr: Expr) -> bool:
         return True
     if isinstance(expr, Diff):
         return duplicate_free(expr.left)
+    if isinstance(expr, SetApply) and isinstance(expr.body, Input):
+        # Identity body: output occurrences are a sub-tally of the
+        # source's (the type filter only drops), nothing merges.
+        return duplicate_free(expr.source)
     if isinstance(expr, Const) and isinstance(expr.value, MultiSet):
         return expr.value.distinct_count() == len(expr.value)
     return False
@@ -51,18 +64,79 @@ class PlanFacts:
     ``Named`` source duplicate-free after inspecting the stored value.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._duplicate_free: List[Expr] = []
         self._probe_complete: set = set()
+        self._sigma_dupfree: List[Expr] = []
+        # Analyzer-derived facts are keyed by node identity: the
+        # analysis runs on the exact tree the engine compiles, and a
+        # structurally-equal node under a different INPUT binding must
+        # not inherit them.  _keep_alive pins the nodes so ids stay
+        # unique for the facts' lifetime.
+        self._empty: Dict[int, str] = {}
+        self._bounds_safe: set = set()
+        self._card_bounds: Dict[int, Tuple[float, float]] = {}
+        self._keep_alive: List[Expr] = []
 
     def declare_duplicate_free(self, expr: Expr) -> "PlanFacts":
         self._duplicate_free.append(expr)
         return self
 
+    def declare_sigma_dupfree(self, expr: Expr) -> "PlanFacts":
+        """License: this filtering SET_APPLY's predicate never returns
+        U over its source population, so it preserves the source's
+        duplicate-freedom (occurrences pass through unmerged)."""
+        self._sigma_dupfree.append(expr)
+        return self
+
     def is_duplicate_free(self, expr: Expr) -> bool:
         if duplicate_free(expr):
             return True
-        return any(expr == declared for declared in self._duplicate_free)
+        if any(expr == declared for declared in self._duplicate_free):
+            return True
+        if (isinstance(expr, SetApply)
+                and any(expr is declared or expr == declared
+                        for declared in self._sigma_dupfree)):
+            return self.is_duplicate_free(expr.source)
+        return False
+
+    def declare_statically_empty(self, expr: Expr,
+                                 sort: str) -> "PlanFacts":
+        """License: *expr* provably evaluates to the empty multiset
+        (``sort == "set"``) or empty array (``"arr"``) *and* its
+        evaluation cannot raise — the engine may skip it entirely."""
+        self._empty[id(expr)] = sort
+        self._keep_alive.append(expr)
+        return self
+
+    def statically_empty_sort(self, expr: Expr) -> Optional[str]:
+        return self._empty.get(id(expr))
+
+    def is_statically_empty(self, expr: Expr) -> bool:
+        return id(expr) in self._empty
+
+    def declare_bounds_safe(self, expr: Expr) -> "PlanFacts":
+        """License: this ARR_EXTRACT's subscript is provably in bounds
+        for every array its source can produce — the engine may elide
+        the bounds check."""
+        self._bounds_safe.add(id(expr))
+        self._keep_alive.append(expr)
+        return self
+
+    def is_bounds_safe(self, expr: Expr) -> bool:
+        return id(expr) in self._bounds_safe
+
+    def declare_cardinality_bounds(self, expr: Expr, lo: float,
+                                   hi: float) -> "PlanFacts":
+        """Proven output-cardinality interval for a multiset node; the
+        optimizer clamps its estimates into it."""
+        self._card_bounds[id(expr)] = (lo, hi)
+        self._keep_alive.append(expr)
+        return self
+
+    def cardinality_bounds(self,
+                           expr: Expr) -> Optional[Tuple[float, float]]:
+        return self._card_bounds.get(id(expr))
 
     def declare_probe_complete(self, name: str) -> "PlanFacts":
         """License: the index catalog's probe streams over named extent
@@ -76,12 +150,83 @@ class PlanFacts:
         return name in self._probe_complete
 
 
+def _operand_values(operand: Expr, elements: List[Any]) -> Optional[list]:
+    """Concrete values an atom operand takes over the σ population, or
+    None when the operand is too opaque to enumerate."""
+    if isinstance(operand, Const):
+        return [operand.value]
+    if isinstance(operand, Input):
+        return list(elements)
+    from ..operators.tuples import TupExtract
+    if isinstance(operand, TupExtract) and isinstance(operand.source,
+                                                     Input):
+        out = []
+        for element in elements:
+            if not isinstance(element, Tup):
+                return None
+            out.append(element.get(operand.field, DNE))
+        return out
+    return None
+
+
+def _sigma_never_unknown(pred: Predicate, elements: List[Any]) -> bool:
+    """True when *pred* provably never returns U over *elements*.
+
+    Sound but deliberately shallow: operands must be constants or
+    direct field extractions from INPUT, values must exclude ``unk``,
+    and order comparisons must be type-uniform (mixed types raise
+    ``TypeError`` inside ``_compare_scalars``, which surfaces as U).
+    """
+    if isinstance(pred, TruePred):
+        return True
+    if isinstance(pred, And):
+        return (_sigma_never_unknown(pred.left, elements)
+                and _sigma_never_unknown(pred.right, elements))
+    if isinstance(pred, Not):
+        return _sigma_never_unknown(pred.inner, elements)
+    if not isinstance(pred, Atom):
+        return False
+    left = _operand_values(pred.left, elements)
+    right = _operand_values(pred.right, elements)
+    if left is None or right is None:
+        return False
+    if any(v is UNK for v in left) or any(v is UNK for v in right):
+        return False
+    if pred.op in ("<", "<=", ">", ">="):
+        scalars = [v for v in left + right if v is not DNE]
+        numeric = all(isinstance(v, (int, float))
+                      and not isinstance(v, bool) for v in scalars)
+        stringy = all(isinstance(v, str) for v in scalars)
+        return numeric or stringy
+    if pred.op == "in":
+        for collection in right:
+            if collection is DNE:
+                continue
+            if isinstance(collection, MultiSet):
+                members = collection.elements()
+            elif isinstance(collection, Arr):
+                members = list(collection)
+            else:
+                return False
+            if any(m is UNK for m in members):
+                return False
+        return True
+    return True  # = / != over non-unk values are two-valued
+
+
 def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
     """PlanFacts seeded from the stored values of named objects.
 
     Scans each named multiset once; those without duplicate occurrences
     become declared duplicate-free, so ``DE(Named(n))`` over them can be
     elided by the compiled engine.
+
+    When *plan* is given, filtering ``SET_APPLY`` nodes directly over a
+    duplicate-free named extent are also checked: if the σ predicate
+    provably never returns U over the stored population, the node is
+    declared duplicate-free too.  This is what licenses ``DE`` above a
+    unique-key index probe as a pass-through — the probe emits exactly
+    the occurrences the σ keeps.
     """
     from ..expr import Named
 
@@ -90,6 +235,7 @@ def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
     if plan is not None:
         mentioned = {node.name for node in plan.walk()
                      if isinstance(node, Named)}
+    dupfree_values: Dict[str, MultiSet] = {}
     for name in db.names():
         if mentioned is not None and name not in mentioned:
             continue
@@ -97,11 +243,23 @@ def facts_for_database(db, plan: Optional[Expr] = None) -> PlanFacts:
         if (isinstance(value, MultiSet)
                 and value.distinct_count() == len(value)):
             facts.declare_duplicate_free(Named(name))
+            dupfree_values[name] = value
     indexes = getattr(db, "indexes", None)
     if indexes is not None:
         for entry in indexes.definitions():
             if mentioned is None or entry["name"] in mentioned:
                 facts.declare_probe_complete(entry["name"])
+    if plan is not None and dupfree_values:
+        for node in plan.walk():
+            if not (isinstance(node, SetApply)
+                    and isinstance(node.body, Comp)
+                    and isinstance(node.body.source, Input)
+                    and isinstance(node.source, Named)
+                    and node.source.name in dupfree_values):
+                continue
+            stored = dupfree_values[node.source.name]
+            if _sigma_never_unknown(node.body.pred, stored.elements()):
+                facts.declare_sigma_dupfree(node)
     return facts
 
 

@@ -15,6 +15,24 @@ Checks implemented (see ``diagnostics.LINT_CODES`` for the table):
   the receiver's static type has no implementation of the method.
 * **L106** — opaque function: no declared signature, so inference sees
   an unknown result schema.
+
+The L200 series is driven by the abstract interpreter
+(:mod:`repro.core.analysis.absint`), which proves cardinality,
+array-length, and value-range intervals over the whole plan:
+
+* **L200** (error) — an ARR_EXTRACT subscript is statically out of
+  bounds for the proven length interval; the result is always ``dne``.
+* **L201** — a σ predicate is provably unsatisfiable; the subplan is
+  statically empty.
+* **L202** — a σ predicate is provably tautological; the filter is the
+  identity.
+* **L203 / L204** — a join (×) or GRP input is statically empty.
+* **L205** — typed SET_APPLY branches over a shared source jointly
+  miss types in the source's C3 closure, silently dropping those
+  occurrences (only fired when ≥2 branches dispatch over the source —
+  a single typed σ is a deliberate selection, not a dispatch).
+* **L206** — externally supplied catalog statistics contradict a
+  proven cardinality interval (stale stats).
 """
 
 from __future__ import annotations
@@ -79,7 +97,8 @@ class Linter:
                  inference: Optional[TypeInference] = None,
                  facts: Optional[PlanFacts] = None,
                  nullflow: Optional[NullFlow] = None,
-                 source_map: Optional[SourceMap] = None):
+                 source_map: Optional[SourceMap] = None,
+                 statistics: Any = None):
         self.db = database
         if inference is None:
             inference = (inference_for_database(database)
@@ -88,6 +107,7 @@ class Linter:
         self.facts = facts
         self.nullflow = nullflow
         self.source_map = source_map or SourceMap()
+        self.statistics = statistics
 
     def _span(self, expr: Expr):
         return self.source_map.span_of(expr)
@@ -101,6 +121,8 @@ class Linter:
         self._check_dne_discard(expr, out)    # L104
         self._check_dispatch(expr, out)       # L105
         self._check_opaque_funcs(expr, out)   # L106
+        self._check_absint(expr, out)         # L200-L204, L206
+        self._check_exhaustive_dispatch(expr, out)  # L205
         return sort_diagnostics(out)
 
     # -- L100: static typing ----------------------------------------------
@@ -292,6 +314,119 @@ class Linter:
                         % (call.name, ", ".join(missing), root),
                         expr=call, span=self._span(call)))
 
+    # -- L200-L204, L206: abstract-interpretation findings ------------------
+
+    _ABSINT_CODES = {
+        "oob_subscript": "L200",
+        "unsat_sigma": "L201",
+        "taut_sigma": "L202",
+        "empty_join_input": "L203",
+        "empty_grp_input": "L204",
+        "stats_contradiction": "L206",
+    }
+
+    def _check_absint(self, expr: Expr, out: List[Diagnostic]) -> None:
+        from .absint import analyze
+        analysis = analyze(expr, database=self.db,
+                           statistics=self.statistics)
+        for finding in analysis.findings:
+            code = self._ABSINT_CODES.get(finding.kind)
+            if code is None:
+                continue
+            out.append(_diag(code, finding.message, expr=finding.expr,
+                             span=self._span(finding.expr)))
+
+    # -- L205: non-exhaustive type dispatch over a C3 closure ----------------
+
+    def _check_exhaustive_dispatch(self, expr: Expr,
+                                   out: List[Diagnostic]) -> None:
+        if self.db is None:
+            return
+        hierarchy = self.db.hierarchy
+        # Group typed applies by structurally-equal source: a dispatch
+        # is several typed branches over one source (Figure 5 shape);
+        # one typed σ alone is a deliberate selection, not a dispatch.
+        groups: List[List[Any]] = []
+        for node in expr.walk():
+            if not isinstance(node, (SetApply, ArrApply)) \
+                    or not node.type_filter:
+                continue
+            for group in groups:
+                if group[0].source == node.source:
+                    group.append(node)
+                    break
+            else:
+                groups.append([node])
+        for group in groups:
+            if len(group) < 2:
+                continue
+            covered: Set[str] = set()
+            for node in group:
+                for t in node.type_filter:
+                    if t in hierarchy:
+                        covered |= hierarchy.descendants_or_self(t)
+                    else:
+                        covered.add(t)
+            try:
+                source_schema = self.inference.check(group[0].source)
+            except AlgebraTypeError:
+                continue
+            element = None
+            if source_schema is not None and source_schema.children:
+                element = source_schema.children[0]
+            root = self.inference._receiver_type(element)
+            if root is not None and root in hierarchy:
+                closure = hierarchy.descendants_or_self(root)
+                origin = "the C3 closure of %s" % root
+            else:
+                # Schema carries no type name (anonymous tuple schema):
+                # fall back to the exact types actually stored in a
+                # Named extent — occurrences of any uncovered type are
+                # silently dropped by every branch.
+                closure = self._stored_exact_types(group[0].source)
+                origin = "%s actually contains" % group[0].source.describe()
+                if closure is None:
+                    continue
+            missing = sorted(closure - covered)
+            if missing:
+                out.append(_diag(
+                    "L205",
+                    "typed dispatch over %s covers %s but %s %s too; "
+                    "those occurrences are silently dropped"
+                    % (group[0].source.describe(),
+                       ", ".join(sorted(covered)) or "nothing", origin,
+                       ", ".join(missing)),
+                    expr=group[0], span=self._span(group[0]),
+                    hint="add branches (or an explicit catch-all type "
+                         "filter) for: %s" % ", ".join(missing)))
+
+    def _stored_exact_types(self, source: Expr) -> Optional[Set[str]]:
+        """The exact type names present in a Named stored multiset (via
+        tuple tags and the store's ref catalog), or None when the source
+        isn't a stored extent we can enumerate."""
+        if not isinstance(source, Named) or self.db is None:
+            return None
+        try:
+            stored = self.db.get(source.name)
+        except KeyError:
+            return None
+        if not isinstance(stored, MultiSet):
+            return None
+        out: Set[str] = set()
+        store = getattr(self.db, "store", None)
+        for element in stored.elements():
+            name = getattr(element, "type_name", None)
+            if name is None and isinstance(element, Ref) \
+                    and store is not None:
+                try:
+                    name = store.exact_type(element.oid)
+                except Exception:
+                    name = None
+            if name is None:
+                return None  # untyped element: nothing to dispatch on
+            out.add(name)
+        return out
+
     # -- L106: opaque functions ---------------------------------------------
 
     def _check_opaque_funcs(self, expr: Expr,
@@ -311,9 +446,11 @@ class Linter:
 
 
 def lint(expr: Expr, database: Any = None,
-         source_map: Optional[SourceMap] = None) -> List[Diagnostic]:
+         source_map: Optional[SourceMap] = None,
+         statistics: Any = None) -> List[Diagnostic]:
     """One-shot convenience: lint *expr* against *database*."""
-    return Linter(database, source_map=source_map).lint(expr)
+    return Linter(database, source_map=source_map,
+                  statistics=statistics).lint(expr)
 
 
 __all__ = ["Linter", "lint"]

@@ -594,9 +594,19 @@ class PlanCompiler:
     extension operators).
     """
 
-    def __init__(self, facts=None, trace: bool = False,
-                 cost_model=None, access_paths: str = "auto"):
+    def __init__(self, facts: Any = None, trace: bool = False,
+                 cost_model: Any = None, access_paths: str = "auto",
+                 sanitize: Any = None) -> None:
         self.notes: List[str] = []
+        #: A ``PlanAnalysis`` (from ``repro.core.analysis.absint``) in
+        #: *sanitizer* mode: every compiled closure is wrapped so each
+        #: execution asserts the analyzer's proven facts (cardinality
+        #: inside the interval, no impossible null, no duplicate where
+        #: duplicate-freedom was claimed).  Mutually exclusive with
+        #: *consuming* analyzer licenses: while sanitizing, the
+        #: statically-empty short-circuit and bounds-check elision are
+        #: disabled so the facts are tested, not trusted.
+        self.sanitize = sanitize
         #: Optional ``CostModel`` consulted when ``access_paths`` is
         #: ``"auto"``: a recognized probe shape is only lowered when the
         #: model prices the probe below the scan (calibrated
@@ -658,10 +668,35 @@ class PlanCompiler:
                 fn = self._value_fn(expr)
             finally:
                 self._span_stack.pop()
-            return _traced_value(fn, span)
-        return self._value_fn(expr)
+            fn = _traced_value(fn, span)
+        else:
+            fn = self._value_fn(expr)
+        if (self.sanitize is not None
+                and not isinstance(expr, (Input, Const, Param))):
+            checks = self.sanitize.runtime_checks(
+                expr, dup_free=self._claimed_dupfree(expr))
+            if checks is not None:
+                fn = _sanitized_value(fn, checks)
+        return fn
+
+    def _claimed_dupfree(self, expr: Expr) -> bool:
+        return (self.facts is not None
+                and self.facts.is_duplicate_free(expr))
+
+    def _statically_empty_sort(self, expr: Expr) -> Optional[str]:
+        """The proven-empty sort of *expr* when licensed to skip it
+        (never while sanitizing: then the proof is tested instead)."""
+        if self.sanitize is not None or self.facts is None:
+            return None
+        probe = getattr(self.facts, "statically_empty_sort", None)
+        return probe(expr) if probe is not None else None
 
     def _value_fn(self, expr: Expr) -> ValueFn:
+        empty_sort = self._statically_empty_sort(expr)
+        if empty_sort is not None:
+            self.note("EMPTY[static] %s" % type(expr).__name__)
+            empty = MultiSet() if empty_sort == "set" else Arr([])
+            return lambda v, ctx: empty
         method = getattr(self, "_v_%s" % type(expr).__name__, None)
         if method is not None:
             return method(expr)
@@ -671,10 +706,13 @@ class PlanCompiler:
 
     def stream(self, expr: Expr, message: str,
                with_value: bool = False) -> StreamFn:
+        if self._statically_empty_sort(expr) == "set":
+            self.note("EMPTY[static] %s" % type(expr).__name__)
+            return lambda v, ctx: iter(())
         method = getattr(self, "_s_%s" % type(expr).__name__, None)
         if method is None:
             # The fallback adapts the value form, which opens the span
-            # itself — no second span here.
+            # (and the sanitizer wrapper) itself — no second layer here.
             return self._adapt(self.value(expr), message, with_value)
         if self.trace and not self._suppress:
             span = self._open_span(expr)
@@ -682,8 +720,15 @@ class PlanCompiler:
                 fn = method(expr)
             finally:
                 self._span_stack.pop()
-            return _traced_stream(fn, span)
-        return method(expr)
+            fn = _traced_stream(fn, span)
+        else:
+            fn = method(expr)
+        if self.sanitize is not None:
+            checks = self.sanitize.runtime_checks(
+                expr, dup_free=self._claimed_dupfree(expr))
+            if checks is not None:
+                fn = _sanitized_stream(fn, checks)
+        return fn
 
     def _adapt(self, value_fn: ValueFn, message: str,
                with_value: bool) -> StreamFn:
@@ -1576,6 +1621,29 @@ class PlanCompiler:
     def _v_ArrExtract(self, expr: ArrExtract) -> ValueFn:
         position = expr.position
         src = self.value(expr.source)
+        if (self.sanitize is None and self.facts is not None
+                and getattr(self.facts, "is_bounds_safe", None) is not None
+                and self.facts.is_bounds_safe(expr)):
+            # The analyzer proved the subscript in bounds for every
+            # array the source can produce — skip the guard and index
+            # the backing tuple directly.
+            self.note("ARR_EXTRACT[%s] bounds check elided [static]"
+                      % (position,))
+            def elided(v, ctx):
+                value = src(v, ctx)
+                if value is DNE or value is UNK:
+                    return value
+                if not isinstance(value, Arr):
+                    raise AlgebraError(
+                        "ARR_EXTRACT needs an array, got %r" % (value,))
+                where = len(value._items) if position == "last" \
+                    else position
+                return value._items[where - 1]
+            return elided
+        subscript_checks = None
+        if self.sanitize is not None \
+                and self.sanitize.is_bounds_safe(expr):
+            subscript_checks = self.sanitize.runtime_checks(expr)
         def fn(v, ctx):
             value = src(v, ctx)
             if value is DNE or value is UNK:
@@ -1584,6 +1652,8 @@ class PlanCompiler:
                 raise AlgebraError(
                     "ARR_EXTRACT needs an array, got %r" % (value,))
             where = len(value) if position == "last" else position
+            if subscript_checks is not None:
+                subscript_checks.check_subscript(where, len(value))
             if not 1 <= where <= len(value):
                 return DNE
             return value.extract(where)
@@ -1752,7 +1822,7 @@ def _traced_value(fn: ValueFn, span: Span) -> ValueFn:
     return traced
 
 
-def _traced_chunks(chunks: Any, span: Span):
+def _traced_chunks(chunks: Any, span: Span) -> Any:
     """Count and time a chunk stream as it is pulled.
 
     Only the producer's own ``next()`` time lands on the span (pulls
@@ -1788,6 +1858,33 @@ def _traced_stream(fn: StreamFn, span: Span) -> StreamFn:
             return chunks
         return _traced_chunks(chunks, span)
     return traced
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer instrumentation (sanitize builds only)
+# ---------------------------------------------------------------------------
+
+def _sanitized_value(fn: ValueFn, checks: Any) -> ValueFn:
+    """Wrap a compiled value form: assert the analyzer's facts about
+    this node against every value it actually produces."""
+    def sanitized(v: Any, ctx: EvalContext) -> Any:
+        out = fn(v, ctx)
+        checks.check_value(out)
+        return out
+    return sanitized
+
+
+def _sanitized_stream(fn: StreamFn, checks: Any) -> StreamFn:
+    """Wrap a compiled stream form: count the chunk stream and assert
+    the proven cardinality interval (and duplicate-freedom claim) once
+    the stream is exhausted."""
+    def sanitized(v: Any, ctx: EvalContext) -> Any:
+        chunks = fn(v, ctx)
+        if isinstance(chunks, Null):
+            checks.check_null_stream(chunks)
+            return chunks
+        return checks.watch_chunks(chunks)
+    return sanitized
 
 
 # ---------------------------------------------------------------------------
@@ -1856,9 +1953,10 @@ class Pipeline:
                                                len(self.notes))
 
 
-def compile_plan(expr: Expr, ctx: EvalContext = None,
-                 facts=None, trace: bool = False, cost_model=None,
-                 access_paths: str = "auto") -> Pipeline:
+def compile_plan(expr: Expr, ctx: "EvalContext | None" = None,
+                 facts: Any = None, trace: bool = False,
+                 cost_model: Any = None, access_paths: str = "auto",
+                 sanitize: Any = None) -> Pipeline:
     """Lower *expr* into a streaming :class:`Pipeline`.
 
     *ctx* is accepted for signature symmetry with ``evaluate``;
@@ -1877,9 +1975,17 @@ def compile_plan(expr: Expr, ctx: EvalContext = None,
     wall time and output cardinalities into it, and each probe-capable
     operator stamps the access path it actually took into its span's
     ``meta`` (rendered by EXPLAIN ANALYZE).
+
+    *sanitize* takes a ``PlanAnalysis`` (``repro.core.analysis.absint``)
+    and flips the engine into sanitizer mode: instead of consuming the
+    analyzer's licenses, every compiled closure asserts them at runtime
+    — emitted cardinalities inside the proven interval, no subscript
+    outside a proven bound, no duplicate where duplicate-freedom was
+    claimed.  A violation raises ``SanitizerError`` and bumps the
+    ``repro_sanitizer_violations_total`` counter.
     """
     compiler = PlanCompiler(facts=facts, trace=trace, cost_model=cost_model,
-                            access_paths=access_paths)
+                            access_paths=access_paths, sanitize=sanitize)
     run = compiler.value(expr)
     return Pipeline(expr, run, compiler.notes,
                     trace_root=compiler.trace_root)

@@ -130,7 +130,7 @@ def _deviation(actual: float, estimated: float) -> str:
     return "×%.1f over-estimated" % (1.0 / ratio)
 
 
-def _analyze_annotation(span, cost_model) -> str:
+def _analyze_annotation(span, cost_model, analysis=None) -> str:
     """The parenthesised actuals for one span line."""
     bits: List[str] = []
     access_path = span.meta.get("access_path")
@@ -148,6 +148,10 @@ def _analyze_annotation(span, cost_model) -> str:
             estimate = cost_model.estimate(span.expr)
             bits.append("est card≈%.0f" % estimate.card)
             bits.append(_deviation(actual, estimate.card))
+        if analysis is not None and span.expr is not None:
+            proven = analysis.describe_bounds(span.expr)
+            if proven is not None:
+                bits.append("static %s" % proven)
     elif span.kind in ("statement", "plan"):
         bits.append(_fmt_seconds(span.wall))
         if span.card_out:
@@ -174,7 +178,7 @@ def _analyze_annotation(span, cost_model) -> str:
     return "  (%s)" % ", ".join(bits) if bits else ""
 
 
-def explain_analyze(root, cost_model=None) -> str:
+def explain_analyze(root, cost_model=None, analysis=None) -> str:
     """Render an executed statement's trace (a :class:`repro.obs.Span`
     tree) as an indented plan carrying per-operator *actuals* — output
     cardinality, calls, discarded ``dne`` results, wall time — and,
@@ -182,6 +186,12 @@ def explain_analyze(root, cost_model=None) -> str:
     operator's estimated cardinality with the deviation between the
     two.  Rule spans that never fired are folded into a summary count
     on their ``optimize`` parent.
+
+    With *analysis* (a :class:`~repro.core.analysis.absint.PlanAnalysis`
+    over the executed tree), operator lines additionally carry the
+    statically *proven* cardinality interval as ``static [lo..hi]`` —
+    sound bounds the actual cardinality must fall inside, next to the
+    statistical estimate that merely tries to.
     """
     lines: List[str] = []
 
@@ -191,7 +201,7 @@ def explain_analyze(root, cost_model=None) -> str:
         return span.children
 
     def walk(span, prefix: str, is_last: bool, is_root: bool) -> None:
-        note = _analyze_annotation(span, cost_model)
+        note = _analyze_annotation(span, cost_model, analysis)
         if is_root:
             lines.append(span.name + note)
             child_prefix = ""

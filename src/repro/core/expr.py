@@ -296,7 +296,8 @@ class Func(Expr):
 
 def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
              mode: str = "interpreted", facts: Any = None,
-             cost_model: Any = None, access_paths: str = "auto") -> Any:
+             cost_model: Any = None, access_paths: str = "auto",
+             analysis: Any = None, sanitize: bool = False) -> Any:
     """Evaluate a top-level expression.
 
     A bare INPUT at top level is an error unless *input_value* is given
@@ -315,6 +316,15 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     ``cost_model`` and ``access_paths`` (compiled engine only) steer
     index-probe lowering — see :func:`repro.core.engine.compile_plan`.
 
+    ``analysis`` is a :class:`~repro.core.analysis.absint.PlanAnalysis`
+    over *expr* (node-identity keyed — analyze this exact tree).  With
+    ``sanitize`` False its proven facts are folded into *facts* as
+    engine licenses; with ``sanitize`` True the compiled engine instead
+    *asserts* every fact at runtime, raising ``SanitizerError`` on any
+    violation (an ``analysis`` is built from *ctx* on the fly if none
+    is given).  The interpreter has no instrumentation points, so
+    ``sanitize`` is a no-op under ``mode="interpreted"``.
+
     When ``ctx.tracer`` is set and enabled, a span tree for the run is
     attached under the tracer's cursor: per physical operator for the
     compiled engine, one root span for the interpreter.
@@ -323,9 +333,16 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     tracing = tracer is not None and tracer.enabled
     if mode == "compiled":
         from .engine import compile_plan
+        if sanitize and analysis is None:
+            from .analysis.absint import analyze
+            analysis = analyze(expr, database=getattr(ctx, "database",
+                                                      None))
+        if analysis is not None and not sanitize:
+            facts = analysis.extend_facts(facts)
         plan = compile_plan(expr, facts=facts, trace=tracing,
                             cost_model=cost_model,
-                            access_paths=access_paths)
+                            access_paths=access_paths,
+                            sanitize=analysis if sanitize else None)
         if not tracing:
             return plan.execute(ctx, input_value)
         root = plan.trace_root

@@ -47,7 +47,7 @@ class Result:
                  value: Any = None, into: Optional[str] = None,
                  stats: Optional[Dict[str, int]] = None,
                  trace: Optional[Span] = None, engine: str = "",
-                 seconds: float = 0.0):
+                 seconds: float = 0.0, analysis: Any = None):
         self.statement = statement
         self.expression = expression
         self.value = value
@@ -57,6 +57,11 @@ class Result:
         self.trace = trace
         self.engine = engine
         self.seconds = seconds
+        #: The :class:`~repro.core.analysis.absint.PlanAnalysis` of the
+        #: executed tree when the session ran with ``analyze``/``sanitize``
+        #: on; ``explain()`` uses it to print proven ``static [lo..hi]``
+        #: cardinality bounds next to the estimates.
+        self.analysis = analysis
 
     @property
     def kind(self) -> str:
@@ -93,7 +98,8 @@ class Result:
         """
         if self.trace is not None:
             from ..core.explain import explain_analyze
-            return explain_analyze(self.trace, cost_model=cost_model)
+            return explain_analyze(self.trace, cost_model=cost_model,
+                                   analysis=self.analysis)
         if self.expression is not None:
             from ..core.explain import explain
             return explain(self.expression, cost_model)
@@ -115,7 +121,8 @@ class Session:
 
     def __init__(self, database, optimizer: Optimizer = None,
                  typecheck: bool = False, engine: str = "interpreted",
-                 verify: bool = False, _api_internal: bool = False):
+                 verify: bool = False, analyze: bool = False,
+                 sanitize: bool = False, _api_internal: bool = False):
         if not _api_internal:
             warnings.warn(
                 "constructing Session(...) directly is deprecated; use "
@@ -136,6 +143,18 @@ class Session:
         #: engines), and the compiled engine receives duplicate-freedom
         #: facts it may use as optimization licenses.
         self.verify = verify
+        #: With ``analyze`` on, every retrieve is run through the
+        #: abstract interpreter (:mod:`repro.core.analysis.absint`) after
+        #: optimization: statically-empty subplans are pruned, proven
+        #: cardinality bounds clamp the cost model's estimates, and the
+        #: compiled engine receives bounds-elision / empty-short-circuit
+        #: licenses.  ``sanitize`` implies ``analyze`` but flips the
+        #: facts from licenses into runtime assertions: the compiled
+        #: engine checks every proven fact against the values actually
+        #: flowing, raising SanitizerError on the first violation
+        #: (a no-op on the interpreted engine).
+        self.analyze = bool(analyze or sanitize)
+        self.sanitize = bool(sanitize)
         # One evaluation context for the whole session: the deref cache
         # and stats live here, reset per statement via begin_query().
         self.context = database.context()
@@ -496,6 +515,26 @@ class Session:
             REWRITE_SECONDS_TOTAL.inc(row["seconds"], rule=name)
         return outcome.best
 
+    def _analyze_plan(self, expr: Expr):
+        """Abstract-interpret *expr* and fold the proofs back into the
+        plan: statically-empty subtrees are replaced by literal empty
+        collections (never under the sanitizer, whose whole point is to
+        execute and check the original operators), and the returned
+        analysis is re-run whenever pruning produced a new tree so its
+        id-keyed facts match the nodes actually executed."""
+        from ..core.analysis.absint import analyze
+        statistics = (self.optimizer.cost_model.stats
+                      if self.optimizer is not None else None)
+        analysis = analyze(expr, database=self.db, statistics=statistics)
+        if not self.sanitize:
+            from ..core.optimizer import prune_statically_empty
+            pruned = prune_statically_empty(expr, analysis)
+            if pruned is not expr:
+                expr = pruned
+                analysis = analyze(expr, database=self.db,
+                                   statistics=statistics)
+        return expr, analysis
+
     def _run_retrieve(self, statement: ast.Retrieve,
                       optimize: bool) -> Result:
         expr, result_type = self.translator().translate_retrieve(statement)
@@ -504,18 +543,30 @@ class Session:
             checker_for_database(self.db).check(expr)
         if optimize and self.optimizer is not None:
             expr = self._optimize(expr)
+        analysis = None
+        if self.analyze:
+            expr, analysis = self._analyze_plan(expr)
         facts = self._verify_plan(expr) if self.verify else None
         self.context.begin_query()
         cost_model = (self.optimizer.cost_model
                       if self.optimizer is not None else None)
-        value = evaluate(expr, self.context, mode=self.engine, facts=facts,
-                         cost_model=cost_model)
+        saved_bounds = None
+        if analysis is not None and cost_model is not None:
+            saved_bounds = cost_model.bounds
+            cost_model.bounds = analysis.bounds_map()
+        try:
+            value = evaluate(expr, self.context, mode=self.engine,
+                             facts=facts, cost_model=cost_model,
+                             analysis=analysis, sanitize=self.sanitize)
+        finally:
+            if analysis is not None and cost_model is not None:
+                cost_model.bounds = saved_bounds
         if statement.into:
             self.db.create(statement.into, value)
             if result_type is not None:
                 self.db.created_types[statement.into] = result_type
         return Result(statement, expr, value, statement.into,
-                      stats=self.context.stats)
+                      stats=self.context.stats, analysis=analysis)
 
     def query(self, source: str, optimize: bool = False) -> Any:
         """Deprecated: run a script and return the last statement's value.

@@ -410,6 +410,12 @@ INDEX_PROBES_TOTAL = REGISTRY.counter(
     "Index probes served to the execution engines, by kind.")
 INDEX_DROPS_TOTAL = REGISTRY.counter(
     "repro_index_drops_total", "Index definitions dropped, by kind.")
+SANITIZER_CHECKS_TOTAL = REGISTRY.counter(
+    "repro_sanitizer_checks_total",
+    "Static facts asserted at runtime under sanitizer mode.")
+SANITIZER_VIOLATIONS_TOTAL = REGISTRY.counter(
+    "repro_sanitizer_violations_total",
+    "Sanitizer assertions that failed (analyzer bugs).")
 
 
 def now() -> float:

@@ -6,10 +6,11 @@ import pytest
 from repro.cli import Shell, lint_source, run_lint
 from repro.core.analysis import facts_for_database
 from repro.core.engine.compiler import compile_plan
-from repro.core.expr import Named, evaluate
-from repro.core.operators import DE
+from repro.core.expr import Const, Input, Named, evaluate
+from repro.core.operators import DE, Comp, SetApply, TupExtract
+from repro.core.predicates import Atom
 from repro.core.typecheck import AlgebraTypeError
-from repro.core.values import MultiSet
+from repro.core.values import UNK, MultiSet, Tup
 from repro.excess.session import Session
 from repro.storage import Database
 from repro.workloads.university import build_university
@@ -71,6 +72,48 @@ class TestDuplicateFreedomLicense:
         facts = session._verify_plan(Named("Employees"))
         assert facts is not None
         assert facts.is_duplicate_free(Named("Employees"))
+
+
+class TestSigmaDupFreeLicense:
+    """σ over a duplicate-free extent preserves duplicate-freedom when
+    its predicate provably never returns U over the stored population,
+    so a DE above the σ compiles to a pass-through."""
+
+    def _sigma(self, name="U"):
+        return SetApply(
+            Comp(Atom(TupExtract("k", Input()), ">", Const(0)), Input()),
+            Named(name))
+
+    def test_sigma_over_dupfree_extent_licenses_de(self):
+        db = Database()
+        db.create("U", MultiSet([Tup({"k": 1}), Tup({"k": 2})]))
+        sigma = self._sigma()
+        plan = DE(sigma)
+        facts = facts_for_database(db, plan)
+        assert facts.is_duplicate_free(sigma)
+        pipeline = compile_plan(plan, facts=facts)
+        assert any("pass-through" in note for note in pipeline.notes)
+        got = pipeline.execute(db.context())
+        want = evaluate(plan, db.context(), mode="interpreted")
+        assert got == want
+
+    def test_unk_field_blocks_sigma_license(self):
+        # An unk in the compared field means the predicate may return
+        # U; maybe-kept occurrences cannot be proven pass-through.
+        db = Database()
+        db.create("U", MultiSet([Tup({"k": 1}), Tup({"k": UNK})]))
+        sigma = self._sigma()
+        facts = facts_for_database(db, DE(sigma))
+        assert not facts.is_duplicate_free(sigma)
+        pipeline = compile_plan(DE(sigma), facts=facts)
+        assert not any("pass-through" in note for note in pipeline.notes)
+
+    def test_duplicate_source_blocks_sigma_license(self):
+        db = Database()
+        db.create("U", MultiSet([Tup({"k": 1}), Tup({"k": 1})]))
+        sigma = self._sigma()
+        facts = facts_for_database(db, DE(sigma))
+        assert not facts.is_duplicate_free(sigma)
 
 
 class TestLintSurfaces:

@@ -135,3 +135,45 @@ def test_save_load_usage_and_errors(shell, tmp_path):
     assert "usage" in shell.handle_meta(".save")
     assert "usage" in shell.handle_meta(".load")
     assert "error" in shell.handle_meta(".load /nonexistent/nope.json")
+
+
+def test_lint_subcommand_exits_nonzero_on_error(tmp_path):
+    """Regression pin: error-severity findings must drive a nonzero
+    exit status so CI can gate on `repro.cli lint`.  An ill-typed plan
+    (L100) and a statically out-of-bounds subscript (L200) are both
+    error severity."""
+    from repro.cli import run_lint
+    bad = tmp_path / "bad.excess"
+    bad.write_text("retrieve (TopTen[11].name)\n")
+    assert run_lint(["--demo", str(bad)]) == 1
+    ok = tmp_path / "ok.excess"
+    ok.write_text("retrieve (TopTen[5].name)\n")
+    assert run_lint(["--demo", str(ok)]) == 0
+
+
+def test_lint_subcommand_exit_code_subprocess(tmp_path):
+    bad = tmp_path / "bad.excess"
+    bad.write_text("retrieve (TopTen[11].name)\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--demo", str(bad)],
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 1
+    assert "L200" in proc.stdout
+
+
+def test_sanitize_meta_toggle(shell):
+    assert "no-op" in shell.handle_meta(".sanitize on")  # interpreted
+    shell.handle_meta(".engine compiled")
+    assert shell.handle_meta(".sanitize on") == "sanitizer on"
+    assert shell.handle_meta(".sanitize") == "sanitizer on"
+    shell.handle_meta(".demo")  # reconnect must preserve the toggle
+    assert shell.handle_meta(".sanitize") == "sanitizer on"
+    out = shell.execute("retrieve (E) from E in Employees")
+    assert "30" in out[0]
+    assert shell.handle_meta(".sanitize off") == "sanitizer off"
+
+
+def test_sanitize_subcommand_smoke():
+    from repro.cli import run_sanitize
+    assert run_sanitize(["--plans", "5"]) == 0
+    assert run_sanitize(["--bogus"]) == 2

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn sanitize
+.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn sanitize serve-smoke bench-server bench-server-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,3 +55,19 @@ crashtest:
 # Commit throughput + recovery-vs-log-length; writes BENCH_txn.json.
 bench-txn:
 	$(PYTHON) benchmarks/bench_txn.py
+
+# Network-server gate: a hosted end-to-end script covering concurrent
+# reads, transaction isolation, admission rejection, query timeout,
+# group commit, and a checkpointing shutdown that reopens whole.
+serve-smoke:
+	$(PYTHON) -m repro.server.smoke
+
+# Server throughput smoke: multi-client write QPS must beat
+# single-client (group commit + pipelining), reduced sweep.
+bench-server:
+	$(PYTHON) benchmarks/bench_server.py --smoke
+
+# Full sweep (1/4/16/64 clients + 64-vs-1 differential); writes
+# BENCH_server.json.
+bench-server-full:
+	$(PYTHON) benchmarks/bench_server.py

@@ -1,0 +1,222 @@
+"""Network-server throughput: QPS and p99 latency vs client count.
+
+Hosts an in-process :class:`repro.server.Server` over a durable
+(WAL + fsync) database and drives it with 1/4/16/64 blocking clients:
+
+* **writes** — each client appends distinct integers to its own
+  collection (autocommit per statement, so every op crosses the
+  group-commit path);
+* **reads** — each client runs a filtered retrieve against one shared
+  collection (MVCC snapshot per query on the reader pool).
+
+The interesting claim is the *shape*: multi-client write QPS must beat
+single-client QPS, because the writer batches many connections'
+commits into one fsync (the batch-size histogram is exported as
+evidence) and the event loop overlaps protocol work with execution.
+
+Also runs a **differential**: the same 4096-append workload executed
+by 1 client and by 64 clients must leave databases whose canonically
+ordered rows are byte-identical on the wire.
+
+``--smoke`` runs a reduced sweep (1 and 16 clients) and asserts the
+scaling claim; the full run writes ``BENCH_server.json``.  Run via
+``make bench-server`` (smoke) / ``make bench-server-full``.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.server import Server, ServerThread
+from repro.server.client import ServerClient
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_server.json")
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(port, clients, op_factory, ops_per_client):
+    """Run *ops_per_client* ops on each of *clients* threads; returns
+    (wall_seconds, per-op latencies)."""
+    latencies = [[] for _ in range(clients)]
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(cid):
+        try:
+            with ServerClient(port, timeout=120.0) as client:
+                barrier.wait()
+                for i in range(ops_per_client):
+                    op = op_factory(cid, i)
+                    started = time.perf_counter()
+                    client.execute(op[0], params=op[1])
+                    latencies[cid].append(time.perf_counter() - started)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(cid,))
+               for cid in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return wall, [lat for per in latencies for lat in per]
+
+
+def bench_writes(port, clients, total_ops):
+    ops = total_ops // clients
+    with ServerClient(port) as admin:
+        for cid in range(clients):
+            admin.execute("create W%d_%d: { int4 }" % (clients, cid))
+
+    def op(cid, i):
+        return ("append to W%d_%d value (%d)" % (clients, cid, i), None)
+
+    wall, latencies = _drive(port, clients, op, ops)
+    done = clients * ops
+    return {"clients": clients, "ops": done, "seconds": round(wall, 4),
+            "qps": round(done / wall, 1),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3)}
+
+
+def bench_reads(port, clients, total_ops):
+    ops = total_ops // clients
+
+    def op(cid, i):
+        return ("retrieve (x) from x in Shared where x < $k",
+                {"k": 40 + (i % 20)})
+
+    wall, latencies = _drive(port, clients, op, ops)
+    done = clients * ops
+    return {"clients": clients, "ops": done, "seconds": round(wall, 4),
+            "qps": round(done / wall, 1),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3)}
+
+
+def _hosted_server(workdir, name):
+    server = Server(os.path.join(workdir, name), max_clients=128,
+                    queue_depth=512, query_timeout=120.0,
+                    drain_timeout=10.0)
+    return server
+
+
+def run_differential(workdir, total_ops=4096):
+    """The same appends via 1 client and via 64: canonical wire rows
+    must match byte for byte."""
+    payloads = []
+    for clients in (1, 64):
+        server = _hosted_server(workdir, "diff-%d" % clients)
+        with ServerThread(server):
+            port = server.port
+            with ServerClient(port) as admin:
+                admin.execute("create D: { int4 }")
+            ops = total_ops // clients
+
+            def op(cid, i, _c=clients, _o=ops):
+                return ("append to D value (%d)" % (cid * _o + i), None)
+
+            _drive(port, clients, op, ops)
+            with ServerClient(port) as admin:
+                rows = admin.execute("retrieve (x) from x in D").raw_rows
+        canonical = json.dumps(sorted(rows, key=json.dumps),
+                               separators=(",", ":")).encode()
+        payloads.append(canonical)
+    return {"ops": total_ops,
+            "identical": payloads[0] == payloads[1],
+            "bytes": len(payloads[0])}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep (1 and 16 clients), no "
+                             "BENCH_server.json")
+    args = parser.parse_args(argv)
+
+    client_counts = (1, 16) if args.smoke else (1, 4, 16, 64)
+    write_ops = 256 if args.smoke else 1024
+    read_ops = 256 if args.smoke else 1024
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-server-")
+    report = {"writes": [], "reads": []}
+    try:
+        server = _hosted_server(workdir, "main")
+        with ServerThread(server):
+            port = server.port
+            with ServerClient(port) as admin:
+                admin.execute("create Shared: { int4 }")
+                for i in range(0, 200, 50):
+                    admin.execute(
+                        " ".join("append to Shared value (%d)" % v
+                                 for v in range(i, i + 50)))
+            for clients in client_counts:
+                row = bench_writes(port, clients, write_ops)
+                report["writes"].append(row)
+                print("writes @%3d clients: %8.1f qps  p99 %7.3f ms"
+                      % (clients, row["qps"], row["p99_ms"]), flush=True)
+            for clients in client_counts:
+                row = bench_reads(port, clients, read_ops)
+                report["reads"].append(row)
+                print("reads  @%3d clients: %8.1f qps  p99 %7.3f ms"
+                      % (clients, row["qps"], row["p99_ms"]), flush=True)
+            from repro.obs.metrics import SERVER_GROUP_COMMIT_BATCH
+            hist = SERVER_GROUP_COMMIT_BATCH.to_json()["values"]
+            if hist:
+                state = hist[0]
+                report["group_commit"] = {
+                    "batches": state["count"],
+                    "statements": state["sum"],
+                    "mean_batch": round(state["sum"]
+                                        / max(state["count"], 1), 2)}
+                print("group commit: %d statements over %d fsync batches "
+                      "(mean %.2f/batch)"
+                      % (state["sum"], state["count"],
+                         report["group_commit"]["mean_batch"]), flush=True)
+
+        single = report["writes"][0]["qps"]
+        multi = max(row["qps"] for row in report["writes"][1:])
+        print("write scaling: best multi-client %.1f qps vs single %.1f qps"
+              % (multi, single), flush=True)
+        assert multi > single, (
+            "multi-client write QPS (%.1f) should beat single-client "
+            "(%.1f): group commit + pipelining" % (multi, single))
+
+        if not args.smoke:
+            report["differential"] = run_differential(workdir)
+            print("differential @64 clients: identical=%s"
+                  % report["differential"]["identical"], flush=True)
+            assert report["differential"]["identical"], \
+                "64-client workload diverged from single-client"
+            with open(OUT_PATH, "w") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print("wrote %s" % os.path.abspath(OUT_PATH), flush=True)
+        print("bench-server: PASS", flush=True)
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

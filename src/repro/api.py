@@ -69,6 +69,7 @@ class Connection:
         self.slow_log = SlowQueryLog(threshold=slow_query_threshold)
         self._source = _source
         self._closed = False
+        self._client_id = ""
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -83,6 +84,18 @@ class Connection:
     @tracing.setter
     def tracing(self, on: bool) -> None:
         self.tracer.enabled = bool(on)
+
+    @property
+    def client_id(self) -> str:
+        """Connection identifier stamped into slow-query-log entries
+        and trace spans (set by the network server, e.g. ``"c3"``, so
+        load attributes to clients); empty for local connections."""
+        return self._client_id
+
+    @client_id.setter
+    def client_id(self, value: str) -> None:
+        self._client_id = str(value)
+        self.tracer.client_id = self._client_id
 
     @property
     def sanitizing(self) -> bool:
@@ -141,7 +154,8 @@ class Connection:
                 DEREF_CACHE_MISSES_TOTAL.inc(result.stats.deref_cache_miss)
             if result.seconds and self.slow_log.observe(
                     _statement_source(result), result.seconds,
-                    stats=result.stats.as_dict(), engine=result.engine):
+                    stats=result.stats.as_dict(), engine=result.engine,
+                    client=self._client_id):
                 SLOW_QUERIES_TOTAL.inc()
         if not results:
             empty = Result("empty", None, engine=self.engine)

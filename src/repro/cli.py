@@ -63,6 +63,12 @@ runtime — and exits nonzero on any disagreement or violation.
 definitions of a durable database directory: creates and drops are
 journaled DDL (they survive restarts and replay from the WAL), and
 ``list`` shows the same table as the shell's ``.indexes``.
+
+``python -m repro.cli serve --db <dir> [--port N] [--metrics-port N]``
+hosts the concurrent network server (:mod:`repro.server`): newline-
+delimited JSON over TCP, MVCC snapshot readers, group-committed
+writes, and an optional HTTP ``/metrics`` endpoint.  Equivalent to
+``python -m repro.server``; see ``--help`` there for every flag.
 """
 
 from __future__ import annotations
@@ -78,6 +84,9 @@ from .storage import Database
 
 PROMPT = "excess> "
 CONTINUATION = "   ...> "
+
+#: Non-shell entry points: ``python -m repro.cli <subcommand> …``.
+SUBCOMMANDS = ("bench", "index", "lint", "metrics", "sanitize", "serve")
 
 
 def format_value(value, indent: str = "  ", limit: int = 20) -> str:
@@ -520,6 +529,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(argv[1:])
     if argv and argv[0] == "sanitize":
         return run_sanitize(argv[1:])
+    if argv and argv[0] == "serve":
+        from .server.__main__ import main as serve_main
+        return serve_main(argv[1:])
     if argv and argv[0] == "metrics":
         from .obs import REGISTRY
         if "--json" in argv[1:]:

@@ -34,6 +34,7 @@ hierarchy whether that exact type is A or below it.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Set
 
 from .hierarchy import TypeHierarchy
@@ -61,6 +62,14 @@ class OIDGenerator:
         self._codes: Dict[str, int] = {}
         self._next_code = 1
         self._counters: Dict[str, int] = {}
+        # Identity allocation is shared process state: the network
+        # server's writer thread and any number of reader threads
+        # (REF minting objects mid-query passes through to the live
+        # store) may allocate concurrently.  The read-modify-write on
+        # the per-type counter and the f-code assignment are not
+        # GIL-atomic, so both take this lock; reentrant because
+        # new_oid → code_for.
+        self._lock = threading.RLock()
 
     @property
     def hierarchy(self) -> TypeHierarchy:
@@ -72,10 +81,11 @@ class OIDGenerator:
         """The positive integer f(type_name); assigned on first use."""
         if type_name not in self._hierarchy:
             raise OIDError("unknown type %r" % type_name)
-        if type_name not in self._codes:
-            self._codes[type_name] = self._next_code
-            self._next_code += 1
-        return self._codes[type_name]
+        with self._lock:
+            if type_name not in self._codes:
+                self._codes[type_name] = self._next_code
+                self._next_code += 1
+            return self._codes[type_name]
 
     def _type_for_code(self, code: int) -> str:
         for name, c in self._codes.items():
@@ -91,9 +101,10 @@ class OIDGenerator:
         The integer's decimal form is f(exact_type) ones, a zero, then a
         per-type counter — the paper's construction verbatim.
         """
-        code = self.code_for(exact_type)
-        counter = self._counters.get(exact_type, 0) + 1
-        self._counters[exact_type] = counter
+        with self._lock:
+            code = self.code_for(exact_type)
+            counter = self._counters.get(exact_type, 0) + 1
+            self._counters[exact_type] = counter
         return int("1" * code + "0" + str(counter))
 
     def new_ref(self, exact_type: str) -> Ref:
@@ -104,15 +115,17 @@ class OIDGenerator:
 
     def snapshot(self) -> dict:
         """The generator's durable state: the f-codes and counters."""
-        return {"codes": dict(self._codes),
-                "counters": dict(self._counters)}
+        with self._lock:
+            return {"codes": dict(self._codes),
+                    "counters": dict(self._counters)}
 
     def restore(self, state: dict) -> None:
         """Restore a snapshot (keeps OID allocation gap-free and the
         f-map stable across save/load cycles)."""
-        self._codes = dict(state.get("codes", {}))
-        self._counters = dict(state.get("counters", {}))
-        self._next_code = max(self._codes.values(), default=0) + 1
+        with self._lock:
+            self._codes = dict(state.get("codes", {}))
+            self._counters = dict(state.get("counters", {}))
+            self._next_code = max(self._codes.values(), default=0) + 1
 
     # -- decoding -----------------------------------------------------------
 

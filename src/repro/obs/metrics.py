@@ -417,6 +417,37 @@ SANITIZER_VIOLATIONS_TOTAL = REGISTRY.counter(
     "repro_sanitizer_violations_total",
     "Sanitizer assertions that failed (analyzer bugs).")
 
+# -- network server (repro.server) ------------------------------------------
+
+SERVER_CONNECTIONS_ACTIVE = REGISTRY.gauge(
+    "repro_server_connections_active",
+    "Client connections currently open on the network server.")
+SERVER_CONNECTIONS_TOTAL = REGISTRY.counter(
+    "repro_server_connections_total",
+    "Client connections accepted since server start.")
+SERVER_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_server_requests_total",
+    "Requests processed by the network server, by kind (read/write/txn).")
+SERVER_QUERIES_QUEUED = REGISTRY.gauge(
+    "repro_server_queries_queued",
+    "Queries waiting for admission (write queue + reader backlog).")
+SERVER_INFLIGHT_QUERIES = REGISTRY.gauge(
+    "repro_server_inflight_queries",
+    "Queries currently executing on the server.")
+SERVER_TIMEOUTS_TOTAL = REGISTRY.counter(
+    "repro_server_query_timeouts_total",
+    "Queries that exceeded their per-query timeout.")
+SERVER_ADMISSION_REJECTS_TOTAL = REGISTRY.counter(
+    "repro_server_admission_rejects_total",
+    "Requests rejected by admission control (queue depth exceeded).")
+SERVER_GROUP_COMMIT_BATCH = REGISTRY.histogram(
+    "repro_server_group_commit_batch",
+    "Write statements batched per cross-connection group-commit fsync.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+SERVER_ERRORS_TOTAL = REGISTRY.counter(
+    "repro_server_errors_total",
+    "Error responses sent to clients, by code.")
+
 
 def now() -> float:
     """Wall-clock seconds (indirection point for tests)."""

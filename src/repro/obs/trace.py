@@ -139,12 +139,16 @@ class Tracer:
     allocates nothing.
     """
 
-    __slots__ = ("enabled", "root", "_stack")
+    __slots__ = ("enabled", "root", "_stack", "client_id")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.root: Optional[Span] = None
         self._stack: List[Span] = []
+        #: Connection/client identifier stamped into every statement
+        #: root span's meta (set by the network server so traces
+        #: attribute load to clients); empty for local sessions.
+        self.client_id = ""
 
     @property
     def current(self) -> Optional[Span]:
@@ -156,6 +160,9 @@ class Tracer:
         """Open a fresh root span (discarding any previous tree)."""
         if not self.enabled:
             return None
+        if self.client_id:
+            meta = dict(meta) if meta else {}
+            meta.setdefault("client", self.client_id)
         self.root = Span(name, kind=kind, meta=meta)
         self._stack = [self.root]
         return self.root

@@ -1,0 +1,27 @@
+"""repro.server — the concurrent multi-client network front end.
+
+The paper's system was a single-user research prototype on EXODUS;
+this package adds the operational layer a shared database needs:
+a newline-delimited JSON protocol over TCP, MVCC snapshot reads on a
+thread pool, one serialized writer whose WAL fsyncs are shared across
+connections (cross-connection group commit), explicit transactions,
+admission control, per-query timeouts, graceful shutdown, and an HTTP
+``/metrics`` endpoint.  See DESIGN.md §11.
+
+Quick start::
+
+    from repro.server import Server, ServerThread
+    from repro.server.client import ServerClient
+
+    with ServerThread(Server("./dbdir", metrics_port=0)) as hosted:
+        with ServerClient(hosted.server.port) as client:
+            client.execute("define type Emp: ( name: string )")
+"""
+
+from .client import ClientPool, ServerClient, ServerError, ServerResult
+from .protocol import ERROR_CODES, ProtocolError
+from .server import QueryTimeout, Server, ServerThread
+
+__all__ = ["Server", "ServerThread", "ServerClient", "ServerError",
+           "ServerResult", "ClientPool", "ProtocolError", "QueryTimeout",
+           "ERROR_CODES"]

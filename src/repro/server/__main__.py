@@ -1,0 +1,73 @@
+"""``python -m repro.server`` — run the network server standalone.
+
+The CLI's ``serve`` subcommand delegates here; see
+:func:`repro.server.__main__.main` for the flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .server import Server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.server",
+        description="Serve a repro database to concurrent clients over "
+                    "newline-delimited JSON.")
+    parser.add_argument("--db", default=None,
+                        help="database: a durable directory (default: "
+                             "fresh in-memory) or a .json image")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474,
+                        help="TCP port (0 = ephemeral; default 7474)")
+    parser.add_argument("--engine", choices=("compiled", "interpreted"),
+                        default="compiled")
+    parser.add_argument("--max-clients", type=int, default=64)
+    parser.add_argument("--readers", type=int, default=8,
+                        help="snapshot-reader thread pool size")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="admission limit on in-flight queries")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-query timeout ceiling in seconds")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        help="graceful-shutdown drain window in seconds")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="max write statements per group-commit fsync")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="serve HTTP /metrics on this port (0 = "
+                             "ephemeral; omit to disable)")
+    parser.add_argument("--slow-threshold", type=float, default=0.1,
+                        help="slow-query-log threshold in seconds")
+    parser.add_argument("--port-file", default=None,
+                        help="write 'port metrics_port' here once "
+                             "listening (harness/test hook)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = Server(args.db, host=args.host, port=args.port,
+                    engine=args.engine, max_clients=args.max_clients,
+                    readers=args.readers, queue_depth=args.queue_depth,
+                    query_timeout=args.timeout,
+                    drain_timeout=args.drain_timeout,
+                    max_batch=args.max_batch,
+                    metrics_port=args.metrics_port,
+                    slow_query_threshold=args.slow_threshold)
+
+    def write_port_file(srv: Server) -> None:
+        if args.port_file:
+            metrics = srv.metrics_address[1] if srv.metrics_address else ""
+            with open(args.port_file, "w") as fh:
+                fh.write("%d %s\n" % (srv.port, metrics))
+
+    server.run(on_ready=write_port_file)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

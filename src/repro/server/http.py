@@ -1,0 +1,103 @@
+"""A tiny HTTP endpoint for observability: /metrics and friends.
+
+Serves the process-wide metrics registry (Prometheus text exposition
+on ``/metrics``, JSON on ``/metrics.json``), the server's operational
+snapshot on ``/stats``, the shared slow-query log grouped by client on
+``/slowlog``, and a liveness probe on ``/healthz``.  GET only, one
+request per connection — deliberately too small to need a framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..obs.metrics import REGISTRY
+
+__all__ = ["MetricsHTTP"]
+
+
+class MetricsHTTP:
+    """The /metrics listener riding next to a :class:`~.server.Server`."""
+
+    def __init__(self, server, host: str, port: int):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.address: Optional[Tuple[str, int]] = None
+        self._tcp: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._tcp = await asyncio.start_server(self._handle, self.host,
+                                               self.port)
+        sock = self._tcp.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        self.port = sock[1]
+
+    async def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+
+    async def _handle(self, reader: "asyncio.StreamReader",
+                      writer: "asyncio.StreamWriter") -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 10.0)
+            while True:  # drain headers
+                header = await asyncio.wait_for(reader.readline(), 10.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            if len(parts) < 2 or parts[0] != b"GET":
+                await self._respond(writer, 405, "text/plain",
+                                    "only GET is supported\n")
+                return
+            path = parts[1].decode("latin-1").split("?", 1)[0]
+            await self._route(writer, path)
+        except (asyncio.TimeoutError, ConnectionError, ValueError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _route(self, writer, path: str) -> None:
+        if path == "/metrics":
+            await self._respond(writer, 200,
+                                "text/plain; version=0.0.4",
+                                REGISTRY.to_prometheus())
+        elif path == "/metrics.json":
+            await self._respond(writer, 200, "application/json",
+                                json.dumps(REGISTRY.to_json(), indent=1))
+        elif path == "/stats":
+            await self._respond(writer, 200, "application/json",
+                                json.dumps(self.server.stats(), indent=1))
+        elif path == "/slowlog":
+            grouped = {client or "(local)":
+                       [entry.to_dict() for entry in entries]
+                       for client, entries
+                       in self.server.slow_log.by_client().items()}
+            await self._respond(writer, 200, "application/json",
+                                json.dumps(grouped, indent=1))
+        elif path == "/healthz":
+            await self._respond(writer, 200, "text/plain", "ok\n")
+        else:
+            await self._respond(writer, 404, "text/plain",
+                                "no route %s\n" % path)
+
+    @staticmethod
+    async def _respond(writer, status: int, content_type: str,
+                       body: str) -> None:
+        payload = body.encode("utf-8")
+        reason = {200: "OK", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "OK")
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: close\r\n\r\n"
+                % (status, reason, content_type, len(payload)))
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()

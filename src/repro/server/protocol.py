@@ -1,0 +1,245 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One request per line, one response per line, in order.  A request is a
+JSON object::
+
+    {"q": "retrieve (e.name) from e in Emp", "params": {...},
+     "txn": "begin"|"commit"|"abort"|"atomic", "timeout": 2.5, "id": 7}
+
+* ``q`` — an EXCESS/EXTRA script (any mix of DDL and DML statements);
+* ``params`` — optional ``$name`` substitutions (int/float/str/bool),
+  spliced as literals before parsing;
+* ``txn`` — optional transaction control.  ``begin``/``commit``/
+  ``abort`` bracket an explicit transaction held across requests
+  (``q`` may ride along with ``begin``/``commit``); ``atomic`` runs
+  this request's ``q`` as one transaction;
+* ``timeout`` — per-query seconds, capped by the server's limit;
+* ``id`` — opaque, echoed back.
+
+The response::
+
+    {"ok": true, "rows": [...], "kind": "retrieve", "statements": 2,
+     "seconds": 0.0012, "stats": {...}, "id": 7}
+    {"ok": false, "error": {"code": "timeout", "message": "..."}, "id": 7}
+
+``rows`` is the last statement's result rendered with the storage
+layer's tagged value encoding (:func:`repro.core.serialize.value_to_json`),
+so references, tuples, arrays, and multisets survive the wire exactly.
+
+Error codes (:data:`ERROR_CODES`): ``protocol`` (malformed request),
+``parse`` (bad EXCESS/EXTRA source), ``execute`` (runtime failure),
+``txn`` (illegal transaction control), ``timeout``, ``admission``
+(queue full / too many clients), ``shutdown`` (server draining).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.serialize import value_to_json
+from ..excess import ast
+from ..excess.parser import Parser
+from ..lang import Lexer, ParseError
+
+__all__ = ["ERROR_CODES", "ProtocolError", "Request", "decode_request",
+           "encode_response", "error_response", "result_response",
+           "classify_source", "bind_params"]
+
+#: Every ``error.code`` a response can carry.
+ERROR_CODES = ("protocol", "parse", "execute", "txn", "timeout",
+               "admission", "shutdown")
+
+#: Transaction-control verbs accepted in the ``txn`` field.
+TXN_VERBS = ("begin", "commit", "abort", "atomic")
+
+
+class ProtocolError(ValueError):
+    """A malformed or illegal request; ``code`` picks the error code."""
+
+    def __init__(self, message: str, code: str = "protocol"):
+        super().__init__(message)
+        assert code in ERROR_CODES
+        self.code = code
+
+
+class Request:
+    """One decoded request line."""
+
+    __slots__ = ("q", "params", "txn", "timeout", "id")
+
+    def __init__(self, q: Optional[str], params: Dict[str, Any],
+                 txn: Optional[str], timeout: Optional[float],
+                 request_id: Any):
+        self.q = q
+        self.params = params
+        self.txn = txn
+        self.timeout = timeout
+        self.id = request_id
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse one request line; raises :class:`ProtocolError`."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("request is not valid JSON: %s" % exc)
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    q = payload.get("q")
+    if q is not None and not isinstance(q, str):
+        raise ProtocolError('"q" must be a string')
+    txn = payload.get("txn")
+    if txn is not None and txn not in TXN_VERBS:
+        raise ProtocolError('"txn" must be one of %s' % (TXN_VERBS,),
+                            code="txn")
+    if q is None and txn is None:
+        raise ProtocolError('request needs "q" and/or "txn"')
+    if txn == "atomic" and q is None:
+        raise ProtocolError('"txn": "atomic" needs a "q" to run',
+                            code="txn")
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError('"params" must be an object')
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ProtocolError('"timeout" must be a positive number')
+        timeout = float(timeout)
+    return Request(q, params, txn, timeout, payload.get("id"))
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+def encode_response(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, separators=(",", ":"))
+            .encode("utf-8") + b"\n")
+
+
+def error_response(code: str, message: str,
+                   request_id: Any = None) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    out: Dict[str, Any] = {"ok": False,
+                           "error": {"code": code, "message": message}}
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def result_response(results: List[Any],
+                    request_id: Any = None) -> Dict[str, Any]:
+    """Render a list of session :class:`~repro.excess.session.Result`
+    objects (one script's worth) as the wire response."""
+    out: Dict[str, Any] = {"ok": True, "statements": len(results)}
+    if results:
+        last = results[-1]
+        out["kind"] = last.kind
+        out["rows"] = [value_to_json(row) for row in last.rows()]
+        out["seconds"] = sum(r.seconds for r in results)
+        out["stats"] = last.stats.as_dict()
+    else:
+        out["kind"] = "empty"
+        out["rows"] = []
+        out["seconds"] = 0.0
+        out["stats"] = {}
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Parameter binding
+# ---------------------------------------------------------------------------
+
+def bind_params(source: str, params: Dict[str, Any]) -> str:
+    """Splice ``$name`` placeholders as EXCESS literals.
+
+    Values may be int, float, bool, or str.  The lexer has no string
+    escapes, so a string is quoted with whichever quote character it
+    does not contain; one containing both kinds is rejected.
+    """
+    if not params and "$" not in source:
+        return source
+    rendered: Dict[str, str] = {}
+    for name, value in params.items():
+        if not isinstance(name, str) or not name.isidentifier():
+            raise ProtocolError("bad parameter name %r" % (name,))
+        rendered[name] = _render_literal(name, value)
+    out = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "$":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            name = source[i + 1:j]
+            if name not in rendered:
+                raise ProtocolError("unbound parameter $%s" % name)
+            out.append(rendered[name])
+            i = j
+            continue
+        if ch in "\"'":
+            # Skip string literals so a $ inside one stays data.
+            j = source.find(ch, i + 1)
+            if j < 0:
+                j = n - 1
+            out.append(source[i:j + 1])
+            i = j + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _render_literal(name: str, value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if '"' not in value:
+            return '"%s"' % value
+        if "'" not in value:
+            return "'%s'" % value
+        raise ProtocolError(
+            "parameter $%s mixes both quote characters" % name)
+    raise ProtocolError("parameter $%s has unsupported type %s"
+                        % (name, type(value).__name__))
+
+
+# ---------------------------------------------------------------------------
+# Read/write classification
+# ---------------------------------------------------------------------------
+
+def classify_source(source: str) -> str:
+    """``"read"`` when every statement is side-effect-free (retrieves
+    without ``into`` plus range declarations), else ``"write"``.
+
+    Mirrors :meth:`repro.excess.session.Session.run`'s statement loop;
+    anything unparseable classifies as a write so the error surfaces on
+    the serialized path with full session state available.
+    """
+    try:
+        lexer = Lexer(source)
+        while not lexer.at_end():
+            token = lexer.peek()
+            if token.is_word("define", "create"):
+                return "write"
+            parser = Parser.__new__(Parser)
+            parser.lexer = lexer
+            statement = parser.parse_statement()
+            if isinstance(statement, ast.RangeDecl):
+                continue
+            if isinstance(statement, ast.Retrieve) and not statement.into:
+                continue
+            return "write"
+    except ParseError:
+        return "write"
+    except Exception:
+        return "write"
+    return "read"

@@ -13,6 +13,7 @@ extents, dangling references) without the disk machinery.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Set
 
 from ..core.expr import EvalContext
@@ -58,9 +59,18 @@ class ObjectStore:
         #: raw replay/undo mutations).  Fresh inserts don't bump it —
         #: a new OID cannot collide with anything a cache has seen.
         self.version = 0
+        # ``version += 1`` is a read-modify-write, not GIL-atomic; the
+        # server's writer thread and replay/undo paths may race reader
+        # threads validating deref caches, so bumps go through a lock
+        # (reads stay bare — a plain int load is atomic).
+        self._version_lock = threading.Lock()
         #: Transaction journal (see :mod:`repro.storage.txn`); when set,
         #: every mutation is reported with enough old state to undo it.
         self.journal = None
+
+    def _bump_version(self) -> None:
+        with self._version_lock:
+            self.version += 1
 
     # -- basic object lifecycle ----------------------------------------
 
@@ -106,7 +116,7 @@ class ObjectStore:
             del self._by_value[old]
         self._objects[oid] = value
         self._by_value.setdefault(value, oid)
-        self.version += 1
+        self._bump_version()
         if self.journal is not None:
             self.journal.on_store_update(oid, old, value)
 
@@ -119,7 +129,7 @@ class ObjectStore:
         old_type = self._exact_types.pop(oid, None)
         if self._by_value.get(old) == oid:
             del self._by_value[old]
-        self.version += 1
+        self._bump_version()
         if self.journal is not None:
             self.journal.on_store_delete(oid, old, old_type)
 
@@ -139,7 +149,7 @@ class ObjectStore:
         self._objects[oid] = value
         self._exact_types[oid] = type_name
         self._by_value.setdefault(value, oid)
-        self.version += 1
+        self._bump_version()
 
     def _apply_update(self, oid: Any, value: Any) -> None:
         self._apply_insert(oid, self._exact_types.get(oid, DEFAULT_TYPE),
@@ -150,12 +160,12 @@ class ObjectStore:
         self._exact_types.pop(oid, None)
         if old is not _MISSING and self._by_value.get(old) == oid:
             del self._by_value[old]
-        self.version += 1
+        self._bump_version()
 
     def _apply_migrate(self, oid: Any, type_name: str) -> None:
         if oid in self._objects:
             self._exact_types[oid] = self._ensure_type(type_name)
-        self.version += 1
+        self._bump_version()
 
     # -- identity & typing ----------------------------------------------
 
@@ -191,7 +201,7 @@ class ObjectStore:
                 % (oid, new_type))
         old_type = self._exact_types.get(oid)
         self._exact_types[oid] = new_type
-        self.version += 1
+        self._bump_version()
         if self.journal is not None:
             self.journal.on_store_migrate(oid, old_type, new_type)
 

@@ -478,11 +478,17 @@ class SnapshotStore:
         return self._store.oids
 
     def _state(self, oid) -> Any:
-        """(value, exact_type) at the snapshot, or GONE."""
+        """(value, exact_type) at the snapshot, or GONE.
+
+        Single ``get`` rather than ``in`` + ``[]``: the network server
+        reads snapshots from reader threads while its writer thread
+        mutates the live tables, and each dict access is GIL-atomic but
+        a contains/getitem pair is not."""
         store = self._store
         key = ("obj", oid)
-        if oid in store._objects:
-            current = (store._objects[oid], store._exact_types.get(oid))
+        value = store._objects.get(oid, _MISSING)
+        if value is not _MISSING:
+            current = (value, store._exact_types.get(oid))
         else:
             current = GONE
         return self._manager._resolve(key, self.snapshot_version, current)
@@ -503,11 +509,14 @@ class SnapshotStore:
         return None if state is GONE else state[1]
 
     def _members(self) -> Dict[Any, str]:
+        # dict()/list() copies are single C-level ops under the GIL, so
+        # the Python-level comprehensions below never iterate a table
+        # the server's writer thread is resizing mid-walk.
         store = self._store
-        touched = {key[1] for key in self._manager._from
+        touched = {key[1] for key in list(self._manager._from)
                    if key[0] == "obj"}
         members: Dict[Any, str] = {
-            oid: t for oid, t in store._exact_types.items()
+            oid: t for oid, t in dict(store._exact_types).items()
             if oid not in touched}
         for oid in touched:
             state = self._state(oid)
@@ -567,8 +576,8 @@ class _SnapshotNamed:
         return self._state(name) is not GONE
 
     def keys(self) -> List[str]:
-        candidates = set(self._manager.db._named)
-        candidates.update(key[1] for key in self._manager._chain
+        candidates = set(list(self._manager.db._named))
+        candidates.update(key[1] for key in list(self._manager._chain)
                           if key[0] == "name")
         return sorted(n for n in candidates if n in self)
 

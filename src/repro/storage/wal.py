@@ -179,6 +179,32 @@ class WriteAheadLog:
         self._end += len(blob)
         return self._end
 
+    def sync_now(self) -> None:
+        """Flush and fsync regardless of the ``sync`` flag.
+
+        The durability point of a *cross-transaction* group commit: a
+        batch of transactions written with per-commit syncs suspended
+        (see :meth:`group`) becomes durable here, with one fsync.
+        """
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        WAL_FSYNCS_TOTAL.inc()
+
+    def group(self) -> "_WalGroup":
+        """Context manager suspending per-append fsyncs for its body,
+        then issuing a single :meth:`sync_now` covering everything
+        appended — the server's cross-connection group commit::
+
+            with wal.group():
+                manager.commit()   # txn A (no fsync yet)
+                manager.commit()   # txn B (no fsync yet)
+            # one fsync made both durable
+
+        Nothing appended → no fsync.  An exception mid-group still
+        syncs whatever reached the log (those transactions committed).
+        """
+        return _WalGroup(self)
+
     def truncate(self) -> None:
         """Reset the log to just its header (checkpoint's final step)."""
         self._fh.truncate(HEADER_SIZE)
@@ -205,3 +231,23 @@ class WriteAheadLog:
 
     def __repr__(self) -> str:
         return "WriteAheadLog(%r, %d bytes)" % (self.path, self._end)
+
+
+class _WalGroup:
+    """See :meth:`WriteAheadLog.group`."""
+
+    __slots__ = ("_wal", "_was_sync", "_start")
+
+    def __init__(self, wal: WriteAheadLog):
+        self._wal = wal
+
+    def __enter__(self) -> WriteAheadLog:
+        self._was_sync = self._wal.sync
+        self._start = self._wal.tell()
+        self._wal.sync = False
+        return self._wal
+
+    def __exit__(self, *exc: Any) -> None:
+        self._wal.sync = self._was_sync
+        if self._was_sync and self._wal.tell() != self._start:
+            self._wal.sync_now()

@@ -233,3 +233,17 @@ def test_every_lint_code_documented():
             text = handle.read()
         missing = [code for code in iter_codes() if code not in text]
         assert not missing, "%s is missing lint codes: %s" % (name, missing)
+
+
+def test_cli_subcommands_documented():
+    """Every ``python -m repro.cli`` subcommand appears in README.md
+    and in the cli module docstring, so the surfaces can't drift."""
+    import os
+    from repro import cli
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    with open(os.path.join(root, "README.md")) as handle:
+        readme = handle.read()
+    for name in cli.SUBCOMMANDS:
+        needle = "repro.cli %s" % name
+        assert needle in readme, "README.md is missing %r" % needle
+        assert needle in cli.__doc__, "cli docstring is missing %r" % needle

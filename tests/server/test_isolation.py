@@ -1,0 +1,138 @@
+"""Isolation under concurrency: snapshot readers must never observe a
+torn multi-statement transaction, and a multi-client workload must be
+indistinguishable from the same workload run serially."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.server import Server, ServerThread
+from repro.server.client import ServerClient
+
+
+@pytest.fixture
+def hosted(tmp_path):
+    server = Server(str(tmp_path / "db"), max_clients=32,
+                    queue_depth=256, query_timeout=60.0)
+    with ServerThread(server):
+        yield server
+
+
+def test_readers_never_see_torn_atomic_writes(hosted):
+    """Writers append balanced pairs (+i, -i) atomically; every
+    concurrent snapshot read must see a multiset of complete pairs."""
+    port = hosted.port
+    with ServerClient(port) as admin:
+        admin.execute("create Pairs: { int4 }")
+
+    stop = threading.Event()
+    errors = []
+
+    def writer(base):
+        try:
+            with ServerClient(port, timeout=60.0) as client:
+                for i in range(base, base + 40):
+                    client.atomic("append to Pairs value (%d) "
+                                  "append to Pairs value (%d)" % (i, -i))
+        except BaseException as exc:
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader():
+        try:
+            with ServerClient(port, timeout=60.0) as client:
+                while not stop.is_set():
+                    rows = client.execute(
+                        "retrieve (x) from x in Pairs").rows()
+                    values = sorted(row.fields[0][1] for row in rows)
+                    assert len(values) % 2 == 0, \
+                        "odd row count %d: torn pair" % len(values)
+                    positives = sorted(v for v in values if v > 0)
+                    negatives = sorted(-v for v in values if v < 0)
+                    assert positives == negatives, \
+                        "unbalanced snapshot: %r" % (values,)
+        except BaseException as exc:
+            errors.append(exc)
+
+    writers = [threading.Thread(target=writer, args=(base,))
+               for base in (1, 1001, 2001)]
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+    with ServerClient(port) as admin:
+        rows = admin.execute("retrieve (x) from x in Pairs").rows()
+    assert len(rows) == 2 * 3 * 40
+
+
+def test_in_txn_reads_see_own_writes_only(hosted):
+    """A transaction holder reads its own uncommitted rows; outside
+    snapshots stay pinned at the pre-transaction state."""
+    port = hosted.port
+    with ServerClient(port) as holder, ServerClient(port) as outside:
+        holder.execute("create T: { int4 } append to T value (0)")
+        holder.begin()
+        for v in (1, 2, 3):
+            holder.execute("append to T value (%d)" % v)
+            inside = holder.execute("retrieve (x) from x in T").rows()
+            snap = outside.execute("retrieve (x) from x in T",
+                                   timeout=10.0).rows()
+            assert len(inside) == 1 + v
+            assert len(snap) == 1
+        holder.abort()
+        after = outside.execute("retrieve (x) from x in T").rows()
+        assert len(after) == 1
+
+
+def _canonical_rows(client, query):
+    return json.dumps(sorted(client.execute(query).raw_rows,
+                             key=json.dumps), separators=(",", ":"))
+
+
+def _run_workload(workdir, name, clients, total_ops):
+    server = Server(str(workdir / name), max_clients=32,
+                    queue_depth=256, query_timeout=60.0)
+    with ServerThread(server):
+        port = server.port
+        with ServerClient(port) as admin:
+            admin.execute("create D: { int4 }")
+        ops = total_ops // clients
+        errors = []
+
+        def worker(cid):
+            try:
+                with ServerClient(port, timeout=60.0) as client:
+                    for i in range(ops):
+                        client.execute("append to D value (%d)"
+                                       % (cid * ops + i))
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(cid,))
+                   for cid in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        with ServerClient(port) as admin:
+            return _canonical_rows(admin, "retrieve (x) from x in D")
+
+
+def test_multi_client_differential_matches_serial(tmp_path):
+    """The same appends via 8 concurrent clients and via 1 client leave
+    canonically identical databases."""
+    serial = _run_workload(tmp_path, "serial", 1, 256)
+    fanned = _run_workload(tmp_path, "fanned", 8, 256)
+    assert serial == fanned

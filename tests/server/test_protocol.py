@@ -1,0 +1,138 @@
+"""Wire-protocol unit tests: decoding, parameter binding, read/write
+classification, response shapes."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (ProtocolError, bind_params,
+                                   classify_source, decode_request,
+                                   encode_response, error_response,
+                                   result_response)
+
+
+# -- decode_request ---------------------------------------------------------
+
+def test_decode_minimal_query():
+    request = decode_request(b'{"q": "retrieve (1)"}')
+    assert request.q == "retrieve (1)"
+    assert request.params == {}
+    assert request.txn is None
+    assert request.timeout is None
+
+
+def test_decode_full_request():
+    request = decode_request(
+        b'{"q": "x", "params": {"a": 1}, "txn": "begin", '
+        b'"timeout": 2.5, "id": 7}')
+    assert request.params == {"a": 1}
+    assert request.txn == "begin"
+    assert request.timeout == 2.5
+    assert request.id == 7
+
+
+@pytest.mark.parametrize("line", [
+    b"not json",
+    b'"just a string"',
+    b"[1, 2]",
+    b'{"q": 42}',
+    b"{}",
+    b'{"q": "x", "params": [1]}',
+    b'{"q": "x", "timeout": -1}',
+    b'{"q": "x", "timeout": "soon"}',
+])
+def test_decode_rejects_malformed(line):
+    with pytest.raises(ProtocolError):
+        decode_request(line)
+
+
+def test_decode_rejects_bad_txn_verb():
+    with pytest.raises(ProtocolError) as err:
+        decode_request(b'{"txn": "yolo"}')
+    assert err.value.code == "txn"
+
+
+def test_atomic_requires_a_script():
+    with pytest.raises(ProtocolError):
+        decode_request(b'{"txn": "atomic"}')
+
+
+# -- bind_params ------------------------------------------------------------
+
+def test_bind_int_float_str_bool():
+    out = bind_params("retrieve (x) from x in C where x = $a and "
+                      "y = $b and n = $name and f = $flag",
+                      {"a": 3, "b": 2.5, "name": "ann", "flag": True})
+    assert "x = 3" in out
+    assert "y = 2.5" in out
+    assert 'n = "ann"' in out
+    assert "f = true" in out
+
+
+def test_bind_string_quote_selection():
+    assert bind_params("$s", {"s": 'say "hi"'}) == "'say \"hi\"'"
+    with pytest.raises(ProtocolError):
+        bind_params("$s", {"s": "both \" and '"})
+
+
+def test_bind_unbound_and_unused_params():
+    with pytest.raises(ProtocolError):
+        bind_params("where x = $missing", {})
+    # Unused params are fine (scripts are often templated).
+    assert bind_params("retrieve (1)", {"spare": 1}) == "retrieve (1)"
+
+
+def test_bind_dollar_inside_string_literal_is_data():
+    out = bind_params('where n = "$notaparam" and k = $k', {"k": 9})
+    assert '"$notaparam"' in out
+    assert "k = 9" in out
+
+
+def test_bind_rejects_exotic_types():
+    with pytest.raises(ProtocolError):
+        bind_params("$x", {"x": [1, 2]})
+
+
+# -- classify_source --------------------------------------------------------
+
+@pytest.mark.parametrize("source", [
+    "retrieve (x) from x in C",
+    "range of e is Emps retrieve (e.name)",
+    "retrieve (x) from x in C retrieve (y) from y in D",
+    "retrieve unique value (x.f) from x in C where x.f > 1",
+])
+def test_reads_classify_as_read(source):
+    assert classify_source(source) == "read"
+
+
+@pytest.mark.parametrize("source", [
+    "append to C value (1)",
+    "delete x where x > 1",
+    "replace x (f = 1)",
+    "create C: { int4 }",
+    "define type T: (x: int4)",
+    "retrieve (x) from x in C into Saved",
+    "retrieve (x) from x in C append to D value (1)",
+    "this is not a program",
+])
+def test_writes_and_garbage_classify_as_write(source):
+    assert classify_source(source) == "write"
+
+
+# -- responses --------------------------------------------------------------
+
+def test_error_response_shape():
+    payload = error_response("timeout", "too slow", request_id=3)
+    assert payload == {"ok": False, "id": 3,
+                       "error": {"code": "timeout", "message": "too slow"}}
+    line = encode_response(payload)
+    assert line.endswith(b"\n")
+    assert json.loads(line) == payload
+
+
+def test_result_response_empty():
+    payload = result_response([], request_id="r1")
+    assert payload["ok"] is True
+    assert payload["rows"] == []
+    assert payload["kind"] == "empty"
+    assert payload["id"] == "r1"

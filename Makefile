@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine crashtest bench-txn sanitize serve-smoke bench-server bench-server-full
+.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine bench-batch crashtest bench-txn sanitize batch-differential serve-smoke bench-server bench-server-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +30,14 @@ sanitize:
 	$(PYTHON) -m repro.cli sanitize
 	$(PYTHON) -m pytest tests/analysis/test_sanitizer.py tests/analysis/test_absint.py -q
 
+# Four-mode differential gate: the 240-plan classic corpus plus the
+# 60-plan batch-stressing corpus, each plan run interpreted /
+# compiled / batched / 2-way partition-parallel; any divergence or
+# sanitizer violation fails.
+batch-differential:
+	$(PYTHON) -m repro.cli sanitize --batched --parallel 2
+	$(PYTHON) -m pytest tests/engine/test_batch_engine.py tests/engine/test_partitions.py -q
+
 # Tier-2 sanity gate: one tiny run per paper figure (<30 s), asserting
 # the paper-claimed winner directions and engine agreement.
 bench-smoke:
@@ -42,9 +50,19 @@ bench-smoke:
 trace-smoke:
 	$(PYTHON) -m repro.workloads.trace_smoke
 
-# Full interpreted-vs-compiled comparison; writes BENCH_engine.json.
+# Full engine comparison (interpreted / compiled / batched /
+# partition-parallel); writes BENCH_engine.json and asserts the
+# compiled>=2x-over-interpreted and batched>=2x-over-compiled floors.
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_compare.py -q
+
+# The batched + partition-parallel series against the compiled
+# baseline (interpreted deselected), asserting the batched>=2x floor;
+# the aggregation test still cross-checks all four engines' values
+# and rewrites BENCH_engine.json.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_engine_compare.py -q \
+		-k "not interpreted"
 
 # Durability gate: deterministic fault injection over the WAL —
 # crash-at-every-record-boundary, torn tails, partial fsyncs — with

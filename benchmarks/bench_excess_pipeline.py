@@ -6,7 +6,7 @@ claim attaches to these numbers; they document the reproduction's
 substrate costs so the figure benchmarks can be read in context.
 """
 
-from repro import connect
+from repro import ExecutionOptions, connect
 from repro.core import evaluate
 from repro.excess import parse
 from repro.workloads import build_university
@@ -56,7 +56,7 @@ def test_execute_query2_correlated(benchmark, small_uni):
 
 def test_full_pipeline_query1(benchmark, uni):
     def pipeline():
-        conn = connect(uni.db, engine="interpreted")
+        conn = connect(uni.db, ExecutionOptions(engine="interpreted"))
         return conn.execute(Q1, optimize=False).value
 
     value = benchmark(pipeline)

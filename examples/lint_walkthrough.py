@@ -21,7 +21,7 @@ from repro.core.analysis.rulecheck import verify_all_rules
 from repro.core.engine.compiler import compile_plan
 from repro.core.optimizer import CostModel, Optimizer, Statistics
 from repro.core.values import MultiSet
-from repro import connect
+from repro import ExecutionOptions, connect
 from repro.workloads.university import build_university
 
 
@@ -31,7 +31,7 @@ def main():
 
     # -- 1. verified execution -----------------------------------------
     print("== Verified execution ==")
-    conn = connect(db, engine="compiled", verify=True)
+    conn = connect(db, ExecutionOptions(verify=True))
     session = conn.session
     result = conn.execute(
         "retrieve (E.name, E.salary) from E in Employees "

@@ -13,7 +13,7 @@ A realistic end-to-end scenario on the university database:
 Run:  python examples/registrar_app.py
 """
 
-from repro import connect
+from repro import ExecutionOptions, connect
 from repro.core import Input, Named, evaluate
 from repro.core.operators import (TupExtract, aggregate_per_group,
                                   join_field, nest, semijoin,
@@ -27,7 +27,7 @@ def main():
     uni = build_university(n_departments=4, n_employees=12, n_students=20,
                            seed=8)
     db = uni.db
-    conn = connect(db, engine="interpreted")
+    conn = connect(db, ExecutionOptions(engine="interpreted"))
     register_library_functions(db)
 
     print("== 1. Enrollment: appending new students ==")

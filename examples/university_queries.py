@@ -8,7 +8,7 @@ each rewrite earning its keep.
 Run:  python examples/university_queries.py
 """
 
-from repro import connect
+from repro import ExecutionOptions, connect
 from repro.core import evaluate
 from repro.workloads import build_university, figures
 
@@ -31,7 +31,7 @@ def main():
                            advisor_pool=5, employee_name_pool=5,
                            kids_per_employee=2, seed=3)
     figures.value_views(uni)
-    conn = connect(uni.db, engine="interpreted")
+    conn = connect(uni.db, ExecutionOptions(engine="interpreted"))
 
     print("== The paper's Section 2.2 example queries ==\n")
     q1 = """

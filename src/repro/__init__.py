@@ -15,12 +15,13 @@ from .api import Connection, connect
 from .core import (DNE, UNK, AlgebraError, Arr, Const, EvalContext, Expr,
                    Func, Input, MultiSet, Named, Ref, Tup, evaluate)
 from .excess.session import Result
+from .options import ExecutionOptions
 from .storage import Database, ObjectStore
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Connection", "Result", "connect",
+    "Connection", "ExecutionOptions", "Result", "connect",
     "Database", "ObjectStore",
     "AlgebraError", "Arr", "Const", "EvalContext", "Expr", "Func",
     "Input", "MultiSet", "Named", "Ref", "Tup", "evaluate",

@@ -21,6 +21,7 @@ from typing import Any, List, Optional, Union
 from .core.optimizer import CostModel, Optimizer, Statistics
 from .excess.session import Result, Session
 from .obs import SlowQueryLog, Tracer
+from .options import _UNSET, ExecutionOptions, merge_legacy_options
 from .obs.metrics import (
     DEREF_CACHE_HITS_TOTAL,
     DEREF_CACHE_MISSES_TOTAL,
@@ -31,7 +32,7 @@ from .obs.metrics import (
 )
 from .storage import Database, load_database, open_database
 
-__all__ = ["Connection", "connect"]
+__all__ = ["Connection", "ExecutionOptions", "connect"]
 
 
 class Connection:
@@ -43,24 +44,27 @@ class Connection:
     transactions, and other session-level state.
     """
 
-    def __init__(self, database: Database, *, engine: str = "compiled",
-                 verify: bool = False, trace: bool = False,
+    def __init__(self, database: Database,
+                 options: Optional[ExecutionOptions] = None, *,
                  optimizer: Optional[Optimizer] = None,
-                 typecheck: bool = False,
-                 analyze: bool = False, sanitize: bool = False,
                  slow_query_threshold: Optional[float] = 0.1,
-                 _source: Optional[str] = None):
+                 _source: Optional[str] = None,
+                 engine: Any = _UNSET, verify: Any = _UNSET,
+                 trace: Any = _UNSET, typecheck: Any = _UNSET,
+                 analyze: Any = _UNSET, sanitize: Any = _UNSET):
+        options = merge_legacy_options(
+            options, "Connection(...)", engine=engine, verify=verify,
+            trace=trace, typecheck=typecheck, analyze=analyze,
+            sanitize=sanitize)
         if optimizer is None:
             optimizer = Optimizer(
                 cost_model=CostModel(Statistics.from_database(database),
-                                     engine=engine,
+                                     engine=options.engine,
                                      indexes=database.indexes))
         self.db = database
         self.session = Session(database, optimizer=optimizer,
-                               typecheck=typecheck, engine=engine,
-                               verify=verify, analyze=analyze,
-                               sanitize=sanitize, _api_internal=True)
-        self.tracer = Tracer(enabled=trace)
+                               options=options, _api_internal=True)
+        self.tracer = Tracer(enabled=options.trace)
         # Every layer reads the tracer from its evaluation context; the
         # database carries it too so storage-side spans (WAL commits)
         # land in the same tree.
@@ -76,6 +80,17 @@ class Connection:
     @property
     def engine(self) -> str:
         return self.session.engine
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The connection's current execution switches as one immutable
+        snapshot (live toggles like ``tracing`` are reflected)."""
+        return self.session.options.replace(trace=self.tracer.enabled)
+
+    @options.setter
+    def options(self, options: ExecutionOptions) -> None:
+        self.session.apply_options(options)
+        self.tracer.enabled = options.trace
 
     @property
     def tracing(self) -> bool:
@@ -129,13 +144,29 @@ class Connection:
 
     # -- execution ----------------------------------------------------------
 
-    def execute(self, source: str, *, optimize: bool = True) -> Result:
+    def execute(self, source: str, *,
+                options: Optional[ExecutionOptions] = None,
+                optimize: bool = True) -> Result:
         """Run a mixed DDL/DML script; returns the last statement's
         :class:`Result` (all of them on ``result.all``).
+
+        ``options=`` overrides the connection's execution switches for
+        this call alone — e.g. ``conn.execute(q,
+        options=conn.options.replace(engine="batched", parallel=2))``
+        runs one statement partition-parallel without touching the
+        connection.  (The optimizer keeps the connection's cost model;
+        only execution switches swap.)
 
         Each statement is timed into the process-wide latency histogram
         and, when over the connection's threshold, the slow-query log.
         """
+        if options is not None:
+            saved = self.options
+            self.options = options
+            try:
+                return self.execute(source, optimize=optimize)
+            finally:
+                self.options = saved
         if self._closed:
             raise RuntimeError("connection is closed")
         started = perf_counter()
@@ -188,12 +219,13 @@ def _statement_source(result: Result) -> str:
     return getattr(statement, "source", None) or repr(statement)
 
 
-def connect(database: Union[Database, str, os.PathLike, None] = None, *,
-            engine: str = "compiled", verify: bool = False,
-            trace: bool = False, optimizer: Optional[Optimizer] = None,
-            typecheck: bool = False,
-            analyze: bool = False, sanitize: bool = False,
-            slow_query_threshold: Optional[float] = 0.1) -> Connection:
+def connect(database: Union[Database, str, os.PathLike, None] = None,
+            options: Optional[ExecutionOptions] = None, *,
+            optimizer: Optional[Optimizer] = None,
+            slow_query_threshold: Optional[float] = 0.1,
+            engine: Any = _UNSET, verify: Any = _UNSET,
+            trace: Any = _UNSET, typecheck: Any = _UNSET,
+            analyze: Any = _UNSET, sanitize: Any = _UNSET) -> Connection:
     """Open a :class:`Connection`.
 
     *database* selects the storage flavor:
@@ -205,22 +237,34 @@ def connect(database: Union[Database, str, os.PathLike, None] = None, *,
     * any other path — a durable directory (created on first use) with
       a write-ahead log via :func:`~repro.storage.open_database`.
 
-    ``engine`` picks ``"compiled"`` (streaming pipelines, default) or
-    ``"interpreted"``; ``trace=True`` records per-operator spans on
-    every statement (see ``Result.trace`` / ``Result.explain()``);
-    ``verify`` runs the inference gate before execution.
+    *options* is one :class:`~repro.options.ExecutionOptions` value
+    carrying every execution switch:
 
-    ``analyze=True`` runs the abstract interpreter
-    (:mod:`repro.core.analysis.absint`) over every optimized plan:
-    statically-empty subtrees are pruned, proven cardinality bounds
-    clamp the cost model, the compiled engine elides proven-safe array
-    bounds checks, and ``Result.explain()`` shows ``static [lo..hi]``
-    intervals.  ``sanitize=True`` (implies ``analyze``) instead turns
-    every proven fact into a runtime assertion on the compiled engine —
-    a violation raises
-    :class:`~repro.core.analysis.absint.SanitizerError`, pointing at an
-    analyzer or engine bug.
+    * ``engine`` — ``"compiled"`` (streaming pipelines, the default),
+      ``"interpreted"``, or ``"batched"`` (columnar batches; honors
+      ``batch_size`` and, with ``parallel >= 2``, OID-pool
+      partition-parallel execution across forked workers);
+    * ``trace`` — per-operator spans on every statement (see
+      ``Result.trace`` / ``Result.explain()``);
+    * ``verify`` — the inference gate before execution;
+    * ``analyze`` — the abstract interpreter
+      (:mod:`repro.core.analysis.absint`) over every optimized plan:
+      statically-empty subtrees pruned, proven cardinality bounds clamp
+      the cost model, proven-safe array bounds checks elided, and
+      ``Result.explain()`` shows ``static [lo..hi]`` intervals;
+    * ``sanitize`` — ``analyze`` with every proven fact turned into a
+      runtime assertion on the compiled engines (a violation raises
+      :class:`~repro.core.analysis.absint.SanitizerError`, pointing at
+      an analyzer or engine bug).
+
+    Override per statement with ``conn.execute(source, options=...)``.
+    The per-keyword spellings (``connect(db, engine="batched")``) are
+    deprecated shims over the same options value.
     """
+    options = merge_legacy_options(
+        options, "connect(...)", engine=engine, verify=verify,
+        trace=trace, typecheck=typecheck, analyze=analyze,
+        sanitize=sanitize)
     source: Optional[str] = None
     if database is None:
         db = Database()
@@ -233,8 +277,6 @@ def connect(database: Union[Database, str, os.PathLike, None] = None, *,
             db = load_database(path)
         else:
             db = open_database(path)
-    return Connection(db, engine=engine, verify=verify, trace=trace,
-                      optimizer=optimizer, typecheck=typecheck,
-                      analyze=analyze, sanitize=sanitize,
+    return Connection(db, options, optimizer=optimizer,
                       slow_query_threshold=slow_query_threshold,
                       _source=source)

@@ -12,7 +12,9 @@ commands (lines starting with a dot):
                          DE, dangling DEREF, dne hazards, dispatch)
     .optimize on|off     toggle rule-based optimization of queries
     .engine [name]       show or set the execution engine
-                         (interpreted | compiled)
+                         (interpreted | compiled | batched)
+    .parallel [n]        show or set the partition-parallel worker
+                         count (batched engine only; 0 = serial)
     .begin               begin an explicit transaction
     .commit              commit the active transaction
     .abort               abort (roll back) the active transaction
@@ -78,6 +80,7 @@ from typing import List, Optional
 
 from .api import connect
 from .core.optimizer import CostModel, Optimizer, Statistics
+from .options import ENGINES, ExecutionOptions
 from .core.values import Arr, MultiSet
 from .lang import ParseError
 from .storage import Database
@@ -181,7 +184,8 @@ class Shell:
 
     def __init__(self, database: Optional[Database] = None):
         self.db = database or Database()
-        self.conn = connect(self.db, engine="interpreted")
+        self.conn = connect(self.db,
+                            ExecutionOptions(engine="interpreted"))
         self.session = self.conn.session
         self.optimize = False
         self.last_stats = {}
@@ -189,11 +193,8 @@ class Shell:
     def _reconnect(self) -> None:
         """Rebind the connection after the database was swapped out
         (``.load``) or repopulated (``.demo``), preserving the chosen
-        engine and tracing state."""
-        self.conn = connect(self.db, engine=self.session.engine,
-                            trace=self.conn.tracing,
-                            analyze=self.session.analyze,
-                            sanitize=self.session.sanitize)
+        execution options and tracing state."""
+        self.conn = connect(self.db, self.conn.options)
         self.session = self.conn.session
 
     # -- meta commands -------------------------------------------------
@@ -246,10 +247,24 @@ class Shell:
             choice = argument.strip().lower()
             if not choice:
                 return "engine: %s" % self.session.engine
-            if choice not in ("interpreted", "compiled"):
-                return "usage: .engine interpreted|compiled"
+            if choice not in ENGINES:
+                return "usage: .engine %s" % "|".join(ENGINES)
             self.session.engine = choice
             return "engine set to %s" % choice
+        if command == ".parallel":
+            choice = argument.strip()
+            if not choice:
+                return "parallel: %d" % self.session.parallel
+            try:
+                degree = int(choice)
+            except ValueError:
+                return "usage: .parallel <n>"
+            if degree < 0:
+                return "usage: .parallel <n>  (n >= 0)"
+            self.session.parallel = degree
+            note = ("" if self.session.engine == "batched" or degree < 2
+                    else " (takes effect with .engine batched)")
+            return "parallel set to %d%s" % (degree, note)
         if command == ".begin":
             from .storage import TxnError
             try:
@@ -286,9 +301,9 @@ class Shell:
             if choice in ("on", "off"):
                 self.conn.sanitizing = choice == "on"
             state = "on" if self.conn.sanitizing else "off"
-            if self.conn.sanitizing and self.session.engine != "compiled":
+            if self.conn.sanitizing and self.session.engine == "interpreted":
                 return ("sanitizer %s (note: a no-op on the %s engine — "
-                        "switch with .engine compiled)"
+                        "switch with .engine compiled or .engine batched)"
                         % (state, self.session.engine))
             return "sanitizer %s" % state
         if command == ".analyze":
@@ -453,18 +468,23 @@ def run_sanitize(argv: List[str]) -> int:
     statically proven fact is violated at runtime.
     """
     from .workloads.plangen import N_PLANS, run_sanitize_sweep
-    n_plans, seed = N_PLANS, 0
+    n_plans, seed, parallel, batched = N_PLANS, 0, 0, False
     it = iter(argv)
     for word in it:
         if word == "--plans":
             n_plans = int(next(it, "0"))
         elif word == "--seed":
             seed = int(next(it, "0"))
+        elif word == "--parallel":
+            parallel = int(next(it, "0"))
+        elif word == "--batched":
+            batched = True
         else:
             print("usage: python -m repro.cli sanitize "
-                  "[--plans N] [--seed N]")
+                  "[--plans N] [--seed N] [--batched] [--parallel N]")
             return 2
-    report = run_sanitize_sweep(n_plans=n_plans, seed=seed)
+    report = run_sanitize_sweep(n_plans=n_plans, seed=seed,
+                                batched=batched, parallel=parallel)
     print(report.render())
     return 1 if report.failed else 0
 

@@ -1,0 +1,2004 @@
+"""Columnar batch execution: the per-element protocol, vectorized.
+
+The streaming compiler (:mod:`.compiler`) moves one ``(element, count)``
+chunk per generator resumption, so a fused chain still pays a Python
+frame switch per occurrence.  This module keeps the compiler's physical
+algebra — fusion, hash DE/GRP/join, deref caching, probe lowering — but
+exchanges fixed-size :class:`Batch` objects between operators instead:
+parallel arrays of elements and occurrence counts that fused chains
+process in tight ``for`` loops with no per-element dispatch at all.
+
+Beyond re-batching the scalar engine, two batch-only optimizations pay
+for the protocol change:
+
+* **Suffix memoization.**  A fused chain whose mid-stream stage derefs a
+  *foreign key* (an INPUT-rooted access path with at least one step
+  before the DEREF, e.g. ``DEREF(INPUT.dept)``) funnels many occurrences
+  through few OIDs.  When every later stage is a pure function of the
+  value (access paths, σ over paths and literals), the whole suffix of
+  the chain is compiled into one function and memoized per OID for the
+  duration of the execution — the classic functional join collapses
+  from O(elements) to O(distinct targets) body work.
+* **Grouped method dispatch.**  A ``SET_APPLY[m(INPUT)]`` stage groups
+  each batch by exact receiver type, resolves and compiles the method
+  body once per group, and runs receiver-independent or access-path
+  bodies without a per-element closure call.  Within-batch order is
+  preserved, so results are position-stable.
+
+Null discipline, Kleene predicate logic, duplicate cardinalities and
+typed filtering are occurrence-for-occurrence identical to both other
+engines (the differential suite in ``tests/engine`` asserts batched
+results bit-identical to the interpreter).  Work counters keep their
+names; totals for stages *behind* a memoized suffix tick only on memo
+misses (the skipped work genuinely did not run — see DESIGN.md §12).
+Memo hits are accounted as ``deref_cache_hit``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import chain
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..expr import (AlgebraError, Const, EvalContext, Expr, Input, Named,
+                    substitute_input)
+from ..methods import IndexedTypeScan, MethodCall, MethodError
+from ..operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
+                                  SetCollapse, SetCreate, exact_type_of)
+from ..operators.refs import Deref
+from ..operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..predicates import (And, Atom, Comp, Not, Predicate, TruePred, F, T, U)
+from ..values import DNE, UNK, MultiSet, Null, Ref, Tup
+from .compiler import (HashJoinMatch, Pipeline, PlanCompiler, _MISSING,
+                       _ProbePlan, _flatten_pair, _fresh_cache, _match_probe,
+                       cached_deref, match_hash_join)
+
+#: Default number of occurrence slots per batch.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Sentinel marking an occurrence dropped by a memoized suffix or a
+#: grouped method runner (``dne`` never travels in a batch).
+_DROP = object()
+
+
+class Batch:
+    """A column of occurrences in transit.
+
+    ``elements`` and ``counts`` are parallel lists; ``counts is None``
+    means every slot has cardinality one (the common case for extents of
+    distinct objects — operators skip the counts column entirely then).
+    ``dne`` never appears in a batch (dropped at construction, like
+    multisets); ``unk`` travels in-band as an ordinary value.
+    """
+
+    __slots__ = ("elements", "counts")
+
+    def __init__(self, elements: List[Any],
+                 counts: Optional[List[int]] = None) -> None:
+        self.elements = elements
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def cardinality(self) -> int:
+        """Total occurrences in the batch."""
+        if self.counts is None:
+            return len(self.elements)
+        return sum(self.counts)
+
+    def __repr__(self) -> str:
+        return "<Batch %d slot(s)%s>" % (
+            len(self.elements), "" if self.counts is None else ", counted")
+
+
+#: A compiled batch form: (input_value, ctx) -> Null | iter(Batch).
+BatchFn = Callable[[Any, EvalContext], Any]
+
+
+# ---------------------------------------------------------------------------
+# Batch <-> chunk adapters
+# ---------------------------------------------------------------------------
+
+def _chunks_to_batches(chunks: Any, size: int) -> Iterator[Batch]:
+    """Group an ``(element, count)`` chunk stream into batches."""
+    elements: List[Any] = []
+    counts: List[int] = []
+    mixed = False
+    for element, count in chunks:
+        elements.append(element)
+        counts.append(count)
+        if count != 1:
+            mixed = True
+        if len(elements) >= size:
+            yield Batch(elements, counts if mixed else None)
+            elements, counts, mixed = [], [], False
+    if elements:
+        yield Batch(elements, counts if mixed else None)
+
+
+def _tally_batches(tally: Any, size: int) -> Iterator[Batch]:
+    """Slice a tally mapping (element -> count) into batches.
+
+    Snapshots the mapping into parallel lists first (two C-level
+    copies), so batches are pure list slices with no per-element Python
+    work — this is the extent-scan fast path under every leaf.
+    """
+    keys = list(tally)
+    vals = list(tally.values())
+    n = len(keys)
+
+    def gen() -> Iterator[Batch]:
+        for i in range(0, n, size):
+            cs = vals[i:i + size]
+            if cs.count(1) == len(cs):
+                yield Batch(keys[i:i + size], None)
+            else:
+                yield Batch(keys[i:i + size], cs)
+    return gen()
+
+
+def _batches_to_chunks(batches: Any) -> Iterator[Tuple[Any, int]]:
+    for batch in batches:
+        counts = batch.counts
+        if counts is None:
+            for element in batch.elements:
+                yield element, 1
+        else:
+            for i, element in enumerate(batch.elements):
+                yield element, counts[i]
+
+
+def _materialize_batch_fn(batch_fn: BatchFn) -> Callable[[Any, EvalContext],
+                                                         Any]:
+    """Value form of a batch producer: tally batches into a MultiSet.
+    All-ones batches take the C-speed ``Counter.update`` path."""
+    def fn(v: Any, ctx: EvalContext) -> Any:
+        batches = batch_fn(v, ctx)
+        if isinstance(batches, Null):
+            return batches
+        tally: Counter = Counter()
+        get = tally.get
+        update = tally.update
+        for batch in batches:
+            counts = batch.counts
+            if counts is None:
+                update(batch.elements)
+            else:
+                for i, element in enumerate(batch.elements):
+                    tally[element] = get(element, 0) + counts[i]
+        return MultiSet._from_tally(dict(tally))
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Purity / shape analysis for memoization and grouped dispatch
+# ---------------------------------------------------------------------------
+
+def _path_ops(expr: Expr) -> Optional[List[Tuple[str, Any]]]:
+    """Decompose an INPUT-rooted access path into ops, innermost first:
+    ``("extract", field)`` / ``("pi", names)`` / ``("deref", None)``.
+    Returns None for any other shape."""
+    ops: List[Tuple[str, Any]] = []
+    node = expr
+    while True:
+        if isinstance(node, Input):
+            ops.reverse()
+            return ops
+        if isinstance(node, TupExtract):
+            ops.append(("extract", node.field))
+            node = node.source
+        elif isinstance(node, Pi):
+            ops.append(("pi", node.names))
+            node = node.source
+        elif isinstance(node, Deref):
+            ops.append(("deref", None))
+            node = node.source
+        else:
+            return None
+
+
+def _pure_expr(expr: Expr) -> bool:
+    node = expr
+    while True:
+        if isinstance(node, (Input, Const)):
+            return True
+        if isinstance(node, (TupExtract, Pi, Deref)):
+            node = node.source
+            continue
+        return False
+
+
+def _pure_pred(pred: Predicate) -> bool:
+    if isinstance(pred, Atom):
+        return _pure_expr(pred.left) and _pure_expr(pred.right)
+    if isinstance(pred, And):
+        return _pure_pred(pred.left) and _pure_pred(pred.right)
+    if isinstance(pred, Not):
+        return _pure_pred(pred.inner)
+    return isinstance(pred, TruePred)
+
+
+_PURE_TYPES = (Input, Const, TupExtract, Pi, Deref, TupCat, TupCreate)
+
+
+def _pure_tree(expr: Expr) -> bool:
+    """True when *expr* is built purely from value accessors — a
+    deterministic function of (input, store state) with no side
+    effects, safe to evaluate once per group or memoize per OID."""
+    if not isinstance(expr, _PURE_TYPES):
+        return False
+    for field in expr._fields:
+        value = getattr(expr, field)
+        if isinstance(value, Expr):
+            if not _pure_tree(value):
+                return False
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Expr) and not _pure_tree(item):
+                    return False
+    return True
+
+
+def _memo_pure_stage(node: SetApply) -> bool:
+    """Can this stage run inside a memoized suffix?  It must be a pure
+    function of the incoming value: an access path, or a σ whose
+    predicate touches only paths and literals.  No type filter (a
+    filter drops ``unk``, which bypasses the suffix)."""
+    if node.type_filter is not None:
+        return False
+    body = node.body
+    if _path_ops(body) is not None:
+        return True
+    return (isinstance(body, Comp) and isinstance(body.source, Input)
+            and _pure_pred(body.pred))
+
+
+def _find_memo_split(nodes: List[SetApply]) -> Optional[Tuple[int, list,
+                                                              int]]:
+    """Find the earliest stage whose body derefs a *foreign key* (an
+    access path with >= 1 step before the DEREF) such that it and every
+    later stage is memo-pure.  Returns (stage index, path ops, index of
+    the deref op) or None."""
+    for j, node in enumerate(nodes):
+        # A type filter on stage j itself is fine — it runs in the main
+        # loop before the memoized suffix is entered (and drops unk, so
+        # the unk bypass never fires either way).
+        ops = _path_ops(node.body)
+        if ops is None:
+            continue
+        k = next((i for i, op in enumerate(ops) if op[0] == "deref"), None)
+        if k is None or k == 0:
+            continue
+        if all(_memo_pure_stage(n) for n in nodes[j + 1:]):
+            return j, ops, k
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shared code emitters
+# ---------------------------------------------------------------------------
+
+_DEREF_PROLOGUE = [
+    "store = ctx.store",
+    "cache = ctx.deref_cache",
+    "if cache is None:",
+    "    cache = _fresh_cache(ctx)",
+    "entries = cache._entries",
+    "capacity = cache.capacity",
+    "_rd = getattr(store, 'reader', None) if store is not None else None",
+    "store_get = _rd() if _rd is not None else "
+    "(store.get if store is not None else None)",
+]
+
+_EXACT_PROLOGUE = [
+    "store = ctx.store",
+    "_etrd = getattr(store, 'exact_reader', None) "
+    "if store is not None else None",
+    "et_get = _etrd() if _etrd is not None else None",
+]
+
+#: Inlined exact_type_of for typed SET_APPLY filters: one dict probe
+#: per Ref via the store's exact-type reader, falling back to the
+#: function for snapshot stores and exotic values.  ``unk`` has no
+#: exact type, so a typed filter always drops it.
+_TYPE_FILTER_LINES = [
+    "if value is UNK: continue",
+    "_c = type(value)",
+    "if _c is Ref:",
+    "    if et_get is None:",
+    "        _x = exact_type_of(value, ctx)",
+    "    else:",
+    "        _x = et_get(value.oid)",
+    "        if _x is None: _x = value.type_name",
+    "elif _c is Tup:",
+    "    _x = value.type_name",
+    "else:",
+    "    _x = exact_type_of(value, ctx)",
+]
+
+
+class _Emitter:
+    """Emit the per-occurrence code blocks shared by the batch codegen
+    and the grouped method-dispatch runners.  Blocks transform a local
+    ``value`` and leave via *drop* (``continue`` in loops, ``return
+    _DROP`` in memoized suffix functions) when the occurrence is
+    discarded; every step is guarded against ``unk`` so nulls propagate
+    exactly like the interpreter."""
+
+    def __init__(self) -> None:
+        self.namespace: Dict[str, Any] = {
+            "DNE": DNE, "UNK": UNK, "F": F, "T": T, "U": U,
+            "exact_type_of": exact_type_of, "AlgebraError": AlgebraError,
+            "Tup": Tup, "Ref": Ref, "_fresh_cache": _fresh_cache,
+            "_MISSING": _MISSING, "Batch": Batch, "_DROP": _DROP,
+        }
+        self.uses_deref = False
+
+    def path_block(self, op: Tuple[str, Any], sid: str, seq: int,
+                   drop: str, scan: bool = False) -> List[str]:
+        kind, arg = op
+        if kind == "extract":
+            key = "%s_f%d" % (sid, seq)
+            msg = "%s_m%d" % (sid, seq)
+            self.namespace[key] = arg
+            self.namespace[msg] = ("TUP_EXTRACT(%s) needs a tuple input, "
+                                   "got %%r" % arg)
+            return [
+                "if value is not UNK:",
+                "    if not isinstance(value, Tup):",
+                "        raise AlgebraError(%s %% (value,))" % msg,
+                "    try:",
+                "        value = value._map[%s]" % key,
+                "    except KeyError:",
+                "        value = value[%s]" % key,
+                "    if value is DNE: %s" % drop,
+            ]
+        if kind == "pi":
+            key = "%s_n%d" % (sid, seq)
+            self.namespace[key] = arg
+            return [
+                "if value is not UNK:",
+                "    if not isinstance(value, Tup):",
+                "        raise AlgebraError('π needs a tuple input, "
+                "got %r' % (value,))",
+                "    value = value.project(%s)" % key,
+            ]
+        self.uses_deref = True
+        if scan:
+            # Scan-resistant: a one-shot extent deref would evict every
+            # useful entry and never hit — skip the LRU entirely (a
+            # whole-extent scan touches each oid once).
+            return [
+                "if value is not UNK:",
+                "    if not isinstance(value, Ref):",
+                "        raise AlgebraError('DEREF needs a reference, "
+                "got %r' % (value,))",
+                "    if store is None:",
+                "        raise AlgebraError('DEREF needs an object store "
+                "in the context')",
+                "    cache.misses += 1",
+                "    value = store_get(value.oid, DNE)",
+                "    if value is DNE: %s" % drop,
+            ]
+        return [
+            "if value is not UNK:",
+            "    if not isinstance(value, Ref):",
+            "        raise AlgebraError('DEREF needs a reference, "
+            "got %r' % (value,))",
+            "    if store is None:",
+            "        raise AlgebraError('DEREF needs an object store "
+            "in the context')",
+            "    oid = value.oid",
+            "    value = entries.get(oid, _MISSING)",
+            "    if value is _MISSING:",
+            "        cache.misses += 1",
+            "        value = store_get(oid, DNE)",
+            "        entries[oid] = value",
+            "        if len(entries) > capacity:",
+            "            entries.popitem(last=False)",
+            "    else:",
+            "        cache.hits += 1",
+            "        entries.move_to_end(oid)",
+            "    if value is DNE: %s" % drop,
+        ]
+
+    def path_blocks(self, ops: List[Tuple[str, Any]], sid: str,
+                    drop: str, start: int = 0,
+                    scan_first: bool = False) -> List[str]:
+        lines: List[str] = []
+        for seq, op in enumerate(ops):
+            lines += self.path_block(op, sid, start + seq, drop,
+                                     scan=scan_first and seq == 0)
+        return lines
+
+    def filter_block(self, pred: Predicate, i: int,
+                     drop: str) -> Optional[List[str]]:
+        """Inline ``Atom(TupExtract(f, INPUT), = | !=, Const)`` —
+        the batch twin of the scalar codegen's σ-atom inliner."""
+        if not isinstance(pred, Atom) or pred.op not in ("=", "!="):
+            return None
+        left, right = pred.left, pred.right
+        if not (isinstance(left, TupExtract)
+                and isinstance(left.source, Input)
+                and isinstance(right, Const)):
+            return None
+        if isinstance(right.value, Null):
+            return None
+        key, cst, msg = "p%d_f" % i, "p%d_c" % i, "p%d_m" % i
+        self.namespace[key] = left.field
+        self.namespace[cst] = right.value
+        self.namespace[msg] = ("TUP_EXTRACT(%s) needs a tuple input, "
+                               "got %%r" % left.field)
+        if pred.op == "=":
+            verdict = "    elif lhs != %s: %s" % (cst, drop)
+        else:
+            verdict = "    elif lhs == %s: %s" % (cst, drop)
+        return [
+            "if value is not UNK:",
+            "    ce%d += 1" % i,
+            "    if not isinstance(value, Tup):",
+            "        raise AlgebraError(%s %% (value,))" % msg,
+            "    try:",
+            "        lhs = value._map[%s]" % key,
+            "    except KeyError:",
+            "        lhs = value[%s]" % key,
+            "    ae%d += 1" % i,
+            "    if lhs is DNE: %s" % drop,
+            "    if lhs is UNK: value = UNK",
+            verdict,
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Fused batch code generation
+# ---------------------------------------------------------------------------
+
+def _bump(counter: str, acc: str) -> str:
+    return "stats[%r] = sget(%r, 0) + %s" % (counter, counter, acc)
+
+
+class _BatchCodegen:
+    """Generate the driver for a fused SET_APPLY chain over batches.
+
+    One generated generator function consumes a batch stream and yields
+    transformed batches; within a batch the stages run as straight-line
+    code inside a single tight loop (two variants: one for all-ones
+    batches that never touches a counts column, one for counted
+    batches).  Per-stage work counters are local integers flushed once
+    in ``finally`` into the stats dict captured at generator start —
+    the same late-close discipline as the scalar codegen.
+
+    When :func:`_find_memo_split` locates a foreign-key deref whose
+    remaining chain is pure, the suffix from that deref onward becomes
+    a second generated function, called once per distinct OID and
+    memoized in a per-execution dict.
+    """
+
+    def __init__(self, compiler: "BatchPlanCompiler") -> None:
+        self.compiler = compiler
+        self.emitter = _Emitter()
+        self.namespace = self.emitter.namespace
+        self.inlined = 0
+        self.memoized = False
+        self.uses_exact = False
+
+    # -- per-stage emission -------------------------------------------
+
+    def _scan_lines(self, i: int, node: SetApply, cnt: str,
+                    accs: List[str], flush: List[str],
+                    register: bool) -> List[str]:
+        """The scan-tick / typed-filter prefix of a stage."""
+        lines: List[str] = []
+        if node.type_filter is not None:
+            self.uses_exact = True
+            if register:
+                self.namespace["tf%d" % i] = node.type_filter
+                accs += ["sc%d" % i, "ap%d" % i]
+                flush.append("if sc%d: %s"
+                             % (i, _bump("elements_scanned", "sc%d" % i)))
+                flush.append("if ap%d: %s"
+                             % (i, _bump("set_apply_elements", "ap%d" % i)))
+            lines.append("sc%d += %s" % (i, cnt))
+            lines += _TYPE_FILTER_LINES
+            lines.append("if _x not in tf%d: continue" % i)
+            lines.append("ap%d += %s" % (i, cnt))
+        else:
+            if register:
+                accs.append("sc%d" % i)
+                flush.append("if sc%d:" % i)
+                flush.append("    " + _bump("elements_scanned", "sc%d" % i))
+                flush.append("    " + _bump("set_apply_elements",
+                                            "sc%d" % i))
+            lines.append("sc%d += %s" % (i, cnt))
+        return lines
+
+    def _stage_lines(self, i: int, node: SetApply, cnt: str,
+                     accs: List[str], flush: List[str],
+                     register: bool, scan_deref: bool = False) -> List[str]:
+        """Lines for stage *i* of the main loop; *cnt* is the
+        occurrence-count expression ("1" or "count").  *register*
+        guards acc/flush bookkeeping so the second loop variant doesn't
+        double it.  *scan_deref* marks an extent-rooted first stage
+        whose leading DEREF should bypass the LRU (scan resistance)."""
+        lines = self._scan_lines(i, node, cnt, accs, flush, register)
+        expr = node.body
+        if isinstance(expr, Comp) and isinstance(expr.source, Input):
+            if register:
+                accs.append("ce%d" % i)
+                flush.append("if ce%d: %s"
+                             % (i, _bump("comp_evals", "ce%d" % i)))
+            inline = self.emitter.filter_block(expr.pred, i, "continue")
+            if inline is not None:
+                if register:
+                    self.inlined += 1
+                    accs.append("ae%d" % i)
+                    flush.append("if ae%d: %s"
+                                 % (i, _bump("atom_evals", "ae%d" % i)))
+                lines += inline
+            else:
+                if register:
+                    self.namespace["f%d" % i] = \
+                        self.compiler.pred(expr.pred)
+                lines += [
+                    "if value is not UNK:",
+                    "    ce%d += 1" % i,
+                    "    verdict = f%d(value, ctx)" % i,
+                    "    if verdict == F: continue",
+                    "    if verdict == U: value = UNK",
+                ]
+        else:
+            ops = _path_ops(expr)
+            if ops is not None:
+                if register:
+                    self.inlined += 1
+                lines += self.emitter.path_blocks(
+                    ops, "s%d" % i, "continue",
+                    scan_first=scan_deref and bool(ops)
+                    and ops[0][0] == "deref")
+            else:
+                if register:
+                    self.namespace["f%d" % i] = self.compiler.value(expr)
+                lines.append("value = f%d(value, ctx)" % i)
+                lines.append("if value is DNE: continue")
+        return lines
+
+    def _suffix_stage_lines(self, i: int, node: SetApply, accs: List[str],
+                            flush: List[str],
+                            skip_ops: int = 0) -> List[str]:
+        """Lines for a stage inside the memoized suffix function: drops
+        become ``return _DROP`` and counters tick per invocation (the
+        suffix only runs on memo misses)."""
+        drop = "return _DROP"
+        lines: List[str] = []
+        accs.append("sc%d" % i)
+        flush.append("if sc%d:" % i)
+        flush.append("    " + _bump("elements_scanned", "sc%d" % i))
+        flush.append("    " + _bump("set_apply_elements", "sc%d" % i))
+        lines.append("sc%d += 1" % i)
+        expr = node.body
+        if isinstance(expr, Comp) and isinstance(expr.source, Input):
+            accs.append("ce%d" % i)
+            flush.append("if ce%d: %s" % (i, _bump("comp_evals",
+                                                   "ce%d" % i)))
+            inline = self.emitter.filter_block(expr.pred, i, drop)
+            if inline is not None:
+                accs.append("ae%d" % i)
+                flush.append("if ae%d: %s" % (i, _bump("atom_evals",
+                                                       "ae%d" % i)))
+                lines += inline
+            else:
+                self.namespace["f%d" % i] = self.compiler.pred(expr.pred)
+                lines += [
+                    "if value is not UNK:",
+                    "    ce%d += 1" % i,
+                    "    verdict = f%d(value, ctx)" % i,
+                    "    if verdict == F: %s" % drop,
+                    "    if verdict == U: value = UNK",
+                ]
+        else:
+            ops = _path_ops(expr)
+            assert ops is not None  # guaranteed by _memo_pure_stage
+            lines += self.emitter.path_blocks(ops[skip_ops:], "s%d" % i,
+                                              drop, start=skip_ops)
+        return lines
+
+    # -- assembly ------------------------------------------------------
+
+    def build(self, nodes: List[SetApply],
+              extent_root: bool = False) -> Callable:
+        split = _find_memo_split(nodes)
+        accs: List[str] = []
+        flush: List[str] = []
+        suffix_src: List[str] = []
+        memo_j = -1
+        if split is not None:
+            memo_j, ops, deref_at = split
+            self.memoized = True
+            suffix_src = self._build_suffix(nodes, memo_j, ops, deref_at)
+        # Stage bodies for both loop variants (all-ones vs counted).
+        ones_body: List[str] = []
+        counted_body: List[str] = []
+        for variant, cnt, body in (("ones", "1", ones_body),
+                                   ("counted", "count", counted_body)):
+            register = variant == "ones"
+            for i, node in enumerate(nodes):
+                if i == memo_j:
+                    body += self._memo_call_lines(i, nodes[i], ops,
+                                                  deref_at, cnt, accs,
+                                                  flush, register)
+                    break
+                body += self._stage_lines(i, node, cnt, accs, flush,
+                                          register,
+                                          scan_deref=extent_root
+                                          and i == 0)
+        if self.memoized:
+            accs.append("mh")
+            flush.append("if mh:")
+            flush.append("    " + _bump("deref_count", "mh"))
+            flush.append("    " + _bump("deref_cache_hit", "mh"))
+        prologue = ["    %s = 0" % " = ".join(accs),
+                    "    stats = ctx.stats",
+                    "    sget = stats.get"]
+        if self.emitter.uses_deref:
+            prologue += ["    " + line for line in _DEREF_PROLOGUE]
+        if self.uses_exact:
+            prologue += ["    " + line for line in _EXACT_PROLOGUE]
+        if self.memoized:
+            prologue += ["    memo = {}", "    memo_get = memo.get"]
+        ind8 = "                "
+        lines = ["def _bfused(batches, ctx):"]
+        lines += prologue
+        lines += [
+            "    try:",
+            "        for _batch in batches:",
+            "            elements = _batch.elements",
+            "            counts = _batch.counts",
+            "            out = []",
+            "            oappend = out.append",
+            "            if counts is None:",
+            "                for value in elements:",
+        ]
+        lines += [ind8 + "    " + line for line in ones_body]
+        lines += [
+            ind8 + "    oappend(value)",
+            "                if out:",
+            "                    yield Batch(out, None)",
+            "            else:",
+            "                ocounts = []",
+            "                cappend = ocounts.append",
+            "                for _i, value in enumerate(elements):",
+            ind8 + "    count = counts[_i]",
+        ]
+        lines += [ind8 + "    " + line for line in counted_body]
+        lines += [
+            ind8 + "    oappend(value)",
+            ind8 + "    cappend(count)",
+            "                if out:",
+            "                    yield Batch(out, ocounts)",
+            "    finally:",
+        ]
+        lines += ["        " + line for line in flush]
+        source = "\n".join(suffix_src + lines)
+        exec(source, self.namespace)
+        return self.namespace["_bfused"]
+
+    def _memo_call_lines(self, i: int, node: SetApply, ops: list,
+                         deref_at: int, cnt: str, accs: List[str],
+                         flush: List[str],
+                         register: bool) -> List[str]:
+        """The main-loop side of a memoized suffix: run the pre-deref
+        path steps, then look the OID up in the per-execution memo
+        before paying for the suffix function."""
+        lines = self._scan_lines(i, node, cnt, accs, flush, register)
+        lines += self.emitter.path_blocks(ops[:deref_at], "s%d" % i,
+                                          "continue")
+        lines += [
+            "if value is not UNK:",
+            "    if type(value) is Ref:",
+            "        _k = value.oid",
+            "        _w = memo_get(_k, _MISSING)",
+            "        if _w is _MISSING:",
+            "            _w = _suffix(value, ctx)",
+            "            memo[_k] = _w",
+            "        else:",
+            "            mh += 1",
+            "    else:",
+            "        _w = _suffix(value, ctx)",
+            "    if _w is _DROP: continue",
+            "    value = _w",
+        ]
+        return lines
+
+    def _build_suffix(self, nodes: List[SetApply], j: int, ops: list,
+                      deref_at: int) -> List[str]:
+        accs: List[str] = []
+        flush: List[str] = []
+        body: List[str] = []
+        body += self.emitter.path_blocks(ops[deref_at:], "s%d" % j,
+                                         "return _DROP", start=deref_at)
+        for i in range(j + 1, len(nodes)):
+            body += self._suffix_stage_lines(i, nodes[i], accs, flush)
+        lines = ["def _suffix(value, ctx):",
+                 "    stats = ctx.stats",
+                 "    sget = stats.get"]
+        if accs:
+            lines.append("    %s = 0" % " = ".join(accs))
+        lines += ["    " + line for line in _DEREF_PROLOGUE]
+        lines.append("    try:")
+        lines += ["        " + line for line in body]
+        lines.append("        return value")
+        lines.append("    finally:")
+        if flush:
+            lines += ["        " + line for line in flush]
+        else:
+            lines.append("        pass")
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Grouped method dispatch
+# ---------------------------------------------------------------------------
+
+class _MethodStage:
+    """A ``SET_APPLY[m(INPUT)]`` stage executed batch-at-a-time.
+
+    Each batch is grouped by exact receiver type; the method body is
+    resolved and compiled once per type (memoized across executions,
+    like the scalar engine's per-exact-type body cache), and each group
+    runs through a specialized runner:
+
+    * receiver-independent pure bodies evaluate once per group;
+    * access-path bodies run in a generated tight loop;
+    * anything else falls back to one compiled-closure call per slot.
+
+    Results are written back by position, so batch order is preserved.
+    Dispatch errors (no exact type) surface at the offending slot in
+    stream order, exactly like the scalar engine.
+    """
+
+    def __init__(self, compiler: "BatchPlanCompiler",
+                 node: SetApply) -> None:
+        self.compiler = compiler
+        call = node.body
+        assert isinstance(call, MethodCall)
+        self.name = call.name
+        self.args = list(call.args)
+        self.type_filter = node.type_filter
+        self._runners: Dict[str, Callable] = {}
+
+    def apply(self, batches: Any, ctx: EvalContext) -> Iterator[Batch]:
+        name = self.name
+        tf = self.type_filter
+        runners = self._runners
+        stats = ctx.stats
+        methods = ctx.methods
+        store = ctx.store
+        if store is None or methods is None:
+            # Degenerate contexts (no store / no registry) keep the
+            # straightforward per-slot path; real dispatch never lands
+            # here.
+            for batch in self._apply_general(batches, ctx):
+                yield batch
+            return
+        # Hoisted fast paths: the store's exact-type and object tables,
+        # and the deref LRU's backing dict — one dict probe per
+        # receiver instead of three Python frames.
+        rd = getattr(store, "exact_reader", None)
+        exact_get = rd() if rd is not None else store.exact_type
+        rd = getattr(store, "reader", None)
+        store_get = rd() if rd is not None else store.get
+        cache = ctx.deref_cache
+        if cache is None:
+            cache = _fresh_cache(ctx)
+        entries = cache._entries
+        capacity = cache.capacity
+        entries_get = entries.get
+        for batch in batches:
+            elements = batch.elements
+            counts = batch.counts
+            n = len(elements)
+            out: List[Any] = [_DROP] * n
+            recv: Optional[List[Any]] = None
+            group_order: List[Tuple[Callable, List[int]]] = []
+            groups: Dict[str, List[int]] = {}
+            groups_get = groups.get
+            scanned = batch.cardinality()
+            applied = 0
+            dispatched = 0
+            hits = 0
+            misses = 0
+            for i in range(n):
+                value = elements[i]
+                cls = type(value)
+                if cls is Ref:
+                    oid = value.oid
+                    exact = exact_get(oid)
+                    if exact is None:
+                        exact = value.type_name
+                    if tf is not None:
+                        if exact not in tf:
+                            continue
+                        applied += 1 if counts is None else counts[i]
+                    if exact is None:
+                        raise MethodError(
+                            "cannot dispatch %r: receiver %r has no "
+                            "exact type" % (name, value))
+                    dispatched += 1
+                    target = entries_get(oid, _MISSING)
+                    if target is _MISSING:
+                        misses += 1
+                        target = store_get(oid, DNE)
+                        entries[oid] = target
+                        if len(entries) > capacity:
+                            entries.popitem(last=False)
+                    else:
+                        hits += 1
+                        entries.move_to_end(oid)
+                    if target is DNE:
+                        continue
+                    if recv is None:
+                        recv = list(elements)
+                    recv[i] = target
+                elif cls is Tup:
+                    exact = value.type_name
+                    if tf is not None:
+                        if exact not in tf:
+                            continue
+                        applied += 1 if counts is None else counts[i]
+                    if exact is None:
+                        raise MethodError(
+                            "cannot dispatch %r: receiver %r has no "
+                            "exact type" % (name, value))
+                    dispatched += 1
+                elif value is UNK:
+                    # unk has no exact type: a typed filter drops it;
+                    # otherwise dispatch passes the null through.
+                    if tf is None:
+                        out[i] = UNK
+                    continue
+                else:
+                    exact = exact_type_of(value, ctx)
+                    if tf is not None:
+                        if exact not in tf:
+                            continue
+                        applied += 1 if counts is None else counts[i]
+                    if exact is None:
+                        raise MethodError(
+                            "cannot dispatch %r: receiver %r has no "
+                            "exact type" % (name, value))
+                    dispatched += 1
+                bucket = groups_get(exact)
+                if bucket is None:
+                    # Resolve and compile at first sight of the type so
+                    # resolution errors surface in stream order.
+                    runner = runners.get(exact)
+                    if runner is None:
+                        runner = runners[exact] = \
+                            self._build_runner(exact, ctx)
+                    bucket = groups[exact] = []
+                    group_order.append((runner, bucket))
+                bucket.append(i)
+            if group_order:
+                source = elements if recv is None else recv
+                for runner, idxs in group_order:
+                    runner(source, idxs, out, ctx)
+            if scanned:
+                stats["elements_scanned"] = (
+                    stats.get("elements_scanned", 0) + scanned)
+                stats["set_apply_elements"] = (
+                    stats.get("set_apply_elements", 0)
+                    + (applied if tf is not None else scanned))
+            if dispatched:
+                stats["method_dispatches"] = (
+                    stats.get("method_dispatches", 0) + dispatched)
+            if hits:
+                cache.hits += hits
+            if misses:
+                cache.misses += misses
+            if counts is None:
+                oelems = [w for w in out if w is not _DROP]
+                if oelems:
+                    yield Batch(oelems, None)
+                continue
+            oelems = []
+            ocounts: List[int] = []
+            mixed = False
+            for i in range(n):
+                w = out[i]
+                if w is _DROP:
+                    continue
+                oelems.append(w)
+                c = counts[i]
+                ocounts.append(c)
+                if c != 1:
+                    mixed = True
+            if oelems:
+                yield Batch(oelems, ocounts if mixed else None)
+
+    def _apply_general(self, batches: Any,
+                       ctx: EvalContext) -> Iterator[Batch]:
+        name = self.name
+        tf = self.type_filter
+        for batch in batches:
+            elements = batch.elements
+            counts = batch.counts
+            n = len(elements)
+            out: List[Any] = [_DROP] * n
+            recv: Optional[List[Any]] = None
+            groups: Dict[str, List[int]] = {}
+            scanned = 0
+            applied = 0
+            dispatched = 0
+            for i in range(n):
+                value = elements[i]
+                c = 1 if counts is None else counts[i]
+                scanned += c
+                if value is UNK:
+                    if tf is not None:
+                        continue
+                    out[i] = UNK
+                    continue
+                exact = exact_type_of(value, ctx)
+                if tf is not None:
+                    if exact not in tf:
+                        continue
+                    applied += c
+                if exact is None:
+                    raise MethodError(
+                        "cannot dispatch %r: receiver %r has no exact type"
+                        % (name, value))
+                if ctx.methods is None:
+                    raise MethodError("no method registry in the context")
+                dispatched += 1
+                if type(value) is Ref:
+                    value = cached_deref(ctx, value.oid)
+                    if value is DNE:
+                        continue
+                    if recv is None:
+                        recv = list(elements)
+                    recv[i] = value
+                bucket = groups.get(exact)
+                if bucket is None:
+                    bucket = groups[exact] = []
+                bucket.append(i)
+            if groups:
+                source = elements if recv is None else recv
+                for exact, idxs in groups.items():
+                    runner = self._runners.get(exact)
+                    if runner is None:
+                        runner = self._runners[exact] = \
+                            self._build_runner(exact, ctx)
+                    runner(source, idxs, out, ctx)
+            stats = ctx.stats
+            if scanned:
+                stats["elements_scanned"] = (
+                    stats.get("elements_scanned", 0) + scanned)
+                stats["set_apply_elements"] = (
+                    stats.get("set_apply_elements", 0)
+                    + (applied if tf is not None else scanned))
+            if dispatched:
+                stats["method_dispatches"] = (
+                    stats.get("method_dispatches", 0) + dispatched)
+            oelems: List[Any] = []
+            ocounts: List[int] = []
+            mixed = False
+            for i in range(n):
+                w = out[i]
+                if w is _DROP:
+                    continue
+                oelems.append(w)
+                c = 1 if counts is None else counts[i]
+                ocounts.append(c)
+                if c != 1:
+                    mixed = True
+            if oelems:
+                yield Batch(oelems, ocounts if mixed else None)
+
+    def _build_runner(self, exact: str, ctx: EvalContext) -> Callable:
+        compiler = self.compiler
+        assert ctx.methods is not None
+        method = ctx.methods.resolve(exact, self.name)
+        body = method.instantiate(self.args)
+        with compiler._no_trace():
+            body_fn = compiler.value(body)
+        if not body.uses_input() and _pure_tree(body):
+            def const_runner(recv: List[Any], idxs: List[int],
+                             out: List[Any], ctx: EvalContext) -> None:
+                result = body_fn(recv[idxs[0]], ctx)
+                if result is DNE:
+                    return
+                for i in idxs:
+                    out[i] = result
+            return const_runner
+        ops = _path_ops(body)
+        if ops is not None:
+            return _make_path_runner(ops)
+
+        def generic(recv: List[Any], idxs: List[int], out: List[Any],
+                    ctx: EvalContext) -> None:
+            for i in idxs:
+                result = body_fn(recv[i], ctx)
+                if result is not DNE:
+                    out[i] = result
+        return generic
+
+
+def _make_path_runner(ops: List[Tuple[str, Any]]) -> Callable:
+    """A generated tight loop applying an access-path method body to a
+    group of receivers, writing results back by position.
+
+    When the path reaches its first DEREF through at least one prior
+    step, everything downstream depends only on the dereferenced oid —
+    a foreign key shared across receivers (the paper's ``boss`` body:
+    extract manager, deref, extract name).  That suffix is compiled
+    into its own function and memoized per oid for the duration of the
+    call, so repeated targets cost one dict probe instead of a cache
+    lookup plus the remaining path steps.  Memo hits count as deref
+    cache hits; the interpreter's per-receiver stats tick only on
+    misses (the documented stats divergence under memoization)."""
+    emitter = _Emitter()
+    split = next((i for i, (kind, _) in enumerate(ops)
+                  if kind == "deref"), -1)
+    if split >= 1:
+        pre = emitter.path_blocks(ops[:split], "mb", "continue")
+        suffix = emitter.path_blocks(ops[split:], "ms", "return _DROP",
+                                     start=split)
+        slines = ["def _msfx(value, ctx):"]
+        slines += ["    " + line for line in _DEREF_PROLOGUE]
+        slines += ["    " + line for line in suffix]
+        slines.append("    return value")
+        exec("\n".join(slines), emitter.namespace)
+        lines = [
+            "def _mrun(recv, idxs, out, ctx):",
+            "    memo = {}",
+            "    memo_get = memo.get",
+            "    mh = 0",
+            "    try:",
+            "        for _i in idxs:",
+            "            value = recv[_i]",
+        ]
+        lines += ["            " + line for line in pre]
+        lines += [
+            "            if value is not UNK and type(value) is Ref:",
+            "                _k = value.oid",
+            "                _w = memo_get(_k, _MISSING)",
+            "                if _w is _MISSING:",
+            "                    _w = _msfx(value, ctx)",
+            "                    memo[_k] = _w",
+            "                else:",
+            "                    mh += 1",
+            "            else:",
+            "                _w = _msfx(value, ctx)",
+            "            if _w is _DROP: continue",
+            "            out[_i] = _w",
+            "    finally:",
+            "        if mh:",
+            "            cache = ctx.deref_cache",
+            "            if cache is None:",
+            "                cache = _fresh_cache(ctx)",
+            "            cache.hits += mh",
+        ]
+        exec("\n".join(lines), emitter.namespace)
+        return emitter.namespace["_mrun"]
+    body = emitter.path_blocks(ops, "mb", "continue")
+    lines = ["def _mrun(recv, idxs, out, ctx):"]
+    if emitter.uses_deref:
+        lines += ["    " + line for line in _DEREF_PROLOGUE]
+    lines.append("    for _i in idxs:")
+    lines.append("        value = recv[_i]")
+    lines += ["        " + line for line in body]
+    lines.append("        out[_i] = value")
+    exec("\n".join(lines), emitter.namespace)
+    return emitter.namespace["_mrun"]
+
+
+def _make_union_scan(branches: List[Tuple[frozenset, List[Tuple[str,
+                                                                Any]]]],
+                     ) -> Callable:
+    """One generated scan for a ⊎ of typed SET_APPLY branches over the
+    same extent — Figure 5's observation that "the need to scan P three
+    times … disappears", realized without an index: each element's
+    exact type selects its branch body in an if/elif ladder, so the
+    extent streams through once instead of once per branch.  Branch
+    bodies whose path reaches a foreign-key DEREF get the same
+    per-execution OID memo as fused chains.  ``elements_scanned``
+    counts every branch's logical scan (× n_branches) so work
+    accounting still reflects the algebraic plan."""
+    emitter = _Emitter()
+    nb = len(branches)
+    pres: List[Tuple[str, List[str], int]] = []  # (kind, lines, branch)
+    memo_branches: List[int] = []
+    for b, (tf, ops) in enumerate(branches):
+        emitter.namespace["tf%d" % b] = tf
+        split = next((i for i, (kind, _) in enumerate(ops)
+                      if kind == "deref"), -1)
+        if split >= 1:
+            memo_branches.append(b)
+            lines = emitter.path_blocks(ops[:split], "u%dp" % b, "continue")
+            lines += [
+                "if value is not UNK and type(value) is Ref:",
+                "    _k = value.oid",
+                "    _w = memo%d_get(_k, _MISSING)" % b,
+                "    if _w is _MISSING:",
+                "        _w = _usfx%d(value, ctx)" % b,
+                "        memo%d[_k] = _w" % b,
+                "    else:",
+                "        mh%d += 1" % b,
+                "else:",
+                "    _w = _usfx%d(value, ctx)" % b,
+                "if _w is _DROP: continue",
+                "value = _w",
+            ]
+            pres.append(("memo", lines, b))
+        else:
+            lines = emitter.path_blocks(ops, "u%dp" % b, "continue")
+            pres.append(("inline", lines, b))
+    main_uses_deref = emitter.uses_deref
+    for b in memo_branches:
+        _, ops = branches[b]
+        split = next(i for i, (kind, _) in enumerate(ops)
+                     if kind == "deref")
+        suffix = emitter.path_blocks(ops[split:], "u%ds" % b,
+                                     "return _DROP", start=split)
+        slines = ["def _usfx%d(value, ctx):" % b]
+        slines += ["    " + line for line in _DEREF_PROLOGUE]
+        slines += ["    " + line for line in suffix]
+        slines.append("    return value")
+        exec("\n".join(slines), emitter.namespace)
+
+    def element_lines(cnt: str, counted: bool) -> List[str]:
+        lines = ["sc += %s" % cnt]
+        lines += _TYPE_FILTER_LINES
+        for pos, (kind, blines, b) in enumerate(pres):
+            kw = "if" if pos == 0 else "elif"
+            lines.append("%s _x in tf%d:" % (kw, b))
+            lines.append("    ap += %s" % cnt)
+            lines += ["    " + line for line in blines]
+            lines.append("    _append(value)")
+            if counted:
+                lines.append("    _capp(count)")
+                lines.append("    if count != 1: mixed = True")
+        lines.append("else:")
+        lines.append("    continue")
+        return lines
+
+    lines = ["def _bunion(batches, ctx):"]
+    lines += ["    " + line for line in _EXACT_PROLOGUE]
+    if main_uses_deref:
+        lines += ["    " + line for line in _DEREF_PROLOGUE]
+    lines += [
+        "    stats = ctx.stats",
+        "    sget = stats.get",
+        "    sc = 0",
+        "    ap = 0",
+    ]
+    for b in memo_branches:
+        lines += [
+            "    memo%d = {}" % b,
+            "    memo%d_get = memo%d.get" % (b, b),
+            "    mh%d = 0" % b,
+        ]
+    lines += [
+        "    try:",
+        "        for batch in batches:",
+        "            elements = batch.elements",
+        "            counts = batch.counts",
+        "            out = []",
+        "            _append = out.append",
+        "            if counts is None:",
+        "                for value in elements:",
+    ]
+    lines += ["                    " + line
+              for line in element_lines("1", False)]
+    lines += [
+        "                if out:",
+        "                    yield Batch(out, None)",
+        "            else:",
+        "                oc = []",
+        "                _capp = oc.append",
+        "                mixed = False",
+        "                for _i, value in enumerate(elements):",
+        "                    count = counts[_i]",
+    ]
+    lines += ["                    " + line
+              for line in element_lines("count", True)]
+    lines += [
+        "                if out:",
+        "                    yield Batch(out, oc if mixed else None)",
+        "    finally:",
+        "        if sc:",
+        "            stats['elements_scanned'] = "
+        "sget('elements_scanned', 0) + sc * %d" % nb,
+        "            stats['set_apply_elements'] = "
+        "sget('set_apply_elements', 0) + ap",
+    ]
+    if memo_branches:
+        total = " + ".join("mh%d" % b for b in memo_branches)
+        lines += [
+            "        if %s:" % total,
+            "            cache = ctx.deref_cache",
+            "            if cache is None:",
+            "                cache = _fresh_cache(ctx)",
+            "            cache.hits += %s" % total,
+        ]
+    exec("\n".join(lines), emitter.namespace)
+    return emitter.namespace["_bunion"]
+
+
+# ---------------------------------------------------------------------------
+# The batch compiler
+# ---------------------------------------------------------------------------
+
+#: Root operator classes that produce multisets and have batch forms.
+_BATCH_ROOTS = (SetApply, DE, Grp, AddUnion, Diff, Cross, SetCollapse,
+                SetCreate, IndexedTypeScan)
+
+
+class BatchPlanCompiler(PlanCompiler):
+    """The streaming compiler with a batch-at-a-time operator layer.
+
+    ``batches(expr, …)`` mirrors ``stream(expr, …)``: operators with a
+    ``_b_<Type>`` handler exchange :class:`Batch` objects; anything
+    else falls back to the inherited chunk stream and is re-batched at
+    the seam.  Scalar subforms (stage bodies, predicates, group keys,
+    value operands) compile through the inherited machinery unchanged —
+    they run per occurrence either way.
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
+                 **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1, got %r"
+                             % (batch_size,))
+        self.batch_size = batch_size
+
+    # -- dispatch ------------------------------------------------------
+
+    def batch_value(self, expr: Expr) -> Callable[[Any, EvalContext], Any]:
+        """The value form of *expr*, batch-executed when the root is a
+        multiset operator (the only places a batch protocol pays)."""
+        if isinstance(expr, _BATCH_ROOTS):
+            return _materialize_batch_fn(
+                self.batches(expr, "query root needs a multiset, got %r",
+                             with_value=True))
+        return self.value(expr)
+
+    def batches(self, expr: Expr, message: str,
+                with_value: bool = False) -> BatchFn:
+        if self._statically_empty_sort(expr) == "set":
+            self.note("EMPTY[static] %s" % type(expr).__name__)
+            return lambda v, ctx: iter(())
+        method = getattr(self, "_b_%s" % type(expr).__name__, None)
+        if method is None:
+            stream_fn = self.stream(expr, message, with_value)
+            size = self.batch_size
+
+            def adapted(v: Any, ctx: EvalContext) -> Any:
+                chunks = stream_fn(v, ctx)
+                if isinstance(chunks, Null):
+                    return chunks
+                return _chunks_to_batches(chunks, size)
+            return adapted
+        if self.trace and not self._suppress:
+            span = self._open_span(expr)
+            try:
+                fn = method(expr, message, with_value)
+            finally:
+                self._span_stack.pop()
+            fn = _traced_batches(fn, span)
+        else:
+            fn = method(expr, message, with_value)
+        if self.sanitize is not None:
+            checks = self.sanitize.runtime_checks(
+                expr, dup_free=self._claimed_dupfree(expr))
+            if checks is not None:
+                fn = _sanitized_batches(fn, checks, self.batch_size)
+        return fn
+
+    # -- leaves --------------------------------------------------------
+
+    def _b_Named(self, expr: Named, message: str,
+                 with_value: bool) -> BatchFn:
+        name = expr.name
+        size = self.batch_size
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            collection = ctx.lookup(name)
+            if isinstance(collection, Null):
+                return collection
+            if not isinstance(collection, MultiSet):
+                raise AlgebraError(message % (collection,) if with_value
+                                   else message)
+            return _tally_batches(collection._counts, size)
+        return fn
+
+    # -- SET_APPLY chains ----------------------------------------------
+
+    def _compile_chain(self, nodes: List[SetApply],
+                       extent_root: bool = False) -> Optional[Callable]:
+        """Compose fused codegen segments and method stages into one
+        ``(batches, ctx) -> batches`` driver.  *extent_root* marks a
+        chain fed directly by a stored extent, licensing the
+        scan-resistant DEREF in its first fused stage."""
+        runs: List[Callable] = []
+        fused: List[SetApply] = []
+        details: List[str] = []
+
+        def flush_fused() -> None:
+            if not fused:
+                return
+            codegen = _BatchCodegen(self)
+            with self._no_trace():
+                gen = codegen.build(list(fused),
+                                    extent_root=extent_root
+                                    and not runs)
+            details.append("%d fused (%d inlined%s)"
+                           % (len(fused), codegen.inlined,
+                              ", suffix memo" if codegen.memoized else ""))
+            runs.append(gen)
+            del fused[:]
+
+        for node in nodes:
+            body = node.body
+            if (isinstance(body, MethodCall)
+                    and isinstance(body.receiver, Input)):
+                flush_fused()
+                stage = _MethodStage(self, node)
+                details.append("grouped dispatch %s" % body.name)
+                runs.append(stage.apply)
+            else:
+                fused.append(node)
+        flush_fused()
+        if details:
+            self.note("BATCH_APPLY[%s]" % "; ".join(details))
+        if not runs:
+            return None
+        if len(runs) == 1:
+            return runs[0]
+
+        def chained(batches: Any, ctx: EvalContext) -> Any:
+            for run in runs:
+                batches = run(batches, ctx)
+            return batches
+        return chained
+
+    def _b_SetApply(self, expr: SetApply, message: str,
+                    with_value: bool) -> BatchFn:
+        match = match_hash_join(expr)
+        if match is not None:
+            return self._b_hash_join(match)
+        nodes: List[SetApply] = []
+        node: Expr = expr
+        while (isinstance(node, SetApply)
+               and (node is expr or match_hash_join(node) is None)):
+            nodes.append(node)
+            node = node.source
+        nodes.reverse()
+        if self.access_paths != "off" and isinstance(node, Named) and nodes:
+            probe = _match_probe(nodes[0])
+            absorbed = 0
+            if (probe is None and len(nodes) >= 2
+                    and nodes[0].type_filter is None
+                    and not isinstance(nodes[0].body, Comp)):
+                inner = _match_probe(nodes[1])
+                if inner is not None and inner.kind != "typed":
+                    probe = _ProbePlan(
+                        inner.kind,
+                        key=substitute_input(inner.key, nodes[0].body),
+                        eq_const=inner.eq_const, bounds=inner.bounds,
+                        pred=inner.pred)
+                    absorbed = 1
+            if probe is not None and self._approve_probe(node.name, probe):
+                return self._b_indexed_apply(node, probe, nodes, absorbed)
+        src = self.batches(node, "SET_APPLY needs a multiset input, got %r",
+                           with_value=True)
+        run = self._compile_chain(nodes,
+                                  extent_root=isinstance(node, Named))
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            batches = src(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            if run is not None:
+                batches = run(batches, ctx)
+            return batches
+        return fn
+
+    def _b_indexed_apply(self, node: Named, probe: _ProbePlan,
+                         nodes: List[SetApply],
+                         absorbed: int = 0) -> BatchFn:
+        """Batch twin of the scalar ``_indexed_apply``: compile both the
+        probe-fed rest chain and the full batch scan, pick per
+        execution on live catalog state."""
+        name = node.name
+        size = self.batch_size
+        src = self.batches(node, "SET_APPLY needs a multiset input, got %r",
+                           with_value=True)
+        scan_run = self._compile_chain(nodes, extent_root=True)
+        if absorbed:
+            rest = [nodes[0]] + list(nodes[2:])
+        else:
+            rest = list(nodes[1:])
+            if probe.residual is not None:
+                rest.insert(0, probe.residual)
+        # Probe output is extent members too, so the rest chain keeps
+        # the scan-resistant first-stage deref.
+        rest_run = self._compile_chain(rest, extent_root=True) \
+            if rest else None
+        path_desc = probe.describe(name)
+        self.note("INDEX_PROBE candidate[%s] with scan fallback"
+                  % path_desc)
+        span = (self._span_stack[-1]
+                if self.trace and not self._suppress else None)
+        key = probe.key
+        if probe.kind == "eq":
+            const = probe.eq_const
+
+            def open_probe(catalog: Any, ctx: EvalContext) -> Any:
+                index = catalog.probe_keyed(name, key)
+                if index is None:
+                    return None
+                return index.probe(const)
+        elif probe.kind == "range":
+            bounds = probe.bounds
+
+            def open_probe(catalog: Any, ctx: EvalContext) -> Any:
+                index = catalog.probe_ordered(name, key)
+                if index is None:
+                    return None
+                return index.probe_range(**bounds)
+        else:
+            types = probe.types
+
+            def open_probe(catalog: Any, ctx: EvalContext) -> Any:
+                index = catalog.probe_typed(name)
+                if index is None:
+                    return None
+                return iter(index.lookup(types).items())
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            catalog = getattr(ctx, "indexes", None)
+            if catalog is not None:
+                chunks = open_probe(catalog, ctx)
+                if chunks is not None:
+                    ctx.tick("index_lookups")
+                    if span is not None:
+                        span.meta["access_path"] = path_desc
+                    batches = _chunks_to_batches(chunks, size)
+                    if rest_run is not None:
+                        return rest_run(batches, ctx)
+                    return batches
+            if span is not None:
+                span.meta["access_path"] = "scan[%s]" % name
+            batches = src(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            if scan_run is not None:
+                batches = scan_run(batches, ctx)
+            return batches
+        return fn
+
+    def _b_hash_join(self, match: HashJoinMatch) -> BatchFn:
+        lsrc = self.batches(match.left, "× needs two multisets")
+        rsrc = self.batches(match.right, "× needs two multisets")
+        with self._no_trace():
+            lkey = self.value(match.left_key)
+            rkey = self.value(match.right_key)
+        self.note("HASH_JOIN[%s = %s] (batched)"
+                  % (match.pred.left.describe(),
+                     match.pred.right.describe()))
+        size = self.batch_size
+
+        def gen(ls: Any, rs: Any, ctx: EvalContext) -> Iterator[Batch]:
+            build: Dict[Any, list] = {}
+            right_unk = 0
+            right_live = 0
+            built = 0
+            for batch in rs:
+                counts = batch.counts
+                for i, b in enumerate(batch.elements):
+                    nb = 1 if counts is None else counts[i]
+                    built += nb
+                    k = rkey(b, ctx)
+                    if k is DNE:
+                        continue
+                    right_live += nb
+                    if k is UNK:
+                        right_unk += nb
+                        continue
+                    bucket = build.get(k)
+                    if bucket is None:
+                        bucket = build[k] = []
+                    bucket.append((b, nb))
+            unk_total = 0
+            probed = 0
+            oelems: List[Any] = []
+            ocounts: List[int] = []
+            for batch in ls:
+                counts = batch.counts
+                for i, a in enumerate(batch.elements):
+                    na = 1 if counts is None else counts[i]
+                    probed += na
+                    k = lkey(a, ctx)
+                    if k is DNE:
+                        continue
+                    if k is UNK:
+                        unk_total += na * right_live
+                        continue
+                    if right_unk:
+                        unk_total += na * right_unk
+                    bucket = build.get(k)
+                    if bucket is None:
+                        continue
+                    for b, nb in bucket:
+                        pair = _flatten_pair(a, b)
+                        if pair is DNE:
+                            continue
+                        oelems.append(pair)
+                        ocounts.append(na * nb)
+                        if len(oelems) >= size:
+                            yield Batch(oelems, ocounts)
+                            oelems, ocounts = [], []
+            if unk_total:
+                oelems.append(UNK)
+                ocounts.append(unk_total)
+            if oelems:
+                yield Batch(oelems, ocounts)
+            ctx.tick("hash_join_build", built)
+            ctx.tick("hash_join_probes", probed)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            ls = lsrc(v, ctx)
+            rs = rsrc(v, ctx)
+            if isinstance(ls, Null):
+                return ls
+            if isinstance(rs, Null):
+                return rs
+            return gen(ls, rs, ctx)
+        return fn
+
+    # -- hash operators ------------------------------------------------
+
+    def _b_DE(self, expr: DE, message: str, with_value: bool) -> BatchFn:
+        src = self.batches(expr.source, "DE needs a multiset input")
+
+        if (self.facts is not None
+                and self.facts.is_duplicate_free(expr.source)):
+            self.note("DE[pass-through: input proven duplicate-free]")
+
+            def gen_passthrough(batches: Any,
+                                ctx: EvalContext) -> Iterator[Batch]:
+                stats = ctx.stats
+                total = 0
+                try:
+                    for batch in batches:
+                        total += batch.cardinality()
+                        yield Batch(batch.elements, None)
+                finally:
+                    stats["elements_scanned"] = (
+                        stats.get("elements_scanned", 0) + total)
+                    stats["de_elements"] = (
+                        stats.get("de_elements", 0) + total)
+
+            def fn_passthrough(v: Any, ctx: EvalContext) -> Any:
+                batches = src(v, ctx)
+                if isinstance(batches, Null):
+                    return batches
+                return gen_passthrough(batches, ctx)
+            return fn_passthrough
+
+        def gen(batches: Any, ctx: EvalContext) -> Iterator[Batch]:
+            stats = ctx.stats
+            seen: set = set()
+            add = seen.add
+            total = 0
+            try:
+                for batch in batches:
+                    total += batch.cardinality()
+                    fresh = []
+                    fappend = fresh.append
+                    for element in batch.elements:
+                        if element not in seen:
+                            add(element)
+                            fappend(element)
+                    if fresh:
+                        yield Batch(fresh, None)
+            finally:
+                stats["elements_scanned"] = (
+                    stats.get("elements_scanned", 0) + total)
+                stats["de_elements"] = (
+                    stats.get("de_elements", 0) + total)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            batches = src(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            return gen(batches, ctx)
+        return fn
+
+    def _b_Grp(self, expr: Grp, message: str, with_value: bool) -> BatchFn:
+        with self._no_trace():
+            key_fn = self.value(expr.by)
+        src = self.batches(expr.source, "GRP needs a multiset input")
+        size = self.batch_size
+
+        def gen(batches: Any, ctx: EvalContext) -> Iterator[Batch]:
+            groups: Dict[Any, Dict[Any, int]] = {}
+            scanned = 0
+            for batch in batches:
+                counts = batch.counts
+                for i, element in enumerate(batch.elements):
+                    count = 1 if counts is None else counts[i]
+                    scanned += count
+                    key = key_fn(element, ctx)
+                    if key is DNE:
+                        continue
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        bucket = groups[key] = {}
+                    bucket[element] = bucket.get(element, 0) + count
+            if scanned:
+                ctx.tick("elements_scanned", scanned)
+                ctx.tick("grp_elements", scanned)
+            out: List[Any] = []
+            for bucket in groups.values():
+                out.append(MultiSet._from_tally(bucket))
+                if len(out) >= size:
+                    yield Batch(out, None)
+                    out = []
+            if out:
+                yield Batch(out, None)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            batches = src(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            return gen(batches, ctx)
+        return fn
+
+    def _b_AddUnion(self, expr: AddUnion, message: str,
+                    with_value: bool) -> BatchFn:
+        lf = self.batches(expr.left, "⊎ needs two multisets")
+        rf = self.batches(expr.right, "⊎ needs two multisets")
+
+        def unfused(v: Any, ctx: EvalContext) -> Any:
+            ls = lf(v, ctx)
+            rs = rf(v, ctx)
+            if isinstance(ls, Null):
+                return ls
+            if isinstance(rs, Null):
+                return rs
+            # Batch streams are additive: concatenation IS ⊎.
+            return chain(ls, rs)
+
+        fused = self._fused_union(expr)
+        if fused is None:
+            return unfused
+        run, src_fn, src_name = fused
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            # A live typed index on the extent beats any scan — take the
+            # per-branch plans, which probe it (with their own scan
+            # fallback), exactly like ``_b_indexed_apply``.
+            catalog = getattr(ctx, "indexes", None)
+            if catalog is not None and catalog.probe_typed(src_name) \
+                    is not None:
+                return unfused(v, ctx)
+            batches = src_fn(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            return run(batches, ctx)
+        return fn
+
+    def _fused_union(self, expr: AddUnion) -> Optional[Tuple[Callable,
+                                                             BatchFn, str]]:
+        """Recognize a ⊎ tree of typed SET_APPLY branches over one
+        Named extent with pairwise-disjoint filters and access-path
+        bodies — the shape ``build_union_plan`` emits — and compile it
+        into a single generated scan.  Declined under tracing (the
+        per-branch spans would vanish) and sanitizer mode (runtime
+        checks attach per algebra node)."""
+        if self.trace or self.sanitize is not None:
+            return None
+        leaves: List[Expr] = []
+        stack: List[Expr] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, AddUnion):
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                leaves.append(node)
+        if len(leaves) < 2:
+            return None
+        src_node: Optional[Named] = None
+        seen_types: set = set()
+        branches: List[Tuple[frozenset, List[Tuple[str, Any]]]] = []
+        for leaf in leaves:
+            if not isinstance(leaf, SetApply) or leaf.type_filter is None:
+                return None
+            if not isinstance(leaf.source, Named):
+                return None
+            if src_node is None:
+                src_node = leaf.source
+            elif leaf.source.name != src_node.name:
+                return None
+            tf = frozenset(leaf.type_filter)
+            if seen_types & tf:
+                return None
+            seen_types |= tf
+            ops = _path_ops(leaf.body)
+            if ops is None:
+                return None
+            branches.append((tf, ops))
+        assert src_node is not None
+        src_name = src_node.name
+        src_fn = self.batches(src_node,
+                              "SET_APPLY needs a multiset input, got %r",
+                              with_value=True)
+        run = _make_union_scan(branches)
+        self.note("FUSED_UNION[%s: %d typed branches, one scan] "
+                  "with indexed fallback" % (src_name, len(branches)))
+        return run, src_fn, src_name
+
+    def _b_Diff(self, expr: Diff, message: str,
+                with_value: bool) -> BatchFn:
+        lf = self.batches(expr.left, "− needs two multisets")
+        rf = self.batches(expr.right, "− needs two multisets")
+
+        def gen(ls: Any, rs: Any, ctx: EvalContext) -> Iterator[Batch]:
+            right: Dict[Any, int] = {}
+            rget = right.get
+            for batch in rs:
+                counts = batch.counts
+                for i, element in enumerate(batch.elements):
+                    count = 1 if counts is None else counts[i]
+                    right[element] = rget(element, 0) + count
+            used: Dict[Any, int] = {}
+            for batch in ls:
+                counts = batch.counts
+                oelems: List[Any] = []
+                ocounts: List[int] = []
+                mixed = False
+                for i, element in enumerate(batch.elements):
+                    count = 1 if counts is None else counts[i]
+                    held = rget(element, 0)
+                    if held:
+                        consumed = used.get(element, 0)
+                        available = held - consumed
+                        if available > 0:
+                            take = available if available < count else count
+                            used[element] = consumed + take
+                            count -= take
+                    if count > 0:
+                        oelems.append(element)
+                        ocounts.append(count)
+                        if count != 1:
+                            mixed = True
+                if oelems:
+                    yield Batch(oelems, ocounts if mixed else None)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            ls = lf(v, ctx)
+            rs = rf(v, ctx)
+            if isinstance(ls, Null):
+                return ls
+            if isinstance(rs, Null):
+                return rs
+            return gen(ls, rs, ctx)
+        return fn
+
+    def _b_Cross(self, expr: Cross, message: str,
+                 with_value: bool) -> BatchFn:
+        lf = self.batches(expr.left, "× needs two multisets")
+        rf = self.batches(expr.right, "× needs two multisets")
+        size = self.batch_size
+
+        def gen(ls: Any, rs: Any, ctx: EvalContext) -> Iterator[Batch]:
+            right: Dict[Any, int] = {}
+            for batch in rs:
+                counts = batch.counts
+                for i, element in enumerate(batch.elements):
+                    count = 1 if counts is None else counts[i]
+                    right[element] = right.get(element, 0) + count
+            rtotal = sum(right.values())
+            right_items = list(right.items())
+            pairs = 0
+            oelems: List[Any] = []
+            ocounts: List[int] = []
+            for batch in ls:
+                counts = batch.counts
+                for i, a in enumerate(batch.elements):
+                    na = 1 if counts is None else counts[i]
+                    pairs += na * rtotal
+                    for b, nb in right_items:
+                        oelems.append(Tup(field1=a, field2=b))
+                        ocounts.append(na * nb)
+                        if len(oelems) >= size:
+                            yield Batch(oelems, ocounts)
+                            oelems, ocounts = [], []
+            if oelems:
+                yield Batch(oelems, ocounts)
+            ctx.tick("cross_pairs", pairs)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            ls = lf(v, ctx)
+            rs = rf(v, ctx)
+            if isinstance(ls, Null):
+                return ls
+            if isinstance(rs, Null):
+                return rs
+            return gen(ls, rs, ctx)
+        return fn
+
+    def _b_SetCollapse(self, expr: SetCollapse, message: str,
+                       with_value: bool) -> BatchFn:
+        src = self.batches(expr.source,
+                           "SET_COLLAPSE needs a multiset input")
+        size = self.batch_size
+
+        def gen(batches: Any, ctx: EvalContext) -> Iterator[Batch]:
+            oelems: List[Any] = []
+            ocounts: List[int] = []
+            for batch in batches:
+                counts = batch.counts
+                for i, element in enumerate(batch.elements):
+                    count = 1 if counts is None else counts[i]
+                    if not isinstance(element, MultiSet):
+                        raise TypeError(
+                            "SET_COLLAPSE requires a multiset of "
+                            "multisets; found %r" % (element,))
+                    for inner, m in element.items():
+                        oelems.append(inner)
+                        ocounts.append(count * m)
+                        if len(oelems) >= size:
+                            yield Batch(oelems, ocounts)
+                            oelems, ocounts = [], []
+            if oelems:
+                yield Batch(oelems, ocounts)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            batches = src(v, ctx)
+            if isinstance(batches, Null):
+                return batches
+            return gen(batches, ctx)
+        return fn
+
+    def _b_SetCreate(self, expr: SetCreate, message: str,
+                     with_value: bool) -> BatchFn:
+        src = self.value(expr.source)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            value = src(v, ctx)
+            if value is DNE or value is UNK:
+                return value
+            return iter((Batch([value], None),))
+        return fn
+
+    def _b_IndexedTypeScan(self, expr: IndexedTypeScan, message: str,
+                           with_value: bool) -> BatchFn:
+        name = expr.object_name
+        types = expr.types
+        use_index = self.access_paths != "off"
+        size = self.batch_size
+        span = (self._span_stack[-1]
+                if self.trace and not self._suppress else None)
+
+        def gen(collection: MultiSet,
+                ctx: EvalContext) -> Iterator[Batch]:
+            scanned = 0
+            oelems: List[Any] = []
+            ocounts: List[int] = []
+            mixed = False
+            for element, count in collection.items():
+                scanned += count
+                if exact_type_of(element, ctx) in types:
+                    oelems.append(element)
+                    ocounts.append(count)
+                    if count != 1:
+                        mixed = True
+                    if len(oelems) >= size:
+                        yield Batch(oelems, ocounts if mixed else None)
+                        oelems, ocounts, mixed = [], [], False
+            if oelems:
+                yield Batch(oelems, ocounts if mixed else None)
+            if scanned:
+                ctx.tick("elements_scanned", scanned)
+
+        def fn(v: Any, ctx: EvalContext) -> Any:
+            catalog = getattr(ctx, "indexes", None) if use_index else None
+            if catalog is not None:
+                index = catalog.probe_typed(name)
+                if index is not None:
+                    ctx.tick("index_lookups")
+                    if span is not None:
+                        span.meta["access_path"] = (
+                            "index partition probe[%s: %s]"
+                            % (name, "|".join(sorted(types))))
+                    return _tally_batches(index.lookup(types)._counts, size)
+            if span is not None:
+                span.meta["access_path"] = "scan[%s]" % name
+            collection = ctx.lookup(name)
+            if not isinstance(collection, MultiSet):
+                raise MethodError("IndexedTypeScan needs a multiset object")
+            return gen(collection, ctx)
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation wrappers (traced / sanitized builds only)
+# ---------------------------------------------------------------------------
+
+def _traced_batches(fn: BatchFn, span: Any) -> BatchFn:
+    """Count and time a batch stream as it is pulled; cardinalities are
+    occurrence totals, matching the chunk-stream tracer."""
+    def traced(v: Any, ctx: EvalContext) -> Any:
+        started = perf_counter()
+        try:
+            batches = fn(v, ctx)
+        finally:
+            span.calls += 1
+            span.wall += perf_counter() - started
+        if isinstance(batches, Null):
+            if batches is DNE:
+                span.dne_out += 1
+            return batches
+
+        def watch() -> Iterator[Batch]:
+            it = iter(batches)
+            while True:
+                t0 = perf_counter()
+                try:
+                    batch = next(it)
+                except StopIteration:
+                    span.wall += perf_counter() - t0
+                    return
+                span.wall += perf_counter() - t0
+                span.rows_out += len(batch.elements)
+                span.card_out += batch.cardinality()
+                span.meta["batches"] = span.meta.get("batches", 0) + 1
+                yield batch
+        return watch()
+    return traced
+
+
+def _sanitized_batches(fn: BatchFn, checks: Any, size: int) -> BatchFn:
+    """Run the analyzer's runtime checks over a batch stream by
+    adapting it through the chunk protocol the checker watches."""
+    def sanitized(v: Any, ctx: EvalContext) -> Any:
+        batches = fn(v, ctx)
+        if isinstance(batches, Null):
+            checks.check_null_stream(batches)
+            return batches
+        watched = checks.watch_chunks(_batches_to_chunks(batches))
+        return _chunks_to_batches(watched, size)
+    return sanitized
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def compile_batch_plan(expr: Expr, ctx: "EvalContext | None" = None,
+                       facts: Any = None, trace: bool = False,
+                       cost_model: Any = None, access_paths: str = "auto",
+                       sanitize: Any = None,
+                       batch_size: int = DEFAULT_BATCH_SIZE) -> Pipeline:
+    """Lower *expr* into a batch-executing :class:`~.compiler.Pipeline`.
+
+    Same contract as :func:`~.compiler.compile_plan` — facts licenses,
+    trace span trees, sanitizer mode, probe lowering with per-execution
+    scan fallbacks — plus *batch_size*, the number of occurrence slots
+    per :class:`Batch`.  Results are bit-identical to the interpreter
+    and the scalar compiled engine.
+    """
+    compiler = BatchPlanCompiler(batch_size=batch_size, facts=facts,
+                                 trace=trace, cost_model=cost_model,
+                                 access_paths=access_paths,
+                                 sanitize=sanitize)
+    run = compiler.batch_value(expr)
+    return Pipeline(expr, run, compiler.notes,
+                    trace_root=compiler.trace_root)

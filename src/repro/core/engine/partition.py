@@ -1,0 +1,438 @@
+"""Partition-parallel execution over the paper's OID pools R(n).
+
+Section 3.1 constructs object identity from disjoint integer pools: an
+OID's decimal form starts with f(n) ones and a zero, so the pool — the
+exact allocation type — is decodable from the value alone
+(:func:`repro.core.oid.pool_code`).  That prefix is a natural,
+deterministic shard key: partitioning an extent by pool keeps each
+type's objects hash-spread across workers with no coordination and no
+stored partition metadata.
+
+:func:`partition_plan` wraps a compiled batch pipeline in that
+partitioning.  At execution time the leaf extent is split into
+``parallel`` deterministic sub-multisets; each runs the same compiled
+plan in a forked worker against a context whose database overlays the
+leaf name with its partition, and the parent merges in partition order:
+
+* plain SET_APPLY chains merge by summing tallies (⊎ distributes over
+  any partitioning of the input);
+* DE runs locally in each worker, then the parent keeps the first
+  occurrence across partitions — skipped entirely when the plan facts
+  prove the chain duplicate-free (disjoint partitions of a
+  duplicate-free stream cannot collide);
+* GRP buckets locally by key and the parent merges buckets per key
+  before building the group multisets.
+
+Eligibility is decided statically and conservatively: the plan must be
+a SET_APPLY chain (optionally under one DE or GRP) over a Named leaf,
+built purely from value accessors, σ/π, DEREF and the multiset
+operators.  Anything that allocates identity (REF), calls registered
+functions or methods, or probes shared index state is refused and the
+plan silently runs serial-batched — wrong-but-parallel is never an
+option.  Workers therefore only *read* the shared store, so a forked
+copy-on-write address space gives each worker a free consistent
+snapshot; under the MVCC server the store is already a snapshot view.
+
+Error transparency: if any partition raises, the parent discards all
+partition work and re-runs the serial plan, so the surfaced exception
+(and which of several potential errors surfaces first) is bit-identical
+to serial execution.  Tracing also forces serial execution — spans are
+per-process — while parallel runs report ``partitions`` /
+``partition_max_rows`` through the ordinary stats counters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..expr import EvalContext, Expr, Named, _UNBOUND
+from ..oid import pool_code
+from ..operators.arrays import ArrApply, ArrCreate, ArrExtract, SubArr
+from ..operators.multiset import (DE, AddUnion, Cross, Diff, Grp, SetApply,
+                                  SetCollapse, SetCreate)
+from ..operators.refs import Deref
+from ..operators.tuples import Pi, TupCat, TupCreate, TupExtract
+from ..predicates import And, Atom, Comp, Not, TruePred
+from ..expr import Const, Input
+from ..values import DNE, MultiSet, Ref
+from .batch import DEFAULT_BATCH_SIZE, compile_batch_plan
+from .compiler import Pipeline, PlanCompiler
+
+#: Expression / predicate node types a partition worker may evaluate.
+#: Everything here is a pure function of (input, store state).  REF is
+#: excluded (it mints OIDs — generator state would diverge across
+#: forks), as are Func / MethodCall (opaque registered code) and
+#: IndexedTypeScan (shared index state).
+_SAFE_TYPES = (Input, Const, Named, TupExtract, Pi, TupCat, TupCreate,
+               Deref, Comp, Atom, And, Not, TruePred, SetApply, DE, Grp,
+               AddUnion, Diff, Cross, SetCollapse, SetCreate, ArrCreate,
+               ArrExtract, ArrApply, SubArr)
+
+
+def _parallel_safe(node: Any) -> bool:
+    if not isinstance(node, _SAFE_TYPES):
+        return False
+    for field in node._fields:
+        value = getattr(node, field)
+        if hasattr(value, "_fields"):
+            if not _parallel_safe(value):
+                return False
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if hasattr(item, "_fields") and not _parallel_safe(item):
+                    return False
+    return True
+
+
+def _split(expr: Expr) -> Optional[Tuple[str, Expr, str]]:
+    """Decompose *expr* into ``(merge_kind, chain, leaf_name)``.
+
+    ``merge_kind`` is ``"apply"`` (plain chain — tally-sum merge),
+    ``"de"`` or ``"grp"``.  The chain must be one or more SET_APPLYs
+    over a Named leaf; a bare Named is not worth partitioning."""
+    kind = "apply"
+    if isinstance(expr, DE):
+        kind, chain = "de", expr.source
+    elif isinstance(expr, Grp):
+        kind, chain = "grp", expr.source
+    else:
+        chain = expr
+    node = chain
+    if not isinstance(node, SetApply):
+        return None
+    while isinstance(node, SetApply):
+        node = node.source
+    if not isinstance(node, Named):
+        return None
+    return kind, chain, node.name
+
+
+def partition_tally(collection: MultiSet,
+                    nparts: int) -> List[Dict[Any, int]]:
+    """Split a multiset into *nparts* deterministic tallies.
+
+    Refs route by ``(pool_code(oid) - 1) % nparts`` so each type's
+    extent spreads across workers (a pool is one type; routing whole
+    pools to one worker would serialize single-type extents).  Values
+    without a well-formed pool OID route by running position, which is
+    deterministic because multiset iteration order is insertion order.
+    """
+    parts: List[Dict[Any, int]] = [{} for _ in range(nparts)]
+    i = 0
+    for element, count in collection.items():
+        if type(element) is Ref:
+            code = pool_code(element.oid)
+            slot = (code - 1) % nparts if code > 0 else i % nparts
+        else:
+            slot = i % nparts
+        parts[slot][element] = count
+        i += 1
+    return parts
+
+
+class _Overlay:
+    """A database view rebinding one name to a partition."""
+
+    __slots__ = ("_base", "_name", "_value")
+
+    def __init__(self, base: Any, name: str, value: Any) -> None:
+        self._base = base
+        self._name = name
+        self._value = value
+
+    def __getitem__(self, key: str) -> Any:
+        if key == self._name:
+            return self._value
+        return self._base[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key == self._name or key in self._base
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class _PartitionError(Exception):
+    """Internal: a worker failed; the parent re-runs serially."""
+
+
+def _run_forked(worker: Callable[[int], Any], nparts: int) -> List[Any]:
+    """Run ``worker(i)`` for each partition: 1..n-1 in forked children,
+    0 in this process; results return in partition order.  Worker
+    failures (or unpicklable payloads) raise :class:`_PartitionError`.
+    """
+    pipes: List[Tuple[int, int]] = []
+    try:
+        for i in range(1, nparts):
+            rfd, wfd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Worker: compute, ship one pickled (status, payload)
+                # frame, and _exit without running parent cleanup.
+                os.close(rfd)
+                try:
+                    try:
+                        payload = ("ok", worker(i))
+                    except Exception as exc:
+                        payload = ("err", exc)
+                    try:
+                        data = pickle.dumps(payload, protocol=4)
+                    except Exception:
+                        data = pickle.dumps(("err", None), protocol=4)
+                    os.write(wfd, struct.pack(">Q", len(data)))
+                    view = memoryview(data)
+                    while view:
+                        written = os.write(wfd, view[:65536])
+                        view = view[written:]
+                finally:
+                    os._exit(0)
+            os.close(wfd)
+            pipes.append((pid, rfd))
+        results: List[Any] = [None] * nparts
+        try:
+            results[0] = worker(0)
+        except Exception as exc:
+            raise _PartitionError() from exc
+        for i, (pid, rfd) in enumerate(pipes, start=1):
+            header = _read_exact(rfd, 8)
+            if header is None:
+                raise _PartitionError()
+            (length,) = struct.unpack(">Q", header)
+            data = _read_exact(rfd, length)
+            if data is None:
+                raise _PartitionError()
+            status, payload = pickle.loads(data)
+            if status != "ok":
+                raise _PartitionError() from payload
+            results[i] = payload
+        return results
+    finally:
+        for pid, rfd in pipes:
+            try:
+                os.close(rfd)
+            except OSError:
+                pass
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+
+
+def _read_exact(fd: int, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = os.read(fd, min(remaining, 65536))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _run_serial(worker: Callable[[int], Any], nparts: int) -> List[Any]:
+    try:
+        return [worker(i) for i in range(nparts)]
+    except Exception as exc:
+        raise _PartitionError() from exc
+
+
+class PartitionPlan:
+    """A batch :class:`~.compiler.Pipeline` with R(n) partitioning.
+
+    Quacks like a Pipeline (``execute``, ``explain``, ``notes``,
+    ``trace_root``) so every entry point that handles compiled plans
+    handles this one.  Serial fallback triggers at execution time for
+    bound inputs, non-multiset leaves, tracing, and worker failure.
+    """
+
+    def __init__(self, expr: Expr, serial: Pipeline, merge_kind: str,
+                 chain: Expr, leaf_name: str, parallel: int,
+                 batch_size: int, facts: Any = None) -> None:
+        self.expr = expr
+        self.serial = serial
+        self.merge_kind = merge_kind
+        self.leaf_name = leaf_name
+        self.parallel = parallel
+        self.notes = list(serial.notes)
+        self.notes.append("PARTITION[%s by R(n), %d way(s), %s merge]"
+                          % (leaf_name, parallel, merge_kind))
+        self.trace_root = serial.trace_root
+        # The worker plan: the chain (never the DE/GRP wrapper for grp —
+        # workers return keyed buckets).  Facts licenses survive
+        # partitioning: each partition's stream is a sub-multiset of the
+        # whole, and duplicate-freedom / emptiness are closed downward.
+        worker_expr = chain if merge_kind == "grp" else expr
+        self._worker_plan = compile_batch_plan(
+            worker_expr, facts=facts, trace=False, cost_model=None,
+            access_paths="off", sanitize=None, batch_size=batch_size)
+        self._dedup_free = bool(
+            merge_kind == "de" and facts is not None
+            and facts.is_duplicate_free(chain))
+        if merge_kind == "grp":
+            with_key = PlanCompiler(facts=None, trace=False)
+            self._key_fn = with_key.value(expr.by)
+        else:
+            self._key_fn = None
+
+    # -- Pipeline surface ---------------------------------------------
+
+    def explain(self) -> str:
+        return "\n".join(self.notes)
+
+    def execute(self, ctx: EvalContext, input_value: Any = _UNBOUND) -> Any:
+        if input_value is not _UNBOUND:
+            return self.serial.execute(ctx, input_value)
+        tracer = getattr(ctx, "tracer", None)
+        if self.trace_root is not None or (tracer is not None
+                                           and tracer.enabled):
+            return self.serial.execute(ctx, input_value)
+        collection = ctx.database.get(self.leaf_name) \
+            if hasattr(ctx.database, "get") else None
+        if not isinstance(collection, MultiSet):
+            return self.serial.execute(ctx, input_value)
+        nparts = self.parallel
+        parts = partition_tally(collection, nparts)
+        worker = self._make_worker(ctx, parts)
+        runner = _run_forked if hasattr(os, "fork") else _run_serial
+        try:
+            results = runner(worker, nparts)
+        except _PartitionError:
+            # Bit-identical error (and ordering) transparency: replay
+            # serially on the parent context.  Workers are pure readers,
+            # so no partial effects survive the discarded attempt.
+            return self.serial.execute(ctx, input_value)
+        stats = ctx.stats
+        max_rows = 0
+        for _, child_stats in results:
+            rows = child_stats.get("partition_rows", 0)
+            if rows > max_rows:
+                max_rows = rows
+            for name, amount in child_stats.items():
+                if name == "partition_rows":
+                    continue
+                stats[name] = stats.get(name, 0) + amount
+        stats["partitions"] = stats.get("partitions", 0) + nparts
+        stats["partition_max_rows"] = max(
+            stats.get("partition_max_rows", 0), max_rows)
+        return self._merge([payload for payload, _ in results])
+
+    # -- workers -------------------------------------------------------
+
+    def _make_worker(self, ctx: EvalContext,
+                     parts: List[Dict[Any, int]]) -> Callable[[int], Any]:
+        plan = self._worker_plan
+        name = self.leaf_name
+        merge_kind = self.merge_kind
+        key_fn = self._key_fn
+
+        def worker(i: int) -> Tuple[Any, Dict[str, int]]:
+            child = EvalContext(
+                database=_Overlay(ctx.database, name,
+                                  MultiSet._from_tally(parts[i])),
+                store=ctx.store, functions=ctx.functions,
+                methods=ctx.methods, indexes=None)
+            result = plan.execute(child)
+            if merge_kind == "grp":
+                payload: Any = _bucketize(result, key_fn, child)
+            elif isinstance(result, MultiSet):
+                payload = list(result.items())
+            else:
+                payload = result
+            child.stats["partition_rows"] = (
+                result.distinct_count()
+                if isinstance(result, MultiSet) else 0)
+            return payload, child.stats
+
+        return worker
+
+    # -- merges --------------------------------------------------------
+
+    def _merge(self, payloads: List[Any]) -> Any:
+        if self.merge_kind == "grp":
+            return self._merge_grp(payloads)
+        for payload in payloads:
+            if not isinstance(payload, list):
+                # A Null result (dne/unk input) is partition-invariant:
+                # every worker saw the same non-multiset leaf… which
+                # cannot happen here (we partitioned a MultiSet), but a
+                # chain stage may still yield Null for the whole stream.
+                return payload
+        if self.merge_kind == "de":
+            if self._dedup_free:
+                tally: Dict[Any, int] = {}
+                for payload in payloads:
+                    for element, count in payload:
+                        tally[element] = tally.get(element, 0) + count
+                return MultiSet._from_tally(tally)
+            seen: Dict[Any, int] = {}
+            for payload in payloads:
+                for element, _ in payload:
+                    if element not in seen:
+                        seen[element] = 1
+            return MultiSet._from_tally(seen)
+        tally = {}
+        for payload in payloads:
+            for element, count in payload:
+                tally[element] = tally.get(element, 0) + count
+        return MultiSet._from_tally(tally)
+
+    def _merge_grp(self, payloads: List[Any]) -> MultiSet:
+        groups: Dict[Any, Dict[Any, int]] = {}
+        for payload in payloads:
+            for key, items in payload:
+                bucket = groups.get(key)
+                if bucket is None:
+                    bucket = groups[key] = {}
+                for element, count in items:
+                    bucket[element] = bucket.get(element, 0) + count
+        tally = {}
+        for bucket in groups.values():
+            group = MultiSet._from_tally(bucket)
+            tally[group] = tally.get(group, 0) + 1
+        return MultiSet._from_tally(tally)
+
+
+def _bucketize(result: Any, key_fn: Callable,
+               ctx: EvalContext) -> List[Tuple[Any, List[Tuple[Any, int]]]]:
+    """Group a worker's chain output by GRP key, keeping the keys so
+    the parent can merge buckets across partitions.  Mirrors the batch
+    GRP operator: dne keys drop the element, unk is an ordinary key."""
+    buckets: Dict[Any, Dict[Any, int]] = {}
+    scanned = 0
+    for element, count in result.items():
+        scanned += count
+        key = key_fn(element, ctx)
+        if key is DNE:
+            continue
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = {}
+        bucket[element] = bucket.get(element, 0) + count
+    if scanned:
+        ctx.tick("elements_scanned", scanned)
+        ctx.tick("grp_elements", scanned)
+    return [(key, list(items.items())) for key, items in buckets.items()]
+
+
+def partition_plan(expr: Expr, serial: Pipeline, facts: Any = None,
+                   parallel: int = 2,
+                   batch_size: int = DEFAULT_BATCH_SIZE) -> Any:
+    """Wrap *serial* (a compiled batch pipeline for *expr*) in R(n)
+    partition-parallel execution when the plan shape allows it;
+    otherwise return *serial* unchanged.
+    """
+    if parallel < 2:
+        return serial
+    split = _split(expr)
+    if split is None or not _parallel_safe(expr):
+        return serial
+    merge_kind, chain, leaf_name = split
+    return PartitionPlan(expr, serial, merge_kind, chain, leaf_name,
+                         parallel, batch_size, facts=facts)

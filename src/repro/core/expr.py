@@ -297,23 +297,27 @@ class Func(Expr):
 def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
              mode: str = "interpreted", facts: Any = None,
              cost_model: Any = None, access_paths: str = "auto",
-             analysis: Any = None, sanitize: bool = False) -> Any:
+             analysis: Any = None, sanitize: bool = False,
+             batch_size: "int | None" = None, parallel: int = 0) -> Any:
     """Evaluate a top-level expression.
 
     A bare INPUT at top level is an error unless *input_value* is given
     (method bodies are evaluated against a bound receiver, for example).
 
     ``mode`` selects the execution engine: ``"interpreted"`` (the
-    recursive ``Expr.evaluate`` walk, one materialized value per node)
-    or ``"compiled"`` (the streaming engine of
+    recursive ``Expr.evaluate`` walk, one materialized value per node),
+    ``"compiled"`` (the streaming engine of
     :mod:`repro.core.engine`, which lowers the tree once and pipelines
-    occurrence pairs through fused physical operators).
+    occurrence pairs through fused physical operators), or
+    ``"batched"`` (the same physical algebra exchanging columnar
+    :class:`~repro.core.engine.batch.Batch` objects, ``batch_size``
+    occurrence slots at a time).
 
-    ``facts`` (compiled engine only) carries verified plan facts —
+    ``facts`` (compiled engines only) carries verified plan facts —
     e.g. duplicate-freedom from the static analysis layer — that the
     compiler may use as optimization licenses.
 
-    ``cost_model`` and ``access_paths`` (compiled engine only) steer
+    ``cost_model`` and ``access_paths`` (compiled engines only) steer
     index-probe lowering — see :func:`repro.core.engine.compile_plan`.
 
     ``analysis`` is a :class:`~repro.core.analysis.absint.PlanAnalysis`
@@ -325,24 +329,46 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
     is given).  The interpreter has no instrumentation points, so
     ``sanitize`` is a no-op under ``mode="interpreted"``.
 
+    ``parallel`` >= 2 (batched mode only) partitions the leaf extent by
+    the paper's OID-pool construction R(n) and runs the partitions
+    across forked workers with a deterministic merge — see
+    :mod:`repro.core.engine.partition`.  Plans the partitioner cannot
+    prove safe fall back to serial batched execution; the sanitizer's
+    whole-extent cardinality proofs do not distribute over partitions,
+    so ``sanitize`` also forces serial.
+
     When ``ctx.tracer`` is set and enabled, a span tree for the run is
     attached under the tracer's cursor: per physical operator for the
     compiled engine, one root span for the interpreter.
     """
     tracer = getattr(ctx, "tracer", None)
     tracing = tracer is not None and tracer.enabled
-    if mode == "compiled":
-        from .engine import compile_plan
+    if mode in ("compiled", "batched"):
         if sanitize and analysis is None:
             from .analysis.absint import analyze
             analysis = analyze(expr, database=getattr(ctx, "database",
                                                       None))
         if analysis is not None and not sanitize:
             facts = analysis.extend_facts(facts)
-        plan = compile_plan(expr, facts=facts, trace=tracing,
-                            cost_model=cost_model,
-                            access_paths=access_paths,
-                            sanitize=analysis if sanitize else None)
+        if mode == "batched":
+            from .engine.batch import DEFAULT_BATCH_SIZE, compile_batch_plan
+            size = DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+            plan = compile_batch_plan(expr, facts=facts, trace=tracing,
+                                      cost_model=cost_model,
+                                      access_paths=access_paths,
+                                      sanitize=analysis if sanitize
+                                      else None,
+                                      batch_size=size)
+            if parallel >= 2 and not sanitize:
+                from .engine.partition import partition_plan
+                plan = partition_plan(expr, plan, facts=facts,
+                                      parallel=parallel, batch_size=size)
+        else:
+            from .engine import compile_plan
+            plan = compile_plan(expr, facts=facts, trace=tracing,
+                                cost_model=cost_model,
+                                access_paths=access_paths,
+                                sanitize=analysis if sanitize else None)
         if not tracing:
             return plan.execute(ctx, input_value)
         root = plan.trace_root
@@ -365,8 +391,8 @@ def evaluate(expr: Expr, ctx: EvalContext, input_value: Any = _UNBOUND,
                     root.meta["deref_cache_hit_ratio"] = (
                         hits / (hits + misses))
     if mode != "interpreted":
-        raise ValueError("unknown engine mode %r "
-                         "(use 'interpreted' or 'compiled')" % (mode,))
+        raise ValueError("unknown engine mode %r (use 'interpreted', "
+                         "'compiled', or 'batched')" % (mode,))
     if not tracing:
         return expr.evaluate(input_value, ctx)
     from repro.obs import Span

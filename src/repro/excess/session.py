@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 
 from ..core.expr import Expr, evaluate
 from ..core.optimizer import Optimizer
+from ..options import ExecutionOptions
 from ..extra.ddl import DDLInterpreter, ensure_type_system
 from ..extra.types import SetType
 from ..lang import Lexer
@@ -122,44 +123,77 @@ class Session:
     def __init__(self, database, optimizer: Optimizer = None,
                  typecheck: bool = False, engine: str = "interpreted",
                  verify: bool = False, analyze: bool = False,
-                 sanitize: bool = False, _api_internal: bool = False):
+                 sanitize: bool = False, _api_internal: bool = False,
+                 options: Optional[ExecutionOptions] = None):
         if not _api_internal:
             warnings.warn(
                 "constructing Session(...) directly is deprecated; use "
                 "repro.connect(database, engine=...) and the returned "
                 "Connection (its .session exposes this object)",
                 DeprecationWarning, stacklevel=2)
-        if engine not in ("interpreted", "compiled"):
-            raise ValueError("engine must be 'interpreted' or 'compiled'")
+        if options is None:
+            options = ExecutionOptions(engine=engine, verify=verify,
+                                       typecheck=typecheck,
+                                       analyze=analyze, sanitize=sanitize)
         self.db = database
         ensure_type_system(database)
         register_builtins(database)
         self.ranges: Dict[str, str] = {}
         self.optimizer = optimizer
-        self.typecheck = typecheck
-        self.engine = engine
-        #: With ``verify`` on, every retrieve runs through the analysis
-        #: layer's inheritance-aware inference before execution (both
-        #: engines), and the compiled engine receives duplicate-freedom
-        #: facts it may use as optimization licenses.
-        self.verify = verify
-        #: With ``analyze`` on, every retrieve is run through the
-        #: abstract interpreter (:mod:`repro.core.analysis.absint`) after
-        #: optimization: statically-empty subplans are pruned, proven
-        #: cardinality bounds clamp the cost model's estimates, and the
-        #: compiled engine receives bounds-elision / empty-short-circuit
-        #: licenses.  ``sanitize`` implies ``analyze`` but flips the
-        #: facts from licenses into runtime assertions: the compiled
-        #: engine checks every proven fact against the values actually
-        #: flowing, raising SanitizerError on the first violation
-        #: (a no-op on the interpreted engine).
-        self.analyze = bool(analyze or sanitize)
-        self.sanitize = bool(sanitize)
+        # The execution switches live as plain attributes (the CLI's
+        # ``.engine`` meta-command and Connection's per-statement
+        # override mutate them); ``apply_options`` sets the whole set
+        # at once, the ``options`` property snapshots them back.
+        self.apply_options(options)
         # One evaluation context for the whole session: the deref cache
         # and stats live here, reset per statement via begin_query().
         self.context = database.context()
         self.ddl = DDLInterpreter(database,
                                   function_translator=self._translate_function)
+
+    # -- execution options --------------------------------------------------
+
+    def apply_options(self, options: ExecutionOptions) -> None:
+        """Set every execution switch from *options* at once.
+
+        ``engine`` picks the evaluator; ``verify`` runs the
+        inheritance-aware inference gate before execution (the compiled
+        engines receive duplicate-freedom facts as optimization
+        licenses); ``analyze`` runs the abstract interpreter
+        (:mod:`repro.core.analysis.absint`) over every optimized plan
+        (statically-empty subplans pruned, proven bounds clamp the cost
+        model, bounds-elision licenses); ``sanitize`` implies
+        ``analyze`` but flips the facts into runtime assertions, raising
+        SanitizerError on the first violation; ``batch_size`` /
+        ``parallel`` / ``access_paths`` shape the batched and compiled
+        physical plans (see :class:`repro.options.ExecutionOptions`).
+        """
+        self.engine = options.engine
+        self.verify = options.verify
+        self.typecheck = options.typecheck
+        self.analyze = options.analyze
+        self.sanitize = options.sanitize
+        self.batch_size = options.batch_size
+        self.parallel = options.parallel
+        self.access_paths = options.access_paths
+
+    @property
+    def options(self) -> ExecutionOptions:
+        """The current switches as one immutable snapshot (``trace``
+        reflects the attached tracer, which lives on the context)."""
+        tracer = getattr(self.context, "tracer", None) \
+            if hasattr(self, "context") else None
+        return ExecutionOptions(
+            engine=self.engine, verify=self.verify,
+            typecheck=self.typecheck, analyze=self.analyze,
+            sanitize=self.sanitize,
+            trace=bool(tracer is not None and tracer.enabled),
+            batch_size=self.batch_size,
+            # A live session may have been switched off the batched
+            # engine (CLI ``.engine``) with a parallel degree still
+            # set; the snapshot drops it rather than failing validation.
+            parallel=self.parallel if self.engine == "batched" else 0,
+            access_paths=self.access_paths)
 
     # -- translation --------------------------------------------------------
 
@@ -336,7 +370,9 @@ class Session:
         self.context.begin_query()
         value = evaluate(expr, self.context, mode=self.engine,
                          cost_model=(self.optimizer.cost_model
-                                     if self.optimizer is not None else None))
+                                     if self.optimizer is not None else None),
+                         access_paths=self.access_paths,
+                         batch_size=self.batch_size, parallel=self.parallel)
         addition = value if isinstance(value, MultiSet) else MultiSet([value])
 
         declared = getattr(self.db, "created_types", {}).get(collection)
@@ -557,7 +593,10 @@ class Session:
         try:
             value = evaluate(expr, self.context, mode=self.engine,
                              facts=facts, cost_model=cost_model,
-                             analysis=analysis, sanitize=self.sanitize)
+                             analysis=analysis, sanitize=self.sanitize,
+                             access_paths=self.access_paths,
+                             batch_size=self.batch_size,
+                             parallel=self.parallel)
         finally:
             if analysis is not None and cost_model is not None:
                 cost_model.bounds = saved_bounds

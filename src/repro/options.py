@@ -1,0 +1,131 @@
+"""Execution options: one immutable bag for every knob that shapes how
+a statement runs.
+
+Historically each knob was a separate keyword threaded through
+``connect()`` → ``Connection`` → ``Session`` → ``evaluate()``; adding
+the batched engine (with ``batch_size`` and ``parallel``) made that
+plumbing the API.  :class:`ExecutionOptions` collapses them into one
+value:
+
+* construct once, pass to :func:`repro.connect` as ``options=``;
+* derive variants with :meth:`ExecutionOptions.replace`;
+* override per statement via ``Connection.execute(source, options=...)``.
+
+The old per-keyword spellings (``connect(db, engine=...)`` and friends)
+still work behind :func:`merge_legacy_options`, which folds them into an
+``ExecutionOptions`` under a DeprecationWarning.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from dataclasses import replace as _dc_replace
+from typing import Any, Dict, Optional
+
+__all__ = ["ENGINES", "ExecutionOptions", "merge_legacy_options"]
+
+#: The recognized execution engines, in increasing order of machinery:
+#: tree-walking interpreter, streaming compiled pipelines, and columnar
+#: batch pipelines (the only engine that honors ``batch_size`` /
+#: ``parallel``).
+ENGINES = ("interpreted", "compiled", "batched")
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How statements execute: engine choice plus every cross-cutting
+    switch that used to be its own keyword argument.
+
+    * ``engine`` — ``"interpreted"``, ``"compiled"``, or ``"batched"``.
+    * ``verify`` — run the inheritance-aware inference gate before
+      execution; the compiled engines receive duplicate-freedom facts
+      as optimization licenses.
+    * ``typecheck`` — static schema check of every retrieve before it
+      runs.
+    * ``analyze`` — abstract-interpret every optimized plan: prune
+      statically-empty subtrees, clamp the cost model with proven
+      bounds, license bounds-check elision.
+    * ``sanitize`` — ``analyze`` with the facts flipped into runtime
+      assertions (implies ``analyze``; forces serial batched
+      execution).
+    * ``trace`` — record per-operator spans on every statement.
+    * ``batch_size`` — elements per :class:`~repro.core.engine.Batch`
+      on the batched engine; ``None`` means the engine default.
+    * ``parallel`` — on the batched engine, partition extents by OID
+      pool across this many forked workers (``0``/``1`` = serial).
+    * ``access_paths`` — index probe policy handed to the compiled
+      engines: ``"auto"`` (cost-gated), ``"force"``, or ``"off"``.
+    """
+
+    engine: str = "compiled"
+    verify: bool = False
+    typecheck: bool = False
+    analyze: bool = False
+    sanitize: bool = False
+    trace: bool = False
+    batch_size: Optional[int] = None
+    parallel: int = 0
+    access_paths: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError("engine must be one of %s, got %r"
+                             % ("/".join(ENGINES), self.engine))
+        if self.sanitize and not self.analyze:
+            # sanitize is analyze with assertions on; keep the pair
+            # consistent so callers can read either flag.
+            object.__setattr__(self, "analyze", True)
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1, got %r"
+                             % (self.batch_size,))
+        if self.parallel < 0:
+            raise ValueError("parallel must be >= 0, got %r"
+                             % (self.parallel,))
+        if self.parallel >= 2 and self.engine != "batched":
+            raise ValueError(
+                "parallel=%d requires engine='batched' (the %r engine "
+                "has no partition-parallel mode)"
+                % (self.parallel, self.engine))
+        if self.access_paths not in ("auto", "force", "off"):
+            raise ValueError("access_paths must be 'auto', 'force', or "
+                             "'off', got %r" % (self.access_paths,))
+
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with *changes* applied (validation re-runs)."""
+        return _dc_replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Field name → value (a fresh plain dict)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Sentinel for "keyword not passed" in deprecated signatures, so the
+#: shims can tell an explicit ``engine="compiled"`` from the default.
+_UNSET: Any = object()
+
+
+def merge_legacy_options(options: Optional[ExecutionOptions],
+                         where: str,
+                         **legacy: Any) -> ExecutionOptions:
+    """Fold deprecated per-keyword arguments into an ExecutionOptions.
+
+    *legacy* maps field names to values, with :data:`_UNSET` meaning
+    "not passed".  Passing any legacy keyword warns; combining them
+    with ``options=`` is an error (two sources of truth).
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return options if options is not None else ExecutionOptions()
+    if options is not None:
+        raise TypeError(
+            "%s: pass options=ExecutionOptions(...) or the legacy "
+            "keywords (%s), not both" % (where, ", ".join(sorted(passed))))
+    warnings.warn(
+        "%s: the %s keyword%s deprecated; pass "
+        "options=repro.ExecutionOptions(%s) instead"
+        % (where, "/".join(sorted(passed)),
+           " is" if len(passed) == 1 else "s are",
+           ", ".join("%s=%r" % kv for kv in sorted(passed.items()))),
+        DeprecationWarning, stacklevel=3)
+    return ExecutionOptions(**passed)

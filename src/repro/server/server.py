@@ -53,6 +53,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..api import Connection
 from ..core.expr import EvalContext, evaluate
+from ..options import ExecutionOptions
 from ..excess import ast
 from ..excess.parser import Parser
 from ..excess.session import Result
@@ -204,7 +205,8 @@ class Server:
     """
 
     def __init__(self, database: Union[Database, str, os.PathLike,
-                                       None] = None, *,
+                                       None] = None,
+                 options: Optional[ExecutionOptions] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  engine: str = "compiled", max_clients: int = 64,
                  readers: int = 8, queue_depth: int = 64,
@@ -221,7 +223,12 @@ class Server:
                        else open_database(path))
         self.host = host
         self.port = port
-        self.engine = engine
+        # One ExecutionOptions for every connection the server opens;
+        # the bare ``engine=`` keyword survives as a convenience and is
+        # folded in when no options value is given.
+        self.options = (options if options is not None
+                        else ExecutionOptions(engine=engine))
+        self.engine = self.options.engine
         self.max_clients = max_clients
         self.readers = readers
         self.queue_depth = queue_depth
@@ -234,7 +241,7 @@ class Server:
         # supplies the shared optimizer + slow-query log; per-client
         # connections reuse both (only the serialized writer thread
         # ever optimizes, so sharing is safe).
-        self._admin = Connection(self.db, engine=engine,
+        self._admin = Connection(self.db, self.options,
                                  slow_query_threshold=slow_query_threshold)
         self._optimizer = self._admin.session.optimizer
         self.slow_log = self._admin.slow_log
@@ -402,7 +409,7 @@ class Server:
             return
         cid = next(self._client_ids)
         name = "c%d" % cid
-        conn = Connection(self.db, engine=self.engine,
+        conn = Connection(self.db, self.options,
                           optimizer=self._optimizer,
                           slow_query_threshold=self.slow_query_threshold)
         conn.slow_log = self.slow_log
@@ -641,7 +648,11 @@ class Server:
                 .translate_retrieve(statement)
             ctx.begin_query()
             started = perf_counter()
-            value = evaluate(expr, ctx, mode=session.engine)
+            # Reader threads run serial even on the batched engine:
+            # forking partition workers from a threaded asyncio process
+            # is unsafe, and the snapshot guard wraps this thread only.
+            value = evaluate(expr, ctx, mode=session.engine,
+                             batch_size=session.batch_size)
             result = Result(statement, expr, value, None, stats=ctx.stats)
             result.seconds = perf_counter() - started
             result.engine = session.engine

@@ -101,6 +101,22 @@ class ObjectStore:
             return default
         raise StoreError("no object with OID %r" % (oid,))
 
+    def reader(self):
+        """A ``(oid, default) -> value`` bulk-lookup fast path.
+
+        The batch engine derefs whole columns of OIDs in a tight loop;
+        handing it the backing dict's ``get`` skips a Python frame per
+        probe.  Stores without this method (snapshot views, guarded
+        wrappers) fall back to their ordinary ``get``.
+        """
+        return self._objects.get
+
+    def exact_reader(self):
+        """An ``oid -> exact type (or None)`` fast path; the dispatch
+        twin of :meth:`reader` (grouped method dispatch resolves the
+        exact type of whole receiver columns)."""
+        return self._exact_types.get
+
     def __contains__(self, oid: Any) -> bool:
         return oid in self._objects
 

@@ -39,6 +39,13 @@ from ..storage import Database
 #: The canonical sweep size; tests parametrize over range(N_PLANS).
 N_PLANS = 240
 
+#: Size of the batch-stressing sweep (wide arrays, deep deref chains,
+#: disjoint typed unions, skewed partition pools); tests parametrize
+#: over range(N_BATCH_PLANS) with seeds offset by BATCH_SEED_BASE so
+#: the two corpora never overlap.
+N_BATCH_PLANS = 60
+BATCH_SEED_BASE = 10_000
+
 PERSON_FIELDS = ("name", "age", "city")
 SCALARS = (1, 2, 3, 17, "Madison", "Lodi", UNK)
 
@@ -83,6 +90,41 @@ def build_fixture_db() -> Database:
                       TupCreate("kind", TupExtract("name", Input())))
     db.methods.define("Person", "pay", ["bonus"],
                       TupExtract("age", Input()))
+
+    # -- batch-stressing extensions (appended after the classic data so
+    # the OIDs of the original 14 people are unchanged) ----------------
+
+    # Deep deref chains: Link_i.next → Link_{i-1}; the chain ends on an
+    # UNK next and one link points at a dangling reference, so deref
+    # depth k crosses both null disciplines.
+    h.add_type("Link")
+    link_ref: Any = UNK
+    link_refs = []
+    for i in range(12):
+        link = Tup({"tag": i, "next": link_ref}, type_name="Link")
+        link_ref = db.store.insert(link, "Link")
+        link_refs.append(link_ref)
+    broken = Tup({"tag": 99, "next": Ref("dangling-link", "Link")},
+                 type_name="Link")
+    link_refs.append(db.store.insert(broken, "Link"))
+    db.create("Links", MultiSet(link_refs))
+
+    # Wide arrays: enough elements that one array spans whole batches
+    # when exploded, with UNK occurrences in-band.
+    db.create("WideArr", Arr([(i if i % 9 else UNK) for i in range(40)]))
+
+    # Skewed partition pools: one OID pool (Student) dwarfs the others,
+    # so R(n) partitioning under ``parallel`` produces unequal workers
+    # and at least one near-empty partition.
+    skewed = []
+    for i in range(30):
+        student = Tup({"name": "s%d" % (i % 4), "age": 18 + i % 3,
+                       "city": "Madison"}, type_name="Student")
+        skewed.append(db.store.insert(student, "Student"))
+    lone = Tup({"name": "boss", "age": 60, "city": "Lodi"},
+               type_name="Employee")
+    skewed.append(db.store.insert(lone, "Employee"))
+    db.create("SkewedRefs", MultiSet(skewed + skewed[:5]))  # duplicates
     return db
 
 
@@ -215,12 +257,91 @@ def generate_plan(seed: int) -> Expr:
     return PlanGen(random.Random(seed)).plan()
 
 
+class BatchPlanGen(PlanGen):
+    """Plans that stress the batched engine's distinctive machinery:
+    wide arrays (one value spanning whole batches), deep deref chains
+    (suffix memoization and the deref LRU), pairwise-disjoint typed
+    unions over one extent (the fused union scan), and scans over a
+    skewed extent (unequal R(n) partition pools under ``parallel``)."""
+
+    def deref_chain(self) -> Expr:
+        """tag-of-next^k over the Links chain: k nested derefs per
+        element, crossing an UNK tail and a dangling link."""
+        depth = self.rng.randint(1, 5)
+        body: Expr = Deref(Input())
+        for _ in range(depth):
+            body = Deref(TupExtract("next", body))
+        body = TupExtract(self.pick(["tag", "next"]), body)
+        return SetApply(body, Named("Links"))
+
+    def wide_array_plan(self) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.3:
+            lo = self.rng.randint(1, 30)
+            return SubArr(lo, lo + self.rng.randint(0, 20),
+                          Named("WideArr"))
+        if roll < 0.5:
+            return ArrExtract(self.pick([1, 9, 40, "last", 41]),
+                              Named("WideArr"))
+        if roll < 0.75:
+            return ArrCat(Named("WideArr"), Named("Pair"))
+        return SubArr(35, 45, ArrCat(Named("WideArr"), Named("Letters")))
+
+    def disjoint_union(self) -> Expr:
+        """A ⊎-tree of typed SET_APPLY branches over People with
+        pairwise-disjoint filters — the shape the batched engine fuses
+        into a single scan.  Bodies are error-free paths so branch
+        order cannot change which error surfaces."""
+        def branch(types) -> Expr:
+            body = self.pick([Input(),
+                              TupExtract(self.pick(PERSON_FIELDS), Input()),
+                              Pi(["name", "city"], Input())])
+            return SetApply(body, Named("People"),
+                            type_filter=frozenset(types))
+        branches = [branch(["Student"]), branch(["Employee"])]
+        if self.rng.random() < 0.5:
+            branches.append(branch(["Person"]))
+        self.rng.shuffle(branches)
+        plan = branches[0]
+        for extra in branches[1:]:
+            plan = AddUnion(plan, extra)
+        return plan
+
+    def skewed_scan(self) -> Expr:
+        src: Expr = SetApply(Deref(Input()), Named("SkewedRefs"))
+        roll = self.rng.random()
+        if roll < 0.4:
+            return SetApply(TupExtract(self.pick(PERSON_FIELDS), Input()),
+                            src)
+        if roll < 0.7:
+            return SetApply(Comp(self.person_pred(1), Input()), src)
+        return DE(src)
+
+    def plan(self) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.25:
+            return self.deref_chain()
+        if roll < 0.45:
+            return self.wide_array_plan()
+        if roll < 0.65:
+            return self.disjoint_union()
+        if roll < 0.85:
+            return self.skewed_scan()
+        return super().plan()
+
+
+def generate_batch_plan(seed: int) -> Expr:
+    """The canonical batch-stressing plan for one seed (deterministic)."""
+    return BatchPlanGen(random.Random(seed)).plan()
+
+
 # ---------------------------------------------------------------------------
 # The differential sweep
 # ---------------------------------------------------------------------------
 
-def run_modes(expr: Expr, db: Database) -> dict:
-    """Evaluate *expr* four ways; returns ``{mode: (outcome, payload)}``.
+def run_modes(expr: Expr, db: Database, batched: bool = False,
+              parallel: int = 0) -> dict:
+    """Evaluate *expr* several ways; returns ``{mode: (outcome, payload)}``.
 
     * ``interpreted`` — the reference semantics;
     * ``compiled`` — streaming pipelines, no analysis;
@@ -228,11 +349,20 @@ def run_modes(expr: Expr, db: Database) -> dict:
       facts as optimization licenses (empty short-circuits, bounds-check
       elision);
     * ``sanitized`` — compiled, with every proven fact asserted against
-      the values actually flowing (SanitizerError on violation).
+      the values actually flowing (SanitizerError on violation);
+    * ``batched`` (with ``batched=True`` or ``parallel >= 2``) — the
+      columnar batch engine, serial;
+    * ``parallel`` (with ``parallel >= 2``) — the batch engine under
+      OID-pool R(n) partitioning across that many forked workers.
     """
     from ..core.analysis.absint import analyze
+    modes = ["interpreted", "compiled", "licensed", "sanitized"]
+    if batched or parallel >= 2:
+        modes.append("batched")
+    if parallel >= 2:
+        modes.append("parallel")
     out = {}
-    for mode in ("interpreted", "compiled", "licensed", "sanitized"):
+    for mode in modes:
         ctx = db.context()
         try:
             if mode == "interpreted":
@@ -243,10 +373,15 @@ def run_modes(expr: Expr, db: Database) -> dict:
                 analysis = analyze(expr, database=db)
                 value = evaluate(expr, ctx, mode="compiled",
                                  analysis=analysis)
-            else:
+            elif mode == "sanitized":
                 analysis = analyze(expr, database=db)
                 value = evaluate(expr, ctx, mode="compiled",
                                  analysis=analysis, sanitize=True)
+            elif mode == "batched":
+                value = evaluate(expr, ctx, mode="batched")
+            else:
+                value = evaluate(expr, ctx, mode="batched",
+                                 parallel=parallel)
             out[mode] = ("ok", value)
         except Exception as error:  # noqa: BLE001 — comparing identity
             out[mode] = ("error", (type(error).__name__, str(error)))
@@ -294,20 +429,40 @@ class SweepReport:
 
 
 def differential_sweep(n_plans: int = N_PLANS, seed: int = 0,
+                       batched: bool = False, parallel: int = 0,
                        report: Optional[SweepReport] = None) -> SweepReport:
-    """Run *n_plans* generated plans through all four modes."""
+    """Run *n_plans* generated plans through all requested modes."""
     report = report or SweepReport()
     db = build_fixture_db()
     for i in range(n_plans):
         expr = generate_plan(seed + i)
         report.record("plan[seed=%d]" % (seed + i), expr,
-                      run_modes(expr, db))
+                      run_modes(expr, db, batched=batched,
+                                parallel=parallel))
     return report
 
 
-def university_sweep(report: Optional[SweepReport] = None) -> SweepReport:
+def batch_differential_sweep(n_plans: int = N_BATCH_PLANS,
+                             seed: int = BATCH_SEED_BASE,
+                             parallel: int = 2,
+                             report: Optional[SweepReport] = None,
+                             ) -> SweepReport:
+    """The batch-stressing corpus through every mode, including the
+    batch engine serial and (``parallel >= 2``) partition-parallel."""
+    report = report or SweepReport()
+    db = build_fixture_db()
+    for i in range(n_plans):
+        expr = generate_batch_plan(seed + i)
+        report.record("batch-plan[seed=%d]" % (seed + i), expr,
+                      run_modes(expr, db, batched=True, parallel=parallel))
+    return report
+
+
+def university_sweep(report: Optional[SweepReport] = None,
+                     batched: bool = False,
+                     parallel: int = 0) -> SweepReport:
     """The paper-figure queries over the populated university database,
-    through the same four modes."""
+    through the same modes."""
     from .figures import (figure_3, figure_4, figure_6, figure_7, figure_8,
                           figure_9, figure_10, figure_11, value_views)
     from .university import build_university
@@ -323,11 +478,19 @@ def university_sweep(report: Optional[SweepReport] = None) -> SweepReport:
         plans = built if isinstance(built, (list, tuple)) else [built]
         for j, expr in enumerate(plans):
             suffix = "[%d]" % j if len(plans) > 1 else ""
-            report.record(label + suffix, expr, run_modes(expr, uni.db))
+            report.record(label + suffix, expr,
+                          run_modes(expr, uni.db, batched=batched,
+                                    parallel=parallel))
     return report
 
 
-def run_sanitize_sweep(n_plans: int = N_PLANS, seed: int = 0) -> SweepReport:
-    """The full CLI sweep: university figures plus random plans."""
-    report = university_sweep()
-    return differential_sweep(n_plans=n_plans, seed=seed, report=report)
+def run_sanitize_sweep(n_plans: int = N_PLANS, seed: int = 0,
+                       batched: bool = False,
+                       parallel: int = 0) -> SweepReport:
+    """The full CLI sweep: university figures, the random corpus, and
+    (always) the batch-stressing corpus.  ``batched``/``parallel``
+    additionally run the first two corpora through the batch engine."""
+    report = university_sweep(batched=batched, parallel=parallel)
+    differential_sweep(n_plans=n_plans, seed=seed, batched=batched,
+                       parallel=parallel, report=report)
+    return batch_differential_sweep(parallel=parallel, report=report)

@@ -14,9 +14,11 @@ Section 5 claims rather than absolute numbers:
 * Example 2 (Figures 9→11) — the rule-15 collapse scans fewer
   elements, the rule-26 alternative dereferences fewer objects.
 
-Every figure also runs on both execution engines and must produce the
-same value, and the compiled engine must report deref-cache hits —
-the smoke check doubles as a quick engine-agreement probe.
+Every figure also runs on all three execution engines (interpreted,
+compiled, batched) and must produce the same value, the compiled
+engine must report deref-cache hits, and the batched engine's fused
+union scan must visit the dispatch extent once instead of once per
+branch — the smoke check doubles as a quick engine-agreement probe.
 """
 
 from __future__ import annotations
@@ -69,6 +71,7 @@ def run_smoke(smoke: bool = True, n_employees: int = 150,
 
     interp: Dict[str, Dict[str, int]] = {}
     compiled: Dict[str, Dict[str, int]] = {}
+    batched: Dict[str, Dict[str, int]] = {}
     failures: List[str] = []
 
     def check(label: str, ok: bool, detail: str = "") -> None:
@@ -80,8 +83,9 @@ def run_smoke(smoke: bool = True, n_employees: int = 150,
     for name, expr in plans.items():
         vi, si = _run(ctx, expr, "interpreted")
         vc, sc = _run(ctx, expr, "compiled")
-        interp[name], compiled[name] = si, sc
-        check("%s: engines agree" % name, vi == vc)
+        vb, sb = _run(ctx, expr, "batched")
+        interp[name], compiled[name], batched[name] = si, sc, sb
+        check("%s: engines agree" % name, vi == vc == vb)
 
     s = interp
     check("fig3: exactly one deref",
@@ -114,6 +118,11 @@ def run_smoke(smoke: bool = True, n_employees: int = 150,
                      for stats in compiled.values())
     check("compiled: deref cache hits observed", cache_hits > 0,
           "hits=%d" % cache_hits)
+    check("fig5: fused union scans the extent once (batched)",
+          batched["fig5_union"].get("elements_scanned", 0)
+          < s["fig5_union"].get("elements_scanned", 0),
+          "%s vs %s" % (batched["fig5_union"].get("elements_scanned"),
+                        s["fig5_union"].get("elements_scanned")))
 
     # Index-backed access paths: a 1%-selectivity point lookup over a
     # keyed extent must probe (counters prove it) and beat the scan.
@@ -157,5 +166,5 @@ def run_smoke(smoke: bool = True, n_employees: int = 150,
 
     elapsed = time.time() - started
     echo("%d check(s), %d failure(s), %.1fs"
-         % (len(plans) + 12, len(failures), elapsed))
+         % (len(plans) + 13, len(failures), elapsed))
     return 1 if failures else 0

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Tuple
 
-from ..api import connect
+from ..api import ExecutionOptions, connect
 from ..core.optimizer import CostModel, Statistics
 from ..obs.metrics import REGISTRY, parse_prometheus
 from .university import build_university
@@ -71,7 +71,7 @@ def run_trace_smoke(echo: Callable[[str], None] = print) -> int:
     started = time.time()
     uni = build_university(n_departments=4, n_employees=40, n_students=60,
                            advisor_pool=5, seed=3)
-    conn = connect(uni.db, engine="compiled", trace=True)
+    conn = connect(uni.db, ExecutionOptions(trace=True))
     model = CostModel(Statistics.from_database(uni.db))
     ok = True
 
@@ -103,7 +103,7 @@ def run_trace_smoke(echo: Callable[[str], None] = print) -> int:
 
     # -- 4. disabled-tracer overhead bound -----------------------------
     conn.tracing = False
-    bare = connect(uni.db, engine="compiled")
+    bare = connect(uni.db, ExecutionOptions())
     bare.tracer = None
     bare.session.context.tracer = None
     query = EXAMPLE_QUERIES[0][1]

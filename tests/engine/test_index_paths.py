@@ -124,7 +124,7 @@ def test_explain_analyze_shows_access_path():
     with actual cardinalities."""
     import repro
 
-    conn = repro.connect(engine="compiled", trace=True)
+    conn = repro.connect(options=repro.ExecutionOptions(trace=True))
     conn.execute('create Nums : { int }')
     conn.db.create("Nums", MultiSet(range(50)))
     conn.db.indexes.create_index("keyed", "Nums", Input())

@@ -1,0 +1,205 @@
+"""Partition-boundary tests for R(n) partition-parallel execution.
+
+Covers the awkward edges of the OID-pool partitioning scheme: empty
+partitions, one pool dwarfing the batch size, type migration inside an
+open transaction, merge determinism across repeated runs, and snapshot
+isolation when the batched engine serves a network server's reader
+pool.
+"""
+
+import time
+
+import pytest
+
+from repro import ExecutionOptions
+from repro.core.engine import compile_batch_plan, partition_plan
+from repro.core.expr import Input, Named, evaluate
+from repro.core.operators import (DE, Comp, Deref, Grp, SetApply,
+                                  TupExtract)
+from repro.core.predicates import Atom
+from repro.core.expr import Const
+from repro.core.values import MultiSet, Tup
+from repro.storage import Database
+
+
+def build_pools_db(n_students=30, n_employees=3, n_people=2):
+    """Students dwarf the other pools, so R(n) partitioning is skewed
+    and (with enough workers) some partitions are empty."""
+    db = Database()
+    h = db.hierarchy
+    h.add_type("Person")
+    h.add_type("Student", ["Person"])
+    h.add_type("Employee", ["Person"])
+    refs = []
+    for i in range(n_students):
+        refs.append(db.store.insert(
+            Tup({"name": "s%d" % (i % 5), "gpa": 2 + i % 3},
+                type_name="Student"), "Student"))
+    for i in range(n_employees):
+        refs.append(db.store.insert(
+            Tup({"name": "e%d" % i, "gpa": 4}, type_name="Employee"),
+            "Employee"))
+    for i in range(n_people):
+        refs.append(db.store.insert(
+            Tup({"name": "p%d" % i, "gpa": 1}, type_name="Person"),
+            "Person"))
+    db.create("Folks", MultiSet(refs + refs[:4]))  # duplicates
+    return db, refs
+
+
+NAMES = SetApply(TupExtract("name", Deref(Input())), Named("Folks"))
+
+
+def run_ways(expr, db, parallel=3):
+    serial = evaluate(expr, db.context(), mode="interpreted")
+    batched = evaluate(expr, db.context(), mode="batched")
+    par = evaluate(expr, db.context(), mode="batched", parallel=parallel)
+    assert batched == serial and par == serial
+    return serial
+
+
+# ---------------------------------------------------------------------------
+# Merge determinism
+# ---------------------------------------------------------------------------
+
+def test_merge_is_deterministic_across_runs():
+    db, _ = build_pools_db()
+    plans = [NAMES,                       # tally-sum merge
+             DE(NAMES),                   # first-occurrence merge
+             Grp(Input(), NAMES)]         # per-key bucket merge
+    for expr in plans:
+        reference = run_ways(expr, db)
+        for _ in range(3):
+            again = evaluate(expr, db.context(), mode="batched",
+                             parallel=3)
+            assert again == reference
+
+
+def test_parallel_run_reports_partition_stats():
+    db, _ = build_pools_db()
+    ctx = db.context()
+    value = evaluate(NAMES, ctx, mode="batched", parallel=3)
+    assert isinstance(value, MultiSet)
+    assert ctx.stats["partitions"] == 3
+    assert ctx.stats["partition_max_rows"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Empty partitions
+# ---------------------------------------------------------------------------
+
+def test_more_workers_than_pools_leaves_partitions_empty():
+    """One pool (all-Student extent) with parallel=4: three workers see
+    an empty partition and the merge must still be exact."""
+    db, _ = build_pools_db(n_students=9, n_employees=0, n_people=0)
+    ctx = db.context()
+    value = evaluate(NAMES, ctx, mode="batched", parallel=4)
+    assert value == evaluate(NAMES, db.context(), mode="interpreted")
+    assert ctx.stats["partitions"] == 4
+
+
+def test_empty_extent_under_parallel():
+    db, _ = build_pools_db(n_students=0, n_employees=0, n_people=0)
+    assert run_ways(NAMES, db, parallel=4) == MultiSet([])
+
+
+# ---------------------------------------------------------------------------
+# One partition larger than the batch size
+# ---------------------------------------------------------------------------
+
+def test_single_pool_spanning_many_batches():
+    db, _ = build_pools_db(n_students=100, n_employees=1, n_people=0)
+    reference = evaluate(NAMES, db.context(), mode="interpreted")
+    for batch_size in (1, 7, 64):
+        value = evaluate(NAMES, db.context(), mode="batched",
+                         parallel=2, batch_size=batch_size)
+        assert value == reference
+
+
+# ---------------------------------------------------------------------------
+# Type migration inside an open transaction
+# ---------------------------------------------------------------------------
+
+STUDENT_GPAS = SetApply(
+    TupExtract("gpa", Deref(Input())),
+    SetApply(Input(), Named("Folks"), type_filter=frozenset(["Student"])))
+
+
+def test_type_migration_mid_transaction():
+    """Migrating an object's exact type (Student → Person, legal within
+    the allocation pool's cone) must be visible to typed filters under
+    partition-parallel execution, and roll back with the transaction."""
+    db, refs = build_pools_db(n_students=8, n_employees=2, n_people=2)
+    before = run_ways(STUDENT_GPAS, db)
+    db.begin()
+    db.store.migrate(refs[0].oid, "Person")
+    mid = run_ways(STUDENT_GPAS, db)
+    assert sum(c for _, c in mid.items()) < sum(c for _, c in
+                                                before.items())
+    db.abort()
+    assert run_ways(STUDENT_GPAS, db) == before
+
+
+# ---------------------------------------------------------------------------
+# Unsafe plans fall back to serial (never wrong-but-parallel)
+# ---------------------------------------------------------------------------
+
+def test_tracing_forces_serial_execution():
+    from repro.obs import Tracer
+    db, _ = build_pools_db(n_students=6)
+    ctx = db.context()
+    ctx.tracer = Tracer(enabled=True)
+    value = evaluate(NAMES, ctx, mode="batched", parallel=3)
+    assert value == evaluate(NAMES, db.context(), mode="interpreted")
+    assert "partitions" not in ctx.stats
+
+
+def test_ineligible_plan_returns_serial_pipeline():
+    expr = SetApply(Comp(Atom(Input(), "<", Const(3)), Input()),
+                    Named("Nums"))
+    serial = compile_batch_plan(expr)
+    # A filter chain is eligible; a bare Named is not worth splitting.
+    assert partition_plan(Named("Nums"), serial, parallel=3) is serial
+    wrapped = partition_plan(expr, serial, parallel=3)
+    assert wrapped is not serial
+    assert "PARTITION[Nums by R(n), 3 way(s), apply merge]" \
+        in wrapped.explain()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot isolation under the server's reader pool
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def batched_server(tmp_path):
+    from repro.server import Server, ServerThread
+    server = Server(str(tmp_path / "db"),
+                    ExecutionOptions(engine="batched"),
+                    query_timeout=10.0, slow_query_threshold=None)
+    with ServerThread(server):
+        yield server
+
+
+def test_batched_reader_pool_snapshot_isolation(batched_server):
+    from repro.server.client import ServerClient
+    with ServerClient(batched_server.port) as writer, \
+            ServerClient(batched_server.port) as reader:
+        writer.execute("create Nums: { int4 }")
+        writer.atomic("append to Nums value (1) append to Nums value (2)")
+        assert sorted(r.fields[0][1] for r in reader.execute(
+            "retrieve (x) from x in Nums").rows()) == [1, 2]
+        writer.begin()
+        writer.execute("append to Nums value (99)")
+        # The MVCC reader pool serves committed state only — the open
+        # transaction's append must stay invisible to batched readers.
+        assert sorted(r.fields[0][1] for r in reader.execute(
+            "retrieve (x) from x in Nums").rows()) == [1, 2]
+        writer.commit()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            rows = sorted(r.fields[0][1] for r in reader.execute(
+                "retrieve (x) from x in Nums").rows())
+            if rows == [1, 2, 99]:
+                break
+            time.sleep(0.02)
+        assert rows == [1, 2, 99]

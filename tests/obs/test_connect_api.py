@@ -11,7 +11,7 @@ import warnings
 
 import pytest
 
-from repro import Connection, Database, MultiSet, connect
+from repro import Connection, Database, ExecutionOptions, MultiSet, connect
 from repro.core.expr import Named, evaluate
 from repro.core.operators import SetCollapse
 from repro.excess.session import Session, run
@@ -44,7 +44,7 @@ def test_connect_defaults_to_fresh_in_memory_database():
 def test_connect_wraps_an_existing_database():
     db = Database()
     db.create("Xs", MultiSet([1, 2]))
-    conn = connect(db, engine="interpreted")
+    conn = connect(db, ExecutionOptions(engine="interpreted"))
     assert conn.db is db
     assert conn.execute("retrieve (X) from X in Xs").value is not None
 
@@ -88,7 +88,7 @@ def test_empty_script_yields_an_empty_result():
 
 
 def test_traced_result_carries_a_span_tree():
-    conn = fresh_connection(trace=True)
+    conn = fresh_connection(options=ExecutionOptions(trace=True))
     result = conn.execute("retrieve (N) from N in Nums where N > 1")
     assert isinstance(result.trace, Span)
     assert result.trace.kind == "statement"
@@ -182,7 +182,7 @@ def test_aborted_pipeline_does_not_leak_stats_at_gc_time():
 
 def test_connect_durable_directory_and_wal_span(tmp_path):
     home = str(tmp_path / "dbhome")
-    conn = connect(home, trace=True)
+    conn = connect(home, ExecutionOptions(trace=True))
     conn.execute("create Xs: { int4 }")
     result = conn.execute("append to Xs value (41)")
     wal_spans = result.trace.find_all(kind="wal")

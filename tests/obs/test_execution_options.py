@@ -1,0 +1,146 @@
+"""The unified ExecutionOptions surface: validation, the legacy-keyword
+deprecation shims, per-statement overrides, and README doc-sync."""
+
+import dataclasses
+import pathlib
+import warnings
+
+import pytest
+
+from repro import Database, ExecutionOptions, MultiSet, connect
+from repro.options import ENGINES, merge_legacy_options
+
+DDL = """
+create Nums: { int4 }
+append to Nums value (1)
+append to Nums value (2)
+"""
+
+
+# -- construction & validation --------------------------------------------
+
+def test_defaults_match_connect_defaults():
+    options = ExecutionOptions()
+    assert options.engine == "compiled"
+    assert options.verify is False and options.sanitize is False
+    assert options.trace is False and options.parallel == 0
+    assert options.batch_size is None and options.access_paths == "auto"
+    conn = connect()
+    assert conn.options == options
+
+
+def test_engine_is_validated():
+    for engine in ENGINES:
+        assert ExecutionOptions(engine=engine).engine == engine
+    with pytest.raises(ValueError, match="engine"):
+        ExecutionOptions(engine="jit")
+
+
+def test_sanitize_implies_analyze():
+    options = ExecutionOptions(sanitize=True)
+    assert options.analyze is True
+
+
+def test_parallel_requires_batched_engine():
+    assert ExecutionOptions(engine="batched", parallel=4).parallel == 4
+    with pytest.raises(ValueError, match="batched"):
+        ExecutionOptions(engine="compiled", parallel=2)
+    with pytest.raises(ValueError, match="parallel"):
+        ExecutionOptions(engine="batched", parallel=-1)
+
+
+def test_batch_size_and_access_paths_are_validated():
+    with pytest.raises(ValueError, match="batch_size"):
+        ExecutionOptions(batch_size=0)
+    with pytest.raises(ValueError, match="access_paths"):
+        ExecutionOptions(access_paths="always")
+
+
+def test_replace_revalidates():
+    options = ExecutionOptions(engine="batched", parallel=2)
+    assert options.replace(parallel=0).engine == "batched"
+    with pytest.raises(ValueError):
+        options.replace(engine="interpreted")
+
+
+def test_options_are_immutable():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ExecutionOptions().engine = "batched"
+
+
+# -- the connection surface ------------------------------------------------
+
+def test_connect_accepts_options_positionally():
+    conn = connect(Database(), ExecutionOptions(engine="batched",
+                                                parallel=2))
+    assert conn.engine == "batched"
+    assert conn.session.parallel == 2
+    assert conn.options.engine == "batched"
+
+
+def test_connection_options_setter_is_live():
+    conn = connect(Database())
+    conn.execute(DDL)
+    conn.options = ExecutionOptions(engine="interpreted", trace=True)
+    assert conn.engine == "interpreted" and conn.tracing
+    result = conn.execute("retrieve (N) from N in Nums")
+    assert result.engine == "interpreted" and result.trace is not None
+
+
+def test_execute_override_restores_on_error():
+    conn = connect(Database())
+    conn.execute(DDL)
+    with pytest.raises(Exception):
+        conn.execute("retrieve (X) from X in NoSuch",
+                     options=ExecutionOptions(engine="batched"))
+    assert conn.engine == "compiled"
+
+
+def test_session_exposes_options_snapshot():
+    conn = connect(Database(), ExecutionOptions(engine="batched",
+                                                batch_size=16))
+    options = conn.session.options
+    assert options.engine == "batched" and options.batch_size == 16
+
+
+# -- legacy-keyword shims --------------------------------------------------
+
+def test_legacy_keywords_warn_but_work():
+    db = Database()
+    with pytest.warns(DeprecationWarning, match="ExecutionOptions"):
+        conn = connect(db, engine="interpreted", verify=True)
+    assert conn.engine == "interpreted"
+    assert conn.session.verify is True
+
+
+def test_options_plus_legacy_keywords_is_an_error():
+    with pytest.raises(TypeError, match="not both"):
+        connect(Database(), ExecutionOptions(), engine="interpreted")
+
+
+def test_options_path_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        conn = connect(Database(), ExecutionOptions(engine="batched"))
+        conn.execute(DDL)
+        value = conn.execute("retrieve (N) from N in Nums").value
+        assert isinstance(value, MultiSet) and len(value) == 2
+
+
+def test_merge_legacy_options_passthrough():
+    options = ExecutionOptions(engine="batched")
+    assert merge_legacy_options(options, "here") is options
+    assert merge_legacy_options(None, "here") == ExecutionOptions()
+
+
+# -- documentation sync ----------------------------------------------------
+
+def test_readme_documents_every_option_field():
+    """README's quickstart must mention every ExecutionOptions field by
+    name, so the public knobs and their docs cannot drift apart."""
+    readme = (pathlib.Path(__file__).resolve().parents[2]
+              / "README.md").read_text()
+    for field in dataclasses.fields(ExecutionOptions):
+        assert field.name in readme, (
+            "README.md does not mention ExecutionOptions.%s" % field.name)
+    assert "ExecutionOptions" in readme

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine bench-batch crashtest bench-txn sanitize batch-differential serve-smoke bench-server bench-server-full
+.PHONY: test lint verify-plans bench-smoke trace-smoke bench-engine bench-batch crashtest bench-txn sanitize batch-differential serve-smoke bench-server bench-server-reads bench-server-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -84,6 +84,11 @@ serve-smoke:
 # single-client (group commit + pipelining), reduced sweep.
 bench-server:
 	$(PYTHON) benchmarks/bench_server.py --smoke
+
+# Server read-path smoke: selective lookups with snapshot index
+# probes must beat the same workload with access paths off.
+bench-server-reads:
+	$(PYTHON) benchmarks/bench_server.py --reads-smoke
 
 # Full sweep (1/4/16/64 clients + 64-vs-1 differential); writes
 # BENCH_server.json.

@@ -16,10 +16,22 @@ evidence) and the event loop overlaps protocol work with execution.
 
 Also runs a **differential**: the same 4096-append workload executed
 by 1 client and by 64 clients must leave databases whose canonically
-ordered rows are byte-identical on the wire.
+ordered rows are byte-identical on the wire — with a keyed index
+defined on the collection, so the closing reads exercise the
+snapshot-index probe path.
+
+The **selective-read series** hosts one ~10 000-row collection with
+keyed + ordered indexes and drives point lookups (`x = $k`) and
+1%-selectivity range lookups (`x < $k`) at 1→16 clients, once against
+a default server (cost-based access paths over the epoch-stamped
+snapshot catalog) and once with ``access_paths="off"``.  The full run
+asserts the indexed path is ≥ 5× the index-free path on every
+matched (kind, clients) pair.
 
 ``--smoke`` runs a reduced sweep (1 and 16 clients) and asserts the
-scaling claim; the full run writes ``BENCH_server.json``.  Run via
+scaling claim; ``--reads-smoke`` runs only a reduced selective-read
+series and asserts probe-beats-scan (the ``make bench-server-reads``
+gate); the full run writes ``BENCH_server.json``.  Run via
 ``make bench-server`` (smoke) / ``make bench-server-full``.
 """
 
@@ -114,6 +126,72 @@ def bench_reads(port, clients, total_ops):
             "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3)}
 
 
+def bench_selective_reads(client_counts, total_ops, rows=30000):
+    """Point and 1%-selectivity range lookups against one indexed
+    tuple collection, with cost-based access paths on vs off.
+    Returns one row per (variant, kind, clients).
+
+    Params rotate over a small set so the per-connection plan cache
+    hits after each client's first pass (params splice as literals, so
+    each distinct value is a distinct script).
+    """
+    from repro import Database, ExecutionOptions
+    from repro.core.expr import Input
+    from repro.core.operators.tuples import TupExtract
+    from repro.core.values import MultiSet, Tup
+
+    span = max(1, rows // 100)  # 1% of the collection
+
+    def point_op(cid, i):
+        return ("retrieve (t.v) from t in Big where t.k = $k",
+                {"k": (cid * 7 + i) % 8})
+
+    def range_op(cid, i):
+        return ("retrieve (t.v) from t in Big where t.k < $k",
+                {"k": span + (i % 8)})
+
+    out = []
+    for variant, options in (
+            ("indexed", None),
+            ("no_index", ExecutionOptions(access_paths="off"))):
+        db = Database()
+        db.create("Big", MultiSet([Tup({"k": i, "v": i % 97})
+                                   for i in range(rows)]))
+        key = TupExtract("k", Input())
+        db.indexes.create_index("keyed", "Big", key)
+        db.indexes.create_index("ordered", "Big", key)
+        server = Server(db, options, max_clients=128, queue_depth=512,
+                        query_timeout=120.0)
+        with ServerThread(server):
+            port = server.port
+            for clients in client_counts:
+                ops = max(1, total_ops // clients)
+                for kind, op in (("point", point_op), ("range", range_op)):
+                    wall, latencies = _drive(port, clients, op, ops)
+                    done = clients * ops
+                    row = {"variant": variant, "kind": kind,
+                           "clients": clients, "ops": done,
+                           "seconds": round(wall, 4),
+                           "qps": round(done / wall, 1),
+                           "p99_ms": round(
+                               _percentile(latencies, 0.99) * 1000, 3)}
+                    out.append(row)
+                    print("selective %-8s %-5s @%3d clients: %8.1f qps"
+                          "  p99 %7.3f ms"
+                          % (variant, kind, clients, row["qps"],
+                             row["p99_ms"]), flush=True)
+    return out
+
+
+def _selective_ratios(series):
+    """(kind, clients) → indexed-QPS / index-free-QPS."""
+    indexed = {(r["kind"], r["clients"]): r["qps"]
+               for r in series if r["variant"] == "indexed"}
+    scans = {(r["kind"], r["clients"]): r["qps"]
+             for r in series if r["variant"] == "no_index"}
+    return {key: indexed[key] / scans[key] for key in indexed}
+
+
 def _hosted_server(workdir, name):
     server = Server(os.path.join(workdir, name), max_clients=128,
                     queue_depth=512, query_timeout=120.0,
@@ -124,6 +202,8 @@ def _hosted_server(workdir, name):
 def run_differential(workdir, total_ops=4096):
     """The same appends via 1 client and via 64: canonical wire rows
     must match byte for byte."""
+    from repro.core.expr import Input
+
     payloads = []
     for clients in (1, 64):
         server = _hosted_server(workdir, "diff-%d" % clients)
@@ -131,6 +211,9 @@ def run_differential(workdir, total_ops=4096):
             port = server.port
             with ServerClient(port) as admin:
                 admin.execute("create D: { int4 }")
+            # A keyed index on the target: the closing selective read
+            # goes through the snapshot-index probe path on both sides.
+            server.db.indexes.create_index("keyed", "D", Input())
             ops = total_ops // clients
 
             def op(cid, i, _c=clients, _o=ops):
@@ -139,8 +222,11 @@ def run_differential(workdir, total_ops=4096):
             _drive(port, clients, op, ops)
             with ServerClient(port) as admin:
                 rows = admin.execute("retrieve (x) from x in D").raw_rows
-        canonical = json.dumps(sorted(rows, key=json.dumps),
-                               separators=(",", ":")).encode()
+                probed = admin.execute(
+                    "retrieve (x) from x in D where x = 17").raw_rows
+        canonical = json.dumps(
+            [sorted(rows, key=json.dumps), sorted(probed, key=json.dumps)],
+            separators=(",", ":")).encode()
         payloads.append(canonical)
     return {"ops": total_ops,
             "identical": payloads[0] == payloads[1],
@@ -152,7 +238,22 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="reduced sweep (1 and 16 clients), no "
                              "BENCH_server.json")
+    parser.add_argument("--reads-smoke", action="store_true",
+                        help="reduced selective-read series only: "
+                             "assert indexed beats index-free")
     args = parser.parse_args(argv)
+
+    if args.reads_smoke:
+        series = bench_selective_reads((1, 4), total_ops=96, rows=6000)
+        ratios = _selective_ratios(series)
+        for (kind, clients), ratio in sorted(ratios.items()):
+            print("selective %-5s @%3d clients: probe/scan = %.2fx"
+                  % (kind, clients, ratio), flush=True)
+        assert all(ratio > 1.0 for ratio in ratios.values()), (
+            "indexed server reads should beat access_paths='off': %r"
+            % (ratios,))
+        print("bench-server-reads: PASS", flush=True)
+        return 0
 
     client_counts = (1, 16) if args.smoke else (1, 4, 16, 64)
     write_ops = 256 if args.smoke else 1024
@@ -203,6 +304,20 @@ def main(argv=None):
             "(%.1f): group commit + pipelining" % (multi, single))
 
         if not args.smoke:
+            series = bench_selective_reads((1, 4, 16), total_ops=512)
+            report["selective_reads"] = {
+                "rows": 30000, "selectivity": 0.01, "series": series,
+                "floor": 5.0}
+            ratios = _selective_ratios(series)
+            for (kind, clients), ratio in sorted(ratios.items()):
+                print("selective %-5s @%3d clients: probe/scan = %.2fx"
+                      % (kind, clients, ratio), flush=True)
+            worst = min(ratios.values())
+            report["selective_reads"]["worst_ratio"] = round(worst, 2)
+            assert worst >= 5.0, (
+                "indexed server reads must be >= 5x the index-free "
+                "path on every (kind, clients) pair; worst was %.2fx: %r"
+                % (worst, ratios))
             report["differential"] = run_differential(workdir)
             print("differential @64 clients: identical=%s"
                   % report["differential"]["identical"], flush=True)

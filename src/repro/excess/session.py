@@ -176,6 +176,7 @@ class Session:
         self.batch_size = options.batch_size
         self.parallel = options.parallel
         self.access_paths = options.access_paths
+        self.readers = options.readers
 
     @property
     def options(self) -> ExecutionOptions:
@@ -193,7 +194,8 @@ class Session:
             # engine (CLI ``.engine``) with a parallel degree still
             # set; the snapshot drops it rather than failing validation.
             parallel=self.parallel if self.engine == "batched" else 0,
-            access_paths=self.access_paths)
+            access_paths=self.access_paths,
+            readers=self.readers)
 
     # -- translation --------------------------------------------------------
 

@@ -447,6 +447,19 @@ SERVER_GROUP_COMMIT_BATCH = REGISTRY.histogram(
 SERVER_ERRORS_TOTAL = REGISTRY.counter(
     "repro_server_errors_total",
     "Error responses sent to clients, by code.")
+SERVER_PLAN_CACHE_HITS = REGISTRY.counter(
+    "repro_server_plan_cache_hits",
+    "Reader-path compiled-plan cache hits (per-connection caches, "
+    "keyed by script text, index epoch, and execution options).")
+SERVER_PLAN_CACHE_MISSES = REGISTRY.counter(
+    "repro_server_plan_cache_misses",
+    "Reader-path compiled-plan cache misses (each one is a full "
+    "parse + optimize + compile against the snapshot).")
+INDEX_EPOCH = REGISTRY.gauge(
+    "repro_index_epoch",
+    "Current index epoch: the committed-transaction version of the "
+    "most advanced live transaction manager (every commit, including "
+    "index DDL, advances it).")
 
 
 def now() -> float:

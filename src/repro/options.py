@@ -56,6 +56,9 @@ class ExecutionOptions:
       pool across this many forked workers (``0``/``1`` = serial).
     * ``access_paths`` — index probe policy handed to the compiled
       engines: ``"auto"`` (cost-gated), ``"force"``, or ``"off"``.
+    * ``readers`` — size of the network server's snapshot-reader
+      thread pool (``None`` = the server's default); local connections
+      ignore it.
     """
 
     engine: str = "compiled"
@@ -67,6 +70,7 @@ class ExecutionOptions:
     batch_size: Optional[int] = None
     parallel: int = 0
     access_paths: str = "auto"
+    readers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -90,6 +94,9 @@ class ExecutionOptions:
         if self.access_paths not in ("auto", "force", "off"):
             raise ValueError("access_paths must be 'auto', 'force', or "
                              "'off', got %r" % (self.access_paths,))
+        if self.readers is not None and self.readers < 1:
+            raise ValueError("readers must be >= 1, got %r"
+                             % (self.readers,))
 
     def replace(self, **changes: Any) -> "ExecutionOptions":
         """A copy with *changes* applied (validation re-runs)."""

@@ -10,6 +10,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..options import ExecutionOptions
 from .server import Server
 
 
@@ -24,7 +25,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7474,
                         help="TCP port (0 = ephemeral; default 7474)")
-    parser.add_argument("--engine", choices=("compiled", "interpreted"),
+    parser.add_argument("--engine",
+                        choices=("compiled", "interpreted", "batched"),
                         default="compiled")
     parser.add_argument("--max-clients", type=int, default=64)
     parser.add_argument("--readers", type=int, default=8,
@@ -50,9 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    server = Server(args.db, host=args.host, port=args.port,
-                    engine=args.engine, max_clients=args.max_clients,
-                    readers=args.readers, queue_depth=args.queue_depth,
+    try:
+        options = ExecutionOptions(engine=args.engine, readers=args.readers)
+    except ValueError as exc:
+        build_parser().error(str(exc))
+    server = Server(args.db, options, host=args.host, port=args.port,
+                    max_clients=args.max_clients,
+                    queue_depth=args.queue_depth,
                     query_timeout=args.timeout,
                     drain_timeout=args.drain_timeout,
                     max_batch=args.max_batch,

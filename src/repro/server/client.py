@@ -67,6 +67,11 @@ class ServerResult:
         return [value_from_json(row) for row in self.raw_rows]
 
     @property
+    def explain(self) -> Optional[str]:
+        """The EXPLAIN ANALYZE text, when the request asked for it."""
+        return self.payload.get("explain")
+
+    @property
     def id(self) -> Any:
         return self.payload.get("id")
 
@@ -93,7 +98,7 @@ class ServerClient:
     def send(self, q: Optional[str] = None, *,
              params: Optional[Dict[str, Any]] = None,
              txn: Optional[str] = None, timeout: Optional[float] = None,
-             request_id: Any = None) -> None:
+             request_id: Any = None, explain: bool = False) -> None:
         """Write one request without waiting for the response."""
         payload: Dict[str, Any] = {}
         if q is not None:
@@ -106,6 +111,8 @@ class ServerClient:
             payload["timeout"] = timeout
         if request_id is not None:
             payload["id"] = request_id
+        if explain:
+            payload["explain"] = "analyze"
         self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
 
     def recv(self) -> ServerResult:
@@ -124,10 +131,19 @@ class ServerClient:
     # -- round trips ----------------------------------------------------
 
     def execute(self, q: str, *, params: Optional[Dict[str, Any]] = None,
-                txn: Optional[str] = None,
-                timeout: Optional[float] = None) -> ServerResult:
-        self.send(q, params=params, txn=txn, timeout=timeout)
+                txn: Optional[str] = None, timeout: Optional[float] = None,
+                explain: bool = False) -> ServerResult:
+        self.send(q, params=params, txn=txn, timeout=timeout,
+                  explain=explain)
         return self.recv()
+
+    def analyze(self, q: str, *,
+                params: Optional[Dict[str, Any]] = None) -> str:
+        """EXPLAIN ANALYZE a read-only script: run it under tracing on
+        the server and return the last statement's annotated plan text
+        (same rendering as the local CLI's ``.analyze``)."""
+        result = self.execute(q, params=params, explain=True)
+        return result.explain or ""
 
     def begin(self, q: Optional[str] = None) -> ServerResult:
         self.send(q, txn="begin")

@@ -14,6 +14,9 @@ JSON object::
   (``q`` may ride along with ``begin``/``commit``); ``atomic`` runs
   this request's ``q`` as one transaction;
 * ``timeout`` — per-query seconds, capped by the server's limit;
+* ``explain`` — ``true`` (or ``"analyze"``): run a read-only script
+  under tracing and return the last statement's EXPLAIN ANALYZE text
+  (access-path annotations included) as ``explain`` in the response;
 * ``id`` — opaque, echoed back.
 
 The response::
@@ -66,16 +69,17 @@ class ProtocolError(ValueError):
 class Request:
     """One decoded request line."""
 
-    __slots__ = ("q", "params", "txn", "timeout", "id")
+    __slots__ = ("q", "params", "txn", "timeout", "id", "explain")
 
     def __init__(self, q: Optional[str], params: Dict[str, Any],
                  txn: Optional[str], timeout: Optional[float],
-                 request_id: Any):
+                 request_id: Any, explain: bool = False):
         self.q = q
         self.params = params
         self.txn = txn
         self.timeout = timeout
         self.id = request_id
+        self.explain = explain
 
 
 def decode_request(line: bytes) -> Request:
@@ -106,7 +110,11 @@ def decode_request(line: bytes) -> Request:
         if not isinstance(timeout, (int, float)) or timeout <= 0:
             raise ProtocolError('"timeout" must be a positive number')
         timeout = float(timeout)
-    return Request(q, params, txn, timeout, payload.get("id"))
+    explain = payload.get("explain", False)
+    if explain not in (False, True, "analyze"):
+        raise ProtocolError('"explain" must be true or "analyze"')
+    return Request(q, params, txn, timeout, payload.get("id"),
+                   explain=bool(explain))
 
 
 # ---------------------------------------------------------------------------
@@ -128,10 +136,12 @@ def error_response(code: str, message: str,
     return out
 
 
-def result_response(results: List[Any],
-                    request_id: Any = None) -> Dict[str, Any]:
+def result_response(results: List[Any], request_id: Any = None,
+                    explain: Optional[str] = None) -> Dict[str, Any]:
     """Render a list of session :class:`~repro.excess.session.Result`
-    objects (one script's worth) as the wire response."""
+    objects (one script's worth) as the wire response.  *explain* (the
+    last statement's EXPLAIN ANALYZE text, when the request asked for
+    it) rides along so remote ``.analyze`` output matches local."""
     out: Dict[str, Any] = {"ok": True, "statements": len(results)}
     if results:
         last = results[-1]
@@ -144,6 +154,8 @@ def result_response(results: List[Any],
         out["rows"] = []
         out["seconds"] = 0.0
         out["stats"] = {}
+    if explain is not None:
+        out["explain"] = explain
     if request_id is not None:
         out["id"] = request_id
     return out

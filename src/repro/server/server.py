@@ -8,9 +8,14 @@ Concurrency model (see DESIGN.md §11):
 * **Reads** (scripts of side-effect-free retrieves) each take an MVCC
   snapshot (:meth:`~repro.storage.txn.TransactionManager.snapshot`)
   and evaluate on a bounded reader thread pool, so any number of
-  clients read concurrently while writers keep committing.  Snapshot
-  plans run index-free: secondary indexes track the *live* store, so a
-  probe could surface rows newer than the snapshot.
+  clients read concurrently while writers keep committing.  Reader
+  plans get the full treatment: statistics collected from the snapshot
+  itself, the cost-based optimizer, and index probes against the
+  snapshot's frozen :class:`~repro.storage.indexes.IndexCatalogView`
+  (epoch-stamped, so a probe can never surface rows newer than the
+  snapshot).  Compiled plans are cached per connection, keyed by
+  (script text, index epoch, options, range bindings) — the epoch key
+  invalidates the cache on every commit, including index DDL.
 * **Writes** are serialized through one writer thread.  The writer
   drains its queue up to ``max_batch`` jobs and executes the whole
   batch inside ``wal.group()`` — per-statement commits append to the
@@ -46,28 +51,34 @@ import os
 import signal
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api import Connection
-from ..core.expr import EvalContext, evaluate
+from ..core.engine import compile_plan
+from ..core.engine.batch import DEFAULT_BATCH_SIZE, compile_batch_plan
+from ..core.expr import _UNBOUND, EvalContext, evaluate
+from ..core.optimizer import CostModel, Optimizer, Statistics
 from ..options import ExecutionOptions
 from ..excess import ast
 from ..excess.parser import Parser
 from ..excess.session import Result
 from ..excess.translate import TranslationError, Translator
 from ..lang import Lexer, ParseError
+from ..obs import Tracer
 from ..obs.metrics import (DEREF_CACHE_HITS_TOTAL, DEREF_CACHE_MISSES_TOTAL,
                            QUERIES_TOTAL, QUERY_SECONDS,
                            SERVER_ADMISSION_REJECTS_TOTAL,
                            SERVER_CONNECTIONS_ACTIVE,
                            SERVER_CONNECTIONS_TOTAL, SERVER_ERRORS_TOTAL,
                            SERVER_GROUP_COMMIT_BATCH,
-                           SERVER_INFLIGHT_QUERIES, SERVER_QUERIES_QUEUED,
-                           SERVER_REQUESTS_TOTAL, SERVER_TIMEOUTS_TOTAL,
-                           SLOW_QUERIES_TOTAL)
+                           SERVER_INFLIGHT_QUERIES,
+                           SERVER_PLAN_CACHE_HITS, SERVER_PLAN_CACHE_MISSES,
+                           SERVER_QUERIES_QUEUED, SERVER_REQUESTS_TOTAL,
+                           SERVER_TIMEOUTS_TOTAL, SLOW_QUERIES_TOTAL)
 from ..storage import Database, load_database, open_database
 from ..storage.txn import TxnError
 from .protocol import (ProtocolError, Request, bind_params, classify_source,
@@ -170,6 +181,51 @@ class _GuardedNamed:
         return iter(self._named)
 
 
+class _PlanCache:
+    """Per-connection cache of compiled read-script plans.
+
+    Keys carry everything that shapes the plan besides the data:
+    (script source, engine, access_paths, batch_size, range bindings).
+    The data dimension is the **index epoch** the script was compiled
+    at — the cache holds plans for exactly one epoch and clears itself
+    the first time it is consulted at a newer one, so every commit
+    (data or index DDL) invalidates wholesale.  Compiled plans consult
+    ``ctx.indexes`` at run time, so a cached plan re-executes correctly
+    against any snapshot of the same epoch.
+
+    Traced (EXPLAIN ANALYZE) plans carry per-run span state and never
+    enter the cache.  Eviction is LRU at ``capacity`` entries.
+    """
+
+    __slots__ = ("capacity", "entries", "epoch", "lock")
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self.entries: "OrderedDict[Tuple, List[Tuple]]" = OrderedDict()
+        self.epoch: Optional[int] = None
+        self.lock = threading.Lock()
+
+    def get(self, key: Tuple, epoch: int) -> Optional[List[Tuple]]:
+        with self.lock:
+            if epoch != self.epoch:
+                self.entries.clear()
+                self.epoch = epoch
+                return None
+            steps = self.entries.get(key)
+            if steps is not None:
+                self.entries.move_to_end(key)
+            return steps
+
+    def put(self, key: Tuple, epoch: int, steps: List[Tuple]) -> None:
+        with self.lock:
+            if epoch != self.epoch:
+                self.entries.clear()
+                self.epoch = epoch
+            self.entries[key] = steps
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
+
+
 class _WriteJob:
     """One write script queued for the writer thread."""
 
@@ -187,12 +243,13 @@ class _WriteJob:
 class _ClientState:
     """Per-connection bookkeeping on the event loop."""
 
-    __slots__ = ("name", "conn", "in_txn")
+    __slots__ = ("name", "conn", "in_txn", "plan_cache")
 
     def __init__(self, name: str, conn: Connection):
         self.name = name
         self.conn = conn
         self.in_txn = False
+        self.plan_cache = _PlanCache()
 
 
 class Server:
@@ -230,7 +287,11 @@ class Server:
                         else ExecutionOptions(engine=engine))
         self.engine = self.options.engine
         self.max_clients = max_clients
-        self.readers = readers
+        # ExecutionOptions.readers (validated >= 1) wins over the bare
+        # constructor keyword, which survives as a convenience.
+        if self.options.readers is not None:
+            readers = self.options.readers
+        self.readers = max(1, readers)
         self.queue_depth = queue_depth
         self.query_timeout = query_timeout
         self.drain_timeout = drain_timeout
@@ -247,6 +308,11 @@ class Server:
         self.slow_log = self._admin.slow_log
         # MVCC needs a manager attached even for in-memory databases.
         self.manager = self.db.transactions()
+        # Snapshot statistics memoized per index epoch: equal epochs
+        # imply identical visible data, so every reader compiling at
+        # the same epoch shares one Statistics pass.  Racing readers
+        # may both compute; the (epoch, stats) tuple swap is GIL-atomic.
+        self._stats_by_epoch: Optional[Tuple[int, Statistics]] = None
         self._clients: Dict[int, _ClientState] = {}
         self._client_ids = itertools.count(1)
         self._backlog = 0      # admitted but unfinished queries
@@ -260,7 +326,7 @@ class Server:
         self._write_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-writer")
         self._read_executor = ThreadPoolExecutor(
-            max_workers=max(1, readers), thread_name_prefix="repro-reader")
+            max_workers=self.readers, thread_name_prefix="repro-reader")
         self.metrics_address: Optional[tuple] = None
 
     # -- stats ---------------------------------------------------------
@@ -275,7 +341,9 @@ class Server:
             "max_clients": self.max_clients,
             "closing": self._closing,
             "engine": self.engine,
+            "readers": self.readers,
             "mvcc_version": self.manager.version,
+            "index_epoch": self.manager.index_epoch,
         }
 
     def _set_gauges(self) -> None:
@@ -550,6 +618,15 @@ class Server:
                                   request.id)
         kind = "write" if state.in_txn else classify_source(source)
         SERVER_REQUESTS_TOTAL.inc(kind=kind)
+        if request.explain and kind != "read":
+            # Traced execution needs the snapshot read path; scripts
+            # with side effects (or inside a transaction) run on the
+            # writer against live state, where a per-request tracer
+            # would race the connection's shared session.
+            SERVER_ERRORS_TOTAL.inc(code="protocol")
+            return error_response(
+                "protocol", '"explain" is only supported for read-only '
+                'scripts outside a transaction', request.id)
         if state.in_txn:
             # Statements inside an explicit transaction run on the
             # writer thread against the live database (they must see
@@ -594,8 +671,8 @@ class Server:
         self._inflight += 1
         self._set_gauges()
         future = self._loop.run_in_executor(
-            self._read_executor, self._execute_read, state.conn, source,
-            guard)
+            self._read_executor, self._execute_read, state, source,
+            guard, request.explain)
         future.add_done_callback(
             lambda f: self._loop.call_soon_threadsafe(self._read_done, f))
         try:
@@ -609,7 +686,13 @@ class Server:
         except Exception as exc:
             return self._map_error(exc, request.id)
         self._observe_results(state.conn, results)
-        return result_response(results, request.id)
+        explain_text = None
+        if request.explain:
+            for result in reversed(results):
+                explain_text = getattr(result, "explain_text", None)
+                if explain_text is not None:
+                    break
+        return result_response(results, request.id, explain=explain_text)
 
     def _read_done(self, future) -> None:
         self._backlog -= 1
@@ -618,16 +701,138 @@ class Server:
         if not future.cancelled():
             future.exception()  # swallow: the handler already responded
 
-    def _execute_read(self, conn: Connection, source: str,
-                      guard: _Guard) -> List[Result]:
+    def _execute_read(self, state: _ClientState, source: str,
+                      guard: _Guard, explain: bool = False) -> List[Result]:
         """Reader-thread body: evaluate a read-only script against a
-        guarded MVCC snapshot (index-free, unoptimized plans)."""
+        guarded MVCC snapshot with the full optimizer + access paths.
+
+        Probes go through the snapshot's frozen
+        :class:`~repro.storage.indexes.IndexCatalogView`; statistics
+        and the cost model are built from the snapshot itself, so plan
+        choice, compilation, and execution all see one epoch.  Compiled
+        plans are cached per connection keyed by (source, epoch,
+        options, ranges) — a hit skips parse/optimize/compile entirely.
+        """
+        conn = state.conn
         session = conn.session
         view = self.manager.snapshot()
         ctx = EvalContext(database=_GuardedNamed(view.named, guard),
                           store=_GuardedStore(view.store, guard),
                           functions=self.db.functions,
-                          methods=self.db.methods, indexes=None)
+                          methods=self.db.methods, indexes=view.indexes)
+        if explain:
+            return self._execute_read_traced(conn, source, view, ctx, guard)
+        mode = session.engine
+        cache = state.plan_cache
+        key = (source, mode, session.access_paths, session.batch_size,
+               tuple(sorted(session.ranges.items())))
+        steps = cache.get(key, view.version)
+        if steps is None:
+            SERVER_PLAN_CACHE_MISSES.inc()
+            steps = self._compile_read(session, source, view)
+            cache.put(key, view.version, steps)
+        else:
+            SERVER_PLAN_CACHE_HITS.inc()
+        results: List[Result] = []
+        for step in steps:
+            if step[0] == "range":
+                _, statement, bindings = step
+                for var, collection in bindings:
+                    session.ranges[var] = collection
+                results.append(Result(statement, None, engine=mode))
+                continue
+            guard.check()
+            ctx.begin_query()
+            started = perf_counter()
+            if step[0] == "plan":
+                _, statement, expr, plan = step
+                value = plan.execute(ctx, _UNBOUND)
+            else:
+                _, statement, expr = step
+                value = evaluate(expr, ctx, mode="interpreted")
+            result = Result(statement, expr, value, None, stats=ctx.stats)
+            result.seconds = perf_counter() - started
+            result.engine = mode
+            results.append(result)
+        return results
+
+    def _snapshot_cost_model(self, view, mode: str) -> CostModel:
+        """Statistics + cost model bound to *view*: collection stats
+        come from the snapshot (thread-safe — the live tables are never
+        walked), memoized per epoch, and the model prices probes
+        against the snapshot's frozen catalog."""
+        cached = self._stats_by_epoch
+        if cached is not None and cached[0] == view.version:
+            stats = cached[1]
+        else:
+            stats = Statistics.from_database(view)
+            self._stats_by_epoch = (view.version, stats)
+        return CostModel(stats, engine=mode, indexes=view.indexes)
+
+    def _compile_read(self, session, source: str, view) -> List[Tuple]:
+        """Parse, translate, optimize, and compile a read script into
+        replayable steps (the plan-cache values).
+
+        Compiled plans resolve the catalog through ``ctx.indexes`` at
+        run time, so a step compiled here executes correctly against
+        any snapshot of the same epoch.  Reader threads run serial even
+        on the batched engine: forking partition workers from a
+        threaded asyncio process is unsafe, and the snapshot guard
+        wraps this thread only.
+        """
+        mode = session.engine
+        model = self._snapshot_cost_model(view, mode)
+        optimizer = Optimizer(cost_model=model, max_depth=3, max_trees=500)
+        steps: List[Tuple] = []
+        lexer = Lexer(source)
+        while not lexer.at_end():
+            parser = Parser.__new__(Parser)
+            parser.lexer = lexer
+            statement = parser.parse_statement()
+            if isinstance(statement, ast.RangeDecl):
+                for var, collection in statement.bindings:
+                    if collection not in view.named:
+                        raise TranslationError(
+                            "range over unknown object %r" % collection)
+                    session.ranges[var] = collection
+                steps.append(("range", statement,
+                              tuple(statement.bindings)))
+                continue
+            expr, _ = Translator(self.db, session.ranges) \
+                .translate_retrieve(statement)
+            expr = optimizer.optimize(expr).best
+            if mode == "interpreted":
+                steps.append(("expr", statement, expr))
+                continue
+            if mode == "batched":
+                size = (DEFAULT_BATCH_SIZE if session.batch_size is None
+                        else session.batch_size)
+                plan = compile_batch_plan(expr, cost_model=model,
+                                          access_paths=session.access_paths,
+                                          batch_size=size)
+            else:
+                plan = compile_plan(expr, cost_model=model,
+                                    access_paths=session.access_paths)
+            steps.append(("plan", statement, expr, plan))
+        return steps
+
+    def _execute_read_traced(self, conn: Connection, source: str, view,
+                             ctx: EvalContext,
+                             guard: _Guard) -> List[Result]:
+        """EXPLAIN ANALYZE for a read script: compile fresh under a
+        per-request tracer (traced plans carry per-run span state, so
+        they never touch the plan cache), then render each retrieve's
+        plan with the snapshot cost model — the same model the local
+        ``.analyze`` builds — so ``via index probe[...]`` / ``via
+        scan[...]`` annotations survive the wire."""
+        from ..core.values import MultiSet
+        session = conn.session
+        mode = session.engine
+        model = self._snapshot_cost_model(view, mode)
+        optimizer = Optimizer(cost_model=model, max_depth=3, max_trees=500)
+        tracer = Tracer(enabled=True)
+        tracer.client_id = getattr(conn, "client_id", "") or ""
+        ctx.tracer = tracer
         results: List[Result] = []
         lexer = Lexer(source)
         while not lexer.at_end():
@@ -640,22 +845,33 @@ class Server:
                         raise TranslationError(
                             "range over unknown object %r" % collection)
                     session.ranges[var] = collection
-                results.append(Result(statement, None,
-                                      engine=session.engine))
+                results.append(Result(statement, None, engine=mode))
                 continue
             guard.check()
             expr, _ = Translator(self.db, session.ranges) \
                 .translate_retrieve(statement)
+            expr = optimizer.optimize(expr).best
             ctx.begin_query()
+            tracer.begin("retrieve", kind="statement")
             started = perf_counter()
-            # Reader threads run serial even on the batched engine:
-            # forking partition workers from a threaded asyncio process
-            # is unsafe, and the snapshot guard wraps this thread only.
-            value = evaluate(expr, ctx, mode=session.engine,
-                             batch_size=session.batch_size)
+            try:
+                value = evaluate(expr, ctx, mode=mode, cost_model=model,
+                                 access_paths=session.access_paths,
+                                 batch_size=session.batch_size)
+            finally:
+                elapsed = perf_counter() - started
+                root = tracer.end()
             result = Result(statement, expr, value, None, stats=ctx.stats)
-            result.seconds = perf_counter() - started
-            result.engine = session.engine
+            result.seconds = elapsed
+            result.engine = mode
+            if root is not None:
+                root.calls = 1
+                root.wall = elapsed
+                root.rows_out = 1 if value is not None else 0
+                if isinstance(value, MultiSet):
+                    root.card_out = len(value)
+                result.trace = root
+                result.explain_text = result.explain(cost_model=model)
             results.append(result)
         return results
 

@@ -561,6 +561,14 @@ class IndexCatalog:
 
     # -- reporting ----------------------------------------------------
 
+    def snapshot_view(self, view, epoch: int, cache: Dict,
+                      lock) -> "IndexCatalogView":
+        """A frozen view of this catalog over snapshot *view* — see
+        :class:`IndexCatalogView`.  *cache* is the per-epoch built-index
+        dict shared by every reader pinned to *epoch*; *lock* serializes
+        lazy builds into it."""
+        return IndexCatalogView(self, view, epoch, cache, lock)
+
     def describe_rows(self) -> List[dict]:
         """One row per definition for ``.indexes``: kind, name, key,
         size (occurrences; None while stale/unbuilt), probe hits."""
@@ -588,3 +596,138 @@ class IndexCatalog:
                 "live": live,
             })
         return rows
+
+
+#: Cache slot for "no build attempted yet at this epoch".
+_UNBUILT = object()
+
+
+class IndexCatalogView:
+    """A frozen, epoch-stamped view of an :class:`IndexCatalog`.
+
+    Secondary indexes track the *live* store, so a snapshot reader that
+    probed the live catalog could surface rows committed after its
+    version.  This view closes that gap: it captures the catalog's
+    definitions at snapshot creation and lazily builds each probed
+    index **over the snapshot's own frozen collections**, so every
+    probe answer is exactly what a scan of the snapshot would produce.
+
+    It implements the full duck-type surface the optimizer and the
+    compiled engines consult on a catalog — ``has_definition`` /
+    ``closed_types`` at plan time, ``probe_typed`` / ``probe_keyed`` /
+    ``probe_ordered`` / ``record_probe`` at run time — so
+    ``CostModel.choose_access_path`` and ``compile_plan`` consume it
+    exactly like the live catalog.
+
+    Builds are memoized in a per-epoch dict owned by the transaction
+    manager and shared by every reader pinned to the same epoch (equal
+    epochs imply identical data *and* definitions — index DDL commits
+    and therefore advances the version).  A build happens at most once
+    per (epoch, definition): concurrent probers of the same definition
+    wait on the manager's build lock rather than duplicating work, and
+    a snapshot never goes stale, so a built index is never rebuilt.
+    Hit counters still land on the live catalog — observability tracks
+    total probe traffic, not per-epoch traffic.
+    """
+
+    def __init__(self, catalog: IndexCatalog, view, epoch: int,
+                 cache: Dict, lock):
+        self._catalog = catalog
+        self._view = view
+        self.epoch = epoch
+        self._cache = cache
+        self._lock = lock
+        # GIL-atomic copy: the writer thread may be mid-DDL, but a def
+        # it is adding only ever describes data this snapshot already
+        # contains (index DDL never changes collection contents), so
+        # either copy is correct for this epoch.
+        self._defs = dict(catalog._defs)
+        self._ctx: Optional[EvalContext] = None
+
+    # -- plan-time surface -------------------------------------------
+
+    def has_definition(self, name: str,
+                       kind: Optional[str] = None) -> bool:
+        return any(dk[1] == name and (kind is None or dk[0] == kind)
+                   for dk in self._defs)
+
+    def closed_types(self, type_name: str) -> frozenset:
+        # The type hierarchy only grows and DDL is not undone by abort;
+        # descendant types defined after the snapshot have no members
+        # visible at this version, so delegating is exact.
+        return self._catalog.closed_types(type_name)
+
+    def definitions(self) -> List[dict]:
+        return [IndexCatalog._def_json(dk)
+                for dk in sorted(self._defs, key=IndexCatalog._def_sort)]
+
+    # -- run-time surface --------------------------------------------
+
+    def record_probe(self, kind: str, name: str,
+                     key: Optional[Expr] = None, n: int = 1) -> None:
+        self._catalog.record_probe(kind, name, key, n)
+
+    def probe_typed(self, name: str,
+                    count: bool = True) -> Optional[TypedPartitionIndex]:
+        return self._probe(("typed", name, None), count)
+
+    def probe_keyed(self, name: str, key: Expr,
+                    count: bool = True) -> Optional[KeyIndex]:
+        return self._probe(("keyed", name, key), count)
+
+    def probe_ordered(self, name: str, key: Expr,
+                      count: bool = True) -> Optional[OrderedIndex]:
+        return self._probe(("ordered", name, key), count)
+
+    def _probe(self, def_key: Tuple[str, str, Optional[Expr]],
+               count: bool):
+        if def_key not in self._defs:
+            return None
+        built = self._cache.get(def_key, _UNBUILT)
+        if built is _UNBUILT:
+            with self._lock:
+                built = self._cache.get(def_key, _UNBUILT)
+                if built is _UNBUILT:
+                    built = self._build(def_key)
+                    self._cache[def_key] = built
+        if built is None:
+            return None
+        if count:
+            self.record_probe(*def_key)
+        return built
+
+    def _build(self, def_key: Tuple[str, str, Optional[Expr]]):
+        """Build one index over the snapshot (caller holds the lock).
+
+        The build context is deliberately *unguarded*: a cancelled
+        reader finishes the (bounded) build rather than poisoning the
+        shared cache with a half-built index.  ``None`` is cached when
+        the named object is absent or not a multiset at this version —
+        callers fall back to their scan path, which reports the real
+        error.
+        """
+        kind, name, key = def_key
+        if self._ctx is None:
+            db = self._catalog._database
+            self._ctx = EvalContext(
+                database=self._view.named, store=self._view.store,
+                functions=db.functions, methods=db.methods, indexes=None)
+        try:
+            collection = self._view.named[name]
+        except KeyError:
+            return None
+        try:
+            if kind == "typed":
+                index = TypedPartitionIndex(collection, self._ctx)
+            elif kind == "keyed":
+                index = KeyIndex(key, collection, self._ctx)
+            else:
+                index = OrderedIndex(key, collection, self._ctx)
+        except TypeError:
+            return None
+        INDEX_BUILDS_TOTAL.inc(kind=kind)
+        return index
+
+    def __repr__(self) -> str:
+        return "<IndexCatalogView @epoch%d defs=%d built=%d>" % (
+            self.epoch, len(self._defs), len(self._cache))

@@ -53,14 +53,16 @@ durable manager attached.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import weakref
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.expr import EvalContext
-from ..obs.metrics import (SNAPSHOT_OLDEST_AGE_SECONDS, SNAPSHOT_VIEWS_LIVE,
-                           SNAPSHOTS_TOTAL, TXN_ABORTS_TOTAL,
-                           TXN_COMMITS_TOTAL, WAL_BATCH_RECORDS)
+from ..obs.metrics import (INDEX_EPOCH, SNAPSHOT_OLDEST_AGE_SECONDS,
+                           SNAPSHOT_VIEWS_LIVE, SNAPSHOTS_TOTAL,
+                           TXN_ABORTS_TOTAL, TXN_COMMITS_TOTAL,
+                           WAL_BATCH_RECORDS)
 from ..core.serialize import (expr_from_json, expr_to_json, value_from_json,
                               value_to_json)
 from .store import DEFAULT_TYPE, Database, StoreError
@@ -125,10 +127,23 @@ class TransactionManager:
         # ascending chain of (from_version, superseded state).
         self._from: Dict[Tuple[str, Any], Any] = {}
         self._chain: Dict[Tuple[str, Any], List[Tuple[int, Any]]] = {}
+        # Snapshot pinning: version -> live SnapshotView count.  prune()
+        # clamps to the oldest pinned version so a long-running reader's
+        # chain history (and its epoch's index cache) is never freed
+        # under it.  RLock: unpins fire from weakref finalizers, which
+        # the GC may run on a thread already holding the lock.
+        self._pins: Dict[int, int] = {}
+        self._pin_lock = threading.RLock()
+        # Per-epoch snapshot index caches (epoch == self.version at
+        # snapshot time), shared by every reader pinned to that epoch;
+        # one lock serializes the lazy builds (see IndexCatalogView).
+        self._epoch_indexes: Dict[int, Dict] = {}
+        self._index_build_lock = threading.Lock()
         db.txn = self
         db.journal = self
         db.store.journal = self
         self._wrap_ddl()
+        _LIVE_MANAGERS.add(self)
 
     # -- transaction control ----------------------------------------------
 
@@ -385,6 +400,48 @@ class TransactionManager:
         SNAPSHOTS_TOTAL.inc()
         return SnapshotView(self, self.version)
 
+    @property
+    def index_epoch(self) -> int:
+        """The index epoch: every commit (data or index DDL — both flow
+        through :meth:`commit`) advances it, so equal epochs imply
+        identical visible data *and* index definitions.  Snapshot index
+        caches and the server's plan caches key on it."""
+        return self.version
+
+    def _pin(self, version: int) -> None:
+        with self._pin_lock:
+            self._pins[version] = self._pins.get(version, 0) + 1
+
+    def _unpin(self, version: int) -> None:
+        with self._pin_lock:
+            n = self._pins.get(version, 0) - 1
+            if n > 0:
+                self._pins[version] = n
+            else:
+                self._pins.pop(version, None)
+                # Last reader left this epoch: its index cache is
+                # unreachable (a new snapshot would pin the *current*
+                # version) unless the epoch is still current.
+                if version != self.version:
+                    self._epoch_indexes.pop(version, None)
+
+    def oldest_pinned(self) -> Optional[int]:
+        """The smallest version a live snapshot view is pinned to, or
+        None when no views are live."""
+        with self._pin_lock:
+            return min(self._pins) if self._pins else None
+
+    def _index_view(self, view: "SnapshotView"):
+        """The frozen index-catalog view for *view* (see
+        :class:`~repro.storage.indexes.IndexCatalogView`).  The caller
+        has already pinned ``view.version``, so the epoch cache fetched
+        here cannot be evicted while the view lives."""
+        epoch = view.version
+        with self._pin_lock:
+            cache = self._epoch_indexes.setdefault(epoch, {})
+        return self.db.indexes.snapshot_view(view, epoch, cache,
+                                             self._index_build_lock)
+
     def _resolve(self, key, snap_version: int, current) -> Any:
         """The state of *key* as of *snap_version*: ``current`` (a
         thunk's value) when the live entry is committed and old enough,
@@ -403,10 +460,26 @@ class TransactionManager:
 
     def prune(self, version: Optional[int] = None) -> None:
         """Drop chain history no snapshot at or after *version*
-        (default: the current committed version) can reach.  Snapshot
-        views older than *version* must not be used afterwards."""
+        (default: the current committed version) can reach.
+
+        The effective version is clamped to the oldest *pinned*
+        version, so a long-running reader's history — and its epoch's
+        snapshot index cache — is never freed under it; pruning tightens
+        automatically as views are collected.  Only snapshot views older
+        than the clamped version (i.e. ones already dead) lose state.
+        """
         if version is None:
             version = self.version
+        floor = self.oldest_pinned()
+        if floor is not None and floor < version:
+            version = floor
+        with self._pin_lock:
+            # Sweep index caches of epochs nobody is pinned to (their
+            # normal eviction point is the last unpin, but an epoch
+            # that never had a reader would otherwise linger).
+            for epoch in list(self._epoch_indexes):
+                if epoch != self.version and epoch not in self._pins:
+                    del self._epoch_indexes[epoch]
         for key in list(self._chain):
             chain = self._chain[key]
             keep = 0
@@ -595,13 +668,28 @@ SNAPSHOT_OLDEST_AGE_SECONDS.set_provider(
     lambda: max((time.time() - view.created_at for view in _LIVE_VIEWS),
                 default=0.0))
 
+#: Live transaction managers, weakly held, backing the index-epoch
+#: gauge (the most advanced manager's committed version).
+_LIVE_MANAGERS: "weakref.WeakSet[TransactionManager]" = weakref.WeakSet()
+
+INDEX_EPOCH.set_provider(
+    lambda: max((float(m.version) for m in _LIVE_MANAGERS), default=0.0))
+
 
 class SnapshotView:
     """A consistent read view: store + named objects at one version.
 
     ``context()`` builds an :class:`EvalContext` over the view, so any
     algebra tree — interpreted or compiled — evaluates against the
-    frozen state while the live database keeps moving.
+    frozen state while the live database keeps moving.  The context
+    carries the view's :class:`~repro.storage.indexes.IndexCatalogView`,
+    so cost-based index probes work against the snapshot (answers are
+    built from the frozen collections, never the live catalog).
+
+    A view *pins* its version for its lifetime: :meth:`prune` will not
+    free chain history (or the epoch's shared index cache) the view can
+    still reach; the pin is dropped by a weakref finalizer when the
+    view is garbage collected.
     """
 
     def __init__(self, manager: TransactionManager, version: int):
@@ -610,6 +698,9 @@ class SnapshotView:
         self.store = SnapshotStore(manager, version)
         self.named = _SnapshotNamed(manager, version)
         self.created_at = time.time()
+        manager._pin(version)
+        self._finalizer = weakref.finalize(self, manager._unpin, version)
+        self.indexes = manager._index_view(self)
         _LIVE_VIEWS.add(self)
 
     def get(self, name: str) -> Any:
@@ -625,7 +716,7 @@ class SnapshotView:
         db = self.manager.db
         return EvalContext(database=self.named, store=self.store,
                            functions=db.functions, methods=db.methods,
-                           indexes=None)
+                           indexes=self.indexes)
 
     def __repr__(self) -> str:
         return "<SnapshotView @v%d>" % self.version

@@ -56,6 +56,14 @@ def test_batch_size_and_access_paths_are_validated():
         ExecutionOptions(access_paths="always")
 
 
+def test_readers_is_validated():
+    assert ExecutionOptions().readers is None
+    assert ExecutionOptions(readers=1).readers == 1
+    for bad in (0, -3):
+        with pytest.raises(ValueError, match="readers"):
+            ExecutionOptions(readers=bad)
+
+
 def test_replace_revalidates():
     options = ExecutionOptions(engine="batched", parallel=2)
     assert options.replace(parallel=0).engine == "batched"
@@ -135,12 +143,13 @@ def test_merge_legacy_options_passthrough():
 
 # -- documentation sync ----------------------------------------------------
 
-def test_readme_documents_every_option_field():
-    """README's quickstart must mention every ExecutionOptions field by
-    name, so the public knobs and their docs cannot drift apart."""
-    readme = (pathlib.Path(__file__).resolve().parents[2]
-              / "README.md").read_text()
+@pytest.mark.parametrize("doc", ["README.md", "DESIGN.md"])
+def test_docs_mention_every_option_field(doc):
+    """README's quickstart and DESIGN's options-surface section must
+    mention every ExecutionOptions field by name, so the public knobs
+    and their docs cannot drift apart."""
+    text = (pathlib.Path(__file__).resolve().parents[2] / doc).read_text()
     for field in dataclasses.fields(ExecutionOptions):
-        assert field.name in readme, (
-            "README.md does not mention ExecutionOptions.%s" % field.name)
-    assert "ExecutionOptions" in readme
+        assert field.name in text, (
+            "%s does not mention ExecutionOptions.%s" % (doc, field.name))
+    assert "ExecutionOptions" in text

@@ -121,7 +121,32 @@ def test_global_registry_round_trips_after_real_queries():
                 for name, labels, value in REGISTRY.get(metric_name).samples()}
     for key, value in expected.items():
         # Gauges with providers may move between export and re-read;
-        # compare only stable series exactly.
-        if key[0].startswith("repro_snapshot_oldest"):
+        # compare only stable series exactly.  (repro_index_epoch reads
+        # a WeakSet of managers, which GC can shrink between samples.)
+        if key[0].startswith(("repro_snapshot_oldest",
+                              "repro_index_epoch")):
             continue
         assert parsed[key] == pytest.approx(value), key
+
+
+def test_plan_cache_and_epoch_metrics_round_trip():
+    """The server read-path instruments survive the export format, and
+    the epoch gauge tracks a live manager's committed version."""
+    from repro.core.values import MultiSet
+    from repro.obs.metrics import (INDEX_EPOCH, SERVER_PLAN_CACHE_HITS,
+                                   SERVER_PLAN_CACHE_MISSES)
+    from repro.storage import Database
+
+    db = Database()
+    manager = db.transactions()
+    db.create("M", MultiSet([1, 2, 3]))  # one commit → epoch advances
+    assert manager.index_epoch == manager.version >= 1
+    assert INDEX_EPOCH.value() >= manager.version
+    SERVER_PLAN_CACHE_HITS.inc()
+    SERVER_PLAN_CACHE_MISSES.inc()
+    parsed = parse_prometheus(REGISTRY.to_prometheus())
+    assert parsed[("repro_server_plan_cache_hits", ())] \
+        == pytest.approx(SERVER_PLAN_CACHE_HITS.value())
+    assert parsed[("repro_server_plan_cache_misses", ())] \
+        == pytest.approx(SERVER_PLAN_CACHE_MISSES.value())
+    assert parsed[("repro_index_epoch", ())] >= manager.version

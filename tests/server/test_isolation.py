@@ -136,3 +136,140 @@ def test_multi_client_differential_matches_serial(tmp_path):
     serial = _run_workload(tmp_path, "serial", 1, 256)
     fanned = _run_workload(tmp_path, "fanned", 8, 256)
     assert serial == fanned
+
+
+# ---------------------------------------------------------------------------
+# Snapshot index epochs on the server read path
+# ---------------------------------------------------------------------------
+
+
+def test_pool_of_one_reader_passes_differential(tmp_path):
+    """ExecutionOptions(readers=1): the optimized read path with a
+    single snapshot-reader thread is indistinguishable from the
+    default pool."""
+    from repro import ExecutionOptions
+
+    def run(name, readers):
+        server = Server(str(tmp_path / name),
+                        ExecutionOptions(readers=readers),
+                        max_clients=32, queue_depth=256,
+                        query_timeout=60.0)
+        assert server.readers == readers
+        with ServerThread(server):
+            port = server.port
+            with ServerClient(port) as admin:
+                admin.execute("create D: { int4 }")
+                admin.execute(" ".join("append to D value (%d)" % v
+                                       for v in range(64)))
+            out = []
+            errors = []
+
+            def worker():
+                try:
+                    with ServerClient(port, timeout=60.0) as client:
+                        for _ in range(8):
+                            out.append(_canonical_rows(
+                                client, "retrieve (x) from x in D "
+                                        "where x < 10"))
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            assert len(set(out)) == 1
+            return out[0]
+
+    assert run("one", 1) == run("many", 8)
+
+
+def test_concurrent_index_ddl_never_serves_stale_reads(hosted):
+    """Index create/drop/abort racing in-flight snapshot reads: every
+    read must answer exactly from its snapshot, indexed or not."""
+    from repro.core.expr import Input
+
+    port = hosted.port
+    with ServerClient(port) as admin:
+        admin.execute("create I: { int4 }")
+        admin.execute(" ".join("append to I value (%d)" % v
+                               for v in range(80)))
+    expected = _canonical_rows_static(port, "retrieve (x) from x in I "
+                                            "where x = 17")
+    stop = threading.Event()
+    errors = []
+
+    def churner():
+        # The only mutating thread: flips the index definition (and
+        # aborts one mid-transaction creation) while readers fly.
+        indexes = hosted.db.indexes
+        journal = hosted.db.journal
+        try:
+            while not stop.is_set():
+                indexes.create_index("keyed", "I", Input())
+                indexes.drop_index("keyed", "I", Input())
+                journal.begin()
+                indexes.create_index("ordered", "I", Input())
+                journal.abort()
+                indexes.drop_index("ordered", "I", Input())
+        except BaseException as exc:
+            errors.append(exc)
+
+    def reader():
+        try:
+            with ServerClient(port, timeout=60.0) as client:
+                while not stop.is_set():
+                    got = json.dumps(
+                        sorted(client.execute(
+                            "retrieve (x) from x in I where x = 17"
+                        ).raw_rows, key=json.dumps),
+                        separators=(",", ":"))
+                    assert got == expected, got
+        except BaseException as exc:
+            errors.append(exc)
+
+    ddl = threading.Thread(target=churner)
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    ddl.start()
+    time.sleep(1.0)
+    stop.set()
+    ddl.join(10)
+    for thread in readers:
+        thread.join(10)
+    if errors:
+        raise errors[0]
+
+
+def _canonical_rows_static(port, query):
+    with ServerClient(port) as client:
+        return json.dumps(sorted(client.execute(query).raw_rows,
+                                 key=json.dumps), separators=(",", ":"))
+
+
+def test_remote_explain_matches_local_annotations(hosted):
+    """EXPLAIN ANALYZE over the wire carries the same access-path
+    annotations the local ``.analyze`` renders."""
+    from repro.core.expr import Input
+
+    port = hosted.port
+    with ServerClient(port) as client:
+        client.execute("create E: { int4 }")
+        client.execute(" ".join("append to E value (%d)" % v
+                                for v in range(100)))
+        hosted.db.indexes.create_index("keyed", "E", Input())
+        probed = client.analyze("retrieve (x) from x in E where x = 3")
+        assert "via index probe[" in probed
+        hosted.db.indexes.drop_index("keyed", "E", Input())
+        scanned = client.analyze("retrieve (x) from x in E where x = 3")
+        assert "via scan[" in scanned
+        assert "via index probe[" not in scanned
+        # Rows still flow alongside the explain text.
+        result = client.execute("retrieve (x) from x in E where x = 3",
+                                explain=True)
+        assert result.explain is not None
+        assert len(result.raw_rows) == 1

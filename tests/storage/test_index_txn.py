@@ -105,3 +105,124 @@ def test_dropping_name_in_txn_then_commit_retires_index(db):
     # Name gone: definition no longer listed, probe declines.
     assert db.indexes.definitions() == []
     assert db.indexes.probe_keyed("Nums", KEY) is None
+
+
+# ---------------------------------------------------------------------------
+# Snapshot index epochs (IndexCatalogView)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_probe_frozen_against_live_rewrite(db):
+    db.create("Nums", nums(1, 2, 3))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    view = db.txn.snapshot()
+    db.drop("Nums")
+    db.create("Nums", nums(9))
+    # The live catalog serves the new world…
+    assert sorted(db.indexes.probe_keyed("Nums", KEY).keys()) == [9]
+    # …while the pinned reader's probes answer from its snapshot.
+    snap = view.indexes.probe_keyed("Nums", KEY)
+    assert sorted(snap.keys()) == [1, 2, 3]
+    assert snap.lookup(2) == MultiSet([Tup({"v": 2})])
+
+
+def test_index_created_after_snapshot_is_invisible(db):
+    db.create("Nums", nums(1, 2))
+    view = db.txn.snapshot()
+    db.indexes.create_index("keyed", "Nums", KEY)
+    assert db.indexes.has_definition("Nums", "keyed")
+    # The view's definitions were frozen before the DDL: no half-built
+    # or after-the-fact index is ever served to an in-flight reader.
+    assert not view.indexes.has_definition("Nums", "keyed")
+    assert view.indexes.probe_keyed("Nums", KEY) is None
+    # A fresh snapshot (new epoch — DDL commits) sees the definition.
+    fresh = db.txn.snapshot()
+    assert fresh.version > view.version
+    assert fresh.indexes.probe_keyed("Nums", KEY) is not None
+
+
+def test_index_dropped_after_snapshot_stays_probeable(db):
+    db.create("Nums", nums(1, 2))
+    db.indexes.create_index("ordered", "Nums", KEY)
+    view = db.txn.snapshot()
+    db.indexes.drop_index("ordered", "Nums", KEY)
+    assert not db.indexes.has_definition("Nums", "ordered")
+    snap = view.indexes.probe_ordered("Nums", KEY)
+    assert snap is not None
+    assert [pair for pair, _ in snap.probe_range(high=1)] == [Tup({"v": 1})]
+
+
+def test_same_epoch_readers_share_built_indexes(db):
+    db.create("Nums", nums(1, 2, 3))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    a = db.txn.snapshot()
+    b = db.txn.snapshot()
+    assert a.version == b.version
+    # Memoized per epoch, not per view: one build serves both readers.
+    assert a.indexes.probe_keyed("Nums", KEY) \
+        is b.indexes.probe_keyed("Nums", KEY)
+
+
+def test_abort_of_index_ddl_leaves_snapshots_consistent(db):
+    db.create("Nums", nums(1, 2))
+    view = db.txn.snapshot()
+    db.journal.begin()
+    db.indexes.create_index("keyed", "Nums", KEY)
+    db.journal.abort()
+    # DDL is not undone by abort (paper semantics) — but the frozen view
+    # captured its definitions before any of it, so it stays index-free.
+    assert not view.indexes.has_definition("Nums", "keyed")
+    assert view.indexes.probe_keyed("Nums", KEY) is None
+
+
+def test_prune_clamps_to_pinned_snapshot(db):
+    db.create("Nums", nums(1, 2, 3))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    view = db.txn.snapshot()
+    assert sorted(view.indexes.probe_keyed("Nums", KEY).keys()) == [1, 2, 3]
+    for v in (10, 20, 30):
+        db.drop("Nums")
+        db.create("Nums", nums(v))
+        db.txn.prune()  # must not free the pinned reader's history
+    assert view.get("Nums") == nums(1, 2, 3)
+    assert sorted(view.indexes.probe_keyed("Nums", KEY).keys()) == [1, 2, 3]
+    epoch = view.version
+    assert epoch in db.txn._epoch_indexes
+    del view
+    import gc
+    gc.collect()
+    # Last reader gone: the pin drops and prune may sweep the epoch.
+    db.txn.prune()
+    assert epoch not in db.txn._epoch_indexes
+    assert db.txn.oldest_pinned() is None
+
+
+def test_prune_hammering_during_long_reads(db):
+    import threading
+    db.create("Nums", nums(*range(50)))
+    db.indexes.create_index("keyed", "Nums", KEY)
+    view = db.txn.snapshot()
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                index = view.indexes.probe_keyed("Nums", KEY)
+                assert index.lookup(7) == MultiSet([Tup({"v": 7})])
+                assert view.get("Nums") == nums(*range(50))
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for v in range(100):
+            db.drop("Nums")
+            db.create("Nums", nums(v))
+            db.txn.prune()
+    finally:
+        stop.set()
+        thread.join(5)
+    assert not errors
+    assert view.get("Nums") == nums(*range(50))
